@@ -1,0 +1,427 @@
+//! Client fine-tuning configurations and adapter injection.
+//!
+//! In Menos' workflow a client first reports its fine-tuning
+//! configuration; the server initializes adapters and an optimizer for
+//! the client and profiles the resulting memory demands. This module
+//! defines that configuration object and the injection routine both
+//! sides use on their own model sections.
+
+use std::ops::Range;
+use std::sync::Arc;
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use menos_models::{AdapterTarget, CausalLm, LoraSpec, ModelConfig};
+use menos_tensor::{ParamStore, Tensor};
+
+use crate::lora::LoraAdapter;
+use crate::optim::{Adam, Optimizer, Sgd};
+use crate::prefix::PrefixAdapter;
+
+/// Which adapter family a client fine-tunes with.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AdapterKind {
+    /// LoRA on the listed projection targets.
+    Lora {
+        /// Rank/alpha settings.
+        spec: LoraSpec,
+        /// Projections to adapt in every block (paper: `[Q, V]`).
+        targets: Vec<AdapterTarget>,
+    },
+    /// Prefix tuning with `len` learned KV positions per block.
+    Prefix {
+        /// Number of prefix positions.
+        len: usize,
+    },
+}
+
+/// Optimizer selection and hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum OptimKind {
+    /// Adam with the given learning rate.
+    Adam {
+        /// Learning rate.
+        lr: f32,
+    },
+    /// SGD with learning rate and momentum.
+    Sgd {
+        /// Learning rate.
+        lr: f32,
+        /// Momentum in `[0, 1)`.
+        momentum: f32,
+    },
+}
+
+/// Everything a client reports to the server before fine-tuning starts
+/// (paper §3.3): adapter settings (determine `A`) and fine-tuning
+/// settings (determine `O` and `I`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FineTuneConfig {
+    /// Adapter family and settings.
+    pub adapter: AdapterKind,
+    /// Optimizer settings.
+    pub optimizer: OptimKind,
+    /// Training batch size.
+    pub batch_size: usize,
+    /// Maximum sequence length.
+    pub seq_len: usize,
+    /// Micro-steps accumulated per optimizer step (≥ 1). Gradient
+    /// accumulation is one of the orthogonal memory techniques the
+    /// paper cites (§1): k micro-batches emulate a k× batch at the
+    /// memory cost of one.
+    pub grad_accumulation: usize,
+}
+
+impl FineTuneConfig {
+    /// The paper's configuration: LoRA r=8 α=16 on Q and V, Adam.
+    pub fn paper(model: &ModelConfig) -> Self {
+        FineTuneConfig {
+            adapter: AdapterKind::Lora {
+                spec: LoraSpec::paper(),
+                targets: vec![AdapterTarget::Q, AdapterTarget::V],
+            },
+            optimizer: OptimKind::Adam { lr: 3e-4 },
+            batch_size: menos_models::paper_batch_size(model),
+            seq_len: menos_models::PAPER_SEQ_LEN,
+            grad_accumulation: 1,
+        }
+    }
+
+    /// Validates the configuration against a model.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self, model: &ModelConfig) -> Result<(), String> {
+        if self.batch_size == 0 {
+            return Err("batch_size must be positive".into());
+        }
+        if self.grad_accumulation == 0 {
+            return Err("grad_accumulation must be at least 1".into());
+        }
+        if self.seq_len == 0 || self.seq_len > model.max_seq {
+            return Err(format!(
+                "seq_len {} outside (0, {}]",
+                self.seq_len, model.max_seq
+            ));
+        }
+        match &self.adapter {
+            AdapterKind::Lora { spec, targets } => {
+                if targets.is_empty() {
+                    return Err("LoRA needs at least one target projection".into());
+                }
+                if spec.rank == 0 || spec.rank > model.hidden {
+                    return Err(format!(
+                        "LoRA rank {} invalid for hidden {}",
+                        spec.rank, model.hidden
+                    ));
+                }
+            }
+            AdapterKind::Prefix { len } => {
+                if *len == 0 || *len >= model.max_seq {
+                    return Err(format!("prefix length {len} invalid"));
+                }
+            }
+        }
+        match self.optimizer {
+            OptimKind::Adam { lr } => {
+                if lr <= 0.0 {
+                    return Err("Adam lr must be positive".into());
+                }
+            }
+            OptimKind::Sgd { lr, momentum } => {
+                if lr <= 0.0 || !(0.0..1.0).contains(&momentum) {
+                    return Err("SGD lr/momentum invalid".into());
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Projection dimensions for an adapter target under `cfg`.
+fn target_dims(cfg: &ModelConfig, target: AdapterTarget) -> (usize, usize) {
+    let h = cfg.hidden;
+    let ffn = cfg.intermediate;
+    match target {
+        AdapterTarget::Q | AdapterTarget::K | AdapterTarget::V | AdapterTarget::O => (h, h),
+        AdapterTarget::MlpUp => (h, ffn),
+        AdapterTarget::MlpDown => (ffn, h),
+    }
+}
+
+/// Injects adapters into `model` for blocks `layers` and returns the
+/// trainable adapter parameters, named like
+/// [`CausalLm::adapter_params`].
+///
+/// # Panics
+///
+/// Panics if the config is invalid for this model or the layer range is
+/// out of bounds.
+pub fn inject_adapters<R: Rng>(
+    model: &mut CausalLm,
+    layers: Range<usize>,
+    ft: &FineTuneConfig,
+    rng: &mut R,
+) -> ParamStore {
+    ft.validate(&model.config)
+        .expect("invalid fine-tune config");
+    assert!(
+        layers.end <= model.num_blocks(),
+        "layer range out of bounds"
+    );
+    let cfg = model.config.clone();
+    let injected = layers.clone();
+    for layer in layers {
+        match &ft.adapter {
+            AdapterKind::Lora { spec, targets } => {
+                for &t in targets {
+                    let (in_dim, out_dim) = target_dims(&cfg, t);
+                    let adapter = Arc::new(LoraAdapter::new(rng, in_dim, out_dim, spec));
+                    model.set_linear_adapter(layer, t, adapter);
+                }
+            }
+            AdapterKind::Prefix { len } => {
+                let adapter = Arc::new(PrefixAdapter::new(rng, cfg.heads, cfg.head_dim(), *len));
+                model.set_kv_prefix(layer, adapter);
+            }
+        }
+    }
+    // Return only the params injected by THIS call: a model may carry
+    // adapters in other layer ranges (e.g. the local baseline injects
+    // client and server ranges separately and must not double-train).
+    model
+        .adapter_params()
+        .iter()
+        .filter(|(name, _)| {
+            injected
+                .clone()
+                .any(|l| name.starts_with(&format!("blocks.{l}.")))
+        })
+        .map(|(n, t)| (n.clone(), t.clone()))
+        .collect()
+}
+
+/// Builds the optimizer described by `ft` over `params`.
+pub fn build_optimizer(ft: &FineTuneConfig, params: Vec<Tensor>) -> Box<dyn Optimizer> {
+    match ft.optimizer {
+        OptimKind::Adam { lr } => Box::new(Adam::new(params, lr)),
+        OptimKind::Sgd { lr, momentum } => Box::new(Sgd::new(params, lr, momentum)),
+    }
+}
+
+/// Analytic adapter byte count for a config over `n_layers` blocks —
+/// used by the paper-scale memory accounting so the analytic and real
+/// paths agree.
+pub fn adapter_bytes(ft: &FineTuneConfig, model: &ModelConfig, n_layers: usize) -> u64 {
+    match &ft.adapter {
+        AdapterKind::Lora { spec, targets } => {
+            let per_layer: u64 = targets
+                .iter()
+                .map(|&t| {
+                    let (i, o) = target_dims(model, t);
+                    ((i + o) * spec.rank) as u64 * 4
+                })
+                .sum();
+            n_layers as u64 * per_layer
+        }
+        AdapterKind::Prefix { len } => {
+            let per_layer = 2 * (model.heads * len * model.head_dim()) as u64 * 4;
+            n_layers as u64 * per_layer
+        }
+    }
+}
+
+/// Analytic optimizer-state bytes for a config (`O` component).
+pub fn optimizer_state_bytes(ft: &FineTuneConfig, adapter_bytes: u64) -> u64 {
+    match ft.optimizer {
+        OptimKind::Adam { .. } => 2 * adapter_bytes,
+        OptimKind::Sgd { momentum, .. } => {
+            if momentum > 0.0 {
+                adapter_bytes
+            } else {
+                0
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use menos_models::{init_params, Arch};
+    use menos_sim::seeded_rng;
+
+    fn tiny_model(arch: Arch) -> (ModelConfig, CausalLm) {
+        let cfg = match arch {
+            Arch::Opt => ModelConfig::tiny_opt(13),
+            Arch::Llama => ModelConfig::tiny_llama(13),
+        };
+        let mut rng = seeded_rng(11, "ft-test");
+        let ps = init_params(&cfg, &mut rng);
+        let lm = CausalLm::bind(&cfg, &ps);
+        (cfg, lm)
+    }
+
+    #[test]
+    fn paper_config_validates() {
+        for cfg in [ModelConfig::opt_1_3b(), ModelConfig::llama2_7b()] {
+            FineTuneConfig::paper(&cfg).validate(&cfg).unwrap();
+        }
+    }
+
+    #[test]
+    fn lora_injection_creates_expected_params() {
+        let (cfg, mut lm) = tiny_model(Arch::Llama);
+        let ft = FineTuneConfig::paper(&cfg);
+        let mut rng = seeded_rng(1, "inject");
+        let params = inject_adapters(&mut lm, 1..4, &ft, &mut rng);
+        // 3 layers × 2 targets × 2 factors.
+        assert_eq!(params.len(), 12);
+        assert!(params.get("blocks.1.attn.q.lora.a").is_some());
+        assert!(params.get("blocks.3.attn.v.lora.b").is_some());
+        assert!(
+            params.get("blocks.0.attn.q.lora.a").is_none(),
+            "layer 0 untouched"
+        );
+        assert!(params.tensors().all(|t| t.requires_grad()));
+    }
+
+    #[test]
+    fn prefix_injection_creates_expected_params() {
+        let (_cfg, mut lm) = tiny_model(Arch::Opt);
+        let ft = FineTuneConfig {
+            adapter: AdapterKind::Prefix { len: 4 },
+            optimizer: OptimKind::Sgd {
+                lr: 0.1,
+                momentum: 0.0,
+            },
+            batch_size: 2,
+            seq_len: 8,
+            grad_accumulation: 1,
+        };
+        let mut rng = seeded_rng(2, "inject");
+        let params = inject_adapters(&mut lm, 0..2, &ft, &mut rng);
+        assert_eq!(params.len(), 4); // 2 layers × (k, v)
+        assert!(params.get("blocks.0.attn.prefix.prefix.k").is_some());
+    }
+
+    #[test]
+    fn fresh_lora_does_not_change_forward() {
+        let (cfg, mut lm) = tiny_model(Arch::Llama);
+        let ids = [1usize, 5, 9, 2];
+        let before = lm.forward(&ids, 1, 4);
+        let ft = FineTuneConfig::paper(&cfg);
+        let mut rng = seeded_rng(3, "inject");
+        inject_adapters(&mut lm, 0..4, &ft, &mut rng);
+        let after = lm.forward(&ids, 1, 4);
+        assert!(
+            before.max_abs_diff(&after) < 1e-6,
+            "zero-init B must be a no-op"
+        );
+    }
+
+    #[test]
+    fn adapter_bytes_agree_with_real_injection() {
+        let (cfg, mut lm) = tiny_model(Arch::Llama);
+        let ft = FineTuneConfig::paper(&cfg);
+        let mut rng = seeded_rng(4, "inject");
+        let params = inject_adapters(&mut lm, 1..4, &ft, &mut rng);
+        assert_eq!(params.size_bytes(), adapter_bytes(&ft, &cfg, 3));
+    }
+
+    #[test]
+    fn optimizer_state_bytes_by_kind() {
+        let cfg = ModelConfig::tiny_opt(13);
+        let mut ft = FineTuneConfig::paper(&cfg);
+        assert_eq!(optimizer_state_bytes(&ft, 100), 200);
+        ft.optimizer = OptimKind::Sgd {
+            lr: 0.1,
+            momentum: 0.9,
+        };
+        assert_eq!(optimizer_state_bytes(&ft, 100), 100);
+        ft.optimizer = OptimKind::Sgd {
+            lr: 0.1,
+            momentum: 0.0,
+        };
+        assert_eq!(optimizer_state_bytes(&ft, 100), 0);
+    }
+
+    #[test]
+    fn build_optimizer_matches_kind() {
+        let p = vec![Tensor::var_from_vec(vec![0.0], [1])];
+        let ft = FineTuneConfig {
+            adapter: AdapterKind::Prefix { len: 1 },
+            optimizer: OptimKind::Adam { lr: 0.01 },
+            batch_size: 1,
+            seq_len: 4,
+            grad_accumulation: 1,
+        };
+        let opt = build_optimizer(&ft, p);
+        assert_eq!(opt.state_bytes(), 8); // Adam: 2 buffers × 1 elem × 4B
+    }
+
+    #[test]
+    fn end_to_end_lora_training_reduces_loss() {
+        let (_cfg, mut lm) = tiny_model(Arch::Opt);
+        let ft = FineTuneConfig {
+            adapter: AdapterKind::Lora {
+                spec: LoraSpec {
+                    rank: 4,
+                    alpha: 8.0,
+                    targets_per_block: 2,
+                },
+                targets: vec![AdapterTarget::Q, AdapterTarget::V],
+            },
+            optimizer: OptimKind::Adam { lr: 0.01 },
+            batch_size: 1,
+            seq_len: 8,
+            grad_accumulation: 1,
+        };
+        let mut rng = seeded_rng(5, "train");
+        let params = inject_adapters(&mut lm, 0..4, &ft, &mut rng);
+        let mut opt = build_optimizer(&ft, params.tensors().cloned().collect());
+        let ids = [1usize, 2, 3, 4, 5, 6, 7, 8];
+        let targets = [2usize, 3, 4, 5, 6, 7, 8, 9];
+        let mut losses = Vec::new();
+        for _ in 0..30 {
+            let logits = lm.forward(&ids, 1, 8);
+            let loss = menos_models::causal_lm_loss(&logits, &targets);
+            losses.push(loss.to_scalar());
+            opt.step(&loss.backward());
+        }
+        assert!(
+            losses.last().unwrap() < &(losses[0] - 0.1),
+            "LoRA training should reduce loss: {losses:?}"
+        );
+    }
+
+    #[test]
+    fn validation_rejects_bad_configs() {
+        let cfg = ModelConfig::tiny_opt(13);
+        let mut ft = FineTuneConfig::paper(&cfg);
+        ft.batch_size = 0;
+        assert!(ft.validate(&cfg).is_err());
+
+        let mut ft = FineTuneConfig::paper(&cfg);
+        ft.seq_len = 10_000;
+        assert!(ft.validate(&cfg).is_err());
+
+        let ft = FineTuneConfig {
+            adapter: AdapterKind::Lora {
+                spec: LoraSpec {
+                    rank: 0,
+                    alpha: 1.0,
+                    targets_per_block: 1,
+                },
+                targets: vec![AdapterTarget::Q],
+            },
+            optimizer: OptimKind::Adam { lr: 0.1 },
+            batch_size: 1,
+            seq_len: 8,
+            grad_accumulation: 1,
+        };
+        assert!(ft.validate(&cfg).is_err());
+    }
+}

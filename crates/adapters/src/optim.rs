@@ -1,0 +1,335 @@
+//! Optimizers over adapter parameters.
+//!
+//! Only adapter parameters train in adapter-based fine-tuning, so
+//! optimizer state (the `O` component of the paper's memory model) is
+//! proportional to `A`, not to the base model.
+
+use menos_tensor::{GradStore, Tensor};
+
+/// Shared interface for the optimizers used in the experiments.
+pub trait Optimizer: Send {
+    /// Applies one update step from `grads` to the managed parameters
+    /// (in place; the autograd graph is not touched).
+    fn step(&mut self, grads: &GradStore);
+
+    /// The managed parameters.
+    fn params(&self) -> &[Tensor];
+
+    /// Bytes of optimizer state (momentum/moment buffers), excluding
+    /// the parameters themselves.
+    fn state_bytes(&self) -> u64;
+
+    /// Overrides the learning rate (driven by an
+    /// [`crate::LrSchedule`] between steps).
+    fn set_lr(&mut self, lr: f32);
+}
+
+/// Stochastic gradient descent with optional momentum.
+#[derive(Debug)]
+pub struct Sgd {
+    params: Vec<Tensor>,
+    lr: f32,
+    momentum: f32,
+    velocity: Vec<Vec<f32>>,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer over `params`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not positive or `momentum` is outside
+    /// `[0, 1)`.
+    pub fn new(params: Vec<Tensor>, lr: f32, momentum: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0, 1)");
+        let velocity = if momentum > 0.0 {
+            params.iter().map(|p| vec![0.0; p.elem_count()]).collect()
+        } else {
+            Vec::new()
+        };
+        Sgd {
+            params,
+            lr,
+            momentum,
+            velocity,
+        }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, grads: &GradStore) {
+        for (i, p) in self.params.iter().enumerate() {
+            let Some(g) = grads.get(p) else { continue };
+            let g = g.to_vec();
+            let mut w = p.storage().write();
+            if self.momentum > 0.0 {
+                let v = &mut self.velocity[i];
+                for j in 0..w.len() {
+                    v[j] = self.momentum * v[j] + g[j];
+                    w[j] -= self.lr * v[j];
+                }
+            } else {
+                for j in 0..w.len() {
+                    w[j] -= self.lr * g[j];
+                }
+            }
+        }
+    }
+
+    fn params(&self) -> &[Tensor] {
+        &self.params
+    }
+
+    fn state_bytes(&self) -> u64 {
+        self.velocity.iter().map(|v| v.len() as u64 * 4).sum()
+    }
+
+    fn set_lr(&mut self, lr: f32) {
+        assert!(lr > 0.0, "learning rate must be positive");
+        self.lr = lr;
+    }
+}
+
+/// Rescales all gradients in `grads` for `params` so their global L2
+/// norm does not exceed `max_norm`, returning the pre-clip norm — the
+/// standard stabilizer for LLM fine-tuning.
+///
+/// # Panics
+///
+/// Panics if `max_norm` is not positive.
+///
+/// # Examples
+///
+/// ```
+/// use menos_adapters::clip_grad_norm;
+/// use menos_tensor::Tensor;
+///
+/// let w = Tensor::var_from_vec(vec![3.0, 4.0], [2]);
+/// let mut grads = (&w * &w).sum_all().backward(); // grad (6, 8), norm 10
+/// let norm = clip_grad_norm(&mut grads, &[w.clone()], 1.0);
+/// assert!((norm - 10.0).abs() < 1e-5);
+/// let g = grads.get(&w).unwrap().to_vec();
+/// assert!((g[0] - 0.6).abs() < 1e-5 && (g[1] - 0.8).abs() < 1e-5);
+/// ```
+pub fn clip_grad_norm(grads: &mut GradStore, params: &[Tensor], max_norm: f32) -> f32 {
+    assert!(max_norm > 0.0, "max_norm must be positive");
+    let mut sum_sq = 0.0f64;
+    for p in params {
+        if let Some(g) = grads.get(p) {
+            for v in g.storage().read().iter() {
+                sum_sq += f64::from(*v) * f64::from(*v);
+            }
+        }
+    }
+    let norm = (sum_sq as f32).sqrt();
+    if norm > max_norm {
+        grads.scale(max_norm / norm);
+    }
+    norm
+}
+
+/// Adam with bias correction — the paper's fine-tuning optimizer.
+#[derive(Debug)]
+pub struct Adam {
+    params: Vec<Tensor>,
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+    m: Vec<Vec<f32>>,
+    v: Vec<Vec<f32>>,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer with the standard betas (0.9, 0.999).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not positive.
+    pub fn new(params: Vec<Tensor>, lr: f32) -> Self {
+        Adam::with_betas(params, lr, 0.9, 0.999, 1e-8)
+    }
+
+    /// Creates an Adam optimizer with explicit hyper-parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not positive or a beta is outside `[0, 1)`.
+    pub fn with_betas(params: Vec<Tensor>, lr: f32, beta1: f32, beta2: f32, eps: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        assert!((0.0..1.0).contains(&beta1) && (0.0..1.0).contains(&beta2));
+        let m = params.iter().map(|p| vec![0.0; p.elem_count()]).collect();
+        let v = params.iter().map(|p| vec![0.0; p.elem_count()]).collect();
+        Adam {
+            params,
+            lr,
+            beta1,
+            beta2,
+            eps,
+            t: 0,
+            m,
+            v,
+        }
+    }
+
+    /// Steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, grads: &GradStore) {
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (i, p) in self.params.iter().enumerate() {
+            let Some(g) = grads.get(p) else { continue };
+            let g = g.to_vec();
+            let mut w = p.storage().write();
+            let m = &mut self.m[i];
+            let v = &mut self.v[i];
+            for j in 0..w.len() {
+                m[j] = self.beta1 * m[j] + (1.0 - self.beta1) * g[j];
+                v[j] = self.beta2 * v[j] + (1.0 - self.beta2) * g[j] * g[j];
+                let mhat = m[j] / bc1;
+                let vhat = v[j] / bc2;
+                w[j] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            }
+        }
+    }
+
+    fn params(&self) -> &[Tensor] {
+        &self.params
+    }
+
+    fn state_bytes(&self) -> u64 {
+        // Two moment buffers, 4 bytes per element each.
+        self.m
+            .iter()
+            .zip(self.v.iter())
+            .map(|(m, v)| (m.len() + v.len()) as u64 * 4)
+            .sum()
+    }
+
+    fn set_lr(&mut self, lr: f32) {
+        assert!(lr > 0.0, "learning rate must be positive");
+        self.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimizes `(w - 3)^2` and returns the final weight.
+    fn optimize(mut opt: impl Optimizer, steps: usize) -> f32 {
+        let w = opt.params()[0].clone();
+        for _ in 0..steps {
+            let loss = (&w.add_scalar(-3.0) * &w.add_scalar(-3.0)).sum_all();
+            let grads = loss.backward();
+            opt.step(&grads);
+        }
+        w.to_vec()[0]
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let w = Tensor::var_from_vec(vec![0.0], [1]);
+        let end = optimize(Sgd::new(vec![w], 0.1, 0.0), 50);
+        assert!((end - 3.0).abs() < 1e-3, "w = {end}");
+    }
+
+    #[test]
+    fn sgd_momentum_converges() {
+        let w = Tensor::var_from_vec(vec![0.0], [1]);
+        let end = optimize(Sgd::new(vec![w], 0.05, 0.9), 100);
+        assert!((end - 3.0).abs() < 0.1, "w = {end}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let w = Tensor::var_from_vec(vec![0.0], [1]);
+        let end = optimize(Adam::new(vec![w], 0.3), 100);
+        assert!((end - 3.0).abs() < 0.05, "w = {end}");
+    }
+
+    #[test]
+    fn optimizer_ignores_params_without_grads() {
+        let w = Tensor::var_from_vec(vec![1.0], [1]);
+        let unused = Tensor::var_from_vec(vec![5.0], [1]);
+        let mut opt = Sgd::new(vec![w.clone(), unused.clone()], 0.1, 0.0);
+        let loss = (&w * &w).sum_all();
+        opt.step(&loss.backward());
+        assert_eq!(unused.to_vec(), vec![5.0]);
+        assert!(w.to_vec()[0] < 1.0);
+    }
+
+    #[test]
+    fn state_bytes_accounting() {
+        let params = vec![Tensor::var_from_vec(vec![0.0; 10], [10])];
+        assert_eq!(Sgd::new(params.clone(), 0.1, 0.0).state_bytes(), 0);
+        assert_eq!(Sgd::new(params.clone(), 0.1, 0.5).state_bytes(), 40);
+        // Adam: m and v, 2 * 10 * 4 bytes.
+        assert_eq!(Adam::new(params, 0.1).state_bytes(), 80);
+    }
+
+    #[test]
+    fn adam_counts_steps() {
+        let w = Tensor::var_from_vec(vec![0.0], [1]);
+        let mut opt = Adam::new(vec![w.clone()], 0.1);
+        assert_eq!(opt.steps(), 0);
+        let loss = (&w * &w).sum_all();
+        opt.step(&loss.backward());
+        assert_eq!(opt.steps(), 1);
+    }
+
+    #[test]
+    fn updates_propagate_through_shared_storage() {
+        // The optimizer updates the storage in place, so every aliased
+        // view of the parameter observes the new value — required for
+        // adapters bound into a model structure.
+        let w = Tensor::var_from_vec(vec![1.0], [1]);
+        let alias = w.detach();
+        let mut opt = Sgd::new(vec![w.clone()], 0.5, 0.0);
+        let loss = (&w * &w).sum_all();
+        opt.step(&loss.backward());
+        assert_eq!(alias.to_vec(), w.to_vec());
+        assert!(alias.to_vec()[0] < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "learning rate")]
+    fn bad_lr_rejected() {
+        Sgd::new(vec![], 0.0, 0.0);
+    }
+
+    #[test]
+    fn clip_grad_norm_caps_and_reports() {
+        let w = Tensor::var_from_vec(vec![3.0, 4.0], [2]);
+        let mut grads = (&w * &w).sum_all().backward(); // (6, 8), norm 10
+        let norm = clip_grad_norm(&mut grads, &[w.clone()], 5.0);
+        assert!((norm - 10.0).abs() < 1e-4);
+        let g = grads.get(&w).unwrap().to_vec();
+        let clipped = (g[0] * g[0] + g[1] * g[1]).sqrt();
+        assert!((clipped - 5.0).abs() < 1e-4);
+        // Already-small grads are untouched.
+        let mut grads = (&w * &w).sum_all().backward();
+        clip_grad_norm(&mut grads, &[w.clone()], 100.0);
+        assert_eq!(grads.get(&w).unwrap().to_vec(), vec![6.0, 8.0]);
+    }
+
+    #[test]
+    fn set_lr_changes_step_size() {
+        let w = Tensor::var_from_vec(vec![0.0], [1]);
+        let mut opt = Sgd::new(vec![w.clone()], 0.1, 0.0);
+        let grads = w.sum_all().backward(); // dw = 1
+        opt.step(&grads);
+        assert!((w.to_vec()[0] + 0.1).abs() < 1e-6);
+        opt.set_lr(0.5);
+        opt.step(&grads);
+        assert!((w.to_vec()[0] + 0.6).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,141 @@
+//! Learning-rate schedules for fine-tuning runs.
+//!
+//! Warmup + cosine decay is the de-facto standard for LLM fine-tuning;
+//! the schedule is pure (step → learning rate) and the caller applies
+//! it through [`crate::Optimizer::set_lr`].
+
+/// A learning-rate schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LrSchedule {
+    /// A fixed learning rate.
+    Constant {
+        /// The rate.
+        lr: f32,
+    },
+    /// Linear warmup from zero to `peak` over `warmup_steps`, then
+    /// cosine decay to `floor` at `total_steps`.
+    WarmupCosine {
+        /// Peak learning rate reached after warmup.
+        peak: f32,
+        /// Terminal learning rate.
+        floor: f32,
+        /// Warmup duration in steps.
+        warmup_steps: usize,
+        /// Total schedule length in steps.
+        total_steps: usize,
+    },
+    /// Linear warmup then constant.
+    WarmupConstant {
+        /// Learning rate after warmup.
+        lr: f32,
+        /// Warmup duration in steps.
+        warmup_steps: usize,
+    },
+}
+
+impl LrSchedule {
+    /// The learning rate at `step` (0-based).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use menos_adapters::LrSchedule;
+    ///
+    /// let s = LrSchedule::WarmupCosine {
+    ///     peak: 1.0, floor: 0.1, warmup_steps: 10, total_steps: 110,
+    /// };
+    /// assert_eq!(s.lr_at(0), 0.1);           // warmup start
+    /// assert_eq!(s.lr_at(10), 1.0);          // warmup end = peak
+    /// assert!((s.lr_at(110) - 0.1).abs() < 1e-6); // decayed to floor
+    /// ```
+    pub fn lr_at(&self, step: usize) -> f32 {
+        match *self {
+            LrSchedule::Constant { lr } => lr,
+            LrSchedule::WarmupConstant { lr, warmup_steps } => {
+                if warmup_steps == 0 || step >= warmup_steps {
+                    lr
+                } else {
+                    lr * (step + 1) as f32 / warmup_steps as f32
+                }
+            }
+            LrSchedule::WarmupCosine {
+                peak,
+                floor,
+                warmup_steps,
+                total_steps,
+            } => {
+                if warmup_steps > 0 && step < warmup_steps {
+                    return peak * (step + 1) as f32 / warmup_steps as f32;
+                }
+                let decay_len = total_steps.saturating_sub(warmup_steps).max(1);
+                let progress = ((step - warmup_steps) as f32 / decay_len as f32).clamp(0.0, 1.0);
+                floor + 0.5 * (peak - floor) * (1.0 + (std::f32::consts::PI * progress).cos())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_constant() {
+        let s = LrSchedule::Constant { lr: 0.01 };
+        for step in [0, 100, 10_000] {
+            assert_eq!(s.lr_at(step), 0.01);
+        }
+    }
+
+    #[test]
+    fn warmup_ramps_linearly() {
+        let s = LrSchedule::WarmupConstant {
+            lr: 1.0,
+            warmup_steps: 4,
+        };
+        assert!((s.lr_at(0) - 0.25).abs() < 1e-6);
+        assert!((s.lr_at(1) - 0.5).abs() < 1e-6);
+        assert!((s.lr_at(3) - 1.0).abs() < 1e-6);
+        assert_eq!(s.lr_at(100), 1.0);
+    }
+
+    #[test]
+    fn cosine_decays_monotonically_after_warmup() {
+        let s = LrSchedule::WarmupCosine {
+            peak: 0.1,
+            floor: 0.01,
+            warmup_steps: 5,
+            total_steps: 55,
+        };
+        let mut prev = s.lr_at(5);
+        assert!((prev - 0.1).abs() < 1e-6);
+        for step in 6..=55 {
+            let lr = s.lr_at(step);
+            assert!(lr <= prev + 1e-7, "not monotone at {step}: {lr} > {prev}");
+            prev = lr;
+        }
+        assert!((s.lr_at(55) - 0.01).abs() < 1e-6);
+        // Past the end: stays at the floor.
+        assert!((s.lr_at(1000) - 0.01).abs() < 1e-6);
+    }
+
+    #[test]
+    fn midpoint_is_halfway() {
+        let s = LrSchedule::WarmupCosine {
+            peak: 1.0,
+            floor: 0.0,
+            warmup_steps: 0,
+            total_steps: 100,
+        };
+        assert!((s.lr_at(50) - 0.5).abs() < 1e-2);
+    }
+
+    #[test]
+    fn degenerate_warmup_handled() {
+        let s = LrSchedule::WarmupConstant {
+            lr: 0.5,
+            warmup_steps: 0,
+        };
+        assert_eq!(s.lr_at(0), 0.5);
+    }
+}

@@ -1,0 +1,55 @@
+//! Simulated-GPU allocator operation costs: the data-structure side of
+//! on-demand allocation must stay negligible next to the modelled
+//! release overhead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use menos_gpu::{AllocKind, GpuCluster, GpuDevice};
+
+fn bench_device_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gpu_device");
+    group.bench_function("alloc_free_cycle", |b| {
+        let mut gpu = GpuDevice::new(0, 32 << 30);
+        b.iter(|| {
+            let id = gpu.alloc(1 << 20, AllocKind::Activation, "bench").unwrap();
+            gpu.free(id)
+        });
+    });
+    for &live in &[16usize, 256, 4096] {
+        group.bench_with_input(
+            BenchmarkId::new("alloc_with_live", live),
+            &live,
+            |b, &live| {
+                let mut gpu = GpuDevice::new(0, 64 << 30);
+                let _ids: Vec<_> = (0..live)
+                    .map(|i| {
+                        gpu.alloc(1 << 20, AllocKind::Adapter, format!("c{i}"))
+                            .unwrap()
+                    })
+                    .collect();
+                b.iter(|| {
+                    let id = gpu.alloc(1 << 20, AllocKind::Activation, "bench").unwrap();
+                    gpu.free(id)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_cluster_spanning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gpu_cluster");
+    group.bench_function("spanning_alloc_4gpus", |b| {
+        let mut cluster = GpuCluster::new(4, 8 << 30);
+        b.iter(|| {
+            let a = cluster
+                .alloc_spanning(25 << 30, AllocKind::Model, "llama")
+                .unwrap();
+            cluster.free(a)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_device_ops, bench_cluster_spanning);
+criterion_main!(benches);

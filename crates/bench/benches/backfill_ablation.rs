@@ -1,0 +1,41 @@
+//! Ablation bench: FCFS-only vs FCFS + backfilling (§4.2). Backfilling
+//! lets small forward requests run around a blocked memory-hungry
+//! backward, improving schedule time without starving the head.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use menos_core::{run_experiment, MemoryPolicy, ServerMode, ServerSpec, WorkloadSpec};
+use menos_models::ModelConfig;
+
+fn bench_backfill(c: &mut Criterion) {
+    let mut group = c.benchmark_group("backfill_ablation");
+    group.sample_size(10);
+    let w = WorkloadSpec::paper(ModelConfig::llama2_7b(), 4, 6);
+    println!("\nbackfilling ablation (Llama 2, 4 clients) — simulated results:");
+    for backfilling in [true, false] {
+        let server = ServerSpec::v100(ServerMode::Menos {
+            policy: MemoryPolicy::menos(),
+            backfilling,
+        });
+        let r = run_experiment(&server, &w, 1);
+        println!(
+            "  backfilling={backfilling}: round {:.2}s, schedule {:.3}s, backfills {}",
+            r.avg_round_s, r.avg_schedule_s, r.scheduler_stats.1
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(backfilling),
+            &backfilling,
+            |b, &backfilling| {
+                let server = ServerSpec::v100(ServerMode::Menos {
+                    policy: MemoryPolicy::menos(),
+                    backfilling,
+                });
+                b.iter(|| run_experiment(&server, &w, 1));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_backfill);
+criterion_main!(benches);

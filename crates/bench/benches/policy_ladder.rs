@@ -1,0 +1,47 @@
+//! Ablation bench: the Fig. 3 policy ladder (a → d). For each policy,
+//! measures the *simulated* round time and peak memory of a 4-client
+//! Llama workload — Criterion reports wall time of the DES; the
+//! simulated metrics are printed once per policy for EXPERIMENTS.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use menos_core::{run_experiment, MemoryPolicy, ServerMode, ServerSpec, WorkloadSpec};
+use menos_models::ModelConfig;
+
+fn bench_policy_ladder(c: &mut Criterion) {
+    let mut group = c.benchmark_group("policy_ladder");
+    group.sample_size(10);
+    let w = WorkloadSpec::paper(ModelConfig::llama2_7b(), 4, 6);
+    println!("\npolicy ladder (Llama 2, 4 clients) — simulated results:");
+    for policy in MemoryPolicy::ladder() {
+        let server = ServerSpec::v100(ServerMode::Menos {
+            policy,
+            backfilling: true,
+        });
+        let r = run_experiment(&server, &w, 1);
+        match &r.error {
+            Some(e) => println!("  {policy}: INFEASIBLE ({e})"),
+            None => println!(
+                "  {policy}: round {:.2}s, schedule {:.2}s, peak {:.1} GiB",
+                r.avg_round_s,
+                r.avg_schedule_s,
+                r.peak_bytes as f64 / (1u64 << 30) as f64
+            ),
+        }
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{policy:?}")),
+            &policy,
+            |b, &policy| {
+                let server = ServerSpec::v100(ServerMode::Menos {
+                    policy,
+                    backfilling: true,
+                });
+                b.iter(|| run_experiment(&server, &w, 1));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policy_ladder);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! End-to-end simulated round throughput: how fast the DES runtime
+//! itself executes (simulated seconds cost virtually nothing to
+//! compute, which is what makes the parameter sweeps cheap).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use menos_core::{run_experiment, ServerMode, ServerSpec, WorkloadSpec};
+use menos_models::ModelConfig;
+
+fn bench_runtime(c: &mut Criterion) {
+    let mut group = c.benchmark_group("des_runtime");
+    group.sample_size(20);
+    for &clients in &[2usize, 6, 16] {
+        group.bench_with_input(
+            BenchmarkId::new("menos_opt_8iters", clients),
+            &clients,
+            |b, &clients| {
+                let server = ServerSpec::v100(ServerMode::menos());
+                let w = WorkloadSpec::paper(ModelConfig::opt_1_3b(), clients, 8);
+                b.iter(|| run_experiment(&server, &w, 1));
+            },
+        );
+    }
+    group.bench_function("vanilla_llama_4clients", |b| {
+        let server = ServerSpec::v100(ServerMode::VanillaSwapping);
+        let w = WorkloadSpec::paper(ModelConfig::llama2_7b(), 4, 8);
+        b.iter(|| run_experiment(&server, &w, 1));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_runtime);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Scheduler decision latency (paper §4.2: "the scheduler takes less
+//! than 0.1 milliseconds to make a decision").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use menos_core::{OpKind, Request, Scheduler};
+use menos_split::ClientId;
+
+fn bench_decision_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler_decision");
+    for &clients in &[4usize, 16, 64, 256] {
+        group.bench_with_input(
+            BenchmarkId::new("data_arrived", clients),
+            &clients,
+            |b, &clients| {
+                b.iter_batched(
+                    || {
+                        // A loaded scheduler: half the clients waiting.
+                        let mut s = Scheduler::new(32 << 30, true);
+                        for i in 0..clients / 2 {
+                            s.data_arrived(Request {
+                                client: ClientId(i as u64),
+                                kind: OpKind::Backward,
+                                demand: 5 << 30,
+                            });
+                        }
+                        s
+                    },
+                    |mut s| {
+                        s.data_arrived(Request {
+                            client: ClientId(999),
+                            kind: OpKind::Forward,
+                            demand: 64 << 20,
+                        })
+                    },
+                    criterion::BatchSize::SmallInput,
+                );
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("task_completed", clients),
+            &clients,
+            |b, &clients| {
+                b.iter_batched(
+                    || {
+                        let mut s = Scheduler::new(32 << 30, true);
+                        s.data_arrived(Request {
+                            client: ClientId(0),
+                            kind: OpKind::Backward,
+                            demand: 30 << 30,
+                        });
+                        for i in 1..clients {
+                            s.data_arrived(Request {
+                                client: ClientId(i as u64),
+                                kind: OpKind::Backward,
+                                demand: 5 << 30,
+                            });
+                        }
+                        s
+                    },
+                    |mut s| s.task_completed(ClientId(0)),
+                    criterion::BatchSize::SmallInput,
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_decision_latency);
+criterion_main!(benches);

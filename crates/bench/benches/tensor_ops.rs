@@ -1,0 +1,55 @@
+//! Tensor-engine kernel throughput: the real-engine substrate behind
+//! the convergence experiments.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use menos_sim::seeded_rng;
+use menos_tensor::Tensor;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    let mut rng = seeded_rng(1, "bench");
+    for &n in &[32usize, 64, 128] {
+        let a = Tensor::randn(&mut rng, [n, n], 1.0);
+        let b = Tensor::randn(&mut rng, [n, n], 1.0);
+        group.throughput(Throughput::Elements((2 * n * n * n) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| a.matmul(&b));
+        });
+    }
+    group.finish();
+}
+
+fn bench_nn_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nn_primitives");
+    let mut rng = seeded_rng(2, "bench");
+    let x = Tensor::randn(&mut rng, [8, 64, 128], 1.0);
+    let gamma = Tensor::ones([128]);
+    let beta = Tensor::zeros([128]);
+    group.bench_function("softmax_8x64x128", |b| b.iter(|| x.softmax_last()));
+    group.bench_function("layer_norm_8x64x128", |b| {
+        b.iter(|| x.layer_norm(&gamma, &beta, 1e-5))
+    });
+    group.bench_function("rms_norm_8x64x128", |b| b.iter(|| x.rms_norm(&gamma, 1e-5)));
+    let q = Tensor::randn(&mut rng, [2, 4, 64, 16], 1.0);
+    group.bench_function("rope_2x4x64x16", |b| b.iter(|| q.rope(10_000.0, 0)));
+    group.finish();
+}
+
+fn bench_backward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("autograd");
+    let mut rng = seeded_rng(3, "bench");
+    let w1 = Tensor::randn(&mut rng, [64, 64], 0.1).trainable();
+    let w2 = Tensor::randn(&mut rng, [64, 64], 0.1).trainable();
+    let x = Tensor::randn(&mut rng, [16, 64], 1.0);
+    group.bench_function("mlp_forward_backward", |b| {
+        b.iter(|| {
+            let y = x.matmul(&w1).gelu().matmul(&w2).sum_all();
+            y.backward()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_matmul, bench_nn_primitives, bench_backward);
+criterion_main!(benches);

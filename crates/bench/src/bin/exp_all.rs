@@ -1,0 +1,39 @@
+//! Runs every experiment binary's logic in sequence — the one-shot
+//! "regenerate the paper's evaluation" entry point.
+//!
+//! Prefer the individual `exp_*` binaries while iterating; this one
+//! exists for EXPERIMENTS.md regeneration (`cargo run -p menos-bench
+//! --release --bin exp_all`).
+
+use std::process::Command;
+
+fn main() {
+    let exps = [
+        "exp_sec23_breakdown",
+        "exp_fig3_timeline",
+        "exp_fig5_memory",
+        "exp_fig6_roundtime",
+        "exp_tables_breakdown",
+        "exp_fig7_policies",
+        "exp_fig10_multigpu",
+        "exp_fig89_convergence",
+        "exp_cutlayer_sweep",
+        "exp_lora_rank_sweep",
+        "exp_quantization",
+        "exp_heterogeneous",
+    ];
+    let exe = std::env::current_exe().expect("current exe path");
+    let dir = exe.parent().expect("bin dir");
+    for name in exps {
+        println!("\n######################################################################");
+        println!("### {name}");
+        println!("######################################################################\n");
+        let status = Command::new(dir.join(name))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {name}: {e}"));
+        if !status.success() {
+            eprintln!("{name} exited with {status}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Ablation: the privacy–efficiency trade-off of the cut layer
+//! (paper §3.1, citing Zhang et al.): deeper cuts keep more blocks on the client,
+//! shrinking the server's memory footprint but shifting compute to the
+//! weaker client device.
+
+use menos_adapters::FineTuneConfig;
+use menos_bench::{gib, render_table, EXP_SEED, TIMED_ITERATIONS};
+use menos_core::{profile_client, run_experiment, ServerMode, ServerSpec, WorkloadSpec};
+use menos_models::{ModelConfig, ModelProfile};
+use menos_split::SplitSpec;
+
+fn main() {
+    println!("== Ablation: cut-layer sweep (Llama 2, 2 clients) ==\n");
+    let cfg = ModelConfig::llama2_7b();
+    let mut rows = Vec::new();
+    for front in [1usize, 2, 4, 8, 16] {
+        let mut w = WorkloadSpec::paper(cfg.clone(), 2, TIMED_ITERATIONS);
+        w.split = SplitSpec::new(front);
+        w.ft = FineTuneConfig::paper(&cfg);
+        let profile = ModelProfile::new(cfg.clone(), front);
+        let demands = profile_client(&profile, &w.ft);
+        let r = run_experiment(&ServerSpec::v100(ServerMode::menos()), &w, EXP_SEED);
+        rows.push(vec![
+            front.to_string(),
+            format!("{:.1}", gib(profile.server_param_bytes())),
+            format!("{:.1}", gib(profile.client_param_bytes())),
+            format!("{:.2}", gib(demands.m_b)),
+            format!("{:.2}", r.avg_round_s),
+            format!("{:.2}", r.avg_client_compute_s),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "client layers",
+                "server M (GiB)",
+                "client params (GiB)",
+                "M_b (GiB)",
+                "round (s)",
+                "client compute (s)",
+            ],
+            &rows
+        )
+    );
+    println!("\nDeeper cuts trade server memory (privacy: less exposed to the");
+    println!("server) for client compute — the knob §3.1 lets each client set.");
+}

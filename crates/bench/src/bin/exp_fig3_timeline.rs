@@ -1,0 +1,103 @@
+//! Fig. 3: GPU memory usage patterns over time under the four
+//! on-demand allocation policies, rendered from the simulated memory
+//! trace — the design figure regenerated from the running system.
+//!
+//! Paper reference (one Llama client): (a) memory stays at the full
+//! footprint throughout, including the waits for client data; (b) drops
+//! after backward; (c) also drops while waiting for gradients, paying a
+//! re-forward; (d) additionally keeps the first forward tiny (no-grad),
+//! so memory sits near the floor except for a short backward spike.
+
+use menos_bench::{gib, EXP_SEED};
+use menos_core::{run_experiment_traced, MemoryPolicy, ServerMode, ServerSpec, WorkloadSpec};
+use menos_models::ModelConfig;
+use menos_sim::Nanos;
+
+const COLS: usize = 86;
+const ROWS: usize = 10;
+
+fn render_ascii(trace: &[(Nanos, u64)], t_end: Nanos, floor: u64, ceil: u64) -> String {
+    // Step-function sample of the trace across the window.
+    let mut grid = vec![vec![' '; COLS]; ROWS];
+    let sample = |t: Nanos| -> u64 {
+        let mut v = floor;
+        for &(when, used) in trace {
+            if when <= t {
+                v = used;
+            } else {
+                break;
+            }
+        }
+        v
+    };
+    for (c, col) in (0..COLS).zip(0..COLS) {
+        let t = Nanos::from_nanos(t_end.as_nanos() / COLS as u64 * c as u64);
+        let v = sample(t);
+        let frac = (v.saturating_sub(floor)) as f64 / (ceil - floor).max(1) as f64;
+        let height = ((frac * (ROWS - 1) as f64).round() as usize).min(ROWS - 1);
+        for r in 0..=height {
+            grid[ROWS - 1 - r][col] = if r == height { '█' } else { '│' };
+        }
+    }
+    let mut out = String::new();
+    for (i, row) in grid.iter().enumerate() {
+        let label = if i == 0 {
+            format!("{:>6.1} GiB ", gib(ceil))
+        } else if i == ROWS - 1 {
+            format!("{:>6.1} GiB ", gib(floor))
+        } else {
+            " ".repeat(11)
+        };
+        out.push_str(&label);
+        out.push_str(&row.iter().collect::<String>());
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "{:>11}0s{}{:.0}s\n",
+        "",
+        " ".repeat(COLS - 6),
+        t_end.as_secs_f64()
+    ));
+    out
+}
+
+fn main() {
+    println!("== Fig. 3: memory usage patterns under the policy ladder ==");
+    println!("   (one Llama-2-7B client, two fine-tuning iterations)\n");
+    let w = WorkloadSpec::paper(ModelConfig::llama2_7b(), 1, 3);
+    let mut global_ceil = 0u64;
+    let mut runs = Vec::new();
+    for policy in MemoryPolicy::ladder() {
+        let server = ServerSpec::v100(ServerMode::Menos {
+            policy,
+            backfilling: true,
+        });
+        let (report, trace) = run_experiment_traced(&server, &w, EXP_SEED);
+        if report.error.is_none() {
+            global_ceil = global_ceil.max(report.peak_bytes);
+        }
+        runs.push((policy, report, trace));
+    }
+    for (policy, report, trace) in runs {
+        println!("--- {policy} ---");
+        match &report.error {
+            Some(e) => println!("infeasible: {e}\n"),
+            None => {
+                let t_end = trace.last().map(|&(t, _)| t).unwrap_or(Nanos::from_secs(1));
+                let floor = report.persistent_bytes;
+                println!(
+                    "{}",
+                    render_ascii(&trace, t_end, floor, global_ceil.max(floor + 1))
+                );
+                println!(
+                    "peak {:.1} GiB over a {:.1} GiB persistent floor; round {:.2}s\n",
+                    gib(report.peak_bytes),
+                    gib(report.persistent_bytes),
+                    report.avg_round_s
+                );
+            }
+        }
+    }
+    println!("Walking a → d, the memory-held-while-waiting window shrinks to a");
+    println!("short backward spike — exactly the Fig. 3 progression.");
+}

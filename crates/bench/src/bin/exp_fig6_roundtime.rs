@@ -1,0 +1,44 @@
+//! Fig. 6: average time for clients to complete one round of split
+//! fine-tuning, vanilla (with task swapping) vs Menos.
+//!
+//! Paper reference: OPT ≈7 s for both up to 3 clients, then vanilla
+//! climbs to 18.2 s at 6 while Menos reaches only 8.7 s. Llama: vanilla
+//! 3.7 s at 1 client, 63.1 s at 2, 154.4 s at 4, N/A at 5; Menos stays
+//! 4.7 → 6.0 s.
+
+use menos_bench::{paper_models, render_table, time_cell, versus_grid, EXP_SEED, TIMED_ITERATIONS};
+
+fn main() {
+    println!("== Fig. 6: per-round fine-tuning time vs number of clients ==\n");
+    for (label, cfg) in paper_models() {
+        let counts: Vec<usize> = if label == "OPT" {
+            (1..=6).collect()
+        } else {
+            (1..=5).collect()
+        };
+        let grid = versus_grid(&cfg, &counts, TIMED_ITERATIONS, EXP_SEED);
+        let rows: Vec<Vec<String>> = grid
+            .iter()
+            .map(|(n, vanilla, menos)| {
+                vec![
+                    n.to_string(),
+                    time_cell(vanilla, vanilla.avg_round_s),
+                    time_cell(menos, menos.avg_round_s),
+                ]
+            })
+            .collect();
+        println!("-- {label} --");
+        println!(
+            "{}",
+            render_table(&["clients", "vanilla (s)", "Menos (s)"], &rows)
+        );
+        println!(
+            "paper: {}\n",
+            if label == "OPT" {
+                "vanilla ~7 s up to 3 clients then 18.2 s @6; Menos 7 -> 8.7 s"
+            } else {
+                "vanilla 3.7 @1, 63.1 @2, 154.4 @4, N/A @5; Menos 4.7 -> 6.0 s"
+            }
+        );
+    }
+}

@@ -1,0 +1,78 @@
+//! Figs. 8–9: model convergence of split fine-tuning — every client
+//! reaches the same final perplexity as local fine-tuning, just shifted
+//! in (virtual) time by the communication-bound rounds.
+//!
+//! These runs execute *real* gradient descent on tiny OPT-/Llama-style
+//! models through the full split protocol (wire codec included); only
+//! the time axis comes from the paper-scale simulation.
+
+use menos_bench::convergence::{run_convergence, Corpus};
+use menos_bench::render_table;
+use menos_models::Arch;
+
+fn main() {
+    println!("== Figs. 8-9: convergence of split fine-tuning ==\n");
+    for (fig, arch) in [
+        ("Fig. 8 (OPT)", Arch::Opt),
+        ("Fig. 9 (Llama 2)", Arch::Llama),
+    ] {
+        for corpus in [Corpus::Wiki, Corpus::Shakespeare] {
+            let report = run_convergence(arch, corpus, 3, 30, menos_bench::EXP_SEED);
+            println!(
+                "-- {fig} on {} (simulated round: {:.1}s; local held-out ppl {:.2}) --",
+                corpus.label(),
+                report.round_seconds,
+                report.local_valid_perplexity
+            );
+            let mut rows = Vec::new();
+            let lp = report.local.final_perplexity();
+            rows.push(vec![
+                report.local.label.clone(),
+                format!(
+                    "{:.3}",
+                    report
+                        .local
+                        .points
+                        .first()
+                        .map(|p| p.1.exp())
+                        .unwrap_or(f32::NAN)
+                ),
+                format!("{lp:.3}"),
+                format!(
+                    "{:.0}",
+                    report.local.points.last().map(|p| p.0).unwrap_or(0.0)
+                ),
+            ]);
+            for c in &report.split_clients {
+                rows.push(vec![
+                    c.label.clone(),
+                    format!(
+                        "{:.3}",
+                        c.points.first().map(|p| p.1.exp()).unwrap_or(f32::NAN)
+                    ),
+                    format!("{:.3}", c.final_perplexity()),
+                    format!("{:.0}", c.points.last().map(|p| p.0).unwrap_or(0.0)),
+                ]);
+            }
+            println!(
+                "{}",
+                render_table(
+                    &["run", "initial ppl", "final ppl", "virtual time (s)"],
+                    &rows
+                )
+            );
+            // Loss trajectory sample for the plot's shape.
+            let c0 = &report.split_clients[0];
+            let samples: Vec<String> = c0
+                .points
+                .iter()
+                .step_by((c0.points.len() / 6).max(1))
+                .map(|(t, l)| format!("({t:.0}s, {:.2})", l.exp()))
+                .collect();
+            println!("client-0 trajectory: {}\n", samples.join(" "));
+        }
+    }
+    println!("paper: all clients reach the same final perplexity as local");
+    println!("fine-tuning (the dashed line), taking longer in wall-clock time");
+    println!("because of cross-Internet communication.");
+}

@@ -1,0 +1,48 @@
+//! Tables 1–3: the per-iteration time broken into communication,
+//! computation, and scheduling components, for vanilla and Menos.
+//!
+//! Paper reference:
+//! * Table 1 (comm): roughly constant in client count — OPT 6.4–7.1 s,
+//!   Llama 3.1–3.9 s.
+//! * Table 2 (compute): vanilla flat (OPT 0.41–0.54 s, Llama
+//!   0.46–0.55 s); Menos grows with clients (OPT 0.71 → 1.68 s, Llama
+//!   1.15 → 2.16 s) due to re-forward and allocator churn.
+//! * Table 3 (schedule): vanilla 0 until memory runs out, then large
+//!   (OPT 8.18 s @6, Llama 121.1 s @4); Menos stays sub-second.
+
+use menos_bench::{paper_models, render_table, time_cell, versus_grid, EXP_SEED, TIMED_ITERATIONS};
+use menos_core::RunReport;
+
+fn main() {
+    println!("== Tables 1-3: per-iteration time components ==\n");
+    for (label, cfg) in paper_models() {
+        let counts: Vec<usize> = if label == "OPT" {
+            (1..=6).collect()
+        } else {
+            (1..=5).collect()
+        };
+        let grid = versus_grid(&cfg, &counts, TIMED_ITERATIONS, EXP_SEED);
+
+        for (title, pick) in [
+            (
+                "Table 1: communication (s)",
+                (|r: &RunReport| r.avg_comm_s) as fn(&RunReport) -> f64,
+            ),
+            ("Table 2: computation (s)", |r| r.avg_compute_s),
+            ("Table 3: schedule (s)", |r| r.avg_schedule_s),
+        ] {
+            let mut vanilla_row = vec!["Vanilla".to_string()];
+            let mut menos_row = vec!["Menos".to_string()];
+            for (_, v, m) in &grid {
+                vanilla_row.push(time_cell(v, pick(v)));
+                menos_row.push(time_cell(m, pick(m)));
+            }
+            let mut header: Vec<String> = vec!["method".to_string()];
+            header.extend(grid.iter().map(|(n, _, _)| n.to_string()));
+            let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+            println!("-- {label} / {title} --");
+            println!("{}", render_table(&header_refs, &[vanilla_row, menos_row]));
+        }
+        println!();
+    }
+}

@@ -1,0 +1,146 @@
+//! # menos-bench — experiment harness for the paper's evaluation
+//!
+//! One binary per table/figure of the paper (see DESIGN.md §6 for the
+//! index), plus Criterion micro-benchmarks. Every binary prints the
+//! same rows/series the paper reports, annotated with the paper's
+//! values for side-by-side comparison, and EXPERIMENTS.md records the
+//! outcomes.
+//!
+//! Shared helpers here keep the binaries small: standard experiment
+//! grids, table rendering, and the convergence trainer used by
+//! Figs. 8–9.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use menos_core::{run_experiment, RunReport, ServerMode, ServerSpec, WorkloadSpec};
+use menos_models::ModelConfig;
+
+pub mod convergence;
+
+/// Renders a row-major table with a header, padding columns to width.
+///
+/// # Examples
+///
+/// ```
+/// let t = menos_bench::render_table(
+///     &["n", "value"],
+///     &[vec!["1".into(), "a".into()], vec!["2".into(), "bb".into()]],
+/// );
+/// assert!(t.contains("| n | value |"));
+/// ```
+pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: Vec<String>, widths: &[usize]| -> String {
+        let padded: Vec<String> = cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:<w$}"))
+            .collect();
+        format!("| {} |\n", padded.join(" | "))
+    };
+    out.push_str(&fmt_row(
+        header.iter().map(|s| s.to_string()).collect(),
+        &widths,
+    ));
+    out.push_str(&fmt_row(
+        widths.iter().map(|w| "-".repeat(*w)).collect(),
+        &widths,
+    ));
+    for row in rows {
+        out.push_str(&fmt_row(row.clone(), &widths));
+    }
+    out
+}
+
+/// Formats a duration cell: `N/A` when a run failed.
+pub fn time_cell(report: &RunReport, value: f64) -> String {
+    if report.error.is_some() {
+        "N/A".to_string()
+    } else {
+        format!("{value:.2}")
+    }
+}
+
+/// Gibibytes, two decimals.
+pub fn gib(bytes: u64) -> f64 {
+    bytes as f64 / (1u64 << 30) as f64
+}
+
+/// The two evaluation models, labelled as the paper does.
+pub fn paper_models() -> Vec<(&'static str, ModelConfig)> {
+    vec![
+        ("OPT", ModelConfig::opt_1_3b()),
+        ("Llama 2", ModelConfig::llama2_7b()),
+    ]
+}
+
+/// Runs the standard Menos-vs-vanilla grid for a model over client
+/// counts, returning `(clients, vanilla, menos)` triples.
+pub fn versus_grid(
+    model: &ModelConfig,
+    client_counts: &[usize],
+    iterations: usize,
+    seed: u64,
+) -> Vec<(usize, RunReport, RunReport)> {
+    client_counts
+        .iter()
+        .map(|&n| {
+            let w = WorkloadSpec::paper(model.clone(), n, iterations);
+            let vanilla = run_experiment(&ServerSpec::v100(ServerMode::VanillaSwapping), &w, seed);
+            let menos = run_experiment(&ServerSpec::v100(ServerMode::menos()), &w, seed);
+            (n, vanilla, menos)
+        })
+        .collect()
+}
+
+/// Iterations used by the timed experiments: enough for stable means
+/// after the warm-up iteration is dropped.
+pub const TIMED_ITERATIONS: usize = 8;
+
+/// Seed shared by all experiment binaries.
+pub const EXP_SEED: u64 = 42;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let t = render_table(&["a", "bc"], &[vec!["xx".into(), "y".into()]]);
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("| a "));
+        assert!(lines[2].contains("| xx | y  |"));
+    }
+
+    #[test]
+    fn gib_conversion() {
+        assert_eq!(gib(1 << 30), 1.0);
+        assert_eq!(gib(3 << 29), 1.5);
+    }
+
+    #[test]
+    fn versus_grid_produces_reports() {
+        let grid = versus_grid(&ModelConfig::opt_1_3b(), &[1, 2], 3, 1);
+        assert_eq!(grid.len(), 2);
+        assert!(grid
+            .iter()
+            .all(|(_, v, m)| v.error.is_none() && m.error.is_none()));
+    }
+
+    #[test]
+    fn na_cells_render() {
+        let w = WorkloadSpec::paper(ModelConfig::llama2_7b(), 5, 2);
+        let r = run_experiment(&ServerSpec::v100(ServerMode::VanillaSwapping), &w, 1);
+        assert_eq!(time_cell(&r, r.avg_round_s), "N/A");
+    }
+}

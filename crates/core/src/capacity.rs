@@ -1,0 +1,177 @@
+//! Analytic capacity planning: how many concurrent fine-tuning clients
+//! a server can admit — the operational question the paper's
+//! conclusion poses ("substantially reduce operating expenses").
+//!
+//! The planner applies Eq. (3): Menos admits `N` clients when
+//! `M + ctx·(N+1) + N·(A+O) + max(M_b) ≤ capacity` (the shared base, a
+//! context and adapter/optimizer state per client, and room to run at
+//! least one backward). The vanilla comparator packs whole
+//! `(M+A+O+I)` tasks.
+
+use menos_adapters::FineTuneConfig;
+use menos_models::{ModelConfig, ModelProfile, Precision};
+use menos_split::SplitSpec;
+
+use crate::profiler::profile_client;
+use crate::workload::ServerSpec;
+
+/// The result of a capacity query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CapacityPlan {
+    /// Concurrent clients Menos admits without queueing at setup.
+    pub menos_clients: usize,
+    /// Concurrent clients vanilla split learning keeps resident
+    /// (beyond this it must swap).
+    pub vanilla_resident_clients: usize,
+    /// Bytes of the (possibly quantized) shared base.
+    pub shared_base_bytes: u64,
+    /// Per-client persistent bytes under Menos (context + A + O).
+    pub menos_per_client_bytes: u64,
+    /// Whole-task bytes per client under vanilla.
+    pub vanilla_task_bytes: u64,
+}
+
+/// Computes admission capacity for a server, model, and fine-tuning
+/// configuration, with the base stored at `precision`.
+///
+/// # Examples
+///
+/// ```
+/// use menos_adapters::FineTuneConfig;
+/// use menos_core::{plan_capacity, ServerMode, ServerSpec};
+/// use menos_models::{ModelConfig, Precision};
+/// use menos_split::SplitSpec;
+///
+/// let cfg = ModelConfig::llama2_7b();
+/// let plan = plan_capacity(
+///     &ServerSpec::v100(ServerMode::menos()),
+///     &cfg,
+///     &FineTuneConfig::paper(&cfg),
+///     SplitSpec::paper(),
+///     Precision::Fp32,
+/// );
+/// assert!(plan.menos_clients >= 10);
+/// assert_eq!(plan.vanilla_resident_clients, 1);
+/// ```
+pub fn plan_capacity(
+    server: &ServerSpec,
+    model: &ModelConfig,
+    ft: &FineTuneConfig,
+    split: SplitSpec,
+    precision: Precision,
+) -> CapacityPlan {
+    let profile = ModelProfile::new(model.clone(), split.front_layers);
+    let demands = profile_client(&profile, ft);
+    let ctx = server.cost.cuda_context_bytes;
+    let total = server.total_gpu_bytes();
+    let m = profile.server_param_bytes_at(precision);
+
+    let menos_per_client = ctx + demands.persistent;
+    // M + manager ctx + one backward's working memory must fit before
+    // any client does.
+    let fixed = m + ctx + demands.m_b;
+    let menos_clients = if fixed >= total {
+        0
+    } else {
+        ((total - fixed) / menos_per_client.max(1)) as usize
+    };
+
+    let vanilla_task = m + demands.persistent + ctx + demands.m_b;
+    let vanilla_resident = (total / vanilla_task.max(1)) as usize;
+
+    CapacityPlan {
+        menos_clients,
+        vanilla_resident_clients: vanilla_resident,
+        shared_base_bytes: m,
+        menos_per_client_bytes: menos_per_client,
+        vanilla_task_bytes: vanilla_task,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::ServerMode;
+
+    fn v100() -> ServerSpec {
+        ServerSpec::v100(ServerMode::menos())
+    }
+
+    #[test]
+    fn paper_capacities() {
+        // Fig. 6's setting: one V100.
+        let llama = ModelConfig::llama2_7b();
+        let plan = plan_capacity(
+            &v100(),
+            &llama,
+            &FineTuneConfig::paper(&llama),
+            SplitSpec::paper(),
+            Precision::Fp32,
+        );
+        // Vanilla: exactly one resident Llama task (paper §2.3).
+        assert_eq!(plan.vanilla_resident_clients, 1);
+        // Menos: an order of magnitude more.
+        assert!(plan.menos_clients >= 10, "{plan:?}");
+
+        let opt = ModelConfig::opt_1_3b();
+        let plan = plan_capacity(
+            &v100(),
+            &opt,
+            &FineTuneConfig::paper(&opt),
+            SplitSpec::paper(),
+            Precision::Fp32,
+        );
+        // Vanilla OPT: 3 resident tasks (paper Fig. 6a).
+        assert_eq!(plan.vanilla_resident_clients, 3);
+        assert!(plan.menos_clients > plan.vanilla_resident_clients);
+    }
+
+    #[test]
+    fn quantization_multiplies_capacity() {
+        let llama = ModelConfig::llama2_7b();
+        let ft = FineTuneConfig::paper(&llama);
+        let fp32 = plan_capacity(&v100(), &llama, &ft, SplitSpec::paper(), Precision::Fp32);
+        let nf4 = plan_capacity(&v100(), &llama, &ft, SplitSpec::paper(), Precision::Nf4);
+        assert!(
+            nf4.menos_clients > 3 * fp32.menos_clients,
+            "{fp32:?} vs {nf4:?}"
+        );
+        assert_eq!(nf4.shared_base_bytes, fp32.shared_base_bytes / 8);
+    }
+
+    #[test]
+    fn more_gpus_admit_more_clients() {
+        let llama = ModelConfig::llama2_7b();
+        let ft = FineTuneConfig::paper(&llama);
+        let one = plan_capacity(&v100(), &llama, &ft, SplitSpec::paper(), Precision::Fp32);
+        let mut big = v100();
+        big.gpus = 4;
+        let four = plan_capacity(&big, &llama, &ft, SplitSpec::paper(), Precision::Fp32);
+        assert!(four.menos_clients > 2 * one.menos_clients);
+    }
+
+    #[test]
+    fn base_too_large_yields_zero() {
+        let llama = ModelConfig::llama2_7b();
+        let ft = FineTuneConfig::paper(&llama);
+        let mut tiny = v100();
+        tiny.gpu_capacity = 8 << 30;
+        let plan = plan_capacity(&tiny, &llama, &ft, SplitSpec::paper(), Precision::Fp32);
+        assert_eq!(plan.menos_clients, 0);
+        assert_eq!(plan.vanilla_resident_clients, 0);
+    }
+
+    #[test]
+    fn planner_agrees_with_runtime_feasibility() {
+        // Any N within the plan must set up without error in the DES.
+        use crate::runtime::run_experiment;
+        use crate::workload::WorkloadSpec;
+        let llama = ModelConfig::llama2_7b();
+        let ft = FineTuneConfig::paper(&llama);
+        let plan = plan_capacity(&v100(), &llama, &ft, SplitSpec::paper(), Precision::Fp32);
+        let n = plan.menos_clients.min(8); // keep the check fast
+        let w = WorkloadSpec::paper(llama, n, 2);
+        let r = run_experiment(&v100(), &w, 1);
+        assert!(r.error.is_none(), "planner said {n} fits: {:?}", r.error);
+    }
+}

@@ -1,0 +1,1012 @@
+//! The timed multi-client runtime: a discrete-event simulation of split
+//! fine-tuning at paper scale.
+//!
+//! Every experiment in the paper's §5 that measures *time* or *memory
+//! under load* (Figs. 6, 7, 10 and Tables 1–3) runs through
+//! [`run_experiment`]. The runtime composes:
+//!
+//! * per-client WAN links ([`menos_net::WanLink`]);
+//! * client- and server-side compute charged from the analytic
+//!   [`menos_models::ModelProfile`] through a [`menos_gpu::CostModel`];
+//! * for Menos modes, the FCFS+backfilling [`crate::Scheduler`] over the
+//!   schedulable memory pool and the Fig. 3 [`crate::MemoryPolicy`];
+//! * for the vanilla baseline, LRU task swapping
+//!   ([`menos_gpu::SwapManager`]) with PCIe serialization and pinning.
+//!
+//! Server compute slots equal the GPU count; memory pools across GPUs
+//! (paper Fig. 2's "abstraction of all available GPUs").
+
+use std::collections::VecDeque;
+
+use menos_gpu::{SwapError, SwapManager};
+use menos_models::ModelProfile;
+use menos_net::WanLink;
+use menos_sim::{EventQueue, Nanos, PeakTracker, Summary};
+use menos_split::ClientId;
+
+use crate::policy::MemoryPolicy;
+use crate::profiler::{profile_client, MemoryDemands};
+use crate::scheduler::{OpKind, Request, Scheduler};
+use crate::workload::{ServerMode, ServerSpec, WorkloadSpec};
+
+/// Aggregated results of one simulated run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Server mode label.
+    pub mode: String,
+    /// Number of clients.
+    pub clients: usize,
+    /// Iterations each client completed.
+    pub iterations: usize,
+    /// Persistent GPU bytes (base params + contexts + per-client A+O
+    /// for Menos; per-client tasks for vanilla) — the Fig. 5 quantity.
+    pub persistent_bytes: u64,
+    /// Peak total GPU bytes observed.
+    pub peak_bytes: u64,
+    /// Mean seconds per fine-tuning round (Fig. 6).
+    pub avg_round_s: f64,
+    /// Mean communication seconds per round (Table 1).
+    pub avg_comm_s: f64,
+    /// Mean server compute seconds per round, incl. re-forward and
+    /// release overhead (Table 2).
+    pub avg_compute_s: f64,
+    /// Mean schedule-wait seconds per round — time between data arrival
+    /// and compute start (Table 3 / Fig. 7).
+    pub avg_schedule_s: f64,
+    /// Mean client-side compute seconds per round.
+    pub avg_client_compute_s: f64,
+    /// Mean round seconds per client (fairness analysis; index =
+    /// client id).
+    pub per_client_round_s: Vec<f64>,
+    /// `(decisions, backfills)` from the scheduler (Menos modes).
+    pub scheduler_stats: (u64, u64),
+    /// `(swap-ins, swap-outs)` from the swap manager (vanilla mode).
+    pub swap_stats: (u64, u64),
+    /// Why the run could not execute (the paper's N/A cells), if so.
+    pub error: Option<String>,
+}
+
+impl RunReport {
+    fn failed(mode: String, clients: usize, why: String) -> Self {
+        RunReport {
+            mode,
+            clients,
+            iterations: 0,
+            persistent_bytes: 0,
+            peak_bytes: 0,
+            avg_round_s: f64::NAN,
+            avg_comm_s: f64::NAN,
+            avg_compute_s: f64::NAN,
+            avg_schedule_s: f64::NAN,
+            avg_client_compute_s: f64::NAN,
+            per_client_round_s: Vec::new(),
+            scheduler_stats: (0, 0),
+            swap_stats: (0, 0),
+            error: Some(why),
+        }
+    }
+}
+
+#[derive(Debug)]
+enum Ev {
+    IterStart(usize),
+    FrontDone(usize),
+    XcArrive(usize),
+    ServerComputeDone(usize, OpKind),
+    XsArrive(usize),
+    HeadDone(usize),
+    GcArrive(usize),
+    GsArrive(usize),
+    IterDone(usize),
+    ResidencyGranted(usize),
+    SlotFree,
+}
+
+struct Cl {
+    link: WanLink,
+    iter_start: Nanos,
+    arrival: Nanos,
+    completed: usize,
+    cur_comm: Nanos,
+    cur_compute: Nanos,
+    cur_sched: Nanos,
+    cur_client: Nanos,
+    round: Summary,
+    comm: Summary,
+    compute: Summary,
+    sched: Summary,
+    client_compute: Summary,
+}
+
+struct Sim<'a> {
+    q: EventQueue<Ev>,
+    server: &'a ServerSpec,
+    workload: &'a WorkloadSpec,
+    profile: ModelProfile,
+    demands: Vec<MemoryDemands>,
+    xfer_bytes: Vec<u64>,
+    clients: Vec<Cl>,
+    // Menos state.
+    scheduler: Option<Scheduler>,
+    pool_bytes: u64,
+    // Vanilla state.
+    swap: Option<SwapManager>,
+    residency_queue: VecDeque<usize>,
+    pcie_busy: bool,
+    // Compute slots.
+    free_slots: usize,
+    compute_queue: VecDeque<(usize, OpKind, Nanos)>,
+    // Memory bookkeeping. `persistent_bytes`/`pool_bytes` are live (a
+    // disconnect moves a client's persistent share into the pool);
+    // `report_persistent` keeps the setup-time Fig. 5 quantity.
+    persistent_bytes: u64,
+    report_persistent: u64,
+    mem: PeakTracker,
+    preload_swaps: (u64, u64),
+    trace: Option<Vec<(Nanos, u64)>>,
+}
+
+/// Runs a timed experiment and reports per-round statistics.
+///
+/// Infeasible configurations (e.g. vanilla with more Llama-sized tasks
+/// than host RAM can hold — the paper's N/A cells) return a report with
+/// [`RunReport::error`] set instead of panicking.
+pub fn run_experiment(server: &ServerSpec, workload: &WorkloadSpec, seed: u64) -> RunReport {
+    run_experiment_impl(server, workload, seed, false).0
+}
+
+/// Like [`run_experiment`] but also returns the GPU memory timeline:
+/// `(virtual time, total bytes in use)` samples at every allocation
+/// event. This regenerates the paper's Fig. 3 memory-usage patterns.
+pub fn run_experiment_traced(
+    server: &ServerSpec,
+    workload: &WorkloadSpec,
+    seed: u64,
+) -> (RunReport, Vec<(Nanos, u64)>) {
+    let (report, trace) = run_experiment_impl(server, workload, seed, true);
+    (report, trace.unwrap_or_default())
+}
+
+fn run_experiment_impl(
+    server: &ServerSpec,
+    workload: &WorkloadSpec,
+    seed: u64,
+    trace: bool,
+) -> (RunReport, Option<Vec<(Nanos, u64)>>) {
+    if workload.clients == 0 {
+        return (
+            RunReport::failed(server.mode.label(), 0, "workload has zero clients".into()),
+            None,
+        );
+    }
+    let profile = workload.profile();
+    let demands: Vec<MemoryDemands> = (0..workload.clients)
+        .map(|i| {
+            let mut ft = workload.ft.clone();
+            ft.batch_size = workload.batch_size_of(i);
+            profile_client(&profile, &ft)
+        })
+        .collect();
+    let mode_label = server.mode.label();
+    let n = workload.clients;
+    let total_gpu = server.total_gpu_bytes();
+    let ctx = server.cost.cuda_context_bytes;
+
+    // ------------------------------------------------------------------
+    // Setup: persistent memory layout (or early N/A).
+    // ------------------------------------------------------------------
+    let (scheduler, swap, persistent_bytes, pool_bytes) = match server.mode {
+        ServerMode::Menos {
+            policy,
+            backfilling,
+        } => {
+            // One shared base + manager context + per-client (context, A+O).
+            let persistent = profile.server_param_bytes()
+                + ctx
+                + demands.iter().map(|d| ctx + d.persistent).sum::<u64>();
+            if persistent > total_gpu {
+                return (
+                    RunReport::failed(
+                        mode_label,
+                        n,
+                        format!("persistent footprint {persistent} exceeds GPU pool {total_gpu}"),
+                    ),
+                    None,
+                );
+            }
+            let pool = total_gpu - persistent;
+            // Admission control (§3.3): profiling exists so the server
+            // can reject a client whose forward/backward demand could
+            // NEVER be granted — otherwise that request would reach the
+            // FCFS head and starve every client behind it.
+            for (i, d) in demands.iter().enumerate() {
+                let worst = policy
+                    .forward_demand(d.m_f, d.m_b)
+                    .max(policy.backward_demand(d.m_b));
+                if worst > pool {
+                    return (
+                        RunReport::failed(
+                            mode_label,
+                            n,
+                            format!(
+                                "client {i} profiled demand {worst} exceeds schedulable pool {pool}"
+                            ),
+                        ),
+                        None,
+                    );
+                }
+            }
+            let mut sched = Scheduler::new(pool, backfilling);
+            let total_mb: u64 = demands.iter().map(|d| d.m_b).sum();
+            if policy.holds_memory_across_iterations() && !sched.reserve_persistent(total_mb) {
+                return (
+                    RunReport::failed(
+                        mode_label,
+                        n,
+                        format!(
+                            "preserve-all cannot reserve {total_mb} bytes of intermediates for {n} clients"
+                        ),
+                    ),
+                    None,
+                );
+            }
+            (Some(sched), None, persistent, pool)
+        }
+        ServerMode::VanillaSwapping => {
+            // Private copy per client: M + A + O + context + preserved I.
+            let mut swap = SwapManager::new(total_gpu, server.host_capacity);
+            let mut total_resident = 0u64;
+            for (i, d) in demands.iter().enumerate() {
+                let task_transfer = profile.server_param_bytes() + d.persistent + ctx;
+                let task_resident = task_transfer + d.m_b;
+                total_resident += task_resident;
+                if let Err(e) = swap.register(format!("client-{i}"), task_resident, task_transfer) {
+                    return (
+                        RunReport::failed(
+                            mode_label,
+                            n,
+                            format!("vanilla cannot host {n} tasks: {e}"),
+                        ),
+                        None,
+                    );
+                }
+            }
+            // Preload as many tasks as fit — clients connect before the
+            // measured steady state begins, so initial loads are free.
+            for (i, d) in demands.iter().enumerate() {
+                let task_resident = profile.server_param_bytes() + d.persistent + ctx + d.m_b;
+                if swap.gpu_used() + task_resident > total_gpu {
+                    break;
+                }
+                swap.ensure_resident(&format!("client-{i}"), &server.cost)
+                    .expect("preload within capacity");
+            }
+            (None, Some(swap), total_resident, 0)
+        }
+    };
+
+    let clients = (0..n)
+        .map(|i| Cl {
+            link: WanLink::new(
+                workload.link.latency,
+                workload.link.bytes_per_sec,
+                workload.link.jitter,
+                seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            ),
+            iter_start: Nanos::ZERO,
+            arrival: Nanos::ZERO,
+            completed: 0,
+            cur_comm: Nanos::ZERO,
+            cur_compute: Nanos::ZERO,
+            cur_sched: Nanos::ZERO,
+            cur_client: Nanos::ZERO,
+            round: Summary::new(),
+            comm: Summary::new(),
+            compute: Summary::new(),
+            sched: Summary::new(),
+            client_compute: Summary::new(),
+        })
+        .collect();
+
+    let mut sim = Sim {
+        q: EventQueue::new(),
+        server,
+        workload,
+        xfer_bytes: (0..workload.clients)
+            .map(|i| {
+                menos_split::activation_wire_bytes(
+                    workload.batch_size_of(i),
+                    workload.ft.seq_len,
+                    profile.config.hidden,
+                )
+            })
+            .collect(),
+        profile,
+        demands,
+        clients,
+        scheduler,
+        pool_bytes,
+        swap,
+        residency_queue: VecDeque::new(),
+        pcie_busy: false,
+        free_slots: server.gpus,
+        compute_queue: VecDeque::new(),
+        persistent_bytes,
+        report_persistent: persistent_bytes,
+        mem: PeakTracker::new(),
+        preload_swaps: (0, 0),
+        trace: trace.then(Vec::new),
+    };
+    sim.preload_swaps = sim.swap.as_ref().map(|s| s.swap_counts()).unwrap_or((0, 0));
+    // Initial usage: Menos' persistent layout, or the preloaded
+    // resident set for vanilla (whose *logical* duplicated demand —
+    // the Fig. 5 quantity — may exceed physical capacity).
+    sim.record_mem();
+
+    for i in 0..n {
+        sim.q
+            .schedule_at(workload.stagger * i as u64, Ev::IterStart(i));
+    }
+    while let Some((_, ev)) = sim.q.pop() {
+        sim.handle(ev);
+    }
+
+    sim.finish(mode_label)
+}
+
+impl Sim<'_> {
+    fn policy(&self) -> Option<MemoryPolicy> {
+        match self.server.mode {
+            ServerMode::Menos { policy, .. } => Some(policy),
+            ServerMode::VanillaSwapping => None,
+        }
+    }
+
+    fn client_cost(&self) -> menos_gpu::CostModel {
+        self.workload.client_device.cost_model()
+    }
+
+    fn record_mem(&mut self) {
+        let used = match (&self.scheduler, &self.swap) {
+            (Some(s), _) => self.persistent_bytes + (self.pool_bytes - s.available()),
+            (_, Some(sw)) => sw.gpu_used(),
+            _ => unreachable!("one memory authority exists"),
+        };
+        self.mem.record(used);
+        if let Some(t) = &mut self.trace {
+            t.push((self.q.now(), used));
+        }
+    }
+
+    fn handle(&mut self, ev: Ev) {
+        match ev {
+            Ev::IterStart(i) => {
+                let now = self.q.now();
+                let dur =
+                    self.client_cost()
+                        .compute_time(self.profile.client_front_flops(
+                            self.workload.batch_size_of(i),
+                            self.workload.ft.seq_len,
+                        ));
+                let c = &mut self.clients[i];
+                c.iter_start = now;
+                c.cur_client += dur;
+                self.q.schedule_after(dur, Ev::FrontDone(i));
+            }
+            Ev::FrontDone(i) => {
+                let bytes = self.xfer_bytes[i];
+                let c = &mut self.clients[i];
+                let dur = c.link.transfer_time(bytes);
+                c.cur_comm += dur;
+                self.q.schedule_after(dur, Ev::XcArrive(i));
+            }
+            Ev::XcArrive(i) => {
+                self.clients[i].arrival = self.q.now();
+                match self.server.mode {
+                    ServerMode::Menos { policy, .. } => {
+                        let d = &self.demands[i];
+                        let demand = policy.forward_demand(d.m_f, d.m_b);
+                        let decisions =
+                            self.scheduler
+                                .as_mut()
+                                .expect("menos mode")
+                                .data_arrived(Request {
+                                    client: ClientId(i as u64),
+                                    kind: OpKind::Forward,
+                                    demand,
+                                });
+                        self.apply_decisions(decisions);
+                    }
+                    ServerMode::VanillaSwapping => {
+                        if self.swap.as_ref().expect("vanilla").is_resident(&task(i)) {
+                            // Touch + pin, then queue compute.
+                            let cost = self.server.cost.clone();
+                            let swap = self.swap.as_mut().expect("vanilla");
+                            let r = swap.ensure_resident(&task(i), &cost).expect("resident");
+                            debug_assert!(r.elapsed == Nanos::ZERO);
+                            swap.pin(&task(i));
+                            self.enqueue_compute(i, OpKind::Forward);
+                        } else {
+                            self.residency_queue.push_back(i);
+                            self.pump_residency();
+                        }
+                    }
+                }
+            }
+            Ev::ResidencyGranted(i) => {
+                self.pcie_busy = false;
+                self.swap.as_mut().expect("vanilla").pin(&task(i));
+                self.record_mem();
+                self.enqueue_compute(i, OpKind::Forward);
+                self.pump_residency();
+            }
+            Ev::SlotFree => {
+                self.free_slots += 1;
+                self.try_start_compute();
+            }
+            Ev::ServerComputeDone(i, kind) => {
+                match kind {
+                    OpKind::Forward => {
+                        // Release or retain intermediate memory per policy.
+                        if let Some(policy) = self.policy() {
+                            if !policy.holds_memory_while_waiting() {
+                                let decisions = self
+                                    .scheduler
+                                    .as_mut()
+                                    .expect("menos")
+                                    .task_completed(ClientId(i as u64));
+                                self.record_mem();
+                                self.apply_decisions(decisions);
+                            }
+                        }
+                        let bytes = self.xfer_bytes[i];
+                        let c = &mut self.clients[i];
+                        let dur = c.link.transfer_time(bytes);
+                        c.cur_comm += dur;
+                        self.q.schedule_after(dur, Ev::XsArrive(i));
+                    }
+                    OpKind::Backward => {
+                        match self.server.mode {
+                            ServerMode::Menos { policy, .. } => {
+                                if !policy.holds_memory_across_iterations() {
+                                    let decisions = self
+                                        .scheduler
+                                        .as_mut()
+                                        .expect("menos")
+                                        .task_completed(ClientId(i as u64));
+                                    self.record_mem();
+                                    self.apply_decisions(decisions);
+                                }
+                            }
+                            ServerMode::VanillaSwapping => {
+                                self.swap.as_mut().expect("vanilla").unpin(&task(i));
+                                self.pump_residency();
+                            }
+                        }
+                        let bytes = self.xfer_bytes[i];
+                        let c = &mut self.clients[i];
+                        let dur = c.link.transfer_time(bytes);
+                        c.cur_comm += dur;
+                        self.q.schedule_after(dur, Ev::GsArrive(i));
+                    }
+                }
+            }
+            Ev::XsArrive(i) => {
+                // Head forward + loss + head backward on the client.
+                let flops = self
+                    .profile
+                    .client_head_flops(self.workload.batch_size_of(i), self.workload.ft.seq_len);
+                let dur = self.client_cost().compute_time(3.0 * flops);
+                self.clients[i].cur_client += dur;
+                self.q.schedule_after(dur, Ev::HeadDone(i));
+            }
+            Ev::HeadDone(i) => {
+                let bytes = self.xfer_bytes[i];
+                let c = &mut self.clients[i];
+                let dur = c.link.transfer_time(bytes);
+                c.cur_comm += dur;
+                self.q.schedule_after(dur, Ev::GcArrive(i));
+            }
+            Ev::GcArrive(i) => {
+                self.clients[i].arrival = self.q.now();
+                match self.server.mode {
+                    ServerMode::Menos { policy, .. } => {
+                        let demand = policy.backward_demand(self.demands[i].m_b);
+                        let decisions =
+                            self.scheduler
+                                .as_mut()
+                                .expect("menos")
+                                .data_arrived(Request {
+                                    client: ClientId(i as u64),
+                                    kind: OpKind::Backward,
+                                    demand,
+                                });
+                        self.apply_decisions(decisions);
+                    }
+                    ServerMode::VanillaSwapping => {
+                        // Task is pinned resident with activations held.
+                        self.enqueue_compute(i, OpKind::Backward);
+                    }
+                }
+            }
+            Ev::GsArrive(i) => {
+                let flops = self
+                    .profile
+                    .client_front_flops(self.workload.batch_size_of(i), self.workload.ft.seq_len);
+                let dur = self.client_cost().compute_time(2.0 * flops);
+                self.clients[i].cur_client += dur;
+                self.q.schedule_after(dur, Ev::IterDone(i));
+            }
+            Ev::IterDone(i) => {
+                let now = self.q.now();
+                let c = &mut self.clients[i];
+                // The first iteration is warm-up (initial loads and
+                // pipeline fill) and is excluded from steady-state
+                // statistics, as in the paper's averaged measurements.
+                if c.completed >= 1 {
+                    c.round.add_time(now - c.iter_start);
+                    c.comm.add_time(c.cur_comm);
+                    c.compute.add_time(c.cur_compute);
+                    c.sched.add_time(c.cur_sched);
+                    c.client_compute.add_time(c.cur_client);
+                }
+                c.cur_comm = Nanos::ZERO;
+                c.cur_compute = Nanos::ZERO;
+                c.cur_sched = Nanos::ZERO;
+                c.cur_client = Nanos::ZERO;
+                c.completed += 1;
+                if c.completed < self.workload.iterations_of(i) {
+                    self.q.schedule_now(Ev::IterStart(i));
+                } else {
+                    self.disconnect(i);
+                }
+            }
+        }
+    }
+
+    fn apply_decisions(&mut self, decisions: Vec<crate::scheduler::Decision>) {
+        self.record_mem();
+        for d in decisions {
+            let i = d.request.client.0 as usize;
+            self.enqueue_compute(i, d.request.kind);
+        }
+    }
+
+    fn enqueue_compute(&mut self, i: usize, kind: OpKind) {
+        let arrival = self.clients[i].arrival;
+        self.compute_queue.push_back((i, kind, arrival));
+        self.try_start_compute();
+    }
+
+    fn try_start_compute(&mut self) {
+        while self.free_slots > 0 {
+            let Some((i, kind, arrival)) = self.compute_queue.pop_front() else {
+                return;
+            };
+            self.free_slots -= 1;
+            let now = self.q.now();
+            let wait = now.saturating_sub(arrival);
+            let (slot, extra) = self.server_compute_duration(i, kind);
+            let c = &mut self.clients[i];
+            c.cur_sched += wait;
+            // Table 2 reports compute including the release/re-collect
+            // overhead, which runs in the serving process after the
+            // kernels finish — the GPU slot frees at kernel completion.
+            c.cur_compute += slot + extra;
+            self.q.schedule_after(slot, Ev::SlotFree);
+            self.q
+                .schedule_after(slot + extra, Ev::ServerComputeDone(i, kind));
+        }
+    }
+
+    /// Returns `(gpu_slot_time, post_compute_overhead)` for a server
+    /// operation. The overhead (memory release / re-collection) runs in
+    /// the client's serving process and does not occupy the GPU.
+    fn server_compute_duration(&self, i: usize, kind: OpKind) -> (Nanos, Nanos) {
+        let batch = self.workload.batch_size_of(i);
+        let seq = self.workload.ft.seq_len;
+        let fwd = self.profile.forward_flops(batch, seq);
+        let bwd = self.profile.backward_flops(batch, seq);
+        let cost = &self.server.cost;
+        let n = self.workload.clients;
+        match (self.policy(), kind) {
+            // Menos-family policies.
+            (Some(p), OpKind::Forward) => {
+                let extra = if p.holds_memory_while_waiting() {
+                    Nanos::ZERO
+                } else {
+                    cost.release_time(n)
+                };
+                (cost.compute_time(fwd), extra)
+            }
+            (Some(p), OpKind::Backward) => {
+                let slot = if p.requires_reforward() {
+                    cost.compute_time(fwd + bwd)
+                } else {
+                    cost.compute_time(bwd)
+                };
+                let extra = if p.holds_memory_across_iterations() {
+                    Nanos::ZERO
+                } else {
+                    cost.release_time(n)
+                };
+                (slot, extra)
+            }
+            // Vanilla preserves memory: no release overhead, no re-forward.
+            (None, OpKind::Forward) => (cost.compute_time(fwd), Nanos::ZERO),
+            (None, OpKind::Backward) => (cost.compute_time(bwd), Nanos::ZERO),
+        }
+    }
+
+    /// A client finished fine-tuning: the server releases its
+    /// persistent state (context + adapters + optimizer) so remaining
+    /// clients can use the memory (Alg. 1's exit path).
+    fn disconnect(&mut self, i: usize) {
+        if let ServerMode::Menos { .. } = self.server.mode {
+            let ctx = self.server.cost.cuda_context_bytes;
+            let freed = ctx + self.demands[i].persistent;
+            self.persistent_bytes -= freed;
+            self.pool_bytes += freed;
+            let decisions = self
+                .scheduler
+                .as_mut()
+                .expect("menos")
+                .release_persistent(freed);
+            self.apply_decisions(decisions);
+        }
+        // Vanilla: the task image stays registered (host RAM) but its
+        // GPU residency is naturally evicted by LRU once others need it.
+    }
+
+    fn pump_residency(&mut self) {
+        if self.pcie_busy {
+            return;
+        }
+        let Some(&i) = self.residency_queue.front() else {
+            return;
+        };
+        let cost = self.server.cost.clone();
+        let swap = self.swap.as_mut().expect("vanilla");
+        match swap.ensure_resident(&task(i), &cost) {
+            Ok(outcome) => {
+                self.residency_queue.pop_front();
+                self.record_mem();
+                if outcome.elapsed == Nanos::ZERO {
+                    self.swap.as_mut().expect("vanilla").pin(&task(i));
+                    self.enqueue_compute(i, OpKind::Forward);
+                    self.pump_residency();
+                } else {
+                    self.pcie_busy = true;
+                    self.q
+                        .schedule_after(outcome.elapsed, Ev::ResidencyGranted(i));
+                }
+            }
+            Err(SwapError::NoVictim) => {
+                // Every resident task is mid-iteration; retried on unpin.
+            }
+            Err(e) => {
+                // Registration guarantees tasks fit; anything else is a
+                // logic error worth failing loudly on.
+                panic!("unexpected residency failure for client {i}: {e}");
+            }
+        }
+    }
+
+    fn finish(mut self, mode: String) -> (RunReport, Option<Vec<(Nanos, u64)>>) {
+        let trace = self.trace.take();
+        (self.report(mode), trace)
+    }
+
+    fn report(self, mode: String) -> RunReport {
+        let mut round = Summary::new();
+        let mut comm = Summary::new();
+        let mut compute = Summary::new();
+        let mut sched = Summary::new();
+        let mut client_c = Summary::new();
+        for c in &self.clients {
+            round.add(c.round.mean());
+            comm.add(c.comm.mean());
+            compute.add(c.compute.mean());
+            sched.add(c.sched.mean());
+            client_c.add(c.client_compute.mean());
+        }
+        RunReport {
+            mode,
+            clients: self.workload.clients,
+            iterations: self.clients.iter().map(|c| c.completed).min().unwrap_or(0),
+            persistent_bytes: self.report_persistent,
+            peak_bytes: self.mem.peak(),
+            avg_round_s: round.mean(),
+            avg_comm_s: comm.mean(),
+            avg_compute_s: compute.mean(),
+            avg_schedule_s: sched.mean(),
+            avg_client_compute_s: client_c.mean(),
+            per_client_round_s: self.clients.iter().map(|c| c.round.mean()).collect(),
+            scheduler_stats: self.scheduler.as_ref().map(|s| s.stats()).unwrap_or((0, 0)),
+            swap_stats: self
+                .swap
+                .as_ref()
+                .map(|s| {
+                    let (i, o) = s.swap_counts();
+                    (i - self.preload_swaps.0, o - self.preload_swaps.1)
+                })
+                .unwrap_or((0, 0)),
+            error: None,
+        }
+    }
+}
+
+fn task(i: usize) -> String {
+    format!("client-{i}")
+}
+
+/// Jain's fairness index over per-client values: `1.0` is perfectly
+/// fair, `1/n` maximally unfair.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(menos_core::jain_fairness(&[2.0, 2.0, 2.0]), 1.0);
+/// assert!(menos_core::jain_fairness(&[1.0, 0.0, 0.0]) < 0.34);
+/// ```
+pub fn jain_fairness(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = values.iter().sum();
+    let sum_sq: f64 = values.iter().map(|v| v * v).sum();
+    if sum_sq == 0.0 {
+        return 1.0;
+    }
+    sum * sum / (values.len() as f64 * sum_sq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{ClientDevice, LinkSpec};
+    use menos_models::ModelConfig;
+
+    fn opt_workload(clients: usize) -> WorkloadSpec {
+        WorkloadSpec::paper(ModelConfig::opt_1_3b(), clients, 6)
+    }
+
+    fn llama_workload(clients: usize) -> WorkloadSpec {
+        WorkloadSpec::paper(ModelConfig::llama2_7b(), clients, 6)
+    }
+
+    #[test]
+    fn menos_opt_round_times_match_paper_shape() {
+        // Fig. 6a: Menos stays near the communication bound (≈7 s) from
+        // 1 to 6 clients, ending below ~10 s at 6.
+        let server = ServerSpec::v100(ServerMode::menos());
+        let r1 = run_experiment(&server, &opt_workload(1), 1);
+        let r6 = run_experiment(&server, &opt_workload(6), 1);
+        assert!(r1.error.is_none() && r6.error.is_none());
+        assert!(
+            (5.5..9.0).contains(&r1.avg_round_s),
+            "1 client: {}",
+            r1.avg_round_s
+        );
+        assert!(
+            (6.0..11.0).contains(&r6.avg_round_s),
+            "6 clients: {}",
+            r6.avg_round_s
+        );
+        assert!(r6.avg_round_s < 2.0 * r1.avg_round_s, "Menos scales gently");
+    }
+
+    #[test]
+    fn vanilla_opt_swaps_beyond_three_clients() {
+        // Fig. 6a: vanilla ≈ Menos for ≤3 clients, then swapping bites
+        // (18.2 s at 6 clients in the paper).
+        let server = ServerSpec::v100(ServerMode::VanillaSwapping);
+        let r3 = run_experiment(&server, &opt_workload(3), 1);
+        let r6 = run_experiment(&server, &opt_workload(6), 1);
+        assert!(r3.error.is_none(), "{:?}", r3.error);
+        assert!(
+            (5.5..9.5).contains(&r3.avg_round_s),
+            "3 clients: {}",
+            r3.avg_round_s
+        );
+        assert!(
+            r6.avg_round_s > 1.5 * r3.avg_round_s,
+            "swapping should hurt: {} vs {}",
+            r6.avg_round_s,
+            r3.avg_round_s
+        );
+        assert!(r6.swap_stats.0 > 0, "swap-ins expected");
+    }
+
+    #[test]
+    fn vanilla_llama_collapses_at_two_clients() {
+        // Fig. 6b: 3.7 s at 1 client; tens of seconds at 2+.
+        let server = ServerSpec::v100(ServerMode::VanillaSwapping);
+        let r1 = run_experiment(&server, &llama_workload(1), 1);
+        let r2 = run_experiment(&server, &llama_workload(2), 1);
+        assert!(r1.error.is_none());
+        assert!(
+            (3.0..6.5).contains(&r1.avg_round_s),
+            "1 client: {}",
+            r1.avg_round_s
+        );
+        assert!(r2.avg_round_s > 30.0, "2 clients: {}", r2.avg_round_s);
+    }
+
+    #[test]
+    fn vanilla_llama_five_clients_is_na() {
+        // The paper's N/A cells: host memory cannot hold 5 Llama tasks.
+        let server = ServerSpec::v100(ServerMode::VanillaSwapping);
+        let r5 = run_experiment(&server, &llama_workload(5), 1);
+        assert!(r5.error.is_some(), "expected N/A");
+        let r4 = run_experiment(&server, &llama_workload(4), 1);
+        assert!(r4.error.is_none(), "{:?}", r4.error);
+    }
+
+    #[test]
+    fn menos_llama_stays_fast_to_four_clients() {
+        // Fig. 6b: Menos 4.7 → 6.0 s from 1 to 4 clients.
+        let server = ServerSpec::v100(ServerMode::menos());
+        let r1 = run_experiment(&server, &llama_workload(1), 1);
+        let r4 = run_experiment(&server, &llama_workload(4), 1);
+        assert!(
+            (3.0..7.0).contains(&r1.avg_round_s),
+            "1: {}",
+            r1.avg_round_s
+        );
+        assert!(
+            (3.5..9.0).contains(&r4.avg_round_s),
+            "4: {}",
+            r4.avg_round_s
+        );
+        assert!(r4.avg_round_s < 2.0 * r1.avg_round_s);
+    }
+
+    #[test]
+    fn menos_compute_grows_with_clients_but_schedule_stays_small() {
+        // Tables 2 and 3 for Menos.
+        let server = ServerSpec::v100(ServerMode::menos());
+        let r1 = run_experiment(&server, &opt_workload(1), 1);
+        let r6 = run_experiment(&server, &opt_workload(6), 1);
+        assert!(
+            r6.avg_compute_s > r1.avg_compute_s + 0.3,
+            "fragmentation overhead grows: {} vs {}",
+            r1.avg_compute_s,
+            r6.avg_compute_s
+        );
+        assert!(
+            r6.avg_schedule_s < 1.5,
+            "Menos OPT schedule ≈ 0: {}",
+            r6.avg_schedule_s
+        );
+        // Vanilla compute stays flat (no re-forward, no release churn).
+        let server_v = ServerSpec::v100(ServerMode::VanillaSwapping);
+        let v3 = run_experiment(&server_v, &opt_workload(3), 1);
+        assert!(
+            (0.3..0.8).contains(&v3.avg_compute_s),
+            "vanilla OPT compute: {}",
+            v3.avg_compute_s
+        );
+        assert!(
+            r1.avg_compute_s > v3.avg_compute_s,
+            "re-forward costs compute"
+        );
+    }
+
+    #[test]
+    fn communication_dominates_and_is_stable() {
+        // Table 1: comm ≈ 6.4-7.1 s (OPT) regardless of client count.
+        let server = ServerSpec::v100(ServerMode::menos());
+        for n in [1, 4] {
+            let r = run_experiment(&server, &opt_workload(n), 1);
+            assert!(
+                (5.5..8.0).contains(&r.avg_comm_s),
+                "OPT comm at {n}: {}",
+                r.avg_comm_s
+            );
+        }
+        let r = run_experiment(&server, &llama_workload(2), 1);
+        assert!(
+            (2.8..4.5).contains(&r.avg_comm_s),
+            "Llama comm: {}",
+            r.avg_comm_s
+        );
+    }
+
+    #[test]
+    fn memory_preserving_policy_queues_llama_clients() {
+        // Fig. 7: preserve policy ≈10 s schedule time at 4 Llama
+        // clients; Menos ≈0.4 s.
+        let preserve = ServerSpec::v100(ServerMode::Menos {
+            policy: MemoryPolicy::ReleaseAfterBackward,
+            backfilling: true,
+        });
+        let menos = ServerSpec::v100(ServerMode::menos());
+        let w = llama_workload(4);
+        let rp = run_experiment(&preserve, &w, 1);
+        let rm = run_experiment(&menos, &w, 1);
+        assert!(rp.error.is_none(), "{:?}", rp.error);
+        assert!(
+            rp.avg_schedule_s > 4.0 * rm.avg_schedule_s.max(0.05),
+            "preserving queues: {} vs menos {}",
+            rp.avg_schedule_s,
+            rm.avg_schedule_s
+        );
+    }
+
+    #[test]
+    fn multi_gpu_reduces_round_time_for_many_clients() {
+        // Fig. 10: 10 clients on 1 GPU slow down; 4 GPUs recover.
+        let mut w = llama_workload(10);
+        w.client_device = ClientDevice::Cpu;
+        let one = ServerSpec {
+            gpus: 1,
+            ..ServerSpec::v100(ServerMode::menos())
+        };
+        let four = ServerSpec {
+            gpus: 4,
+            ..ServerSpec::v100(ServerMode::menos())
+        };
+        let r1 = run_experiment(&one, &w, 1);
+        let r4 = run_experiment(&four, &w, 1);
+        assert!(
+            r1.error.is_none() && r4.error.is_none(),
+            "{:?} {:?}",
+            r1.error,
+            r4.error
+        );
+        assert!(
+            r4.avg_round_s < r1.avg_round_s,
+            "more GPUs help: {} vs {}",
+            r4.avg_round_s,
+            r1.avg_round_s
+        );
+    }
+
+    #[test]
+    fn cpu_clients_only_slightly_slower() {
+        // Fig. 10: 2 clients, 4.5 s (GPU) → 5.3 s (CPU).
+        let server = ServerSpec::v100(ServerMode::menos());
+        let gpu = run_experiment(&server, &llama_workload(2), 1);
+        let mut w = llama_workload(2);
+        w.client_device = ClientDevice::Cpu;
+        let cpu = run_experiment(&server, &w, 1);
+        let delta = cpu.avg_round_s - gpu.avg_round_s;
+        assert!((0.1..2.5).contains(&delta), "CPU delta: {delta}");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let server = ServerSpec::v100(ServerMode::menos());
+        let a = run_experiment(&server, &opt_workload(3), 9);
+        let b = run_experiment(&server, &opt_workload(3), 9);
+        assert_eq!(a.avg_round_s.to_bits(), b.avg_round_s.to_bits());
+        assert_eq!(a.peak_bytes, b.peak_bytes);
+        let c = run_experiment(&server, &opt_workload(3), 10);
+        assert_ne!(a.avg_round_s.to_bits(), c.avg_round_s.to_bits());
+    }
+
+    #[test]
+    fn peak_memory_never_exceeds_capacity() {
+        let server = ServerSpec::v100(ServerMode::menos());
+        for n in [1, 2, 4] {
+            let r = run_experiment(&server, &llama_workload(n), 1);
+            assert!(
+                r.peak_bytes <= server.total_gpu_bytes(),
+                "peak {} exceeds capacity at {n} clients",
+                r.peak_bytes
+            );
+        }
+    }
+
+    #[test]
+    fn fast_links_shrink_rounds() {
+        let server = ServerSpec::v100(ServerMode::menos());
+        let mut w = opt_workload(2);
+        w.link = LinkSpec::lan();
+        let lan = run_experiment(&server, &w, 1);
+        let wan = run_experiment(&server, &opt_workload(2), 1);
+        assert!(lan.avg_round_s < wan.avg_round_s / 2.0);
+        assert!(lan.avg_comm_s < 0.1);
+    }
+}

@@ -1,0 +1,130 @@
+//! Tests for heterogeneous-client serving: staggered arrivals, mixed
+//! batch sizes, and per-client iteration counts with disconnect
+//! reclamation.
+
+use menos_models::ModelConfig;
+use menos_sim::Nanos;
+
+use crate::policy::MemoryPolicy;
+use crate::runtime::run_experiment;
+use crate::workload::{ServerMode, ServerSpec, WorkloadSpec};
+
+fn llama(clients: usize, iterations: usize) -> WorkloadSpec {
+    WorkloadSpec::paper(ModelConfig::llama2_7b(), clients, iterations)
+}
+
+#[test]
+fn staggered_arrivals_run_to_completion() {
+    let mut w = llama(4, 4);
+    w.stagger = Nanos::from_secs(2);
+    let r = run_experiment(&ServerSpec::v100(ServerMode::menos()), &w, 3);
+    assert!(r.error.is_none(), "{:?}", r.error);
+    assert_eq!(r.iterations, 4);
+    // Staggering de-synchronizes the clients; rounds stay near the
+    // communication bound.
+    assert!((3.0..8.0).contains(&r.avg_round_s), "{}", r.avg_round_s);
+}
+
+#[test]
+fn stagger_reduces_backward_contention() {
+    // Synchronized Llama clients all want the single backward slot at
+    // once; staggered ones interleave naturally.
+    let sync = run_experiment(&ServerSpec::v100(ServerMode::menos()), &llama(4, 6), 3);
+    let mut w = llama(4, 6);
+    w.stagger = Nanos::from_millis(1200);
+    let staggered = run_experiment(&ServerSpec::v100(ServerMode::menos()), &w, 3);
+    assert!(
+        staggered.avg_schedule_s <= sync.avg_schedule_s + 0.05,
+        "stagger should not increase waits: {} vs {}",
+        staggered.avg_schedule_s,
+        sync.avg_schedule_s
+    );
+}
+
+#[test]
+fn mixed_batch_sizes_schedule_correctly() {
+    // One heavy client (batch 8 ~ double memory) among light ones.
+    let mut w = llama(4, 5);
+    w.client_batch_sizes = Some(vec![8, 2, 2, 2]);
+    let r = run_experiment(&ServerSpec::v100(ServerMode::menos()), &w, 5);
+    assert!(r.error.is_none(), "{:?}", r.error);
+    assert_eq!(r.iterations, 5);
+    assert!(r.peak_bytes <= 32 << 30, "peak {}", r.peak_bytes);
+    // The heavy client's backward (≈5.4 GiB) exceeds light ones — the
+    // scheduler must still admit everyone (FCFS prevents starvation).
+}
+
+#[test]
+fn oversized_client_is_rejected_at_admission() {
+    // A batch so large its backward could never be granted must be
+    // rejected by the profiling/admission step (§3.3) — otherwise its
+    // request would reach the FCFS head and starve everyone behind it.
+    let mut w = llama(2, 3);
+    w.client_batch_sizes = Some(vec![64, 2]);
+    let r = run_experiment(&ServerSpec::v100(ServerMode::menos()), &w, 5);
+    let err = r.error.expect("oversized client must be rejected");
+    assert!(err.contains("exceeds schedulable pool"), "{err}");
+}
+
+#[test]
+fn early_disconnects_free_memory_for_the_rest() {
+    // Three clients leave after 1 iteration; the fourth runs 8 more.
+    // Under the preserving policy the memory they pinned frees up, so
+    // the survivor's later rounds speed up vs. a run where everyone
+    // stays.
+    let preserve = ServerMode::Menos {
+        policy: MemoryPolicy::ReleaseAfterBackward,
+        backfilling: true,
+    };
+    let mut churn = llama(4, 9);
+    churn.client_iterations = Some(vec![1, 1, 1, 9]);
+    let churn_run = run_experiment(&ServerSpec::v100(preserve), &churn, 7);
+    let full_run = run_experiment(&ServerSpec::v100(preserve), &llama(4, 9), 7);
+    assert!(churn_run.error.is_none() && full_run.error.is_none());
+    // Round average over the survivor's rounds must beat the contended
+    // full run's average.
+    assert!(
+        churn_run.avg_round_s < full_run.avg_round_s,
+        "disconnect reclamation should help: {} vs {}",
+        churn_run.avg_round_s,
+        full_run.avg_round_s
+    );
+}
+
+#[test]
+fn per_client_iterations_respected() {
+    let mut w = llama(3, 6);
+    w.client_iterations = Some(vec![2, 4, 6]);
+    let r = run_experiment(&ServerSpec::v100(ServerMode::menos()), &w, 2);
+    assert!(r.error.is_none());
+    // Report's `iterations` is the minimum completed.
+    assert_eq!(r.iterations, 2);
+}
+
+#[test]
+fn vanilla_handles_heterogeneous_tasks() {
+    let mut w = WorkloadSpec::paper(ModelConfig::opt_1_3b(), 4, 4);
+    w.client_batch_sizes = Some(vec![16, 16, 8, 8]);
+    let r = run_experiment(&ServerSpec::v100(ServerMode::VanillaSwapping), &w, 2);
+    assert!(r.error.is_none(), "{:?}", r.error);
+    assert_eq!(r.iterations, 4);
+}
+
+#[test]
+fn menos_serves_identical_clients_fairly() {
+    let r = run_experiment(&ServerSpec::v100(ServerMode::menos()), &llama(4, 6), 3);
+    assert!(r.error.is_none());
+    let fairness = crate::runtime::jain_fairness(&r.per_client_round_s);
+    assert!(
+        fairness > 0.98,
+        "unfair service: {fairness} ({:?})",
+        r.per_client_round_s
+    );
+}
+
+#[test]
+fn zero_clients_is_an_error_not_a_hang() {
+    let w = llama(0, 3);
+    let r = run_experiment(&ServerSpec::v100(ServerMode::menos()), &w, 1);
+    assert!(r.error.is_some());
+}

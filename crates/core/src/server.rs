@@ -1,0 +1,376 @@
+//! The Menos serving façade: one object owning the shared base, the
+//! per-client sessions, and the message dispatch of Algorithm 1.
+//!
+//! The timed multi-client behaviour (scheduling, memory) is the
+//! simulated runtime's job; this façade is the *real-engine* server a
+//! deployment embeds — the TCP layer in `menos-split` and the examples
+//! drive the same session objects this server manages.
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+
+use menos_adapters::FineTuneConfig;
+use menos_models::ModelConfig;
+use menos_net::{decode_tensor, encode_tensor};
+use menos_split::{ClientId, ClientMessage, ForwardMode, ServerMessage, ServerSession, SplitSpec};
+
+use crate::profiler::{profile_client, MemoryDemands};
+use crate::sharing::SharedBaseRegistry;
+use crate::workload::ServerSpec;
+
+/// Errors the serving façade reports to its transport.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The client is not connected (or already disconnected).
+    UnknownClient(ClientId),
+    /// A tensor frame failed to decode.
+    BadFrame(String),
+    /// Protocol order violated (e.g. gradients before activations).
+    Protocol(String),
+    /// The client's configuration is invalid or unschedulable.
+    Rejected(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::UnknownClient(c) => write!(f, "unknown client {c}"),
+            ServeError::BadFrame(m) => write!(f, "bad tensor frame: {m}"),
+            ServeError::Protocol(m) => write!(f, "protocol violation: {m}"),
+            ServeError::Rejected(m) => write!(f, "client rejected: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+struct ClientState {
+    session: ServerSession,
+    demands: MemoryDemands,
+}
+
+/// A real-engine Menos server: shared base model, per-client sessions,
+/// and Algorithm-1 message dispatch.
+///
+/// # Examples
+///
+/// ```
+/// use menos_adapters::FineTuneConfig;
+/// use menos_core::{MenosServer, ServerMode, ServerSpec};
+/// use menos_models::ModelConfig;
+/// use menos_split::{ClientId, ClientMessage, SplitSpec};
+///
+/// let config = ModelConfig::tiny_llama(16);
+/// let mut server = MenosServer::new(config.clone(), ServerSpec::v100(ServerMode::menos()), 1);
+/// let mut ft = FineTuneConfig::paper(&config);
+/// ft.batch_size = 1;
+/// ft.seq_len = 4;
+/// let reply = server
+///     .handle(ClientMessage::Connect {
+///         client: ClientId(0),
+///         ft,
+///         split: SplitSpec::paper(),
+///     })
+///     .unwrap();
+/// assert!(matches!(reply, Some(menos_split::ServerMessage::Ready { .. })));
+/// assert_eq!(server.active_clients(), 1);
+/// ```
+pub struct MenosServer {
+    registry: SharedBaseRegistry,
+    spec: ServerSpec,
+    mode: ForwardMode,
+    clients: HashMap<ClientId, ClientState>,
+    seed: u64,
+}
+
+impl MenosServer {
+    /// Creates a server: loads the base model once (the registry) and
+    /// prepares to admit clients against `spec`'s memory budget.
+    pub fn new(config: ModelConfig, spec: ServerSpec, seed: u64) -> Self {
+        MenosServer {
+            registry: SharedBaseRegistry::initialize(config, seed),
+            spec,
+            mode: ForwardMode::NoGradReforward,
+            clients: HashMap::new(),
+            seed,
+        }
+    }
+
+    /// Switches the execution path (default: Menos' no-grad +
+    /// re-forward).
+    pub fn set_forward_mode(&mut self, mode: ForwardMode) {
+        self.mode = mode;
+    }
+
+    /// Currently connected clients.
+    pub fn active_clients(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// The shared-base registry (e.g. to verify aliasing in tests).
+    pub fn registry(&self) -> &SharedBaseRegistry {
+        &self.registry
+    }
+
+    /// The profiled demands of a connected client.
+    pub fn demands_of(&self, client: ClientId) -> Option<MemoryDemands> {
+        self.clients.get(&client).map(|c| c.demands)
+    }
+
+    /// Dispatches one protocol message (Algorithm 1), returning the
+    /// reply to send, if any.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError`] on unknown clients, undecodable frames,
+    /// protocol-order violations, or rejected configurations. Errors
+    /// are scoped to the offending client; other clients are
+    /// unaffected.
+    pub fn handle(&mut self, msg: ClientMessage) -> Result<Option<ServerMessage>, ServeError> {
+        match msg {
+            ClientMessage::Connect { client, ft, split } => {
+                self.connect(client, ft, split)?;
+                Ok(Some(ServerMessage::Ready { client }))
+            }
+            ClientMessage::Activations { client, frame } => {
+                let mode = self.mode;
+                let state = self
+                    .clients
+                    .get_mut(&client)
+                    .ok_or(ServeError::UnknownClient(client))?;
+                let x_c = decode(&frame)?;
+                let x_s = match mode {
+                    ForwardMode::Cached => state.session.forward_cached(&x_c),
+                    ForwardMode::NoGradReforward => state.session.forward_nograd(&x_c),
+                };
+                Ok(Some(ServerMessage::ServerActivations {
+                    client,
+                    frame: encode_tensor(&x_s),
+                }))
+            }
+            ClientMessage::Gradients { client, frame } => {
+                let state = self
+                    .clients
+                    .get_mut(&client)
+                    .ok_or(ServeError::UnknownClient(client))?;
+                let g_c = decode(&frame)?;
+                // `backward` panics on protocol misuse (no preceding
+                // forward); convert that into a recoverable transport
+                // error. The session mutates nothing before the check,
+                // so unwinding leaves it consistent.
+                let g_s = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    state.session.backward(&g_c)
+                }))
+                .map_err(|_| {
+                    ServeError::Protocol("gradients received before activations".into())
+                })?;
+                Ok(Some(ServerMessage::ServerGradients {
+                    client,
+                    frame: encode_tensor(&g_s),
+                }))
+            }
+            ClientMessage::Disconnect { client } => {
+                self.clients
+                    .remove(&client)
+                    .ok_or(ServeError::UnknownClient(client))?;
+                Ok(None)
+            }
+        }
+    }
+
+    fn connect(
+        &mut self,
+        client: ClientId,
+        ft: FineTuneConfig,
+        split: SplitSpec,
+    ) -> Result<(), ServeError> {
+        let config = self.registry.config().clone();
+        ft.validate(&config).map_err(ServeError::Rejected)?;
+        split.validate(&config).map_err(ServeError::Rejected)?;
+        // Profiling + admission (§3.3): reject demands that could never
+        // be scheduled. For the tiny real engine the budget check uses
+        // the profile of THIS config, so oversized batches are caught.
+        let profile = menos_models::ModelProfile::new(config, split.front_layers);
+        let demands = profile_client(&profile, &ft);
+        let pool = self.spec.total_gpu_bytes();
+        if demands.m_b > pool {
+            return Err(ServeError::Rejected(format!(
+                "profiled backward demand {} exceeds GPU pool {pool}",
+                demands.m_b
+            )));
+        }
+        let session_seed = self.seed.wrapping_add(client.0);
+        let session = ServerSession::new(
+            client,
+            self.registry.new_instance(),
+            split,
+            &ft,
+            session_seed,
+        );
+        debug_assert!(self.registry.verify_aliasing(session.model()));
+        self.clients
+            .insert(client, ClientState { session, demands });
+        Ok(())
+    }
+}
+
+fn decode(frame: &Bytes) -> Result<menos_tensor::Tensor, ServeError> {
+    decode_tensor(frame).map_err(|e| ServeError::BadFrame(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::ServerMode;
+    use menos_tensor::Tensor;
+
+    fn server() -> (MenosServer, FineTuneConfig) {
+        let config = ModelConfig::tiny_opt(17);
+        let mut ft = FineTuneConfig::paper(&config);
+        ft.batch_size = 2;
+        ft.seq_len = 8;
+        (
+            MenosServer::new(config, ServerSpec::v100(ServerMode::menos()), 5),
+            ft,
+        )
+    }
+
+    fn frame(t: &Tensor) -> Bytes {
+        encode_tensor(t)
+    }
+
+    #[test]
+    fn full_protocol_cycle() {
+        let (mut srv, ft) = server();
+        let c = ClientId(0);
+        let ready = srv
+            .handle(ClientMessage::Connect {
+                client: c,
+                ft: ft.clone(),
+                split: SplitSpec::paper(),
+            })
+            .unwrap();
+        assert!(matches!(ready, Some(ServerMessage::Ready { .. })));
+        assert!(srv.demands_of(c).is_some());
+
+        let x_c = Tensor::full(0.1, [2, 8, 64]);
+        let reply = srv
+            .handle(ClientMessage::Activations {
+                client: c,
+                frame: frame(&x_c),
+            })
+            .unwrap()
+            .unwrap();
+        let ServerMessage::ServerActivations { frame: xs, .. } = reply else {
+            panic!("expected activations");
+        };
+        let x_s = decode_tensor(&xs).unwrap();
+        assert_eq!(x_s.dims(), &[2, 8, 64]);
+
+        let g_c = Tensor::full(0.01, [2, 8, 64]);
+        let reply = srv
+            .handle(ClientMessage::Gradients {
+                client: c,
+                frame: frame(&g_c),
+            })
+            .unwrap()
+            .unwrap();
+        assert!(matches!(reply, ServerMessage::ServerGradients { .. }));
+
+        assert!(srv
+            .handle(ClientMessage::Disconnect { client: c })
+            .unwrap()
+            .is_none());
+        assert_eq!(srv.active_clients(), 0);
+    }
+
+    #[test]
+    fn unknown_client_rejected() {
+        let (mut srv, _ft) = server();
+        let err = srv
+            .handle(ClientMessage::Activations {
+                client: ClientId(9),
+                frame: frame(&Tensor::zeros([1, 1, 64])),
+            })
+            .unwrap_err();
+        assert!(matches!(err, ServeError::UnknownClient(_)));
+        assert!(err.to_string().contains("unknown client"));
+    }
+
+    #[test]
+    fn bad_frame_rejected_without_state_damage() {
+        let (mut srv, ft) = server();
+        let c = ClientId(0);
+        srv.handle(ClientMessage::Connect {
+            client: c,
+            ft,
+            split: SplitSpec::paper(),
+        })
+        .unwrap();
+        let err = srv
+            .handle(ClientMessage::Activations {
+                client: c,
+                frame: Bytes::from_static(b"garbage"),
+            })
+            .unwrap_err();
+        assert!(matches!(err, ServeError::BadFrame(_)));
+        // The client remains connected and serviceable.
+        let x_c = Tensor::full(0.1, [2, 8, 64]);
+        assert!(srv
+            .handle(ClientMessage::Activations {
+                client: c,
+                frame: frame(&x_c),
+            })
+            .is_ok());
+    }
+
+    #[test]
+    fn gradients_before_activations_is_a_protocol_error() {
+        let (mut srv, ft) = server();
+        let c = ClientId(0);
+        srv.handle(ClientMessage::Connect {
+            client: c,
+            ft,
+            split: SplitSpec::paper(),
+        })
+        .unwrap();
+        let err = srv
+            .handle(ClientMessage::Gradients {
+                client: c,
+                frame: frame(&Tensor::zeros([2, 8, 64])),
+            })
+            .unwrap_err();
+        assert!(matches!(err, ServeError::Protocol(_)));
+    }
+
+    #[test]
+    fn invalid_config_rejected_at_connect() {
+        let (mut srv, mut ft) = server();
+        ft.batch_size = 0;
+        let err = srv
+            .handle(ClientMessage::Connect {
+                client: ClientId(0),
+                ft,
+                split: SplitSpec::paper(),
+            })
+            .unwrap_err();
+        assert!(matches!(err, ServeError::Rejected(_)));
+        assert_eq!(srv.active_clients(), 0);
+    }
+
+    #[test]
+    fn sessions_alias_the_shared_base() {
+        let (mut srv, ft) = server();
+        for k in 0..3 {
+            srv.handle(ClientMessage::Connect {
+                client: ClientId(k),
+                ft: ft.clone(),
+                split: SplitSpec::paper(),
+            })
+            .unwrap();
+        }
+        assert_eq!(srv.active_clients(), 3);
+        assert_eq!(srv.registry().instances_created(), 3);
+    }
+}

@@ -1,0 +1,197 @@
+//! The base-model sharing registry (paper §3.1, Fig. 2).
+//!
+//! Exactly one copy of the frozen base parameters lives in (simulated)
+//! GPU memory; every client gets its own *model instance* — a private,
+//! mutable structure whose parameter tensors alias the shared storage.
+//! Clients may then customize their instance freely (different
+//! adapters, different cut layers) without touching each other or
+//! duplicating the weights.
+
+use menos_models::{CausalLm, ModelConfig};
+use menos_sim::seeded_rng;
+use menos_tensor::{ParamStore, Tensor};
+
+/// Owns the single shared copy of a base model's parameters and mints
+/// per-client structures over it.
+///
+/// # Examples
+///
+/// ```
+/// use menos_core::SharedBaseRegistry;
+/// use menos_models::ModelConfig;
+///
+/// let mut registry = SharedBaseRegistry::initialize(ModelConfig::tiny_llama(16), 42);
+/// let a = registry.new_instance();
+/// let b = registry.new_instance();
+/// assert!(registry.verify_aliasing(&a));
+/// assert!(registry.verify_aliasing(&b));
+/// assert_eq!(registry.instances_created(), 2);
+/// ```
+#[derive(Debug)]
+pub struct SharedBaseRegistry {
+    config: ModelConfig,
+    base: ParamStore,
+    instances: usize,
+}
+
+impl SharedBaseRegistry {
+    /// Initializes fresh base parameters for `config` (the stand-in for
+    /// loading a pretrained checkpoint) and preloads them as the shared
+    /// copy.
+    pub fn initialize(config: ModelConfig, seed: u64) -> Self {
+        let mut rng = seeded_rng(seed, "base-model");
+        let base = menos_models::init_params(&config, &mut rng);
+        SharedBaseRegistry {
+            config,
+            base,
+            instances: 0,
+        }
+    }
+
+    /// Wraps an existing parameter store as the shared copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the store does not contain the parameters `config`
+    /// requires (validated by a trial binding).
+    pub fn from_store(config: ModelConfig, base: ParamStore) -> Self {
+        // Trial bind: fails fast on missing/mis-shaped parameters.
+        let _ = CausalLm::bind(&config, &base);
+        SharedBaseRegistry {
+            config,
+            base,
+            instances: 0,
+        }
+    }
+
+    /// The model configuration of the shared base.
+    pub fn config(&self) -> &ModelConfig {
+        &self.config
+    }
+
+    /// Logical bytes of the shared base parameters (charged once to
+    /// GPU memory, regardless of client count).
+    pub fn base_bytes(&self) -> u64 {
+        self.base.size_bytes()
+    }
+
+    /// Number of model instances minted so far.
+    pub fn instances_created(&self) -> usize {
+        self.instances
+    }
+
+    /// Mints a new client model instance: a fresh structure whose base
+    /// parameters alias the shared storage and are frozen. The caller
+    /// customizes it (adapter injection, cut selection) without
+    /// affecting other instances.
+    pub fn new_instance(&mut self) -> CausalLm {
+        self.instances += 1;
+        CausalLm::bind(&self.config, &self.base.shared_view(false))
+    }
+
+    /// Verifies that every base parameter of `instance` aliases this
+    /// registry's storage — the invariant behind Eq. (3)'s single `M`
+    /// term.
+    pub fn verify_aliasing(&self, instance: &CausalLm) -> bool {
+        let reference = CausalLm::bind(&self.config, &self.base);
+        let ours = reference.base_params();
+        let theirs = instance.base_params();
+        ours.len() == theirs.len()
+            && ours
+                .iter()
+                .zip(theirs.iter())
+                .all(|(a, b)| Tensor::same_storage(a, b))
+    }
+
+    /// Direct access to the shared parameter store (e.g. to bind a
+    /// co-located client for tests).
+    pub fn base_store(&self) -> &ParamStore {
+        &self.base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use menos_adapters::{inject_adapters, FineTuneConfig};
+    use menos_models::ModelConfig;
+
+    fn registry() -> SharedBaseRegistry {
+        SharedBaseRegistry::initialize(ModelConfig::tiny_opt(13), 7)
+    }
+
+    #[test]
+    fn instances_share_base_storage() {
+        let mut r = registry();
+        let a = r.new_instance();
+        let b = r.new_instance();
+        for (x, y) in a.base_params().iter().zip(b.base_params()) {
+            assert!(Tensor::same_storage(x, &y));
+        }
+        assert!(r.verify_aliasing(&a));
+    }
+
+    #[test]
+    fn instances_customize_independently() {
+        let mut r = registry();
+        let cfg = r.config().clone();
+        let mut a = r.new_instance();
+        let mut b = r.new_instance();
+        let ft = FineTuneConfig::paper(&cfg);
+        let mut rng1 = menos_sim::seeded_rng(1, "t");
+        let mut rng2 = menos_sim::seeded_rng(2, "t");
+        let pa = inject_adapters(&mut a, 1..4, &ft, &mut rng1);
+        let pb = inject_adapters(&mut b, 2..4, &ft, &mut rng2);
+        // Different structures...
+        assert_eq!(pa.len(), 12);
+        assert_eq!(pb.len(), 8);
+        // ...over the same weights, with private adapters.
+        assert!(r.verify_aliasing(&a));
+        assert!(r.verify_aliasing(&b));
+        assert!(!pa.shares_storage_with(&pb));
+    }
+
+    #[test]
+    fn foreign_instance_fails_verification() {
+        let mut r1 = registry();
+        let mut r2 = registry();
+        let foreign = r2.new_instance();
+        assert!(!r1.verify_aliasing(&foreign));
+        let own = r1.new_instance();
+        assert!(r1.verify_aliasing(&own));
+    }
+
+    #[test]
+    fn base_bytes_counted_once() {
+        let mut r = registry();
+        let before = r.base_bytes();
+        let _a = r.new_instance();
+        let _b = r.new_instance();
+        // Minting instances adds zero parameter bytes.
+        assert_eq!(r.base_bytes(), before);
+        assert_eq!(
+            before,
+            r.config().total_params() * 4,
+            "base bytes = param count x 4"
+        );
+    }
+
+    #[test]
+    fn from_store_validates() {
+        let cfg = ModelConfig::tiny_llama(13);
+        let mut rng = menos_sim::seeded_rng(3, "t");
+        let store = menos_models::init_params(&cfg, &mut rng);
+        let r = SharedBaseRegistry::from_store(cfg, store);
+        assert_eq!(r.instances_created(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "missing from store")]
+    fn from_store_rejects_incomplete() {
+        let cfg = ModelConfig::tiny_llama(13);
+        let mut rng = menos_sim::seeded_rng(3, "t");
+        let mut store = menos_models::init_params(&cfg, &mut rng);
+        store.remove("blocks.0.attn.q.weight");
+        SharedBaseRegistry::from_store(cfg, store);
+    }
+}

@@ -1,0 +1,254 @@
+//! Experiment workload and server specifications for the timed
+//! (paper-scale) runtime.
+
+use menos_adapters::FineTuneConfig;
+use menos_gpu::CostModel;
+use menos_models::{ModelConfig, ModelProfile};
+use menos_sim::Nanos;
+use menos_split::SplitSpec;
+
+use crate::policy::MemoryPolicy;
+
+/// What device the clients run on (paper Fig. 10 scales clients on CPU
+/// devices).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClientDevice {
+    /// A client-grade GPU (RTX A4500 in the paper).
+    Gpu,
+    /// A CPU-only client.
+    Cpu,
+}
+
+impl ClientDevice {
+    /// The cost model for this device.
+    pub fn cost_model(self) -> CostModel {
+        match self {
+            ClientDevice::Gpu => CostModel::a4500(),
+            ClientDevice::Cpu => CostModel::cpu_client(),
+        }
+    }
+}
+
+/// Network parameters for the client-server links.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkSpec {
+    /// One-way latency.
+    pub latency: Nanos,
+    /// Effective throughput in bytes per second.
+    pub bytes_per_sec: f64,
+    /// Multiplicative jitter amplitude in `[0, 1)`.
+    pub jitter: f64,
+}
+
+impl LinkSpec {
+    /// The paper's geo-distributed Internet path.
+    pub fn geo_distributed() -> Self {
+        LinkSpec {
+            latency: Nanos::from_millis(60),
+            bytes_per_sec: 8e6,
+            jitter: 0.05,
+        }
+    }
+
+    /// A fast local link (negligible communication).
+    pub fn lan() -> Self {
+        LinkSpec {
+            latency: Nanos::from_micros(100),
+            bytes_per_sec: 1e9,
+            jitter: 0.0,
+        }
+    }
+}
+
+/// How the server manages GPU memory across clients.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServerMode {
+    /// Menos: shared base model plus an on-demand memory policy and the
+    /// FCFS + backfilling scheduler.
+    Menos {
+        /// Intermediate-memory policy (Fig. 3).
+        policy: MemoryPolicy,
+        /// Whether the scheduler backfills (ablation switch).
+        backfilling: bool,
+    },
+    /// Vanilla split learning: a private base-model copy per client,
+    /// task-level swapping when memory is exhausted.
+    VanillaSwapping,
+}
+
+impl ServerMode {
+    /// The configuration the paper evaluates as "Menos".
+    pub fn menos() -> Self {
+        ServerMode::Menos {
+            policy: MemoryPolicy::menos(),
+            backfilling: true,
+        }
+    }
+
+    /// Short label for report tables.
+    pub fn label(&self) -> String {
+        match self {
+            ServerMode::Menos {
+                policy,
+                backfilling,
+            } => {
+                if *backfilling {
+                    format!("Menos [{policy}]")
+                } else {
+                    format!("Menos [{policy}, FCFS-only]")
+                }
+            }
+            ServerMode::VanillaSwapping => "Vanilla".to_string(),
+        }
+    }
+}
+
+/// The server half of an experiment.
+#[derive(Debug, Clone)]
+pub struct ServerSpec {
+    /// Number of GPUs (compute slots; memory pools together, Fig. 2).
+    pub gpus: usize,
+    /// Memory per GPU in bytes.
+    pub gpu_capacity: u64,
+    /// Host RAM usable for swapped-out task images.
+    pub host_capacity: u64,
+    /// GPU/PCIe cost model.
+    pub cost: CostModel,
+    /// Memory management mode.
+    pub mode: ServerMode,
+}
+
+impl ServerSpec {
+    /// The paper's server: one V100 with 32 GiB, 128 GiB host RAM (110
+    /// GiB usable for swapped task images after OS and staging
+    /// overhead — calibrated so 4 Llama-sized tasks fit and 5 do not,
+    /// matching the paper's N/A cells).
+    pub fn v100(mode: ServerMode) -> Self {
+        ServerSpec {
+            gpus: 1,
+            gpu_capacity: 32 << 30,
+            host_capacity: 110 << 30,
+            cost: CostModel::v100(),
+            mode,
+        }
+    }
+
+    /// Total pooled GPU memory.
+    pub fn total_gpu_bytes(&self) -> u64 {
+        self.gpus as u64 * self.gpu_capacity
+    }
+}
+
+/// The client/workload half of an experiment.
+#[derive(Debug, Clone)]
+pub struct WorkloadSpec {
+    /// Paper-scale model configuration.
+    pub model: ModelConfig,
+    /// Where the model is cut.
+    pub split: SplitSpec,
+    /// Fine-tuning settings (shared by all clients, as in the paper).
+    pub ft: FineTuneConfig,
+    /// Number of concurrent clients.
+    pub clients: usize,
+    /// Fine-tuning iterations each client performs.
+    pub iterations: usize,
+    /// Client device type.
+    pub client_device: ClientDevice,
+    /// Network link parameters.
+    pub link: LinkSpec,
+    /// Delay between successive client start times (`ZERO` = all start
+    /// together, as in the paper's steady-state measurements).
+    pub stagger: Nanos,
+    /// Optional per-client batch-size overrides (clients may report
+    /// different fine-tuning settings, §3.3); `ft.batch_size` is used
+    /// for clients beyond the vector or when `None`.
+    pub client_batch_sizes: Option<Vec<usize>>,
+    /// Optional per-client iteration counts (clients connect and leave
+    /// independently); `iterations` is used when `None`.
+    pub client_iterations: Option<Vec<usize>>,
+}
+
+impl WorkloadSpec {
+    /// The paper's evaluation workload for a model: LoRA r=8 on q/v,
+    /// paper batch size, seq len 100, GPU clients, geo-distributed
+    /// links.
+    pub fn paper(model: ModelConfig, clients: usize, iterations: usize) -> Self {
+        let ft = FineTuneConfig::paper(&model);
+        WorkloadSpec {
+            model,
+            split: SplitSpec::paper(),
+            ft,
+            clients,
+            iterations,
+            client_device: ClientDevice::Gpu,
+            link: LinkSpec::geo_distributed(),
+            stagger: Nanos::ZERO,
+            client_batch_sizes: None,
+            client_iterations: None,
+        }
+    }
+
+    /// Batch size for client `i` (override or the shared default).
+    pub fn batch_size_of(&self, i: usize) -> usize {
+        self.client_batch_sizes
+            .as_ref()
+            .and_then(|v| v.get(i).copied())
+            .unwrap_or(self.ft.batch_size)
+    }
+
+    /// Iteration count for client `i` (override or the shared default).
+    pub fn iterations_of(&self, i: usize) -> usize {
+        self.client_iterations
+            .as_ref()
+            .and_then(|v| v.get(i).copied())
+            .unwrap_or(self.iterations)
+    }
+
+    /// The analytic profile of this workload's model under its split.
+    pub fn profile(&self) -> ModelProfile {
+        ModelProfile::new(self.model.clone(), self.split.front_layers)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_workload_defaults() {
+        let w = WorkloadSpec::paper(ModelConfig::opt_1_3b(), 4, 10);
+        assert_eq!(w.ft.batch_size, 16);
+        assert_eq!(w.ft.seq_len, 100);
+        assert_eq!(w.clients, 4);
+        assert_eq!(w.split.front_layers, 1);
+        assert_eq!(w.profile().server_layers(), 23);
+    }
+
+    #[test]
+    fn server_presets() {
+        let s = ServerSpec::v100(ServerMode::menos());
+        assert_eq!(s.total_gpu_bytes(), 32 << 30);
+        assert!(s.mode.label().contains("Menos"));
+        assert_eq!(ServerMode::VanillaSwapping.label(), "Vanilla");
+        let fcfs = ServerMode::Menos {
+            policy: MemoryPolicy::menos(),
+            backfilling: false,
+        };
+        assert!(fcfs.label().contains("FCFS-only"));
+    }
+
+    #[test]
+    fn client_devices_have_distinct_speeds() {
+        let gpu = ClientDevice::Gpu.cost_model();
+        let cpu = ClientDevice::Cpu.cost_model();
+        assert!(gpu.flops_per_sec > 10.0 * cpu.flops_per_sec);
+    }
+
+    #[test]
+    fn link_presets() {
+        let geo = LinkSpec::geo_distributed();
+        assert_eq!(geo.latency, Nanos::from_millis(60));
+        let lan = LinkSpec::lan();
+        assert!(lan.bytes_per_sec > geo.bytes_per_sec);
+    }
+}

@@ -1,0 +1,160 @@
+//! Synthetic corpora standing in for wikitext-2-raw-v1 and
+//! Tiny-Shakespeare.
+//!
+//! The convergence experiments (paper Figs. 8–9) only require a
+//! stationary, learnable token distribution; these generators produce
+//! deterministic text with heavy n-gram structure so that tiny models
+//! show the same perplexity-vs-step shape the paper reports.
+
+use rand::Rng;
+
+use menos_sim::seeded_rng;
+
+/// Word inventory for the wiki-style generator: short "encyclopedic"
+/// sentences over a closed vocabulary.
+const WIKI_SUBJECTS: &[&str] = &[
+    "the river",
+    "the empire",
+    "the treaty",
+    "the species",
+    "the album",
+    "the railway",
+    "the castle",
+    "the comet",
+    "the harbour",
+    "the novel",
+];
+const WIKI_VERBS: &[&str] = &[
+    "was established in",
+    "flows through",
+    "was recorded in",
+    "is located near",
+    "was signed after",
+    "spans across",
+    "was discovered by",
+    "is known for",
+    "was restored during",
+    "is named after",
+];
+const WIKI_OBJECTS: &[&str] = &[
+    "the northern province",
+    "the early dynasty",
+    "the coastal region",
+    "the modern era",
+    "the ancient capital",
+    "the famous expedition",
+    "the long winter",
+    "the second council",
+    "the southern valley",
+    "the great migration",
+];
+
+/// Generates a deterministic wiki-style corpus of roughly `target_len`
+/// characters (stand-in for wikitext-2-raw-v1).
+///
+/// # Examples
+///
+/// ```
+/// let text = menos_data::wiki_corpus(42, 500);
+/// assert!(text.len() >= 500);
+/// assert_eq!(text, menos_data::wiki_corpus(42, 500));
+/// ```
+pub fn wiki_corpus(seed: u64, target_len: usize) -> String {
+    let mut rng = seeded_rng(seed, "wiki-corpus");
+    let mut out = String::with_capacity(target_len + 64);
+    while out.len() < target_len {
+        let s = WIKI_SUBJECTS[rng.gen_range(0..WIKI_SUBJECTS.len())];
+        let v = WIKI_VERBS[rng.gen_range(0..WIKI_VERBS.len())];
+        let o = WIKI_OBJECTS[rng.gen_range(0..WIKI_OBJECTS.len())];
+        out.push_str(s);
+        out.push(' ');
+        out.push_str(v);
+        out.push(' ');
+        out.push_str(o);
+        out.push_str(". ");
+    }
+    out
+}
+
+/// A public-domain Shakespeare passage used as the Tiny-Shakespeare
+/// stand-in (repeated to the requested length).
+const SHAKESPEARE_SEED_TEXT: &str = "\
+First Citizen: Before we proceed any further, hear me speak.
+All: Speak, speak.
+First Citizen: You are all resolved rather to die than to famish?
+All: Resolved. resolved.
+First Citizen: First, you know Caius Marcius is chief enemy to the people.
+All: We know't, we know't.
+First Citizen: Let us kill him, and we'll have corn at our own price. Is't a verdict?
+All: No more talking on't; let it be done: away, away!
+Second Citizen: One word, good citizens.
+First Citizen: We are accounted poor citizens, the patricians good.
+What authority surfeits on would relieve us: if they
+would yield us but the superfluity, while it were
+wholesome, we might guess they relieved us humanely;
+but they think we are too dear: the leanness that
+afflicts us, the object of our misery, is as an
+inventory to particularise their abundance; our
+sufferance is a gain to them. Let us revenge this with
+our pikes, ere we become rakes: for the gods know I
+speak this in hunger for bread, not in thirst for revenge.
+";
+
+/// Returns a Tiny-Shakespeare-style corpus of at least `target_len`
+/// characters.
+///
+/// # Examples
+///
+/// ```
+/// let text = menos_data::shakespeare_corpus(1000);
+/// assert!(text.len() >= 1000);
+/// assert!(text.contains("First Citizen"));
+/// ```
+pub fn shakespeare_corpus(target_len: usize) -> String {
+    let mut out = String::with_capacity(target_len + SHAKESPEARE_SEED_TEXT.len());
+    while out.len() < target_len {
+        out.push_str(SHAKESPEARE_SEED_TEXT);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wiki_is_deterministic_per_seed() {
+        assert_eq!(wiki_corpus(1, 300), wiki_corpus(1, 300));
+        assert_ne!(wiki_corpus(1, 300), wiki_corpus(2, 300));
+    }
+
+    #[test]
+    fn wiki_reaches_target_length() {
+        for len in [10, 100, 5000] {
+            assert!(wiki_corpus(7, len).len() >= len);
+        }
+    }
+
+    #[test]
+    fn wiki_has_sentence_structure() {
+        let text = wiki_corpus(3, 2000);
+        assert!(text.contains(". "));
+        // Every sentence draws from the closed inventory.
+        assert!(text.contains("the "));
+    }
+
+    #[test]
+    fn shakespeare_repeats_seed_text() {
+        let text = shakespeare_corpus(3000);
+        assert!(text.len() >= 3000);
+        assert!(text.matches("First Citizen").count() >= 2);
+    }
+
+    #[test]
+    fn corpora_have_small_char_vocabs() {
+        use crate::vocab::Vocab;
+        // Tiny models need small embedding tables.
+        assert!(Vocab::from_text(&wiki_corpus(5, 5000)).size() < 40);
+        assert!(Vocab::from_text(&shakespeare_corpus(5000)).size() < 60);
+    }
+}

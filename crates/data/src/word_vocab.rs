@@ -1,0 +1,138 @@
+//! Word-level vocabulary — an alternative tokenizer that makes the
+//! wiki-style corpus learnable in far fewer steps than character-level
+//! modelling (useful for convergence demos on a budget).
+
+use std::collections::BTreeMap;
+
+/// A whitespace word-level vocabulary with an `<unk>` token at id 0.
+///
+/// Tokens are maximal non-whitespace runs; whitespace is normalized to
+/// single spaces on decode.
+///
+/// # Examples
+///
+/// ```
+/// use menos_data::WordVocab;
+///
+/// let v = WordVocab::from_text("the river flows through the valley");
+/// assert_eq!(v.decode(&v.encode("the river")), "the river");
+/// // Unknown words map to <unk>.
+/// assert_eq!(v.encode("the ocean")[1], 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WordVocab {
+    word_to_id: BTreeMap<String, usize>,
+    id_to_word: Vec<String>,
+}
+
+/// The reserved unknown-word token.
+pub const UNK: &str = "<unk>";
+
+impl WordVocab {
+    /// Builds a vocabulary over every distinct whitespace-separated
+    /// word in `text`, with `<unk>` as id 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `text` contains no words.
+    pub fn from_text(text: &str) -> Self {
+        let mut words: Vec<&str> = text.split_whitespace().collect();
+        assert!(
+            !words.is_empty(),
+            "cannot build a vocabulary from empty text"
+        );
+        words.sort_unstable();
+        words.dedup();
+        let mut id_to_word = vec![UNK.to_string()];
+        id_to_word.extend(words.iter().map(|w| w.to_string()));
+        let word_to_id = id_to_word
+            .iter()
+            .enumerate()
+            .map(|(i, w)| (w.clone(), i))
+            .collect();
+        WordVocab {
+            word_to_id,
+            id_to_word,
+        }
+    }
+
+    /// Number of distinct tokens (including `<unk>`).
+    pub fn size(&self) -> usize {
+        self.id_to_word.len()
+    }
+
+    /// Encodes text to word ids; unknown words become id 0.
+    pub fn encode(&self, text: &str) -> Vec<usize> {
+        text.split_whitespace()
+            .map(|w| self.word_to_id.get(w).copied().unwrap_or(0))
+            .collect()
+    }
+
+    /// Decodes ids back to space-joined words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an id is out of range.
+    pub fn decode(&self, ids: &[usize]) -> String {
+        ids.iter()
+            .map(|&i| self.id_to_word[i].as_str())
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+
+    /// The id of a word, if known.
+    pub fn id_of(&self, word: &str) -> Option<usize> {
+        self.word_to_id.get(word).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::wiki_corpus;
+
+    #[test]
+    fn round_trip_known_words() {
+        let v = WordVocab::from_text("alpha beta gamma");
+        assert_eq!(v.size(), 4); // + <unk>
+        assert_eq!(v.decode(&v.encode("beta alpha")), "beta alpha");
+    }
+
+    #[test]
+    fn unknown_words_become_unk() {
+        let v = WordVocab::from_text("alpha beta");
+        let ids = v.encode("alpha delta beta");
+        assert_eq!(ids[1], 0);
+        assert_eq!(v.decode(&ids), "alpha <unk> beta");
+    }
+
+    #[test]
+    fn wiki_corpus_has_small_word_vocab() {
+        // The closed-inventory generator yields a compact vocabulary —
+        // ideal for a tiny model's embedding table.
+        let v = WordVocab::from_text(&wiki_corpus(3, 20_000));
+        assert!(v.size() < 80, "vocab {}", v.size());
+        assert!(v.size() > 20);
+    }
+
+    #[test]
+    fn whitespace_normalization() {
+        let v = WordVocab::from_text("a  b\n\nc\t d");
+        assert_eq!(v.decode(&v.encode("a\tb \n c")), "a b c");
+    }
+
+    #[test]
+    fn deterministic_ids() {
+        let a = WordVocab::from_text("z y x");
+        let b = WordVocab::from_text("x z y");
+        assert_eq!(a.encode("x y z"), b.encode("x y z"));
+        assert_eq!(a.id_of("x"), Some(1));
+        assert_eq!(a.id_of("nope"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty text")]
+    fn empty_rejected() {
+        WordVocab::from_text("   ");
+    }
+}

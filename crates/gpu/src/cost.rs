@@ -1,0 +1,141 @@
+//! The GPU/link cost model, calibrated against the paper's measured
+//! timings (DESIGN.md §7).
+
+use menos_sim::Nanos;
+use serde::{Deserialize, Serialize};
+
+/// Durations and sizes that convert logical work (FLOPs, bytes, alloc
+/// churn) into simulated time.
+///
+/// The defaults ([`CostModel::v100`]) are calibrated so the simulated
+/// system reproduces the paper's Tables 1–3: ≈0.45 s vanilla
+/// forward+backward for OPT-1.3B at batch 16, ≈60 s model swaps for
+/// Llama-2-7B over PCIe, and release/realloc overhead growing with the
+/// number of clients.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Sustained compute throughput in FLOP/s (effective, mixed
+    /// precision).
+    pub flops_per_sec: f64,
+    /// Effective host↔device transfer bandwidth for task swapping,
+    /// bytes/s. Deliberately below PCIe peak: it includes allocation,
+    /// pinning, and driver overhead.
+    pub pcie_bytes_per_sec: f64,
+    /// Fixed overhead per kernel-launch batch (one forward or backward
+    /// pass).
+    pub launch_overhead: Nanos,
+    /// Base overhead of releasing + re-collecting a client's GPU
+    /// memory (Menos does this every pass).
+    pub release_overhead: Nanos,
+    /// Additional release overhead per concurrently-served client —
+    /// models the allocator fragmentation the paper reports in Table 2.
+    pub release_overhead_per_client: Nanos,
+    /// Per-process CUDA context bytes (charged once per serving
+    /// process, and once for Menos' shared-parameter manager).
+    pub cuda_context_bytes: u64,
+}
+
+impl CostModel {
+    /// Calibration for the paper's NVIDIA V100 testbed.
+    pub fn v100() -> Self {
+        CostModel {
+            flops_per_sec: 22e12,
+            pcie_bytes_per_sec: 0.8e9,
+            launch_overhead: Nanos::from_millis(5),
+            release_overhead: Nanos::from_millis(60),
+            release_overhead_per_client: Nanos::from_millis(110),
+            cuda_context_bytes: 400 << 20, // 400 MiB
+        }
+    }
+
+    /// A client-grade GPU (the paper's RTX A4500): same model, lower
+    /// throughput.
+    pub fn a4500() -> Self {
+        CostModel {
+            flops_per_sec: 12e12,
+            ..CostModel::v100()
+        }
+    }
+
+    /// A CPU-only client device (paper Fig. 10): orders of magnitude
+    /// slower compute, no CUDA context.
+    pub fn cpu_client() -> Self {
+        CostModel {
+            flops_per_sec: 0.8e12,
+            pcie_bytes_per_sec: 0.0,
+            launch_overhead: Nanos::ZERO,
+            release_overhead: Nanos::ZERO,
+            release_overhead_per_client: Nanos::ZERO,
+            cuda_context_bytes: 0,
+        }
+    }
+
+    /// Time to execute `flops` floating-point operations, including the
+    /// launch overhead.
+    pub fn compute_time(&self, flops: f64) -> Nanos {
+        self.launch_overhead + menos_sim::compute_time(flops, self.flops_per_sec)
+    }
+
+    /// Time to move `bytes` between host and device memory.
+    pub fn swap_time(&self, bytes: u64) -> Nanos {
+        menos_sim::transfer_time(bytes, self.pcie_bytes_per_sec)
+    }
+
+    /// Overhead of an on-demand release/re-collect cycle with
+    /// `concurrent_clients` active clients (paper Table 2: grows with
+    /// client count as allocation becomes fragmented).
+    pub fn release_time(&self, concurrent_clients: usize) -> Nanos {
+        self.release_overhead
+            + self.release_overhead_per_client * concurrent_clients.saturating_sub(1) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn v100_calibration_matches_paper_tables() {
+        let cm = CostModel::v100();
+        // Table 2 (vanilla OPT): forward+backward ≈ 0.41-0.54 s.
+        // OPT server fwd ≈ 3.4 TFLOP, bwd 2x.
+        let fwd = 3.4e12;
+        let total = cm.compute_time(fwd) + cm.compute_time(2.0 * fwd);
+        let secs = total.as_secs_f64();
+        assert!((0.3..0.7).contains(&secs), "OPT compute {secs}s");
+
+        // Fig. 6b (vanilla Llama swap): 24 GB out + 24 GB in ≈ 60 s.
+        let swap = cm.swap_time(2 * 24 * (1u64 << 30)).as_secs_f64();
+        assert!((50.0..75.0).contains(&swap), "Llama swap {swap}s");
+    }
+
+    #[test]
+    fn release_overhead_grows_with_clients() {
+        let cm = CostModel::v100();
+        let t1 = cm.release_time(1);
+        let t4 = cm.release_time(4);
+        let t6 = cm.release_time(6);
+        assert!(t1 < t4 && t4 < t6);
+        assert_eq!(t1, cm.release_overhead);
+        // Table 2 (Menos OPT): per-iteration compute grows by roughly
+        // 0.2 s per added client (two release cycles per iteration).
+        let growth = (t6 - t4).as_secs_f64() * 2.0 / 2.0;
+        assert!((0.05..0.3).contains(&growth), "growth {growth}");
+    }
+
+    #[test]
+    fn cpu_client_is_much_slower() {
+        let cpu = CostModel::cpu_client();
+        let gpu = CostModel::a4500();
+        let flops = 1e12;
+        assert!(cpu.compute_time(flops) > gpu.compute_time(flops) * 10);
+        assert_eq!(cpu.cuda_context_bytes, 0);
+    }
+
+    #[test]
+    fn zero_bandwidth_swaps_are_free() {
+        // CPU clients never swap; the cost model treats zero bandwidth
+        // as an infinitely fast (irrelevant) resource.
+        assert_eq!(CostModel::cpu_client().swap_time(1 << 30), Nanos::ZERO);
+    }
+}

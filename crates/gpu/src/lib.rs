@@ -1,0 +1,46 @@
+//! # menos-gpu — a simulated GPU memory and compute substrate
+//!
+//! The paper's experiments run on real V100/A4500 GPUs; this crate
+//! replaces them with a byte-accurate simulation (DESIGN.md §2). Every
+//! decision Menos makes — admission, backfilling, swap-vs-wait — depends
+//! only on *bytes available* and *relative durations*, both of which
+//! this crate models:
+//!
+//! * [`GpuDevice`] / [`GpuCluster`] — typed allocations (the paper's
+//!   M/A/O/I components), OOM errors, peak tracking, multi-GPU pools
+//!   with spanning (model-parallel) allocation.
+//! * [`CostModel`] — calibrated conversion from FLOPs, transfer bytes,
+//!   and allocator churn to simulated time (DESIGN.md §7).
+//! * [`SwapManager`] — LRU task-level swapping, the vanilla baseline's
+//!   strategy, with finite host RAM.
+//!
+//! # Examples
+//!
+//! ```
+//! use menos_gpu::{AllocKind, CostModel, GpuDevice};
+//!
+//! let mut v100 = GpuDevice::new(0, 32 << 30);
+//! let base = v100.alloc(24 << 30, AllocKind::Model, "llama-base").unwrap();
+//! let act = v100.alloc(4 << 30, AllocKind::Activation, "client-0").unwrap();
+//! assert!(v100.available() < 8 << 30);
+//! v100.free(act);
+//! v100.free(base);
+//!
+//! let cost = CostModel::v100();
+//! assert!(cost.swap_time(24 << 30).as_secs_f64() > 10.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cluster;
+mod cost;
+mod device;
+mod region;
+mod swap;
+
+pub use cluster::{ClusterAlloc, GpuCluster};
+pub use cost::CostModel;
+pub use device::{AllocId, AllocKind, Allocation, GpuDevice, OomError};
+pub use region::{Region, RegionAllocator};
+pub use swap::{ResidencyOutcome, SwapError, SwapManager};

@@ -1,0 +1,268 @@
+//! Model architecture configurations.
+//!
+//! Two architecture families mirror the paper's evaluation models:
+//! OPT-style (LayerNorm, GELU MLP, learned absolute positions, tied
+//! embeddings) and Llama-style (RMSNorm, SwiGLU MLP, rotary positions,
+//! untied head).
+//!
+//! Each family comes in a **paper-scale** preset — used analytically by
+//! [`crate::ModelProfile`] for memory/FLOP accounting, never
+//! instantiated — and a **tiny** preset that is actually trained with
+//! `menos-tensor` in the convergence experiments.
+
+use serde::{Deserialize, Serialize};
+
+/// Architecture family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Arch {
+    /// OPT-style decoder: LayerNorm + GELU + learned positions, tied
+    /// input/output embeddings.
+    Opt,
+    /// Llama-2-style decoder: RMSNorm + SwiGLU + RoPE, untied head.
+    Llama,
+}
+
+impl std::fmt::Display for Arch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Arch::Opt => write!(f, "OPT"),
+            Arch::Llama => write!(f, "Llama 2"),
+        }
+    }
+}
+
+/// Hyper-parameters of a decoder-only transformer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelConfig {
+    /// Architecture family.
+    pub arch: Arch,
+    /// Human-readable name (e.g. `"opt-1.3b"`).
+    pub name: String,
+    /// Vocabulary size.
+    pub vocab_size: usize,
+    /// Hidden (embedding) dimension.
+    pub hidden: usize,
+    /// Number of transformer blocks.
+    pub layers: usize,
+    /// Number of attention heads (`hidden % heads == 0`).
+    pub heads: usize,
+    /// MLP intermediate dimension.
+    pub intermediate: usize,
+    /// Maximum sequence length (positions for OPT).
+    pub max_seq: usize,
+    /// RoPE base frequency (Llama only).
+    pub rope_base: f32,
+    /// Normalization epsilon.
+    pub norm_eps: f32,
+    /// Whether the LM head shares the embedding matrix (OPT does).
+    pub tie_embeddings: bool,
+}
+
+impl ModelConfig {
+    /// Paper-scale OPT-1.3B (evaluation model #1). Used analytically.
+    pub fn opt_1_3b() -> Self {
+        ModelConfig {
+            arch: Arch::Opt,
+            name: "opt-1.3b".into(),
+            vocab_size: 50_272,
+            hidden: 2048,
+            layers: 24,
+            heads: 32,
+            intermediate: 8192,
+            max_seq: 2048,
+            rope_base: 0.0,
+            norm_eps: 1e-5,
+            tie_embeddings: true,
+        }
+    }
+
+    /// Paper-scale Llama-2-7B (evaluation model #2). Used analytically.
+    pub fn llama2_7b() -> Self {
+        ModelConfig {
+            arch: Arch::Llama,
+            name: "llama2-7b".into(),
+            vocab_size: 32_000,
+            hidden: 4096,
+            layers: 32,
+            heads: 32,
+            intermediate: 11_008,
+            max_seq: 4096,
+            rope_base: 10_000.0,
+            norm_eps: 1e-5,
+            tie_embeddings: false,
+        }
+    }
+
+    /// A tiny OPT-style model that trains in milliseconds — the real
+    /// engine behind the convergence experiments (Fig. 8).
+    pub fn tiny_opt(vocab_size: usize) -> Self {
+        ModelConfig {
+            arch: Arch::Opt,
+            name: "tiny-opt".into(),
+            vocab_size,
+            hidden: 64,
+            layers: 4,
+            heads: 4,
+            intermediate: 256,
+            max_seq: 128,
+            rope_base: 0.0,
+            norm_eps: 1e-5,
+            tie_embeddings: true,
+        }
+    }
+
+    /// A tiny Llama-style model (Fig. 9's real engine).
+    pub fn tiny_llama(vocab_size: usize) -> Self {
+        ModelConfig {
+            arch: Arch::Llama,
+            name: "tiny-llama".into(),
+            vocab_size,
+            hidden: 64,
+            layers: 4,
+            heads: 4,
+            intermediate: 176,
+            max_seq: 128,
+            rope_base: 10_000.0,
+            norm_eps: 1e-5,
+            tie_embeddings: false,
+        }
+    }
+
+    /// Head dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hidden` is not divisible by `heads`.
+    pub fn head_dim(&self) -> usize {
+        assert_eq!(self.hidden % self.heads, 0, "hidden must divide by heads");
+        self.hidden / self.heads
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.vocab_size == 0 {
+            return Err("vocab_size must be positive".into());
+        }
+        if self.hidden == 0 || self.heads == 0 || self.layers == 0 {
+            return Err("hidden, heads, and layers must be positive".into());
+        }
+        if self.hidden % self.heads != 0 {
+            return Err(format!(
+                "hidden {} not divisible by heads {}",
+                self.hidden, self.heads
+            ));
+        }
+        if self.arch == Arch::Llama && self.head_dim() % 2 != 0 {
+            return Err("RoPE requires an even head dimension".into());
+        }
+        if self.arch == Arch::Llama && self.rope_base <= 0.0 {
+            return Err("Llama config needs a positive rope_base".into());
+        }
+        if self.intermediate == 0 || self.max_seq == 0 {
+            return Err("intermediate and max_seq must be positive".into());
+        }
+        Ok(())
+    }
+
+    /// Parameter count of one transformer block.
+    pub fn block_params(&self) -> u64 {
+        let h = self.hidden as u64;
+        let ffn = self.intermediate as u64;
+        let attn = 4 * h * h + if self.arch == Arch::Opt { 4 * h } else { 0 };
+        let mlp = match self.arch {
+            // fc1 + fc2 with biases.
+            Arch::Opt => 2 * h * ffn + ffn + h,
+            // gate + up + down, no biases.
+            Arch::Llama => 3 * h * ffn,
+        };
+        let norms = match self.arch {
+            Arch::Opt => 4 * h,   // two LayerNorms (gamma + beta)
+            Arch::Llama => 2 * h, // two RMSNorms (gamma)
+        };
+        attn + mlp + norms
+    }
+
+    /// Total parameter count of the full model.
+    pub fn total_params(&self) -> u64 {
+        let h = self.hidden as u64;
+        let v = self.vocab_size as u64;
+        let embed = v * h;
+        let pos = if self.arch == Arch::Opt {
+            self.max_seq as u64 * h
+        } else {
+            0
+        };
+        let head = if self.tie_embeddings { 0 } else { v * h };
+        let final_norm = if self.arch == Arch::Opt { 2 * h } else { h };
+        embed + pos + head + final_norm + self.layers as u64 * self.block_params()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        for cfg in [
+            ModelConfig::opt_1_3b(),
+            ModelConfig::llama2_7b(),
+            ModelConfig::tiny_opt(64),
+            ModelConfig::tiny_llama(64),
+        ] {
+            cfg.validate().unwrap();
+            assert!(cfg.head_dim() > 0);
+        }
+    }
+
+    #[test]
+    fn paper_scale_param_counts() {
+        // OPT-1.3B really has ~1.3 billion parameters.
+        let opt = ModelConfig::opt_1_3b();
+        let p = opt.total_params();
+        assert!((1.2e9..1.45e9).contains(&(p as f64)), "OPT params {p}");
+
+        // Llama-2-7B has ~6.7 billion.
+        let llama = ModelConfig::llama2_7b();
+        let p = llama.total_params();
+        assert!((6.5e9..7.0e9).contains(&(p as f64)), "Llama params {p}");
+    }
+
+    #[test]
+    fn llama_block_matches_reference() {
+        // 4*4096^2 + 3*4096*11008 + 2*4096 = 202,383,360.
+        let cfg = ModelConfig::llama2_7b();
+        assert_eq!(cfg.block_params(), 202_383_360);
+    }
+
+    #[test]
+    fn validation_rejects_bad_configs() {
+        let mut cfg = ModelConfig::tiny_opt(64);
+        cfg.heads = 7;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = ModelConfig::tiny_llama(64);
+        cfg.rope_base = 0.0;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = ModelConfig::tiny_llama(64);
+        cfg.hidden = 60;
+        cfg.heads = 30; // head_dim 2 ok; make it odd instead
+        cfg.heads = 20; // head_dim 3, odd
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = ModelConfig::tiny_opt(64);
+        cfg.vocab_size = 0;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Arch::Opt.to_string(), "OPT");
+        assert_eq!(Arch::Llama.to_string(), "Llama 2");
+    }
+}

@@ -1,0 +1,272 @@
+//! Autoregressive text generation from a (fine-tuned) model.
+//!
+//! Fine-tuning exists to be *used*: this module samples continuations
+//! from a [`CausalLm`], so the examples can show a before/after of the
+//! adapters' effect. Generation runs under [`menos_tensor::no_grad`]
+//! and recomputes the full prefix each step (tiny models make a KV
+//! cache unnecessary).
+
+use rand::Rng;
+
+use menos_tensor::no_grad;
+
+use crate::model::CausalLm;
+
+/// Sampling configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GenerateConfig {
+    /// Tokens to generate beyond the prompt.
+    pub max_tokens: usize,
+    /// Softmax temperature; `0.0` means greedy decoding.
+    pub temperature: f32,
+    /// Keep only the `top_k` most likely tokens before sampling
+    /// (`0` disables the filter).
+    pub top_k: usize,
+    /// Nucleus sampling: keep the smallest set of tokens whose
+    /// cumulative probability reaches `top_p` (`1.0` disables the
+    /// filter). Applied after `top_k`.
+    pub top_p: f32,
+}
+
+impl Default for GenerateConfig {
+    fn default() -> Self {
+        GenerateConfig {
+            max_tokens: 32,
+            temperature: 0.8,
+            top_k: 20,
+            top_p: 1.0,
+        }
+    }
+}
+
+impl GenerateConfig {
+    /// Greedy decoding (deterministic, highest-probability token).
+    pub fn greedy(max_tokens: usize) -> Self {
+        GenerateConfig {
+            max_tokens,
+            temperature: 0.0,
+            top_k: 0,
+            top_p: 1.0,
+        }
+    }
+}
+
+impl CausalLm {
+    /// Generates a continuation of `prompt`, returning prompt +
+    /// generated tokens.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the prompt is empty, contains out-of-vocabulary ids,
+    /// or generation would exceed the model's maximum sequence length.
+    pub fn generate<R: Rng>(
+        &self,
+        prompt: &[usize],
+        cfg: &GenerateConfig,
+        rng: &mut R,
+    ) -> Vec<usize> {
+        assert!(!prompt.is_empty(), "prompt must not be empty");
+        assert!(
+            prompt.len() + cfg.max_tokens <= self.config.max_seq,
+            "prompt {} + {} tokens exceeds max_seq {}",
+            prompt.len(),
+            cfg.max_tokens,
+            self.config.max_seq
+        );
+        let mut tokens = prompt.to_vec();
+        no_grad(|| {
+            for _ in 0..cfg.max_tokens {
+                let logits = self.forward(&tokens, 1, tokens.len());
+                let vocab = self.config.vocab_size;
+                let data = logits.to_vec();
+                let last = &data[(tokens.len() - 1) * vocab..tokens.len() * vocab];
+                let next = sample_token(last, cfg, rng);
+                tokens.push(next);
+            }
+        });
+        tokens
+    }
+}
+
+/// Samples one token from a logit row per the configuration.
+fn sample_token<R: Rng>(logits: &[f32], cfg: &GenerateConfig, rng: &mut R) -> usize {
+    if cfg.temperature <= 0.0 {
+        return argmax(logits);
+    }
+    // Temperature-scaled softmax sampling with optional top-k and
+    // nucleus (top-p) filtering.
+    let mut indexed: Vec<(usize, f32)> = logits
+        .iter()
+        .map(|&l| l / cfg.temperature)
+        .enumerate()
+        .collect();
+    indexed.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite logits"));
+    if cfg.top_k > 0 && cfg.top_k < indexed.len() {
+        indexed.truncate(cfg.top_k);
+    }
+    let max = indexed.first().map(|&(_, l)| l).unwrap_or(0.0);
+    if cfg.top_p < 1.0 {
+        let weights: Vec<f32> = indexed.iter().map(|&(_, l)| (l - max).exp()).collect();
+        let total: f32 = weights.iter().sum();
+        let mut cum = 0.0;
+        let mut keep = indexed.len();
+        for (i, w) in weights.iter().enumerate() {
+            cum += w / total;
+            if cum >= cfg.top_p {
+                keep = i + 1;
+                break;
+            }
+        }
+        indexed.truncate(keep.max(1));
+    }
+    let weights: Vec<f32> = indexed.iter().map(|&(_, l)| (l - max).exp()).collect();
+    let total: f32 = weights.iter().sum();
+    let mut draw = rng.gen_range(0.0..total);
+    for (&(idx, _), &w) in indexed.iter().zip(weights.iter()) {
+        if draw < w {
+            return idx;
+        }
+        draw -= w;
+    }
+    indexed.last().expect("non-empty").0
+}
+
+fn argmax(xs: &[f32]) -> usize {
+    xs.iter()
+        .enumerate()
+        .fold((0, f32::NEG_INFINITY), |(bi, bv), (i, &v)| {
+            if v > bv {
+                (i, v)
+            } else {
+                (bi, bv)
+            }
+        })
+        .0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+    use crate::model::init_params;
+    use menos_sim::seeded_rng;
+
+    fn tiny_model() -> CausalLm {
+        let cfg = ModelConfig::tiny_opt(19);
+        let mut rng = seeded_rng(4, "gen");
+        let ps = init_params(&cfg, &mut rng);
+        CausalLm::bind(&cfg, &ps)
+    }
+
+    #[test]
+    fn greedy_generation_is_deterministic() {
+        let lm = tiny_model();
+        let mut rng1 = seeded_rng(1, "a");
+        let mut rng2 = seeded_rng(2, "b");
+        let cfg = GenerateConfig::greedy(8);
+        let a = lm.generate(&[1, 2, 3], &cfg, &mut rng1);
+        let b = lm.generate(&[1, 2, 3], &cfg, &mut rng2);
+        assert_eq!(a, b, "greedy ignores the rng");
+        assert_eq!(a.len(), 11);
+        assert_eq!(&a[..3], &[1, 2, 3], "prompt preserved");
+        assert!(a.iter().all(|&t| t < 19));
+    }
+
+    #[test]
+    fn sampled_generation_is_seed_deterministic() {
+        let lm = tiny_model();
+        let cfg = GenerateConfig {
+            max_tokens: 10,
+            temperature: 1.0,
+            top_k: 5,
+            top_p: 1.0,
+        };
+        let a = lm.generate(&[4, 5], &cfg, &mut seeded_rng(7, "s"));
+        let b = lm.generate(&[4, 5], &cfg, &mut seeded_rng(7, "s"));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn top_k_restricts_candidates() {
+        // With top_k = 1, sampling degenerates to greedy.
+        let lm = tiny_model();
+        let greedy = lm.generate(&[2], &GenerateConfig::greedy(6), &mut seeded_rng(1, "g"));
+        let topk1 = lm.generate(
+            &[2],
+            &GenerateConfig {
+                max_tokens: 6,
+                temperature: 1.0,
+                top_k: 1,
+                top_p: 1.0,
+            },
+            &mut seeded_rng(9, "k"),
+        );
+        assert_eq!(greedy, topk1);
+    }
+
+    #[test]
+    fn sample_token_respects_distribution_support() {
+        let mut rng = seeded_rng(3, "dist");
+        // One dominant logit: it must be picked nearly always.
+        let logits = [0.0f32, 10.0, 0.0, 0.0];
+        let cfg = GenerateConfig {
+            max_tokens: 1,
+            temperature: 1.0,
+            top_k: 0,
+            top_p: 1.0,
+        };
+        let hits = (0..200)
+            .filter(|_| sample_token(&logits, &cfg, &mut rng) == 1)
+            .count();
+        assert!(hits > 190, "dominant token sampled {hits}/200");
+    }
+
+    #[test]
+    fn nucleus_sampling_restricts_to_dominant_mass() {
+        let mut rng = seeded_rng(8, "p");
+        // Token 1 carries >90% of the mass; top_p = 0.5 keeps only it.
+        let logits = [0.0f32, 6.0, 0.0, 0.0];
+        let cfg = GenerateConfig {
+            max_tokens: 1,
+            temperature: 1.0,
+            top_k: 0,
+            top_p: 0.5,
+        };
+        for _ in 0..50 {
+            assert_eq!(sample_token(&logits, &cfg, &mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn top_p_one_is_a_noop() {
+        let mut rng = seeded_rng(9, "p1");
+        let logits = [1.0f32, 1.0, 1.0, 1.0];
+        let cfg = GenerateConfig {
+            max_tokens: 1,
+            temperature: 1.0,
+            top_k: 0,
+            top_p: 1.0,
+        };
+        // Uniform logits with no filter: all four tokens reachable.
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            seen.insert(sample_token(&logits, &cfg, &mut rng));
+        }
+        assert_eq!(seen.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds max_seq")]
+    fn generation_respects_max_seq() {
+        let lm = tiny_model();
+        let cfg = GenerateConfig::greedy(1000);
+        lm.generate(&[1], &cfg, &mut seeded_rng(1, "x"));
+    }
+
+    #[test]
+    #[should_panic(expected = "prompt must not be empty")]
+    fn empty_prompt_rejected() {
+        let lm = tiny_model();
+        lm.generate(&[], &GenerateConfig::greedy(4), &mut seeded_rng(1, "x"));
+    }
+}

@@ -1,0 +1,30 @@
+//! # menos-net — simulated WAN transport for split fine-tuning
+//!
+//! The paper's clients talk to the server across the public Internet
+//! (Toronto ↔ the Cedar cluster in Vancouver). This crate models that
+//! path on the virtual clock: [`WanLink`] converts message bytes into
+//! deterministic-but-jittered transfer times, and the wire codec
+//! ([`encode_tensor`] / [`decode_tensor`]) gives every activation and
+//! gradient tensor an honest byte size.
+//!
+//! # Examples
+//!
+//! ```
+//! use menos_net::{encode_tensor, WanLink};
+//! use menos_tensor::Tensor;
+//!
+//! let activations = Tensor::zeros([4, 100, 4096]); // Llama batch
+//! let frame = encode_tensor(&activations);
+//! let mut link = WanLink::geo_distributed(0);
+//! let t = link.transfer_time(frame.len() as u64);
+//! assert!((0.6..1.2).contains(&t.as_secs_f64())); // ≈0.85 s at 8 MB/s
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod link;
+mod wire;
+
+pub use link::WanLink;
+pub use wire::{decode_tensor, encode_tensor, wire_size, WireError};

@@ -1,0 +1,157 @@
+//! WAN link model: latency + bandwidth + bounded jitter.
+
+use rand::rngs::StdRng;
+
+use menos_sim::{jitter_factor, seeded_rng, Nanos};
+
+/// A simulated duplex network link between one client and the server.
+///
+/// Transfer time is `latency + bytes / bandwidth`, optionally scaled by
+/// a bounded multiplicative jitter drawn from a per-link deterministic
+/// RNG stream. Calibrated defaults ([`WanLink::geo_distributed`])
+/// reproduce the paper's Table 1 communication times (DESIGN.md §7).
+///
+/// # Examples
+///
+/// ```
+/// use menos_net::WanLink;
+///
+/// let mut link = WanLink::geo_distributed(0);
+/// // One 13.1 MB OPT activation tensor takes ≈1.7s at 8 MB/s.
+/// let t = link.transfer_time(13_100_000);
+/// assert!((1.2..2.4).contains(&t.as_secs_f64()));
+/// ```
+#[derive(Debug)]
+pub struct WanLink {
+    latency: Nanos,
+    bytes_per_sec: f64,
+    jitter: f64,
+    rng: StdRng,
+    bytes_sent: u64,
+    messages: u64,
+}
+
+impl WanLink {
+    /// Creates a link with explicit parameters. `seed` derives the
+    /// jitter stream; links with different seeds jitter independently.
+    ///
+    /// # Panics
+    ///
+    /// Panics if bandwidth is not positive or jitter is not in
+    /// `[0, 1)`.
+    pub fn new(latency: Nanos, bytes_per_sec: f64, jitter: f64, seed: u64) -> Self {
+        assert!(bytes_per_sec > 0.0, "bandwidth must be positive");
+        assert!((0.0..1.0).contains(&jitter), "jitter must be in [0, 1)");
+        WanLink {
+            latency,
+            bytes_per_sec,
+            jitter,
+            rng: seeded_rng(seed, "wan-link"),
+            bytes_sent: 0,
+            messages: 0,
+        }
+    }
+
+    /// The paper's geo-distributed Internet path (Toronto ↔ Vancouver):
+    /// 60 ms latency, 8 MB/s effective throughput, ±5% jitter.
+    pub fn geo_distributed(seed: u64) -> Self {
+        WanLink::new(Nanos::from_millis(60), 8e6, 0.05, seed)
+    }
+
+    /// A fast local link for tests that want communication to be
+    /// negligible.
+    pub fn lan(seed: u64) -> Self {
+        WanLink::new(Nanos::from_micros(100), 1e9, 0.0, seed)
+    }
+
+    /// Simulated one-way transfer time for a message of `bytes`.
+    pub fn transfer_time(&mut self, bytes: u64) -> Nanos {
+        self.bytes_sent += bytes;
+        self.messages += 1;
+        let base = self.latency.as_secs_f64() + bytes as f64 / self.bytes_per_sec;
+        Nanos::from_secs_f64(base * jitter_factor(&mut self.rng, self.jitter))
+    }
+
+    /// Link propagation latency.
+    pub fn latency(&self) -> Nanos {
+        self.latency
+    }
+
+    /// Configured bandwidth in bytes per second.
+    pub fn bandwidth(&self) -> f64 {
+        self.bytes_per_sec
+    }
+
+    /// Total bytes and messages sent through this link.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.bytes_sent, self.messages)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_formula() {
+        let mut link = WanLink::new(Nanos::from_millis(100), 1e6, 0.0, 0);
+        // 1 MB at 1 MB/s + 100 ms latency = 1.1 s exactly (no jitter).
+        assert_eq!(link.transfer_time(1_000_000), Nanos::from_millis(1100));
+    }
+
+    #[test]
+    fn jitter_is_bounded_and_deterministic() {
+        let mut a = WanLink::new(Nanos::ZERO, 1e6, 0.1, 7);
+        let mut b = WanLink::new(Nanos::ZERO, 1e6, 0.1, 7);
+        for _ in 0..100 {
+            let ta = a.transfer_time(1_000_000);
+            let tb = b.transfer_time(1_000_000);
+            assert_eq!(ta, tb, "same seed, same jitter");
+            let secs = ta.as_secs_f64();
+            assert!((0.9..=1.1).contains(&secs), "jitter out of bounds: {secs}");
+        }
+    }
+
+    #[test]
+    fn different_seeds_jitter_independently() {
+        let mut a = WanLink::new(Nanos::ZERO, 1e6, 0.1, 1);
+        let mut b = WanLink::new(Nanos::ZERO, 1e6, 0.1, 2);
+        let ta: Vec<Nanos> = (0..8).map(|_| a.transfer_time(1_000_000)).collect();
+        let tb: Vec<Nanos> = (0..8).map(|_| b.transfer_time(1_000_000)).collect();
+        assert_ne!(ta, tb);
+    }
+
+    #[test]
+    fn geo_distributed_matches_paper_comm_times() {
+        // Paper Table 1: one Llama iteration moves ~4 × 6.3 MB and
+        // takes ≈3.1-3.9 s.
+        let mut link = WanLink::geo_distributed(0);
+        let per_iter: f64 = (0..4)
+            .map(|_| link.transfer_time(6_300_000).as_secs_f64())
+            .sum();
+        assert!((2.8..4.2).contains(&per_iter), "Llama comm {per_iter}s");
+
+        // OPT: 4 × ~12.8 MB ≈ 6.4-7.1 s.
+        let mut link = WanLink::geo_distributed(1);
+        let per_iter: f64 = (0..4)
+            .map(|_| link.transfer_time(12_800_000).as_secs_f64())
+            .sum();
+        assert!((5.8..7.6).contains(&per_iter), "OPT comm {per_iter}s");
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut link = WanLink::lan(0);
+        link.transfer_time(10);
+        link.transfer_time(20);
+        assert_eq!(link.stats(), (30, 2));
+        assert!(link.bandwidth() > 1e8);
+        assert!(link.latency() < Nanos::from_millis(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth")]
+    fn zero_bandwidth_rejected() {
+        WanLink::new(Nanos::ZERO, 0.0, 0.0, 0);
+    }
+}

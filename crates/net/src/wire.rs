@@ -1,0 +1,193 @@
+//! Tensor wire format.
+//!
+//! Split learning exchanges real tensors (activations and gradients)
+//! between client and server. Serializing them to an explicit byte
+//! format keeps message sizes honest — the simulated link charges for
+//! exactly the bytes a real deployment would move.
+//!
+//! Layout (little-endian): `u32` magic, `u32` rank, `u64` dims…,
+//! `f32` data….
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use menos_tensor::Tensor;
+
+const MAGIC: u32 = 0x4d4e_5331; // "MNS1"
+
+/// Errors decoding a tensor from the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Message too short for the declared layout.
+    Truncated,
+    /// Magic number mismatch — not a tensor frame.
+    BadMagic(u32),
+    /// Declared shape is implausibly large.
+    Oversized(u64),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "truncated tensor frame"),
+            WireError::BadMagic(m) => write!(f, "bad magic {m:#010x}"),
+            WireError::Oversized(n) => write!(f, "declared element count {n} too large"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Maximum element count a frame may declare (guards against corrupt
+/// length prefixes).
+const MAX_ELEMS: u64 = 1 << 32;
+
+/// Serializes a tensor to its wire representation.
+///
+/// # Examples
+///
+/// ```
+/// use menos_net::{decode_tensor, encode_tensor};
+/// use menos_tensor::Tensor;
+///
+/// let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [2, 2]);
+/// let bytes = encode_tensor(&t);
+/// let back = decode_tensor(&bytes).unwrap();
+/// assert_eq!(back.dims(), t.dims());
+/// assert_eq!(back.to_vec(), t.to_vec());
+/// ```
+pub fn encode_tensor(t: &Tensor) -> Bytes {
+    let dims = t.dims();
+    let mut buf = BytesMut::with_capacity(8 + 8 * dims.len() + 4 * t.elem_count());
+    buf.put_u32_le(MAGIC);
+    buf.put_u32_le(dims.len() as u32);
+    for &d in dims {
+        buf.put_u64_le(d as u64);
+    }
+    for &v in t.storage().read().iter() {
+        buf.put_f32_le(v);
+    }
+    buf.freeze()
+}
+
+/// Deserializes a tensor from its wire representation.
+///
+/// # Errors
+///
+/// Returns [`WireError`] on truncation, magic mismatch, or an
+/// implausible shape.
+pub fn decode_tensor(bytes: &Bytes) -> Result<Tensor, WireError> {
+    let mut buf = bytes.clone();
+    if buf.remaining() < 8 {
+        return Err(WireError::Truncated);
+    }
+    let magic = buf.get_u32_le();
+    if magic != MAGIC {
+        return Err(WireError::BadMagic(magic));
+    }
+    let rank = buf.get_u32_le() as usize;
+    if buf.remaining() < 8 * rank {
+        return Err(WireError::Truncated);
+    }
+    let mut dims = Vec::with_capacity(rank);
+    let mut elems: u64 = 1;
+    for _ in 0..rank {
+        let d = buf.get_u64_le();
+        elems = elems.saturating_mul(d.max(1));
+        if elems > MAX_ELEMS {
+            return Err(WireError::Oversized(elems));
+        }
+        dims.push(d as usize);
+    }
+    let n: usize = dims.iter().product();
+    if buf.remaining() < 4 * n {
+        return Err(WireError::Truncated);
+    }
+    let mut data = Vec::with_capacity(n);
+    for _ in 0..n {
+        data.push(buf.get_f32_le());
+    }
+    Ok(Tensor::from_vec(data, dims))
+}
+
+/// The exact number of wire bytes [`encode_tensor`] produces for a
+/// tensor of the given shape — used by the analytic engine to charge
+/// the link without materializing data.
+pub fn wire_size(dims: &[usize]) -> u64 {
+    let elems: usize = dims.iter().product();
+    8 + 8 * dims.len() as u64 + 4 * elems as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_various_shapes() {
+        for dims in [vec![1], vec![3, 4], vec![2, 3, 4], vec![1, 2, 1, 2]] {
+            let n: usize = dims.iter().product();
+            let t = Tensor::from_vec((0..n).map(|i| i as f32 * 0.5 - 1.0).collect(), dims.clone());
+            let b = encode_tensor(&t);
+            assert_eq!(b.len() as u64, wire_size(&dims));
+            let back = decode_tensor(&b).unwrap();
+            assert_eq!(back.dims(), t.dims());
+            assert_eq!(back.to_vec(), t.to_vec());
+        }
+    }
+
+    #[test]
+    fn scalar_round_trip() {
+        let t = Tensor::scalar(42.0);
+        let back = decode_tensor(&encode_tensor(&t)).unwrap();
+        assert_eq!(back.to_scalar(), 42.0);
+    }
+
+    #[test]
+    fn truncated_frames_rejected() {
+        let t = Tensor::from_vec(vec![1.0, 2.0], [2]);
+        let full = encode_tensor(&t);
+        for cut in [0, 4, 7, full.len() - 1] {
+            let partial = full.slice(..cut);
+            assert!(
+                matches!(decode_tensor(&partial), Err(WireError::Truncated)),
+                "cut={cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(0xDEAD_BEEF);
+        buf.put_u32_le(0);
+        let err = decode_tensor(&buf.freeze()).unwrap_err();
+        assert!(matches!(err, WireError::BadMagic(0xDEAD_BEEF)));
+    }
+
+    #[test]
+    fn oversized_shape_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(MAGIC);
+        buf.put_u32_le(2);
+        buf.put_u64_le(u64::MAX / 2);
+        buf.put_u64_le(u64::MAX / 2);
+        let err = decode_tensor(&buf.freeze()).unwrap_err();
+        assert!(matches!(err, WireError::Oversized(_)));
+    }
+
+    #[test]
+    fn wire_size_matches_paper_transfer_sizes() {
+        // OPT activations [16, 100, 2048] ≈ 13.1 MB.
+        let opt = wire_size(&[16, 100, 2048]) as f64 / 1e6;
+        assert!((12.5..13.5).contains(&opt), "OPT {opt} MB");
+        // Llama activations [4, 100, 4096] ≈ 6.5 MB.
+        let llama = wire_size(&[4, 100, 4096]) as f64 / 1e6;
+        assert!((6.2..6.8).contains(&llama), "Llama {llama} MB");
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(WireError::Truncated.to_string().contains("truncated"));
+        assert!(WireError::BadMagic(1).to_string().contains("magic"));
+        assert!(WireError::Oversized(9).to_string().contains("9"));
+    }
+}

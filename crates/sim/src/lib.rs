@@ -1,0 +1,57 @@
+//! # menos-sim — deterministic discrete-event simulation kernel
+//!
+//! The Menos paper evaluates split fine-tuning on a real geo-distributed
+//! testbed (a V100 server in Vancouver, GPU/CPU clients in Toronto). This
+//! reproduction replaces wall-clock hardware with a deterministic
+//! discrete-event simulation: every timed resource (WAN links, GPU
+//! compute, PCIe swaps) charges durations on a shared virtual clock, and
+//! an [`EventQueue`] delivers events in exact time order with
+//! insertion-order tie-breaking.
+//!
+//! The kernel is intentionally minimal — a time type, an event queue,
+//! statistics accumulators, and seeded RNG derivation — so that the
+//! domain crates (`menos-gpu`, `menos-net`, `menos-core`) own their own
+//! event vocabularies.
+//!
+//! # Examples
+//!
+//! A tiny ping-pong simulation:
+//!
+//! ```
+//! use menos_sim::{EventQueue, Nanos};
+//!
+//! #[derive(Debug)]
+//! enum Ev { Ping, Pong }
+//!
+//! let mut q = EventQueue::new();
+//! q.schedule_after(Nanos::from_millis(30), Ev::Ping);
+//! let mut log = Vec::new();
+//! while let Some((t, ev)) = q.pop() {
+//!     match ev {
+//!         Ev::Ping => {
+//!             log.push((t, "ping"));
+//!             q.schedule_after(Nanos::from_millis(30), Ev::Pong);
+//!         }
+//!         Ev::Pong => {
+//!             log.push((t, "pong"));
+//!             q.schedule_after(Nanos::from_millis(30), Ev::Ping);
+//!         }
+//!     }
+//!     if log.len() >= 4 { break; }
+//! }
+//! assert_eq!(log.len(), 4);
+//! assert_eq!(log[3].0, Nanos::from_millis(120));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod queue;
+mod rng;
+mod stats;
+mod time;
+
+pub use queue::{EventId, EventQueue};
+pub use rng::{jitter_factor, seeded_rng};
+pub use stats::{format_bytes, PeakTracker, Summary};
+pub use time::{compute_time, transfer_time, Nanos};

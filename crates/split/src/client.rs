@@ -1,0 +1,203 @@
+//! The split fine-tuning client: input section `f_i`, output section
+//! `f_o`, local data, and local adapter optimization.
+
+use menos_adapters::{build_optimizer, inject_adapters, FineTuneConfig, Optimizer};
+use menos_data::{Batch, LossCurve, TokenDataset};
+use menos_models::{causal_lm_loss, CausalLm};
+use menos_sim::seeded_rng;
+use menos_tensor::{GradStore, Tensor};
+
+use crate::message::ClientId;
+use crate::spec::SplitSpec;
+
+struct PendingStep {
+    x_c: Tensor,
+    targets: Vec<usize>,
+    head_grads: Option<GradStore>,
+}
+
+/// A split-learning client executing the real engine.
+///
+/// The client owns a model *structure* but only ever evaluates its own
+/// sections: the embedding plus the first `front_layers` blocks
+/// (producing `x_c`), and the final norm + LM head (consuming `x_s`).
+/// Client-side adapters (in the front blocks) are trained locally with
+/// the client's own optimizer; the server trains its own adapters —
+/// neither party sees the other's gradients beyond the cut tensors.
+///
+/// One fine-tuning iteration follows the paper's four steps:
+///
+/// 1. [`SplitClient::start_step`] → send `x_c`;
+/// 2. receive `x_s` → [`SplitClient::receive_server_activations`] →
+///    send `g_c`;
+/// 3. receive `g_s` → [`SplitClient::receive_server_gradients`] →
+///    local optimizer step.
+pub struct SplitClient {
+    id: ClientId,
+    model: CausalLm,
+    split: SplitSpec,
+    ft: FineTuneConfig,
+    dataset: TokenDataset,
+    optimizer: Box<dyn Optimizer>,
+    step: usize,
+    pending: Option<PendingStep>,
+    accum: Option<GradStore>,
+    micro: usize,
+    curve: LossCurve,
+}
+
+impl SplitClient {
+    /// Builds a client over an already-bound model structure.
+    ///
+    /// Adapters are injected into the client's front blocks using a
+    /// deterministic stream derived from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the split or fine-tune configuration is invalid for
+    /// the model.
+    pub fn new(
+        id: ClientId,
+        mut model: CausalLm,
+        split: SplitSpec,
+        ft: FineTuneConfig,
+        dataset: TokenDataset,
+        seed: u64,
+    ) -> Self {
+        split.validate(&model.config).expect("invalid split spec");
+        let mut rng = seeded_rng(seed, "client-adapters");
+        let params = inject_adapters(&mut model, split.client_range(), &ft, &mut rng);
+        let optimizer = build_optimizer(&ft, params.tensors().cloned().collect());
+        SplitClient {
+            id,
+            model,
+            split,
+            ft,
+            dataset,
+            optimizer,
+            step: 0,
+            pending: None,
+            accum: None,
+            micro: 0,
+            curve: LossCurve::new(),
+        }
+    }
+
+    /// This client's id.
+    pub fn id(&self) -> ClientId {
+        self.id
+    }
+
+    /// Completed optimization steps.
+    pub fn steps_completed(&self) -> usize {
+        self.step
+    }
+
+    /// The loss curve recorded so far.
+    pub fn curve(&self) -> &LossCurve {
+        &self.curve
+    }
+
+    /// The fine-tuning configuration this client reports on connect.
+    pub fn ft_config(&self) -> &FineTuneConfig {
+        &self.ft
+    }
+
+    /// The split this client requests.
+    pub fn split(&self) -> SplitSpec {
+        self.split
+    }
+
+    /// Step 1: runs the input section on the next batch and returns
+    /// `x_c` (detached — gradients stop at the wire, as in real split
+    /// learning).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a step is already in flight.
+    pub fn start_step(&mut self) -> Tensor {
+        assert!(
+            self.pending.is_none(),
+            "{} started a step with one already in flight",
+            self.id
+        );
+        let batch: Batch = self.dataset.batch(self.step, self.ft.batch_size);
+        let x = self
+            .model
+            .embed_forward(&batch.inputs, batch.batch_size, batch.seq_len);
+        let x_c = self.model.blocks_forward(&x, self.split.client_range());
+        self.pending = Some(PendingStep {
+            x_c: x_c.clone(),
+            targets: batch.targets,
+            head_grads: None,
+        });
+        x_c.detach()
+    }
+
+    /// Step 3 (client side): consumes the server activations `x_s`,
+    /// computes the loss through the output section, and returns
+    /// `(loss, g_c)` where `g_c` is the gradient w.r.t. `x_s` to send
+    /// back.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no step is in flight.
+    pub fn receive_server_activations(&mut self, x_s: &Tensor) -> (f32, Tensor) {
+        let pending = self.pending.as_mut().expect("no step in flight");
+        // Treat the received activations as a trainable leaf so the
+        // backward pass yields the gradient to ship to the server.
+        let x_s_leaf =
+            Tensor::from_shared_storage(x_s.storage().clone(), x_s.shape().clone(), true);
+        let logits = self.model.head_forward(&x_s_leaf);
+        let loss = causal_lm_loss(&logits, &pending.targets);
+        let loss_value = loss.to_scalar();
+        let mut grads = loss.backward();
+        let g_c = grads
+            .remove(&x_s_leaf)
+            .expect("gradient for server activations");
+        pending.head_grads = Some(grads);
+        self.curve.push(self.step, loss_value);
+        (loss_value, g_c)
+    }
+
+    /// Final step: consumes the server gradients `g_s`, finishes
+    /// back-propagation through the input section, and applies the
+    /// local optimizer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the protocol order was violated.
+    pub fn receive_server_gradients(&mut self, g_s: &Tensor) {
+        let pending = self.pending.take().expect("no step in flight");
+        let mut grads = pending.x_c.backward_with_grad(g_s);
+        grads.merge(pending.head_grads.expect("head grads recorded"));
+        // Gradient accumulation: average k micro-steps into one
+        // optimizer step.
+        match &mut self.accum {
+            Some(acc) => acc.merge(grads),
+            None => self.accum = Some(grads),
+        }
+        self.micro += 1;
+        let k = self.ft.grad_accumulation.max(1);
+        if self.micro >= k {
+            let mut acc = self.accum.take().expect("accumulated grads");
+            if k > 1 {
+                acc.scale(1.0 / k as f32);
+            }
+            self.optimizer.step(&acc);
+            self.micro = 0;
+        }
+        self.step += 1;
+    }
+}
+
+impl std::fmt::Debug for SplitClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SplitClient")
+            .field("id", &self.id)
+            .field("split", &self.split)
+            .field("steps", &self.step)
+            .field("in_flight", &self.pending.is_some())
+            .finish()
+    }
+}

@@ -1,0 +1,443 @@
+//! Synchronous protocol drivers: a logical (untimed) split fine-tuning
+//! loop and the local fine-tuning baseline.
+//!
+//! These drivers establish *correctness* — split training must be
+//! numerically identical to local training, and Menos' re-forward
+//! policy must be identical to the cached policy. Timed multi-client
+//! execution lives in `menos-core`.
+
+use menos_adapters::{build_optimizer, inject_adapters, FineTuneConfig};
+use menos_data::{LossCurve, TokenDataset};
+use menos_models::{causal_lm_loss, CausalLm};
+use menos_net::{decode_tensor, encode_tensor};
+use menos_sim::seeded_rng;
+
+use crate::client::SplitClient;
+use crate::server::ServerSession;
+use crate::spec::SplitSpec;
+
+/// Which forward path the server uses (paper Fig. 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ForwardMode {
+    /// Gradient-ready forward, graph cached until backward (vanilla).
+    Cached,
+    /// No-grad forward with re-forward at backward time (Menos).
+    NoGradReforward,
+}
+
+/// Runs `steps` split fine-tuning iterations between one client and its
+/// server session, round-tripping every tensor through the wire codec
+/// (so the exchanged bytes are exactly what a deployment would move).
+///
+/// Returns the client's loss curve.
+pub fn run_split_steps(
+    client: &mut SplitClient,
+    session: &mut ServerSession,
+    mode: ForwardMode,
+    steps: usize,
+) -> LossCurve {
+    for _ in 0..steps {
+        // Step 1: client forward, activations over the wire.
+        let x_c = client.start_step();
+        let x_c = decode_tensor(&encode_tensor(&x_c)).expect("x_c frame");
+
+        // Step 2: server forward, activations back.
+        let x_s = match mode {
+            ForwardMode::Cached => session.forward_cached(&x_c),
+            ForwardMode::NoGradReforward => session.forward_nograd(&x_c),
+        };
+        let x_s = decode_tensor(&encode_tensor(&x_s)).expect("x_s frame");
+
+        // Step 3: client loss + gradients over the wire.
+        let (_loss, g_c) = client.receive_server_activations(&x_s);
+        let g_c = decode_tensor(&encode_tensor(&g_c)).expect("g_c frame");
+
+        // Step 4: server backward (re-forwarding if needed), gradients
+        // back, both sides step their optimizers.
+        let g_s = session.backward(&g_c);
+        let g_s = decode_tensor(&encode_tensor(&g_s)).expect("g_s frame");
+        client.receive_server_gradients(&g_s);
+    }
+    client.curve().clone()
+}
+
+/// Local (non-split) adapter fine-tuning of the full model — the dashed
+/// baseline in the paper's convergence figures.
+///
+/// To make local runs comparable with split runs, adapters are injected
+/// in two groups with the same derived seeds the split parties use:
+/// client blocks from `seeded_rng(seed, "client-adapters")`, server
+/// blocks from `seeded_rng(seed, "server-adapters")`.
+pub fn local_finetune(
+    model: CausalLm,
+    split: SplitSpec,
+    ft: &FineTuneConfig,
+    dataset: &TokenDataset,
+    seed: u64,
+    steps: usize,
+) -> LossCurve {
+    local_finetune_returning_model(model, split, ft, dataset, seed, steps).0
+}
+
+/// [`local_finetune`] that also hands back the trained model (with its
+/// adapters), e.g. for held-out evaluation.
+pub fn local_finetune_returning_model(
+    mut model: CausalLm,
+    split: SplitSpec,
+    ft: &FineTuneConfig,
+    dataset: &TokenDataset,
+    seed: u64,
+    steps: usize,
+) -> (LossCurve, CausalLm) {
+    let mut client_rng = seeded_rng(seed, "client-adapters");
+    let mut server_rng = seeded_rng(seed, "server-adapters");
+    let server_range = split.server_range(&model.config);
+    let client_params = inject_adapters(&mut model, split.client_range(), ft, &mut client_rng);
+    let server_params = inject_adapters(&mut model, server_range, ft, &mut server_rng);
+    // Two optimizers, mirroring the two parties (identical math to one
+    // optimizer over the union for element-wise rules like Adam/SGD).
+    let mut client_opt = build_optimizer(ft, client_params.tensors().cloned().collect());
+    let mut server_opt = build_optimizer(ft, server_params.tensors().cloned().collect());
+
+    let mut curve = LossCurve::new();
+    for step in 0..steps {
+        let batch = dataset.batch(step, ft.batch_size);
+        let logits = model.forward(&batch.inputs, batch.batch_size, batch.seq_len);
+        let loss = causal_lm_loss(&logits, &batch.targets);
+        curve.push(step, loss.to_scalar());
+        let grads = loss.backward();
+        client_opt.step(&grads);
+        server_opt.step(&grads);
+    }
+    (curve, model)
+}
+
+/// Mean cross-entropy of `model` over `batches` held-out batches
+/// (no-grad evaluation on a validation split).
+///
+/// # Panics
+///
+/// Panics if `batches` is zero or the dataset cannot supply the batch
+/// size.
+pub fn evaluate_loss(
+    model: &CausalLm,
+    dataset: &TokenDataset,
+    batch_size: usize,
+    batches: usize,
+) -> f32 {
+    assert!(batches > 0, "need at least one evaluation batch");
+    menos_tensor::no_grad(|| {
+        let mut total = 0.0f32;
+        for b in 0..batches {
+            let batch = dataset.batch(b, batch_size);
+            let logits = model.forward(&batch.inputs, batch.batch_size, batch.seq_len);
+            total += causal_lm_loss(&logits, &batch.targets).to_scalar();
+        }
+        total / batches as f32
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::ClientId;
+    use menos_data::{wiki_corpus, Vocab};
+    use menos_models::{Arch, ModelConfig};
+    use menos_tensor::ParamStore;
+
+    fn setup(arch: Arch) -> (ModelConfig, ParamStore, FineTuneConfig, TokenDataset) {
+        let cfg = match arch {
+            Arch::Opt => ModelConfig::tiny_opt(33),
+            Arch::Llama => ModelConfig::tiny_llama(33),
+        };
+        let mut rng = seeded_rng(100, "driver-test");
+        let ps = menos_models::init_params(&cfg, &mut rng);
+        let text = wiki_corpus(5, 4000);
+        let vocab = Vocab::from_text(&text);
+        assert!(vocab.size() <= 33, "vocab {}", vocab.size());
+        let ds = TokenDataset::new(vocab.encode(&text), 16, 5);
+        let mut ft = FineTuneConfig::paper(&cfg);
+        ft.batch_size = 2;
+        ft.seq_len = 16;
+        (cfg, ps, ft, ds)
+    }
+
+    fn make_pair(
+        cfg: &ModelConfig,
+        ps: &ParamStore,
+        ft: &FineTuneConfig,
+        ds: &TokenDataset,
+        seed: u64,
+    ) -> (SplitClient, ServerSession) {
+        let split = SplitSpec::paper();
+        let client_model = CausalLm::bind(cfg, &ps.shared_view(false));
+        let server_model = CausalLm::bind(cfg, &ps.shared_view(false));
+        let client = SplitClient::new(
+            ClientId(0),
+            client_model,
+            split,
+            ft.clone(),
+            ds.clone(),
+            seed,
+        );
+        let session = ServerSession::new(ClientId(0), server_model, split, ft, seed);
+        (client, session)
+    }
+
+    #[test]
+    fn split_training_reduces_loss() {
+        let (cfg, ps, ft, ds) = setup(Arch::Opt);
+        let (mut client, mut session) = make_pair(&cfg, &ps, &ft, &ds, 1);
+        let curve = run_split_steps(&mut client, &mut session, ForwardMode::Cached, 20);
+        assert_eq!(curve.points().len(), 20);
+        assert!(
+            curve.final_loss().unwrap() < curve.points()[0].1,
+            "loss should fall: {:?}",
+            curve.points()
+        );
+    }
+
+    #[test]
+    fn split_equals_local_exactly() {
+        // The paper: "the fine-tuning results of Menos are identical to
+        // single-device fine-tuning, as it only distributes computation
+        // while maintaining the same logical flow."
+        for arch in [Arch::Opt, Arch::Llama] {
+            let (cfg, ps, ft, ds) = setup(arch);
+            let (mut client, mut session) = make_pair(&cfg, &ps, &ft, &ds, 7);
+            // Local run binds a fresh structure over DEEP-COPIED params
+            // so the split run cannot perturb it.
+            let local_model = CausalLm::bind(&cfg, &ps.deep_copy(false));
+            let local = local_finetune(local_model, SplitSpec::paper(), &ft, &ds, 7, 8);
+            let split = run_split_steps(&mut client, &mut session, ForwardMode::Cached, 8);
+            for (i, (l, s)) in local.points().iter().zip(split.points()).enumerate() {
+                assert!(
+                    (l.1 - s.1).abs() < 2e-3,
+                    "{arch:?} step {i}: local {:?} vs split {:?}",
+                    local.points(),
+                    split.points()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reforward_policy_is_numerically_identical() {
+        // Menos' no-grad + re-forward path must produce the same losses
+        // as the cached path — it trades compute for memory only.
+        let (cfg, ps, ft, ds) = setup(Arch::Llama);
+        let (mut c1, mut s1) = make_pair(&cfg, &ps, &ft, &ds, 3);
+        let cached = run_split_steps(&mut c1, &mut s1, ForwardMode::Cached, 6);
+
+        let ps2 = ps.deep_copy(false);
+        let (mut c2, mut s2) = make_pair(&cfg, &ps2, &ft, &ds, 3);
+        let nograd = run_split_steps(&mut c2, &mut s2, ForwardMode::NoGradReforward, 6);
+
+        for (a, b) in cached.points().iter().zip(nograd.points()) {
+            assert!(
+                (a.1 - b.1).abs() < 1e-4,
+                "cached {} vs re-forward {}",
+                a.1,
+                b.1
+            );
+        }
+        assert_eq!(s2.reforward_count(), 6);
+        assert_eq!(s1.reforward_count(), 0);
+    }
+
+    #[test]
+    fn sessions_share_base_but_not_adapters() {
+        let (cfg, ps, ft, ds) = setup(Arch::Opt);
+        let (_c1, s1) = make_pair(&cfg, &ps, &ft, &ds, 1);
+        let (_c2, s2) = make_pair(&cfg, &ps, &ft, &ds, 2);
+        // Base weights alias.
+        for (a, b) in s1
+            .model()
+            .base_params()
+            .iter()
+            .zip(s2.model().base_params())
+        {
+            assert!(menos_tensor::Tensor::same_storage(a, &b));
+        }
+        // Adapters are private and distinct.
+        assert!(!s1.adapter_params().shares_storage_with(s2.adapter_params()));
+        assert!(s1.persistent_bytes() > 0);
+    }
+
+    #[test]
+    fn nograd_forward_requires_no_graph() {
+        let (cfg, ps, ft, ds) = setup(Arch::Opt);
+        let (mut client, mut session) = make_pair(&cfg, &ps, &ft, &ds, 1);
+        let x_c = client.start_step();
+        let x_s = session.forward_nograd(&x_c);
+        assert!(!x_s.requires_grad());
+        assert!(!session.has_cached_graph());
+        let (_, g_c) = client.receive_server_activations(&x_s);
+        let g_s = session.backward(&g_c);
+        client.receive_server_gradients(&g_s);
+        assert_eq!(client.steps_completed(), 1);
+    }
+
+    #[test]
+    fn release_clears_cached_graph() {
+        let (cfg, ps, ft, ds) = setup(Arch::Opt);
+        let (mut client, mut session) = make_pair(&cfg, &ps, &ft, &ds, 1);
+        let x_c = client.start_step();
+        session.forward_cached(&x_c);
+        assert!(session.has_cached_graph());
+        session.release();
+        assert!(!session.has_cached_graph());
+    }
+
+    #[test]
+    #[should_panic(expected = "backward without a preceding forward")]
+    fn backward_requires_forward() {
+        let (cfg, ps, ft, ds) = setup(Arch::Opt);
+        let (_client, mut session) = make_pair(&cfg, &ps, &ft, &ds, 1);
+        session.backward(&menos_tensor::Tensor::zeros([1, 1, 64]));
+    }
+
+    #[test]
+    fn gradient_accumulation_defers_updates() {
+        let (cfg, ps, mut ft, ds) = setup(Arch::Opt);
+        ft.grad_accumulation = 3;
+        let (mut client, mut session) = make_pair(&cfg, &ps, &ft, &ds, 4);
+        let watch = session
+            .adapter_params()
+            .get("blocks.1.attn.q.lora.b")
+            .unwrap()
+            .clone();
+        let initial = watch.to_vec();
+
+        // Two micro-steps: no optimizer step yet on either side.
+        run_split_steps(&mut client, &mut session, ForwardMode::NoGradReforward, 2);
+        assert_eq!(watch.to_vec(), initial, "no update before k micro-steps");
+        // Third micro-step triggers the accumulated update.
+        run_split_steps(&mut client, &mut session, ForwardMode::NoGradReforward, 1);
+        assert_ne!(watch.to_vec(), initial, "update after k micro-steps");
+    }
+
+    #[test]
+    fn gradient_accumulation_still_learns() {
+        let (cfg, ps, mut ft, ds) = setup(Arch::Opt);
+        ft.grad_accumulation = 2;
+        ft.optimizer = menos_adapters::OptimKind::Adam { lr: 2e-3 };
+        let (mut client, mut session) = make_pair(&cfg, &ps, &ft, &ds, 4);
+        let curve = run_split_steps(&mut client, &mut session, ForwardMode::NoGradReforward, 30);
+        let head: f32 = curve.points()[..5].iter().map(|&(_, l)| l).sum::<f32>() / 5.0;
+        let tail = curve.tail_mean(5).unwrap();
+        assert!(
+            tail < head,
+            "no learning with accumulation: {head} -> {tail}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod eval_tests {
+    use super::*;
+    use menos_data::{wiki_corpus, Vocab};
+    use menos_models::{init_params, CausalLm, ModelConfig};
+
+    #[test]
+    fn evaluation_runs_no_grad_and_matches_training_scale() {
+        let text = wiki_corpus(3, 6000);
+        let vocab = Vocab::from_text(&text);
+        let cfg = ModelConfig::tiny_opt(vocab.size());
+        let mut rng = seeded_rng(3, "eval");
+        let model = CausalLm::bind(&cfg, &init_params(&cfg, &mut rng));
+        let ds = TokenDataset::new(vocab.encode(&text), 16, 3);
+        let (train, valid) = ds.train_valid_split(0.8, 3);
+        let train_loss = evaluate_loss(&model, &train, 2, 3);
+        let valid_loss = evaluate_loss(&model, &valid, 2, 3);
+        // Untrained model: both near ln(vocab).
+        let uniform = (vocab.size() as f32).ln();
+        assert!(
+            (train_loss - uniform).abs() < 0.6,
+            "{train_loss} vs {uniform}"
+        );
+        assert!(
+            (valid_loss - uniform).abs() < 0.6,
+            "{valid_loss} vs {uniform}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one evaluation batch")]
+    fn evaluation_needs_batches() {
+        let text = wiki_corpus(3, 6000);
+        let vocab = Vocab::from_text(&text);
+        let cfg = ModelConfig::tiny_opt(vocab.size());
+        let mut rng = seeded_rng(3, "eval");
+        let model = CausalLm::bind(&cfg, &init_params(&cfg, &mut rng));
+        let ds = TokenDataset::new(vocab.encode(&text), 16, 3);
+        evaluate_loss(&model, &ds, 2, 0);
+    }
+}
+
+#[cfg(test)]
+mod prefix_equivalence_tests {
+    use super::*;
+    use crate::message::ClientId;
+    use menos_adapters::{AdapterKind, OptimKind};
+    use menos_data::{wiki_corpus, Vocab};
+    use menos_models::{CausalLm, ModelConfig};
+
+    #[test]
+    fn prefix_tuning_split_equals_local() {
+        // The equivalence claim must hold for every adapter family,
+        // not just LoRA.
+        let cfg = ModelConfig::tiny_opt(33);
+        let mut rng = seeded_rng(400, "prefix-eq");
+        let ps = menos_models::init_params(&cfg, &mut rng);
+        let text = wiki_corpus(6, 4000);
+        let vocab = Vocab::from_text(&text);
+        let ds = TokenDataset::new(vocab.encode(&text), 16, 6);
+        let ft = FineTuneConfig {
+            adapter: AdapterKind::Prefix { len: 4 },
+            optimizer: OptimKind::Sgd {
+                lr: 0.05,
+                momentum: 0.0,
+            },
+            batch_size: 2,
+            seq_len: 16,
+            grad_accumulation: 1,
+        };
+        let split = SplitSpec::paper();
+
+        let local = local_finetune(
+            CausalLm::bind(&cfg, &ps.deep_copy(false)),
+            split,
+            &ft,
+            &ds,
+            11,
+            6,
+        );
+
+        let mut client = SplitClient::new(
+            ClientId(0),
+            CausalLm::bind(&cfg, &ps.shared_view(false)),
+            split,
+            ft.clone(),
+            ds.clone(),
+            11,
+        );
+        let mut session = ServerSession::new(
+            ClientId(0),
+            CausalLm::bind(&cfg, &ps.shared_view(false)),
+            split,
+            &ft,
+            11,
+        );
+        let split_curve =
+            run_split_steps(&mut client, &mut session, ForwardMode::NoGradReforward, 6);
+        for (i, (l, s)) in local.points().iter().zip(split_curve.points()).enumerate() {
+            assert!(
+                (l.1 - s.1).abs() < 2e-3,
+                "prefix step {i}: local {} vs split {}",
+                l.1,
+                s.1
+            );
+        }
+    }
+}

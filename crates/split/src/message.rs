@@ -1,0 +1,192 @@
+//! Protocol messages exchanged between split-learning clients and the
+//! server.
+
+use bytes::Bytes;
+
+use menos_adapters::FineTuneConfig;
+use menos_net::wire_size;
+
+use crate::spec::SplitSpec;
+
+/// A stable client identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ClientId(pub u64);
+
+impl std::fmt::Display for ClientId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "client-{}", self.0)
+    }
+}
+
+/// Messages a client sends to the server.
+#[derive(Debug, Clone)]
+pub enum ClientMessage {
+    /// Initial connection carrying the fine-tuning configuration the
+    /// server will profile (paper §3.3).
+    Connect {
+        /// The connecting client.
+        client: ClientId,
+        /// Fine-tuning settings (adapter, optimizer, batch, seq).
+        ft: FineTuneConfig,
+        /// Where the model is cut.
+        split: SplitSpec,
+    },
+    /// Intermediate activations `x_c` — the server's forward input
+    /// (protocol step 1).
+    Activations {
+        /// Sender.
+        client: ClientId,
+        /// Encoded activation tensor.
+        frame: Bytes,
+    },
+    /// Gradients `g_c` w.r.t. the server output — the server's
+    /// backward input (protocol step 3).
+    Gradients {
+        /// Sender.
+        client: ClientId,
+        /// Encoded gradient tensor.
+        frame: Bytes,
+    },
+    /// The client finished fine-tuning; the server may release its
+    /// state.
+    Disconnect {
+        /// Sender.
+        client: ClientId,
+    },
+}
+
+/// Messages the server sends to a client.
+#[derive(Debug, Clone)]
+pub enum ServerMessage {
+    /// The client's session is profiled and ready to serve.
+    Ready {
+        /// Addressee.
+        client: ClientId,
+    },
+    /// Server-side forward output `x_s` (protocol step 2).
+    ServerActivations {
+        /// Addressee.
+        client: ClientId,
+        /// Encoded activation tensor.
+        frame: Bytes,
+    },
+    /// Server-side gradients `g_s` w.r.t. the client's activations
+    /// (protocol step 4).
+    ServerGradients {
+        /// Addressee.
+        client: ClientId,
+        /// Encoded gradient tensor.
+        frame: Bytes,
+    },
+}
+
+/// Size of a small control frame on the wire.
+const CONTROL_BYTES: u64 = 256;
+
+impl ClientMessage {
+    /// Bytes this message occupies on the wire.
+    pub fn wire_bytes(&self) -> u64 {
+        match self {
+            ClientMessage::Connect { .. } | ClientMessage::Disconnect { .. } => CONTROL_BYTES,
+            ClientMessage::Activations { frame, .. } | ClientMessage::Gradients { frame, .. } => {
+                frame.len() as u64
+            }
+        }
+    }
+
+    /// The sender.
+    pub fn client(&self) -> ClientId {
+        match self {
+            ClientMessage::Connect { client, .. }
+            | ClientMessage::Activations { client, .. }
+            | ClientMessage::Gradients { client, .. }
+            | ClientMessage::Disconnect { client } => *client,
+        }
+    }
+}
+
+impl ServerMessage {
+    /// Bytes this message occupies on the wire.
+    pub fn wire_bytes(&self) -> u64 {
+        match self {
+            ServerMessage::Ready { .. } => CONTROL_BYTES,
+            ServerMessage::ServerActivations { frame, .. }
+            | ServerMessage::ServerGradients { frame, .. } => frame.len() as u64,
+        }
+    }
+
+    /// The addressee.
+    pub fn client(&self) -> ClientId {
+        match self {
+            ServerMessage::Ready { client }
+            | ServerMessage::ServerActivations { client, .. }
+            | ServerMessage::ServerGradients { client, .. } => *client,
+        }
+    }
+}
+
+/// Analytic wire size of an activation/gradient tensor for a workload,
+/// without materializing it: `[batch, seq, hidden]`.
+pub fn activation_wire_bytes(batch: usize, seq: usize, hidden: usize) -> u64 {
+    wire_size(&[batch, seq, hidden])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use menos_models::ModelConfig;
+    use menos_net::encode_tensor;
+    use menos_tensor::Tensor;
+
+    #[test]
+    fn message_sizes() {
+        let t = Tensor::zeros([2, 3, 4]);
+        let frame = encode_tensor(&t);
+        let msg = ClientMessage::Activations {
+            client: ClientId(1),
+            frame: frame.clone(),
+        };
+        assert_eq!(msg.wire_bytes(), frame.len() as u64);
+        assert_eq!(msg.client(), ClientId(1));
+
+        let cfg = ModelConfig::tiny_opt(10);
+        let connect = ClientMessage::Connect {
+            client: ClientId(2),
+            ft: menos_adapters::FineTuneConfig::paper(&cfg),
+            split: SplitSpec::paper(),
+        };
+        assert_eq!(connect.wire_bytes(), 256);
+    }
+
+    #[test]
+    fn server_message_sizes() {
+        let frame = encode_tensor(&Tensor::zeros([4]));
+        let msg = ServerMessage::ServerGradients {
+            client: ClientId(3),
+            frame: frame.clone(),
+        };
+        assert_eq!(msg.wire_bytes(), frame.len() as u64);
+        assert_eq!(msg.client(), ClientId(3));
+        assert_eq!(
+            ServerMessage::Ready {
+                client: ClientId(3)
+            }
+            .wire_bytes(),
+            256
+        );
+    }
+
+    #[test]
+    fn analytic_size_matches_real_encoding() {
+        let t = Tensor::zeros([4, 100, 64]);
+        assert_eq!(
+            activation_wire_bytes(4, 100, 64),
+            encode_tensor(&t).len() as u64
+        );
+    }
+
+    #[test]
+    fn client_id_display() {
+        assert_eq!(ClientId(7).to_string(), "client-7");
+    }
+}

@@ -1,0 +1,214 @@
+//! Per-client server-side session: forward/backward over the server's
+//! block range, with both memory policies' execution paths.
+
+use std::ops::Range;
+
+use menos_adapters::{build_optimizer, inject_adapters, FineTuneConfig, Optimizer};
+use menos_models::CausalLm;
+use menos_sim::seeded_rng;
+use menos_tensor::{no_grad, GradStore, ParamStore, Tensor};
+
+use crate::message::ClientId;
+use crate::spec::SplitSpec;
+
+struct CachedForward {
+    x_c_leaf: Tensor,
+    x_s: Tensor,
+}
+
+/// One client's serving state on the split server (real engine).
+///
+/// The session owns a per-client model *structure* (typically bound to
+/// a [`menos_tensor::ParamStore::shared_view`] of the base weights),
+/// the client's adapters, and the adapter optimizer. It supports both
+/// execution paths of the paper's Fig. 3:
+///
+/// * [`ServerSession::forward_cached`] — gradient-ready forward that
+///   caches the graph (vanilla / memory-preserving policies);
+/// * [`ServerSession::forward_nograd`] — no-grad forward that caches
+///   only the raw input `x_c`, requiring a *re-forward* in
+///   [`ServerSession::backward`] (Menos' on-demand policy).
+///
+/// Both paths produce bit-identical training updates, which the tests
+/// verify — the policies trade memory for recomputation, never
+/// correctness.
+pub struct ServerSession {
+    client: ClientId,
+    model: CausalLm,
+    range: Range<usize>,
+    adapter_params: ParamStore,
+    optimizer: Box<dyn Optimizer>,
+    cached: Option<CachedForward>,
+    pending_input: Option<Tensor>,
+    accum: Option<GradStore>,
+    micro: usize,
+    grad_accumulation: usize,
+    reforward_count: u64,
+    steps: u64,
+}
+
+impl ServerSession {
+    /// Creates a session for `client` over `model` (a structure bound
+    /// to the shared base), injecting adapters into the server block
+    /// range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configurations are invalid for the model.
+    pub fn new(
+        client: ClientId,
+        mut model: CausalLm,
+        split: SplitSpec,
+        ft: &FineTuneConfig,
+        seed: u64,
+    ) -> Self {
+        split.validate(&model.config).expect("invalid split spec");
+        let range = split.server_range(&model.config);
+        let mut rng = seeded_rng(seed, "server-adapters");
+        let adapter_params = inject_adapters(&mut model, range.clone(), ft, &mut rng);
+        let optimizer = build_optimizer(ft, adapter_params.tensors().cloned().collect());
+        ServerSession {
+            client,
+            model,
+            range,
+            adapter_params,
+            optimizer,
+            cached: None,
+            pending_input: None,
+            accum: None,
+            micro: 0,
+            grad_accumulation: ft.grad_accumulation.max(1),
+            reforward_count: 0,
+            steps: 0,
+        }
+    }
+
+    /// The client this session serves.
+    pub fn client(&self) -> ClientId {
+        self.client
+    }
+
+    /// The server-side block range.
+    pub fn range(&self) -> Range<usize> {
+        self.range.clone()
+    }
+
+    /// The session's adapter parameters (for sharing assertions and
+    /// accounting).
+    pub fn adapter_params(&self) -> &ParamStore {
+        &self.adapter_params
+    }
+
+    /// Bytes of adapter parameters plus optimizer state — the per-client
+    /// persistent footprint `A + O`.
+    pub fn persistent_bytes(&self) -> u64 {
+        self.adapter_params.size_bytes() + self.optimizer.state_bytes()
+    }
+
+    /// Whether a gradient-ready graph is currently cached.
+    pub fn has_cached_graph(&self) -> bool {
+        self.cached.is_some()
+    }
+
+    /// How many re-forward passes this session has executed (Menos'
+    /// extra computation; paper Table 2).
+    pub fn reforward_count(&self) -> u64 {
+        self.reforward_count
+    }
+
+    /// Completed optimization steps.
+    pub fn steps_completed(&self) -> u64 {
+        self.steps
+    }
+
+    /// The underlying model structure.
+    pub fn model(&self) -> &CausalLm {
+        &self.model
+    }
+
+    /// Gradient-ready forward (Fig. 3a/b): caches the graph so backward
+    /// can run without recomputation.
+    pub fn forward_cached(&mut self, x_c: &Tensor) -> Tensor {
+        let x_c_leaf =
+            Tensor::from_shared_storage(x_c.storage().clone(), x_c.shape().clone(), true);
+        let x_s = self.model.blocks_forward(&x_c_leaf, self.range.clone());
+        let out = x_s.detach();
+        self.cached = Some(CachedForward { x_c_leaf, x_s });
+        self.pending_input = None;
+        out
+    }
+
+    /// No-grad forward (Fig. 3d): produces `x_s` without caching
+    /// anything for backward; only the raw `x_c` is kept for the
+    /// re-forward.
+    pub fn forward_nograd(&mut self, x_c: &Tensor) -> Tensor {
+        let out = no_grad(|| self.model.blocks_forward(&x_c.detach(), self.range.clone()));
+        self.pending_input = Some(x_c.detach());
+        self.cached = None;
+        out
+    }
+
+    /// Backward from the client's gradients `g_c`, returning `g_s` and
+    /// applying the server-side adapter optimizer (Alg. 1 lines 10-13).
+    ///
+    /// Re-forwards first if the preceding forward ran no-grad.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no forward preceded this call.
+    pub fn backward(&mut self, g_c: &Tensor) -> Tensor {
+        let cached = match self.cached.take() {
+            Some(c) => c,
+            None => {
+                let x_c = self
+                    .pending_input
+                    .take()
+                    .expect("backward without a preceding forward");
+                self.reforward_count += 1;
+                let x_c_leaf =
+                    Tensor::from_shared_storage(x_c.storage().clone(), x_c.shape().clone(), true);
+                let x_s = self.model.blocks_forward(&x_c_leaf, self.range.clone());
+                CachedForward { x_c_leaf, x_s }
+            }
+        };
+        let mut grads = cached.x_s.backward_with_grad(g_c);
+        let g_s = grads
+            .remove(&cached.x_c_leaf)
+            .expect("gradient for client activations");
+        // Gradient accumulation mirrors the client's schedule: both
+        // sides step their optimizers on the same micro-step.
+        match &mut self.accum {
+            Some(acc) => acc.merge(grads),
+            None => self.accum = Some(grads),
+        }
+        self.micro += 1;
+        if self.micro >= self.grad_accumulation {
+            let mut acc = self.accum.take().expect("accumulated grads");
+            if self.grad_accumulation > 1 {
+                acc.scale(1.0 / self.grad_accumulation as f32);
+            }
+            self.optimizer.step(&acc);
+            self.micro = 0;
+        }
+        self.steps += 1;
+        g_s
+    }
+
+    /// Drops any cached state (used when a task is released between
+    /// protocol steps).
+    pub fn release(&mut self) {
+        self.cached = None;
+    }
+}
+
+impl std::fmt::Debug for ServerSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerSession")
+            .field("client", &self.client)
+            .field("range", &self.range)
+            .field("steps", &self.steps)
+            .field("reforwards", &self.reforward_count)
+            .field("cached", &self.cached.is_some())
+            .finish()
+    }
+}

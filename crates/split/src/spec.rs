@@ -1,0 +1,106 @@
+//! The split specification: where a client cuts the model.
+
+use serde::{Deserialize, Serialize};
+
+use menos_models::ModelConfig;
+
+/// How the model is topologically partitioned between a client and the
+/// server (paper Fig. 1).
+///
+/// The client holds the input section `f_i` (embedding + the first
+/// `front_layers` transformer blocks) and the output section `f_o`
+/// (final norm + LM head). The server hosts the remaining blocks
+/// `f_s = blocks[front_layers ..]`.
+///
+/// Clients choose the cut on a privacy-efficiency trade-off: deeper
+/// cuts expose less to the server but keep more compute local.
+///
+/// # Examples
+///
+/// ```
+/// use menos_models::ModelConfig;
+/// use menos_split::SplitSpec;
+///
+/// let cfg = ModelConfig::opt_1_3b();
+/// let split = SplitSpec::paper();
+/// assert_eq!(split.front_layers, 1);
+/// assert_eq!(split.server_range(&cfg), 1..24);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SplitSpec {
+    /// Number of transformer blocks computed on the client before the
+    /// cut.
+    pub front_layers: usize,
+}
+
+impl SplitSpec {
+    /// The paper's configuration: embedding + first block on the
+    /// client.
+    pub fn paper() -> Self {
+        SplitSpec { front_layers: 1 }
+    }
+
+    /// Creates a spec cutting after `front_layers` blocks.
+    pub fn new(front_layers: usize) -> Self {
+        SplitSpec { front_layers }
+    }
+
+    /// The block range hosted by the server.
+    pub fn server_range(&self, cfg: &ModelConfig) -> std::ops::Range<usize> {
+        self.front_layers..cfg.layers
+    }
+
+    /// The block range hosted by the client (front section).
+    pub fn client_range(&self) -> std::ops::Range<usize> {
+        0..self.front_layers
+    }
+
+    /// Validates against a model configuration.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the cut leaves the server without blocks.
+    pub fn validate(&self, cfg: &ModelConfig) -> Result<(), String> {
+        if self.front_layers >= cfg.layers {
+            return Err(format!(
+                "front_layers {} leaves no server blocks (model has {})",
+                self.front_layers, cfg.layers
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for SplitSpec {
+    fn default() -> Self {
+        SplitSpec::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_spec_ranges() {
+        let cfg = ModelConfig::llama2_7b();
+        let s = SplitSpec::paper();
+        assert_eq!(s.client_range(), 0..1);
+        assert_eq!(s.server_range(&cfg), 1..32);
+        s.validate(&cfg).unwrap();
+    }
+
+    #[test]
+    fn deeper_cuts() {
+        let cfg = ModelConfig::tiny_opt(10); // 4 layers
+        let s = SplitSpec::new(3);
+        s.validate(&cfg).unwrap();
+        assert_eq!(s.server_range(&cfg), 3..4);
+        assert!(SplitSpec::new(4).validate(&cfg).is_err());
+    }
+
+    #[test]
+    fn default_is_paper() {
+        assert_eq!(SplitSpec::default(), SplitSpec::paper());
+    }
+}

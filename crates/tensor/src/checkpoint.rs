@@ -1,0 +1,299 @@
+//! Parameter checkpointing: serialize a [`ParamStore`] to bytes and
+//! back.
+//!
+//! Fine-tuning services checkpoint *adapters*, not base models — the
+//! whole point of adapter-based methods is that a client's artifact is
+//! megabytes. The format is self-contained and versioned:
+//! `magic (u32) | version (u32) | count (u64)` then per parameter
+//! `name_len (u32) | name | trainable (u8) | rank (u32) | dims (u64…) |
+//! f32 data…`, all little-endian.
+
+use crate::param::ParamStore;
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+
+const MAGIC: u32 = 0x4d43_4b50; // "MCKP"
+const VERSION: u32 = 1;
+
+/// Errors reading a checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// Byte stream ended early.
+    Truncated,
+    /// Magic number mismatch.
+    BadMagic(u32),
+    /// Unsupported format version.
+    BadVersion(u32),
+    /// A declared size is implausible.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Truncated => write!(f, "truncated checkpoint"),
+            CheckpointError::BadMagic(m) => write!(f, "bad checkpoint magic {m:#010x}"),
+            CheckpointError::BadVersion(v) => write!(f, "unsupported checkpoint version {v}"),
+            CheckpointError::Corrupt(m) => write!(f, "corrupt checkpoint: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// Serializes every parameter (name order) to a checkpoint byte buffer.
+///
+/// # Examples
+///
+/// ```
+/// use menos_tensor::{load_checkpoint, save_checkpoint, ParamStore, Tensor};
+///
+/// let mut ps = ParamStore::new();
+/// ps.insert("lora.a", Tensor::var_from_vec(vec![1.0, 2.0], [2]));
+/// let bytes = save_checkpoint(&ps);
+/// let restored = load_checkpoint(&bytes).unwrap();
+/// assert_eq!(restored.get("lora.a").unwrap().to_vec(), vec![1.0, 2.0]);
+/// assert!(restored.get("lora.a").unwrap().requires_grad());
+/// ```
+pub fn save_checkpoint(store: &ParamStore) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend(MAGIC.to_le_bytes());
+    out.extend(VERSION.to_le_bytes());
+    out.extend((store.len() as u64).to_le_bytes());
+    for (name, t) in store.iter() {
+        out.extend((name.len() as u32).to_le_bytes());
+        out.extend(name.as_bytes());
+        out.push(u8::from(t.requires_grad()));
+        out.extend((t.rank() as u32).to_le_bytes());
+        for &d in t.dims() {
+            out.extend((d as u64).to_le_bytes());
+        }
+        for &v in t.storage().read().iter() {
+            out.extend(v.to_le_bytes());
+        }
+    }
+    out
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CheckpointError> {
+        let end = self.pos.checked_add(n).ok_or(CheckpointError::Truncated)?;
+        let s = self
+            .buf
+            .get(self.pos..end)
+            .ok_or(CheckpointError::Truncated)?;
+        self.pos = end;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, CheckpointError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> Result<u32, CheckpointError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+    fn u64(&mut self) -> Result<u64, CheckpointError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+    fn f32(&mut self) -> Result<f32, CheckpointError> {
+        Ok(f32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+}
+
+/// Restores a [`ParamStore`] from checkpoint bytes.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError`] on truncation, bad magic/version, or
+/// implausible sizes — never panics on untrusted input.
+pub fn load_checkpoint(bytes: &[u8]) -> Result<ParamStore, CheckpointError> {
+    let mut r = Reader { buf: bytes, pos: 0 };
+    let magic = r.u32()?;
+    if magic != MAGIC {
+        return Err(CheckpointError::BadMagic(magic));
+    }
+    let version = r.u32()?;
+    if version != VERSION {
+        return Err(CheckpointError::BadVersion(version));
+    }
+    let count = r.u64()?;
+    if count > 1 << 24 {
+        return Err(CheckpointError::Corrupt(format!("{count} parameters")));
+    }
+    let mut store = ParamStore::new();
+    for _ in 0..count {
+        let name_len = r.u32()? as usize;
+        if name_len > 4096 {
+            return Err(CheckpointError::Corrupt(format!(
+                "name of {name_len} bytes"
+            )));
+        }
+        let name = String::from_utf8(r.take(name_len)?.to_vec())
+            .map_err(|_| CheckpointError::Corrupt("non-UTF8 name".into()))?;
+        let trainable = r.u8()? != 0;
+        let rank = r.u32()? as usize;
+        if rank > 8 {
+            return Err(CheckpointError::Corrupt(format!("rank {rank}")));
+        }
+        let mut dims = Vec::with_capacity(rank);
+        let mut elems: u64 = 1;
+        for _ in 0..rank {
+            let d = r.u64()?;
+            elems = elems.saturating_mul(d.max(1));
+            if elems > 1 << 32 {
+                return Err(CheckpointError::Corrupt(format!("{elems} elements")));
+            }
+            dims.push(d as usize);
+        }
+        let n: usize = dims.iter().product();
+        let mut data = Vec::with_capacity(n);
+        for _ in 0..n {
+            data.push(r.f32()?);
+        }
+        let t = if trainable {
+            Tensor::var_from_vec(data, Shape::new(dims))
+        } else {
+            Tensor::from_vec(data, Shape::new(dims))
+        };
+        store.insert(name, t);
+    }
+    Ok(store)
+}
+
+/// Applies checkpointed values onto an existing store **in place**:
+/// same-named parameters have their storage overwritten, so every
+/// structure aliasing them (e.g. a bound model) sees the restored
+/// weights immediately.
+///
+/// # Errors
+///
+/// Fails if a checkpoint entry is missing from `target` or has a
+/// different shape; `target` is unmodified on error.
+pub fn restore_into(target: &ParamStore, checkpoint: &ParamStore) -> Result<(), CheckpointError> {
+    // Validate first so failure leaves the target untouched.
+    for (name, src) in checkpoint.iter() {
+        let dst = target
+            .get(name)
+            .ok_or_else(|| CheckpointError::Corrupt(format!("parameter {name} not in target")))?;
+        if dst.shape() != src.shape() {
+            return Err(CheckpointError::Corrupt(format!(
+                "shape mismatch for {name}: {} vs {}",
+                dst.shape(),
+                src.shape()
+            )));
+        }
+    }
+    for (name, src) in checkpoint.iter() {
+        let dst = target.get(name).expect("validated");
+        dst.storage().write().copy_from_slice(&src.storage().read());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ParamStore {
+        let mut ps = ParamStore::new();
+        ps.insert(
+            "a.weight",
+            Tensor::var_from_vec(vec![1.0, -2.0, 3.5, 0.0], [2, 2]),
+        );
+        ps.insert("b.bias", Tensor::from_vec(vec![0.25; 3], [3]));
+        ps.insert("scalar", Tensor::var_from_vec(vec![7.0], Shape::scalar()));
+        ps
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let ps = sample();
+        let restored = load_checkpoint(&save_checkpoint(&ps)).unwrap();
+        assert_eq!(restored.len(), ps.len());
+        for (name, t) in ps.iter() {
+            let r = restored.get(name).unwrap();
+            assert_eq!(r.dims(), t.dims(), "{name}");
+            assert_eq!(r.to_vec(), t.to_vec(), "{name}");
+            assert_eq!(r.requires_grad(), t.requires_grad(), "{name}");
+        }
+    }
+
+    #[test]
+    fn truncation_detected_at_every_cut() {
+        let bytes = save_checkpoint(&sample());
+        for cut in [0, 3, 8, 16, bytes.len() - 1] {
+            let err = load_checkpoint(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    CheckpointError::Truncated | CheckpointError::BadMagic(_)
+                ),
+                "cut={cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_magic_and_version() {
+        let mut bytes = save_checkpoint(&sample());
+        bytes[0] ^= 0xFF;
+        assert!(matches!(
+            load_checkpoint(&bytes),
+            Err(CheckpointError::BadMagic(_))
+        ));
+        let mut bytes = save_checkpoint(&sample());
+        bytes[4] = 99;
+        assert!(matches!(
+            load_checkpoint(&bytes),
+            Err(CheckpointError::BadVersion(99))
+        ));
+    }
+
+    #[test]
+    fn restore_into_updates_aliased_structures() {
+        let ps = sample();
+        // A "model" holding an alias of a.weight.
+        let alias = Tensor::from_shared_storage(
+            ps.get("a.weight").unwrap().storage().clone(),
+            [2, 2],
+            false,
+        );
+        // Train, checkpoint, perturb, restore.
+        let checkpoint_bytes = save_checkpoint(&ps);
+        ps.get("a.weight").unwrap().storage().write()[0] = 999.0;
+        assert_eq!(alias.to_vec()[0], 999.0);
+        let checkpoint = load_checkpoint(&checkpoint_bytes).unwrap();
+        restore_into(&ps, &checkpoint).unwrap();
+        assert_eq!(alias.to_vec()[0], 1.0, "alias sees restored weights");
+    }
+
+    #[test]
+    fn restore_into_validates_before_writing() {
+        let ps = sample();
+        let mut bad = ParamStore::new();
+        bad.insert("a.weight", Tensor::zeros([3, 3])); // wrong shape
+        let before = ps.get("a.weight").unwrap().to_vec();
+        assert!(restore_into(&ps, &bad).is_err());
+        assert_eq!(ps.get("a.weight").unwrap().to_vec(), before);
+
+        let mut missing = ParamStore::new();
+        missing.insert("nope", Tensor::zeros([1]));
+        assert!(restore_into(&ps, &missing).is_err());
+    }
+
+    #[test]
+    fn empty_store_round_trips() {
+        let restored = load_checkpoint(&save_checkpoint(&ParamStore::new())).unwrap();
+        assert!(restored.is_empty());
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(CheckpointError::Truncated.to_string().contains("truncated"));
+        assert!(CheckpointError::BadVersion(2).to_string().contains('2'));
+    }
+}

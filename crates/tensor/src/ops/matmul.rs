@@ -1,0 +1,291 @@
+//! Matrix multiplication: 2-D and batched, with a 2-D right-hand-side
+//! fast path for linear layers.
+
+use crate::op::Op;
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+
+/// `C[m,n] += A[m,k] @ B[k,n]` into `out` (row-major, pre-zeroed by the
+/// caller). The i-k-j loop keeps the inner loop contiguous over `B` and
+/// `out`.
+pub(crate) fn matmul_2d_accum(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let out_row = &mut out[i * n..(i + 1) * n];
+        for (kk, &aik) in a_row.iter().enumerate() {
+            if aik == 0.0 {
+                continue;
+            }
+            let b_row = &b[kk * n..(kk + 1) * n];
+            for (o, &bkn) in out_row.iter_mut().zip(b_row.iter()) {
+                *o += aik * bkn;
+            }
+        }
+    }
+}
+
+/// `A^T[k,m] @ B[m? ...]` helper: computes `C[k,n] += A[m,k]^T @ B[m,n]`.
+pub(crate) fn matmul_at_b_accum(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let b_row = &b[i * n..(i + 1) * n];
+        for (kk, &aik) in a_row.iter().enumerate() {
+            if aik == 0.0 {
+                continue;
+            }
+            let out_row = &mut out[kk * n..(kk + 1) * n];
+            for (o, &bin) in out_row.iter_mut().zip(b_row.iter()) {
+                *o += aik * bin;
+            }
+        }
+    }
+}
+
+/// `C[m,k] += A[m,n] @ B[k,n]^T`.
+pub(crate) fn matmul_a_bt_accum(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    n: usize,
+    k: usize,
+) {
+    for i in 0..m {
+        let a_row = &a[i * n..(i + 1) * n];
+        let out_row = &mut out[i * k..(i + 1) * k];
+        for (kk, o) in out_row.iter_mut().enumerate() {
+            let b_row = &b[kk * n..(kk + 1) * n];
+            let mut acc = 0.0;
+            for (x, y) in a_row.iter().zip(b_row.iter()) {
+                acc += x * y;
+            }
+            *o += acc;
+        }
+    }
+}
+
+/// Describes how a matmul's operands line up.
+pub(crate) struct MatmulDims {
+    /// Number of batch matrices on the left (product of leading dims).
+    pub batch: usize,
+    pub m: usize,
+    pub k: usize,
+    pub n: usize,
+    /// Whether the right operand is a single 2-D matrix shared across
+    /// the batch (the linear-layer case).
+    pub rhs_2d: bool,
+}
+
+pub(crate) fn matmul_dims(a: &Shape, b: &Shape) -> MatmulDims {
+    assert!(a.rank() >= 2, "matmul lhs must be at least 2-D, got {a}");
+    assert!(b.rank() >= 2, "matmul rhs must be at least 2-D, got {b}");
+    let m = a.dim(a.rank() - 2);
+    let k = a.dim(a.rank() - 1);
+    let kb = b.dim(b.rank() - 2);
+    let n = b.dim(b.rank() - 1);
+    assert_eq!(
+        k, kb,
+        "matmul inner dimensions disagree: {a} @ {b} (k={k} vs {kb})"
+    );
+    let batch_a: usize = a.dims()[..a.rank() - 2].iter().product();
+    if b.rank() == 2 {
+        return MatmulDims {
+            batch: batch_a,
+            m,
+            k,
+            n,
+            rhs_2d: true,
+        };
+    }
+    let batch_b: usize = b.dims()[..b.rank() - 2].iter().product();
+    assert_eq!(
+        a.dims()[..a.rank() - 2],
+        b.dims()[..b.rank() - 2],
+        "matmul batch dimensions disagree: {a} @ {b}"
+    );
+    debug_assert_eq!(batch_a, batch_b);
+    MatmulDims {
+        batch: batch_a,
+        m,
+        k,
+        n,
+        rhs_2d: false,
+    }
+}
+
+pub(crate) fn matmul_forward(a: &Tensor, b: &Tensor) -> (Vec<f32>, Shape) {
+    let d = matmul_dims(a.shape(), b.shape());
+    let da = a.storage().read();
+    let db = b.storage().read();
+    let mut out = vec![0.0f32; d.batch * d.m * d.n];
+    for bi in 0..d.batch {
+        let a_off = bi * d.m * d.k;
+        let b_off = if d.rhs_2d { 0 } else { bi * d.k * d.n };
+        let o_off = bi * d.m * d.n;
+        matmul_2d_accum(
+            &da[a_off..a_off + d.m * d.k],
+            &db[b_off..b_off + d.k * d.n],
+            &mut out[o_off..o_off + d.m * d.n],
+            d.m,
+            d.k,
+            d.n,
+        );
+    }
+    let mut dims = a.dims()[..a.rank() - 2].to_vec();
+    dims.push(d.m);
+    dims.push(d.n);
+    (out, Shape::new(dims))
+}
+
+impl Tensor {
+    /// Matrix multiplication.
+    ///
+    /// Supported operand layouts:
+    ///
+    /// * `[.., m, k] @ [.., k, n]` with identical leading (batch) dims;
+    /// * `[.., m, k] @ [k, n]` — a shared 2-D right operand, the linear
+    ///   layer case.
+    ///
+    /// # Panics
+    ///
+    /// Panics if inner or batch dimensions disagree or an operand has
+    /// rank < 2.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use menos_tensor::Tensor;
+    ///
+    /// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [2, 2]);
+    /// let id = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], [2, 2]);
+    /// assert_eq!(a.matmul(&id).to_vec(), a.to_vec());
+    /// ```
+    pub fn matmul(&self, rhs: &Tensor) -> Tensor {
+        let (data, shape) = matmul_forward(self, rhs);
+        Tensor::from_op(data, shape, Op::Matmul(self.clone(), rhs.clone()))
+    }
+}
+
+/// Backward kernels returning `(grad_a, grad_b)` as flat data.
+pub(crate) fn matmul_backward(a: &Tensor, b: &Tensor, grad_out: &[f32]) -> (Vec<f32>, Vec<f32>) {
+    let d = matmul_dims(a.shape(), b.shape());
+    let da = a.storage().read();
+    let db = b.storage().read();
+    let mut ga = vec![0.0f32; da.len()];
+    let mut gb = vec![0.0f32; db.len()];
+    for bi in 0..d.batch {
+        let a_off = bi * d.m * d.k;
+        let b_off = if d.rhs_2d { 0 } else { bi * d.k * d.n };
+        let o_off = bi * d.m * d.n;
+        let go = &grad_out[o_off..o_off + d.m * d.n];
+        // dA = dC @ B^T  : [m,n] @ [k,n]^T -> [m,k]
+        matmul_a_bt_accum(
+            go,
+            &db[b_off..b_off + d.k * d.n],
+            &mut ga[a_off..a_off + d.m * d.k],
+            d.m,
+            d.n,
+            d.k,
+        );
+        // dB = A^T @ dC : [m,k]^T @ [m,n] -> [k,n]; accumulates across
+        // the batch when B is shared 2-D.
+        matmul_at_b_accum(
+            &da[a_off..a_off + d.m * d.k],
+            go,
+            &mut gb[b_off..b_off + d.k * d.n],
+            d.m,
+            d.k,
+            d.n,
+        );
+    }
+    (ga, gb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_2d() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], [2, 3]);
+        let b = Tensor::from_vec(vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0], [3, 2]);
+        let c = a.matmul(&b);
+        assert_eq!(c.dims(), &[2, 2]);
+        assert_eq!(c.to_vec(), vec![58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_batched() {
+        // Two independent 2x2 matmuls.
+        let a = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, 2.0, 0.0, 0.0, 2.0], [2, 2, 2]);
+        let b = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0], [2, 2, 2]);
+        let c = a.matmul(&b);
+        assert_eq!(c.dims(), &[2, 2, 2]);
+        assert_eq!(c.to_vec(), vec![1.0, 2.0, 3.0, 4.0, 10.0, 12.0, 14.0, 16.0]);
+    }
+
+    #[test]
+    fn matmul_batched_with_2d_rhs() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [2, 1, 2]);
+        let w = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], [2, 2]);
+        let y = x.matmul(&w);
+        assert_eq!(y.dims(), &[2, 1, 2]);
+        assert_eq!(y.to_vec(), vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions disagree")]
+    fn mismatched_inner_dims_panic() {
+        let a = Tensor::zeros([2, 3]);
+        let b = Tensor::zeros([4, 2]);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch dimensions disagree")]
+    fn mismatched_batch_dims_panic() {
+        let a = Tensor::zeros([2, 2, 2]);
+        let b = Tensor::zeros([3, 2, 2]);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2-D")]
+    fn rank1_lhs_panics() {
+        let a = Tensor::zeros([2]);
+        let b = Tensor::zeros([2, 2]);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn backward_shapes_and_values_2d() {
+        let a = Tensor::var_from_vec(vec![1.0, 2.0, 3.0, 4.0], [2, 2]);
+        let b = Tensor::var_from_vec(vec![5.0, 6.0, 7.0, 8.0], [2, 2]);
+        let grad_out = vec![1.0, 1.0, 1.0, 1.0];
+        let (ga, gb) = matmul_backward(&a, &b, &grad_out);
+        // dA = dC @ B^T with dC = ones: row sums of B columns.
+        assert_eq!(ga, vec![11.0, 15.0, 11.0, 15.0]);
+        // dB = A^T @ dC: column sums of A rows.
+        assert_eq!(gb, vec![4.0, 4.0, 6.0, 6.0]);
+    }
+
+    #[test]
+    fn backward_accumulates_over_batch_for_2d_rhs() {
+        let a = Tensor::var_from_vec(vec![1.0, 2.0, 3.0, 4.0], [2, 1, 2]);
+        let w = Tensor::var_from_vec(vec![1.0, 0.0, 0.0, 1.0], [2, 2]);
+        let grad_out = vec![1.0, 1.0, 1.0, 1.0];
+        let (_, gw) = matmul_backward(&a, &w, &grad_out);
+        // Both batch elements contribute to the shared weight grad.
+        assert_eq!(gw, vec![4.0, 4.0, 6.0, 6.0]);
+    }
+}

@@ -1,0 +1,8 @@
+//! Tensor operations, grouped by family.
+
+pub(crate) mod binary;
+pub(crate) mod matmul;
+pub(crate) mod nn;
+pub(crate) mod reduce;
+pub(crate) mod shape_ops;
+pub(crate) mod unary;

@@ -1,0 +1,235 @@
+//! Element-wise unary operations and their derivatives.
+
+use crate::op::Op;
+use crate::tensor::Tensor;
+
+/// The constant `sqrt(2/pi)` used by the tanh GELU approximation.
+pub(crate) const GELU_C: f32 = 0.797_884_56;
+
+pub(crate) fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// GELU (tanh approximation), matching the variant used by GPT/OPT.
+pub(crate) fn gelu(x: f32) -> f32 {
+    0.5 * x * (1.0 + (GELU_C * (x + 0.044_715 * x * x * x)).tanh())
+}
+
+/// Derivative of [`gelu`].
+pub(crate) fn gelu_prime(x: f32) -> f32 {
+    let inner = GELU_C * (x + 0.044_715 * x * x * x);
+    let t = inner.tanh();
+    let dinner = GELU_C * (1.0 + 3.0 * 0.044_715 * x * x);
+    0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * dinner
+}
+
+/// SiLU / swish: `x * sigmoid(x)` — the activation in Llama's SwiGLU.
+pub(crate) fn silu(x: f32) -> f32 {
+    x * sigmoid(x)
+}
+
+/// Derivative of [`silu`].
+pub(crate) fn silu_prime(x: f32) -> f32 {
+    let s = sigmoid(x);
+    s * (1.0 + x * (1.0 - s))
+}
+
+impl Tensor {
+    /// Inverted dropout: zeroes each element with probability `p` and
+    /// scales survivors by `1/(1-p)`, so the expectation is unchanged.
+    /// The same mask applies in the backward pass. With `p = 0` this is
+    /// the identity.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= p < 1`.
+    pub fn dropout<R: rand::Rng>(&self, p: f32, rng: &mut R) -> Tensor {
+        assert!(
+            (0.0..1.0).contains(&p),
+            "dropout probability {p} outside [0, 1)"
+        );
+        if p == 0.0 {
+            // Identity without graph noise: still record a node so the
+            // call site is uniform in train loops.
+            return self.mul_scalar(1.0);
+        }
+        let scale = 1.0 / (1.0 - p);
+        let mask_data: Vec<f32> = (0..self.elem_count())
+            .map(|_| if rng.gen::<f32>() < p { 0.0 } else { scale })
+            .collect();
+        let mask = Tensor::from_vec(mask_data, self.shape().clone());
+        let data = self
+            .storage()
+            .read()
+            .iter()
+            .zip(mask.storage().read().iter())
+            .map(|(x, m)| x * m)
+            .collect();
+        Tensor::from_op(
+            data,
+            self.shape().clone(),
+            Op::Dropout {
+                x: self.clone(),
+                mask,
+            },
+        )
+    }
+}
+
+macro_rules! unary_method {
+    ($name:ident, $opvar:ident, $f:expr, $doc:expr) => {
+        #[doc = $doc]
+        pub fn $name(&self) -> Tensor {
+            let data = self.storage().read().iter().map(|&x| $f(x)).collect();
+            Tensor::from_op(data, self.shape().clone(), Op::$opvar(self.clone()))
+        }
+    };
+}
+
+impl Tensor {
+    unary_method!(exp, Exp, |x: f32| x.exp(), "Element-wise `e^x`.");
+    unary_method!(ln, Ln, |x: f32| x.ln(), "Element-wise natural log.");
+    unary_method!(
+        tanh,
+        Tanh,
+        |x: f32| x.tanh(),
+        "Element-wise hyperbolic tangent."
+    );
+    unary_method!(sqrt, Sqrt, |x: f32| x.sqrt(), "Element-wise square root.");
+    unary_method!(sigmoid, Sigmoid, sigmoid, "Element-wise logistic sigmoid.");
+    unary_method!(relu, Relu, |x: f32| x.max(0.0), "Element-wise ReLU.");
+    unary_method!(
+        gelu,
+        Gelu,
+        gelu,
+        "Element-wise GELU (tanh approximation), as used by OPT-style models."
+    );
+    unary_method!(
+        silu,
+        Silu,
+        silu,
+        "Element-wise SiLU (`x * sigmoid(x)`), as used by Llama-style SwiGLU MLPs."
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f32, b: f32, tol: f32) {
+        assert!((a - b).abs() < tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn exp_ln_inverse() {
+        let x = Tensor::from_vec(vec![0.5, 1.0, 2.0], [3]);
+        let y = x.exp().ln();
+        assert!(x.max_abs_diff(&y) < 1e-5);
+    }
+
+    #[test]
+    fn tanh_range() {
+        let x = Tensor::from_vec(vec![-10.0, 0.0, 10.0], [3]);
+        let y = x.tanh().to_vec();
+        assert_close(y[0], -1.0, 1e-4);
+        assert_close(y[1], 0.0, 1e-7);
+        assert_close(y[2], 1.0, 1e-4);
+    }
+
+    #[test]
+    fn relu_clamps() {
+        let x = Tensor::from_vec(vec![-1.0, 0.0, 2.0], [3]);
+        assert_eq!(x.relu().to_vec(), vec![0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn sigmoid_symmetry() {
+        assert_close(sigmoid(0.0), 0.5, 1e-7);
+        assert_close(sigmoid(3.0) + sigmoid(-3.0), 1.0, 1e-6);
+    }
+
+    #[test]
+    fn gelu_reference_values() {
+        // Reference values from the tanh-approximation formula.
+        assert_close(gelu(0.0), 0.0, 1e-7);
+        assert_close(gelu(1.0), 0.841_192, 1e-4);
+        assert_close(gelu(-1.0), -0.158_808, 1e-4);
+        // GELU is asymptotically identity for large x.
+        assert_close(gelu(10.0), 10.0, 1e-3);
+    }
+
+    #[test]
+    fn silu_reference_values() {
+        assert_close(silu(0.0), 0.0, 1e-7);
+        assert_close(silu(1.0), 0.731_058, 1e-4);
+        assert_close(silu(-20.0), 0.0, 1e-4);
+    }
+
+    #[test]
+    fn numeric_derivatives_match_closed_forms() {
+        let eps = 1e-3f32;
+        for &x in &[-2.0f32, -0.7, 0.0, 0.3, 1.9] {
+            let num = (gelu(x + eps) - gelu(x - eps)) / (2.0 * eps);
+            assert_close(gelu_prime(x), num, 1e-3);
+            let num = (silu(x + eps) - silu(x - eps)) / (2.0 * eps);
+            assert_close(silu_prime(x), num, 1e-3);
+        }
+    }
+
+    #[test]
+    fn dropout_statistics_and_backward() {
+        use menos_sim_shim::seeded_rng;
+        let mut rng = seeded_rng(5);
+        let x = Tensor::var_from_vec(vec![1.0; 1000], [1000]);
+        let y = x.dropout(0.3, &mut rng);
+        let v = y.to_vec();
+        let zeros = v.iter().filter(|&&e| e == 0.0).count();
+        // ~30% dropped.
+        assert!((200..400).contains(&zeros), "{zeros} zeros");
+        // Survivors scaled to preserve expectation.
+        let mean: f32 = v.iter().sum::<f32>() / v.len() as f32;
+        assert!((mean - 1.0).abs() < 0.15, "mean {mean}");
+        // Backward reuses the same mask: zero grads exactly where
+        // activations were dropped.
+        let grads = y.sum_all().backward();
+        let g = grads.get(&x).unwrap().to_vec();
+        for (gi, vi) in g.iter().zip(v.iter()) {
+            if *vi == 0.0 {
+                assert_eq!(*gi, 0.0);
+            } else {
+                assert!((*gi - 1.0 / 0.7).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn dropout_zero_is_identity() {
+        use menos_sim_shim::seeded_rng;
+        let mut rng = seeded_rng(5);
+        let x = Tensor::from_vec(vec![1.0, 2.0], [2]);
+        assert_eq!(x.dropout(0.0, &mut rng).to_vec(), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dropout probability")]
+    fn dropout_rejects_bad_p() {
+        use menos_sim_shim::seeded_rng;
+        let mut rng = seeded_rng(5);
+        Tensor::zeros([2]).dropout(1.0, &mut rng);
+    }
+
+    /// Local rng helper (menos-tensor cannot depend on menos-sim).
+    mod menos_sim_shim {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        pub fn seeded_rng(seed: u64) -> StdRng {
+            StdRng::seed_from_u64(seed)
+        }
+    }
+
+    #[test]
+    fn sqrt_works() {
+        let x = Tensor::from_vec(vec![4.0, 9.0], [2]);
+        assert_eq!(x.sqrt().to_vec(), vec![2.0, 3.0]);
+    }
+}

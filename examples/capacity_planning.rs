@@ -1,0 +1,51 @@
+//! Capacity planning: a provider wants to know how many concurrent
+//! fine-tuning clients one server can sustain for a target round time —
+//! the operational question Menos' paper motivates (GPU cost of serving
+//! split fine-tuning).
+//!
+//! Sweeps client count and GPU count for both models, under Menos and
+//! the vanilla baseline, using the paper-scale timed simulation.
+//!
+//! ```bash
+//! cargo run --example capacity_planning --release
+//! ```
+
+use menos::core::{run_experiment, ServerMode, ServerSpec, WorkloadSpec};
+use menos::models::ModelConfig;
+
+fn main() {
+    let target_round_s = 10.0;
+    println!("capacity planning: max clients with round time <= {target_round_s:.0}s\n");
+
+    for (label, cfg) in [
+        ("OPT-1.3B", ModelConfig::opt_1_3b()),
+        ("Llama-2-7B", ModelConfig::llama2_7b()),
+    ] {
+        println!("== {label} ==");
+        for gpus in [1usize, 2, 4] {
+            let mut menos_cap = 0;
+            let mut vanilla_cap = 0;
+            for n in 1..=24usize {
+                let w = WorkloadSpec::paper(cfg.clone(), n, 6);
+                let mut server = ServerSpec::v100(ServerMode::menos());
+                server.gpus = gpus;
+                let r = run_experiment(&server, &w, 7);
+                if r.error.is_none() && r.avg_round_s <= target_round_s {
+                    menos_cap = n;
+                }
+                let mut server = ServerSpec::v100(ServerMode::VanillaSwapping);
+                server.gpus = gpus;
+                let r = run_experiment(&server, &w, 7);
+                if r.error.is_none() && r.avg_round_s <= target_round_s {
+                    vanilla_cap = n;
+                }
+            }
+            println!(
+                "  {gpus} GPU(s): Menos sustains {menos_cap:>2} clients, vanilla {vanilla_cap:>2}"
+            );
+        }
+        println!();
+    }
+    println!("Menos' shared base + on-demand scheduling multiplies how many");
+    println!("clients a fixed GPU budget serves — the paper's economic claim.");
+}

@@ -1,0 +1,157 @@
+//! Multi-tenant serving: three clients with *different* fine-tuning
+//! methods (LoRA r=8, LoRA r=16, prefix tuning) and different cut
+//! layers share one base model on the server — the scenario Fig. 2 of
+//! the paper illustrates.
+//!
+//! ```bash
+//! cargo run --example multi_tenant_server --release
+//! ```
+
+use menos::adapters::{AdapterKind, FineTuneConfig, OptimKind};
+use menos::core::{profile_client, SharedBaseRegistry};
+use menos::data::{shakespeare_corpus, wiki_corpus, TokenDataset, Vocab};
+use menos::models::{AdapterTarget, CausalLm, LoraSpec, ModelConfig, ModelProfile};
+use menos::split::{run_split_steps, ClientId, ForwardMode, ServerSession, SplitClient, SplitSpec};
+use menos::tensor::Tensor;
+
+struct Tenant {
+    name: &'static str,
+    ft: FineTuneConfig,
+    split: SplitSpec,
+    corpus: String,
+}
+
+fn main() {
+    let sample = wiki_corpus(9, 30_000) + &shakespeare_corpus(30_000);
+    let vocab = Vocab::from_text(&sample);
+    let config = ModelConfig::tiny_opt(vocab.size());
+    let mut registry = SharedBaseRegistry::initialize(config.clone(), 9);
+
+    let base_ft = FineTuneConfig {
+        adapter: AdapterKind::Lora {
+            spec: LoraSpec {
+                rank: 8,
+                alpha: 16.0,
+                targets_per_block: 2,
+            },
+            targets: vec![AdapterTarget::Q, AdapterTarget::V],
+        },
+        optimizer: OptimKind::Adam { lr: 3e-4 },
+        batch_size: 4,
+        seq_len: 32,
+        grad_accumulation: 1,
+    };
+
+    // Three tenants with different adapters, cuts, and private corpora.
+    let tenants = vec![
+        Tenant {
+            name: "hospital (LoRA r=8, shallow cut)",
+            ft: base_ft.clone(),
+            split: SplitSpec::new(1),
+            corpus: wiki_corpus(100, 30_000),
+        },
+        Tenant {
+            name: "law firm (LoRA r=16, deeper cut for privacy)",
+            ft: FineTuneConfig {
+                adapter: AdapterKind::Lora {
+                    spec: LoraSpec {
+                        rank: 16,
+                        alpha: 32.0,
+                        targets_per_block: 2,
+                    },
+                    targets: vec![AdapterTarget::Q, AdapterTarget::V],
+                },
+                ..base_ft.clone()
+            },
+            split: SplitSpec::new(2),
+            corpus: wiki_corpus(200, 30_000),
+        },
+        Tenant {
+            name: "theatre (prefix tuning)",
+            ft: FineTuneConfig {
+                adapter: AdapterKind::Prefix { len: 8 },
+                optimizer: OptimKind::Adam { lr: 1e-3 },
+                ..base_ft.clone()
+            },
+            split: SplitSpec::new(1),
+            corpus: shakespeare_corpus(30_000),
+        },
+    ];
+
+    println!(
+        "shared base: {} — {} bytes, loaded once\n",
+        config.name,
+        registry.base_bytes()
+    );
+
+    let mut sessions = Vec::new();
+    let mut clients = Vec::new();
+    for (i, t) in tenants.iter().enumerate() {
+        let ds = TokenDataset::new(vocab.encode(&t.corpus), t.ft.seq_len, i as u64);
+        let client = SplitClient::new(
+            ClientId(i as u64),
+            CausalLm::bind(&config, registry.base_store()),
+            t.split,
+            t.ft.clone(),
+            ds,
+            1000 + i as u64,
+        );
+        let session = ServerSession::new(
+            ClientId(i as u64),
+            registry.new_instance(),
+            t.split,
+            &t.ft,
+            1000 + i as u64,
+        );
+        assert!(registry.verify_aliasing(session.model()));
+        clients.push(client);
+        sessions.push(session);
+    }
+
+    // Every pair of sessions shares the base but owns private adapters.
+    for a in 0..sessions.len() {
+        for b in (a + 1)..sessions.len() {
+            for (x, y) in sessions[a]
+                .model()
+                .base_params()
+                .iter()
+                .zip(sessions[b].model().base_params())
+            {
+                assert!(Tensor::same_storage(x, &y), "base must be shared");
+            }
+            assert!(
+                !sessions[a]
+                    .adapter_params()
+                    .shares_storage_with(sessions[b].adapter_params()),
+                "adapters must be private"
+            );
+        }
+    }
+    println!("verified: one base copy, three private adapter sets\n");
+
+    // Analytic accounting at paper scale for the same three tenants.
+    let paper_cfg = ModelConfig::llama2_7b();
+    let paper_profile = ModelProfile::new(paper_cfg.clone(), 1);
+    let d = profile_client(&paper_profile, &FineTuneConfig::paper(&paper_cfg));
+    println!(
+        "at Llama-2-7B scale this saves {:.1} GiB of duplicated weights per extra client",
+        paper_profile.server_param_bytes() as f64 / (1u64 << 30) as f64
+    );
+    println!(
+        "while each client adds only {:.0} MiB of adapter+optimizer state\n",
+        d.persistent as f64 / (1 << 20) as f64
+    );
+
+    // Interleave training: each tenant fine-tunes on its own data.
+    for (t, (client, session)) in tenants.iter().zip(clients.iter_mut().zip(&mut sessions)) {
+        let curve = run_split_steps(client, session, ForwardMode::NoGradReforward, 15);
+        println!(
+            "{:<45} loss {:.3} -> {:.3}",
+            t.name,
+            curve.points()[0].1,
+            curve.final_loss().unwrap()
+        );
+        assert!(curve.final_loss().unwrap() < curve.points()[0].1 + 0.05);
+    }
+    println!("\nmulti-tenant serving OK — three adapter methods over one frozen base");
+}

@@ -1,0 +1,154 @@
+//! The `menos` command-line tool: run a split fine-tuning server or
+//! client over TCP.
+//!
+//! ```bash
+//! # Terminal 1 — the model owner's server (serves up to 2 clients):
+//! cargo run --release --bin menos -- server --port 7700 --clients 2
+//!
+//! # Terminals 2..n — data owners' clients:
+//! cargo run --release --bin menos -- client --addr 127.0.0.1:7700 --steps 20 --seed 1
+//! ```
+//!
+//! Both sides derive the same tiny Llama-style base model from
+//! `--model-seed`, standing in for "the provider distributes the client
+//! sections of the pretrained model" (the server never sees client
+//! data; the client never runs the server blocks).
+
+use std::sync::{Arc, Mutex};
+
+use menos::adapters::FineTuneConfig;
+use menos::data::{wiki_corpus, TokenDataset, Vocab};
+use menos::models::{CausalLm, ModelConfig};
+use menos::sim::seeded_rng;
+use menos::split::{
+    registry_session_factory, run_tcp_client, ClientId, ForwardMode, SplitClient, SplitSpec,
+    TcpSplitServer,
+};
+
+const USAGE: &str = "\
+usage:
+  menos server [--port P] [--clients N] [--model-seed S] [--cached]
+  menos client --addr HOST:PORT [--steps N] [--seed S] [--model-seed S]
+
+options:
+  --port P        listen port (default 7700)
+  --clients N     serve N connections then exit (default 1)
+  --model-seed S  base-model derivation seed shared by both sides (default 21)
+  --cached        serve with the vanilla cached-forward path instead of
+                  Menos' no-grad + re-forward policy
+  --addr A        server address to connect to
+  --steps N       fine-tuning iterations to run (default 10)
+  --seed S        client data/adapter seed (default 0)";
+
+fn parse_flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn shared_model(model_seed: u64) -> (Vocab, ModelConfig) {
+    let text = wiki_corpus(model_seed, 20_000);
+    let vocab = Vocab::from_text(&text);
+    let config = ModelConfig::tiny_llama(vocab.size());
+    (vocab, config)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("server") => run_server(&args),
+        Some("client") => run_client(&args),
+        _ => {
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn run_server(args: &[String]) {
+    let port: u16 = parse_flag(args, "--port")
+        .map(|v| v.parse().expect("--port must be a number"))
+        .unwrap_or(7700);
+    let clients: usize = parse_flag(args, "--clients")
+        .map(|v| v.parse().expect("--clients must be a number"))
+        .unwrap_or(1);
+    let model_seed: u64 = parse_flag(args, "--model-seed")
+        .map(|v| v.parse().expect("--model-seed must be a number"))
+        .unwrap_or(21);
+    let mode = if args.iter().any(|a| a == "--cached") {
+        ForwardMode::Cached
+    } else {
+        ForwardMode::NoGradReforward
+    };
+
+    let (_, config) = shared_model(model_seed);
+    let mut rng = seeded_rng(model_seed, "base-model");
+    let base = Arc::new(Mutex::new(menos::models::init_params(&config, &mut rng)));
+    println!(
+        "loaded base model {} ({} params) — ONE shared copy for all clients",
+        config.name,
+        config.total_params()
+    );
+    let factory = registry_session_factory(config, base, model_seed);
+    let server =
+        TcpSplitServer::spawn(("0.0.0.0", port), factory, mode, clients).expect("bind server port");
+    println!(
+        "menos server on {} serving {clients} client(s), policy: {}",
+        server.addr(),
+        match mode {
+            ForwardMode::Cached => "cached forward (vanilla)",
+            ForwardMode::NoGradReforward => "no-grad + re-forward (Menos)",
+        }
+    );
+    server.join();
+    println!("all clients served; bye");
+}
+
+fn run_client(args: &[String]) {
+    let addr = parse_flag(args, "--addr").unwrap_or_else(|| {
+        eprintln!("client needs --addr HOST:PORT\n{USAGE}");
+        std::process::exit(2);
+    });
+    let steps: usize = parse_flag(args, "--steps")
+        .map(|v| v.parse().expect("--steps must be a number"))
+        .unwrap_or(10);
+    let seed: u64 = parse_flag(args, "--seed")
+        .map(|v| v.parse().expect("--seed must be a number"))
+        .unwrap_or(0);
+    let model_seed: u64 = parse_flag(args, "--model-seed")
+        .map(|v| v.parse().expect("--model-seed must be a number"))
+        .unwrap_or(21);
+
+    let (vocab, config) = shared_model(model_seed);
+    // The client's PRIVATE corpus — never leaves this process; only
+    // activations and gradients cross the socket.
+    let private_text = wiki_corpus(1000 + seed, 20_000);
+    let mut ft = FineTuneConfig::paper(&config);
+    ft.batch_size = 4;
+    ft.seq_len = 32;
+    let ds = TokenDataset::new(vocab.encode(&private_text), ft.seq_len, seed);
+    let mut rng = seeded_rng(model_seed, "base-model");
+    let base = menos::models::init_params(&config, &mut rng);
+    let mut client = SplitClient::new(
+        ClientId(seed),
+        CausalLm::bind(&config, &base),
+        SplitSpec::paper(),
+        ft,
+        ds,
+        seed,
+    );
+
+    println!("connecting to {addr} for {steps} split fine-tuning steps...");
+    let curve = run_tcp_client(addr.as_str(), &mut client, steps).unwrap_or_else(|e| {
+        eprintln!("training failed: {e}");
+        std::process::exit(1);
+    });
+    for (step, loss) in curve.points().iter().step_by((steps / 5).max(1)) {
+        println!("  step {step:>3}: loss {loss:.4}");
+    }
+    println!(
+        "done: loss {:.4} -> {:.4}",
+        curve.points()[0].1,
+        curve.final_loss().unwrap()
+    );
+}

@@ -1,0 +1,19 @@
+//! # menos — reproduction of *Menos: Split Fine-Tuning Large Language
+//! Models with Efficient GPU Memory Sharing* (MIDDLEWARE '24)
+//!
+//! This façade crate re-exports the workspace members so examples and
+//! integration tests can address the whole system through one
+//! dependency. See `DESIGN.md` for the system inventory and
+//! `EXPERIMENTS.md` for the paper-vs-measured results.
+
+#![forbid(unsafe_code)]
+
+pub use menos_adapters as adapters;
+pub use menos_core as core;
+pub use menos_data as data;
+pub use menos_gpu as gpu;
+pub use menos_models as models;
+pub use menos_net as net;
+pub use menos_sim as sim;
+pub use menos_split as split;
+pub use menos_tensor as tensor;

@@ -1,0 +1,248 @@
+//! Property-based tests for the memory substrates: the simulated GPU
+//! allocator, the scheduler, and the swap manager must uphold their
+//! invariants under arbitrary operation sequences.
+
+use proptest::prelude::*;
+
+use menos::core::{OpKind, Request, Scheduler};
+use menos::gpu::{AllocKind, CostModel, GpuCluster, GpuDevice, SwapManager};
+use menos::split::ClientId;
+
+// ----------------------------------------------------------------------
+// GPU device/cluster allocator
+// ----------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum AllocOp {
+    Alloc(u64),
+    FreeNth(usize),
+}
+
+fn alloc_ops() -> impl Strategy<Value = Vec<AllocOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (1u64..=(4 << 20)).prop_map(AllocOp::Alloc),
+            (0usize..32).prop_map(AllocOp::FreeNth),
+        ],
+        1..80,
+    )
+}
+
+proptest! {
+    #[test]
+    fn device_never_overcommits_and_frees_restore_capacity(ops in alloc_ops()) {
+        let capacity = 16u64 << 20;
+        let mut gpu = GpuDevice::new(0, capacity);
+        let mut live = Vec::new();
+        for op in ops {
+            match op {
+                AllocOp::Alloc(bytes) => {
+                    match gpu.alloc(bytes, AllocKind::Activation, "prop") {
+                        Ok(id) => live.push((id, bytes)),
+                        Err(e) => {
+                            // OOM must be truthful: no contiguous hole
+                            // fits (external fragmentation can reject a
+                            // request below total free bytes).
+                            prop_assert!(bytes > gpu.largest_free());
+                            prop_assert_eq!(e.available, gpu.available());
+                        }
+                    }
+                }
+                AllocOp::FreeNth(n) => {
+                    if !live.is_empty() {
+                        let (id, bytes) = live.swap_remove(n % live.len());
+                        prop_assert_eq!(gpu.free(id), bytes);
+                    }
+                }
+            }
+            // Accounting invariants hold after every step.
+            let live_total: u64 = live.iter().map(|&(_, b)| b).sum();
+            prop_assert_eq!(gpu.used(), live_total);
+            prop_assert_eq!(gpu.available(), capacity - live_total);
+            prop_assert!(gpu.peak() >= gpu.used());
+            prop_assert_eq!(gpu.live_allocations(), live.len());
+            prop_assert!(gpu.largest_free() <= gpu.available());
+            prop_assert!((0.0..=1.0).contains(&gpu.fragmentation()));
+        }
+        // Draining everything restores full capacity as ONE region —
+        // coalescing leaves no fragmentation behind.
+        for (id, _) in live {
+            gpu.free(id);
+        }
+        prop_assert_eq!(gpu.used(), 0);
+        prop_assert_eq!(gpu.available(), capacity);
+        prop_assert_eq!(gpu.largest_free(), capacity);
+        prop_assert_eq!(gpu.fragmentation(), 0.0);
+    }
+
+    #[test]
+    fn cluster_spanning_conserves_bytes(
+        sizes in prop::collection::vec(1u64..=(12 << 20), 1..12)
+    ) {
+        let mut cluster = GpuCluster::new(4, 8 << 20);
+        let mut allocs = Vec::new();
+        for (i, &bytes) in sizes.iter().enumerate() {
+            match cluster.alloc_spanning(bytes, AllocKind::Model, format!("t{i}")) {
+                Ok(a) => {
+                    prop_assert_eq!(a.bytes(), bytes);
+                    allocs.push(a);
+                }
+                Err(_) => prop_assert!(bytes > cluster.available()),
+            }
+        }
+        let total: u64 = allocs.iter().map(|a| a.bytes()).sum();
+        prop_assert_eq!(cluster.used(), total);
+        for a in allocs {
+            cluster.free(a);
+        }
+        prop_assert_eq!(cluster.used(), 0);
+    }
+}
+
+// ----------------------------------------------------------------------
+// Scheduler (Algorithm 2)
+// ----------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum SchedOp {
+    Arrive {
+        client: u64,
+        backward: bool,
+        demand: u64,
+    },
+    Complete {
+        nth: usize,
+    },
+}
+
+fn sched_ops() -> impl Strategy<Value = Vec<SchedOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u64..12, any::<bool>(), 0u64..(12 << 20)).prop_map(|(client, backward, demand)| {
+                SchedOp::Arrive {
+                    client,
+                    backward,
+                    demand,
+                }
+            }),
+            (0usize..12).prop_map(|nth| SchedOp::Complete { nth }),
+        ],
+        1..100,
+    )
+}
+
+proptest! {
+    #[test]
+    fn scheduler_never_overgrants_and_conserves_work(ops in sched_ops(), backfilling in any::<bool>()) {
+        let pool = 16u64 << 20;
+        let mut s = Scheduler::new(pool, backfilling);
+        let mut running: Vec<(ClientId, u64)> = Vec::new();
+        let mut outstanding: std::collections::HashSet<u64> = std::collections::HashSet::new();
+        let mut submitted = 0usize;
+        let mut finished = 0usize;
+        let mut granted_count = 0usize;
+        for op in ops {
+            match op {
+                SchedOp::Arrive { client, backward, demand } => {
+                    // One outstanding op per client (waiting OR running),
+                    // as in the protocol.
+                    if !outstanding.insert(client) {
+                        continue;
+                    }
+                    submitted += 1;
+                    let decisions = s.data_arrived(Request {
+                        client: ClientId(client),
+                        kind: if backward { OpKind::Backward } else { OpKind::Forward },
+                        demand,
+                    });
+                    for d in decisions {
+                        running.push((d.request.client, d.request.demand));
+                        granted_count += 1;
+                    }
+                }
+                SchedOp::Complete { nth } => {
+                    if !running.is_empty() {
+                        let (client, _) = running.swap_remove(nth % running.len());
+                        outstanding.remove(&client.0);
+                        finished += 1;
+                        for d in s.task_completed(client) {
+                            running.push((d.request.client, d.request.demand));
+                            granted_count += 1;
+                        }
+                    }
+                }
+            }
+            // Granted memory never exceeds the pool.
+            let in_flight: u64 = running.iter().map(|&(_, d)| d).sum();
+            prop_assert!(in_flight <= pool, "over-granted: {in_flight}");
+            prop_assert_eq!(s.available(), pool - in_flight);
+            // Work conservation: everything submitted is either waiting,
+            // running, or finished.
+            prop_assert_eq!(submitted, s.waiting_len() + running.len() + finished);
+            prop_assert_eq!(granted_count, running.len() + finished);
+        }
+        // Drain: completing everything admits everything admissible.
+        let mut guard = 0;
+        while !running.is_empty() {
+            let (client, _) = running.pop().unwrap();
+            for d in s.task_completed(client) {
+                running.push((d.request.client, d.request.demand));
+            }
+            guard += 1;
+            prop_assert!(guard < 10_000, "drain did not terminate");
+        }
+        // Any still-waiting request must individually exceed the pool.
+        // (The pool is fully free now.)
+        prop_assert_eq!(s.available(), pool);
+    }
+
+    #[test]
+    fn fcfs_head_is_never_starved(demands in prop::collection::vec(1u64..=100, 2..20)) {
+        // Admit a blocking head, stream smaller requests, then complete
+        // the runner: the head must be the next decision.
+        let mut s = Scheduler::new(100, true);
+        s.data_arrived(Request { client: ClientId(1000), kind: OpKind::Backward, demand: 100 });
+        let head_demand = 60;
+        s.data_arrived(Request { client: ClientId(1001), kind: OpKind::Backward, demand: head_demand });
+        for (i, &d) in demands.iter().enumerate() {
+            s.data_arrived(Request {
+                client: ClientId(i as u64),
+                kind: OpKind::Forward,
+                demand: d.min(100),
+            });
+        }
+        let decisions = s.task_completed(ClientId(1000));
+        prop_assert!(!decisions.is_empty());
+        prop_assert_eq!(decisions[0].request.client, ClientId(1001));
+        prop_assert!(!decisions[0].backfilled);
+    }
+}
+
+// ----------------------------------------------------------------------
+// Swap manager
+// ----------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn swap_manager_keeps_resident_set_within_gpu(
+        accesses in prop::collection::vec(0usize..6, 1..60)
+    ) {
+        let gpu = 20u64 << 20;
+        let mut swap = SwapManager::new(gpu, 1 << 30);
+        let cost = CostModel::v100();
+        let task_bytes = 7u64 << 20; // at most 2 resident
+        for i in 0..6 {
+            swap.register(format!("t{i}"), task_bytes, task_bytes).unwrap();
+        }
+        for &a in &accesses {
+            let name = format!("t{a}");
+            let outcome = swap.ensure_resident(&name, &cost).unwrap();
+            prop_assert!(swap.is_resident(&name));
+            prop_assert!(swap.gpu_used() <= gpu, "resident set overflows GPU");
+            // Evictions only happen when needed.
+            for e in &outcome.evicted {
+                prop_assert!(!swap.is_resident(e));
+            }
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! Property-based tests over the timed runtime: for arbitrary (bounded)
+//! workload configurations, the simulation must terminate, respect
+//! capacity, account time consistently, and stay deterministic.
+
+use proptest::prelude::*;
+
+use menos::core::{run_experiment, MemoryPolicy, ServerMode, ServerSpec, WorkloadSpec};
+use menos::models::ModelConfig;
+use menos::sim::Nanos;
+
+fn arb_mode() -> impl Strategy<Value = ServerMode> {
+    prop_oneof![
+        Just(ServerMode::VanillaSwapping),
+        (0usize..4, any::<bool>()).prop_map(|(p, backfilling)| ServerMode::Menos {
+            policy: MemoryPolicy::ladder()[p],
+            backfilling,
+        }),
+    ]
+}
+
+fn arb_workload() -> impl Strategy<Value = WorkloadSpec> {
+    (
+        any::<bool>(),                           // model
+        1usize..6,                               // clients
+        2usize..5,                               // iterations
+        prop::collection::vec(1usize..10, 0..6), // batch overrides
+        0u64..3_000,                             // stagger ms
+    )
+        .prop_map(|(opt, clients, iterations, batches, stagger_ms)| {
+            let model = if opt {
+                ModelConfig::opt_1_3b()
+            } else {
+                ModelConfig::llama2_7b()
+            };
+            let mut w = WorkloadSpec::paper(model, clients, iterations);
+            if !batches.is_empty() {
+                w.client_batch_sizes = Some(batches);
+            }
+            w.stagger = Nanos::from_millis(stagger_ms);
+            w
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn runtime_invariants_hold_for_arbitrary_configs(
+        w in arb_workload(),
+        mode in arb_mode(),
+        gpus in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        let mut server = ServerSpec::v100(mode);
+        server.gpus = gpus;
+        let r = run_experiment(&server, &w, seed);
+        if let Some(e) = &r.error {
+            // Failure must be a capacity statement, not a crash.
+            prop_assert!(
+                e.contains("exceeds") || e.contains("cannot"),
+                "unexpected error: {e}"
+            );
+            return Ok(());
+        }
+        // Capacity respected.
+        prop_assert!(r.peak_bytes <= server.total_gpu_bytes(),
+            "peak {} over capacity", r.peak_bytes);
+        if let ServerMode::Menos { .. } = mode {
+            // Menos' persistent layout is physically resident, so the
+            // peak is at least that. (Vanilla's persistent_bytes is the
+            // LOGICAL duplicated demand and may exceed what ever fits.)
+            prop_assert!(r.peak_bytes >= r.persistent_bytes);
+        }
+        // Time accounting: components are non-negative and the round
+        // dominates the sum of the per-iteration server-side pieces a
+        // client waits through sequentially.
+        prop_assert!(r.avg_round_s.is_finite() && r.avg_round_s > 0.0);
+        for part in [r.avg_comm_s, r.avg_compute_s, r.avg_schedule_s, r.avg_client_compute_s] {
+            prop_assert!(part.is_finite() && part >= 0.0, "negative component {part}");
+        }
+        prop_assert!(
+            r.avg_round_s + 1e-6 >= r.avg_comm_s,
+            "round {} below comm {}", r.avg_round_s, r.avg_comm_s
+        );
+        // Determinism.
+        let again = run_experiment(&server, &w, seed);
+        prop_assert_eq!(r.avg_round_s.to_bits(), again.avg_round_s.to_bits());
+        prop_assert_eq!(r.peak_bytes, again.peak_bytes);
+    }
+
+    #[test]
+    fn policy_ladder_monotonicity(seed in 0u64..50, clients in 1usize..4) {
+        // Walking the Fig. 3 ladder a -> d, peak memory never increases
+        // (when the config is feasible at all).
+        let w = WorkloadSpec::paper(ModelConfig::llama2_7b(), clients, 3);
+        let mut last_peak = u64::MAX;
+        for policy in MemoryPolicy::ladder() {
+            let server = ServerSpec::v100(ServerMode::Menos { policy, backfilling: true });
+            let r = run_experiment(&server, &w, seed);
+            if r.error.is_some() {
+                continue; // preserve-all may be infeasible — fine.
+            }
+            prop_assert!(
+                r.peak_bytes <= last_peak,
+                "{policy} peak {} above predecessor {}",
+                r.peak_bytes,
+                last_peak
+            );
+            last_peak = r.peak_bytes;
+        }
+    }
+
+    #[test]
+    fn backfilling_never_increases_schedule_time(seed in 0u64..30) {
+        let w = WorkloadSpec::paper(ModelConfig::llama2_7b(), 4, 4);
+        let with = run_experiment(
+            &ServerSpec::v100(ServerMode::menos()), &w, seed);
+        let without = run_experiment(
+            &ServerSpec::v100(ServerMode::Menos {
+                policy: MemoryPolicy::menos(),
+                backfilling: false,
+            }),
+            &w,
+            seed,
+        );
+        prop_assert!(
+            with.avg_schedule_s <= without.avg_schedule_s + 0.05,
+            "backfilling hurt: {} vs {}",
+            with.avg_schedule_s,
+            without.avg_schedule_s
+        );
+    }
+}
+
+mod event_queue_props {
+    use menos::sim::{EventQueue, Nanos};
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn pops_are_time_ordered_and_complete(delays in prop::collection::vec(0u64..10_000, 1..200)) {
+            let mut q = EventQueue::new();
+            for (i, &d) in delays.iter().enumerate() {
+                q.schedule_at(Nanos::from_micros(d), i);
+            }
+            let mut popped = Vec::new();
+            let mut last = Nanos::ZERO;
+            while let Some((t, i)) = q.pop() {
+                prop_assert!(t >= last, "time went backwards");
+                last = t;
+                popped.push(i);
+            }
+            // Every event delivered exactly once.
+            let mut sorted = popped.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(sorted, (0..delays.len()).collect::<Vec<_>>());
+        }
+
+        #[test]
+        fn equal_times_preserve_insertion_order(n in 1usize..100) {
+            let mut q = EventQueue::new();
+            let t = Nanos::from_secs(1);
+            for i in 0..n {
+                q.schedule_at(t, i);
+            }
+            let order: Vec<usize> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+            prop_assert_eq!(order, (0..n).collect::<Vec<_>>());
+        }
+
+        #[test]
+        fn cancellation_removes_exactly_the_cancelled(
+            delays in prop::collection::vec(0u64..1000, 2..50),
+            cancel_idx in prop::collection::vec(any::<prop::sample::Index>(), 1..10),
+        ) {
+            let mut q = EventQueue::new();
+            let ids: Vec<_> = delays
+                .iter()
+                .enumerate()
+                .map(|(i, &d)| (i, q.schedule_at(Nanos::from_micros(d), i)))
+                .collect();
+            let mut cancelled = std::collections::HashSet::new();
+            for idx in cancel_idx {
+                let (i, id) = ids[idx.index(ids.len())];
+                if cancelled.insert(i) {
+                    q.cancel(id);
+                }
+            }
+            let mut seen = std::collections::HashSet::new();
+            while let Some((_, i)) = q.pop() {
+                prop_assert!(!cancelled.contains(&i), "cancelled event {i} delivered");
+                seen.insert(i);
+            }
+            prop_assert_eq!(seen.len(), delays.len() - cancelled.len());
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Property-based tests on the tensor engine and data pipeline: the
+//! algebraic identities the transformer math relies on.
+
+use proptest::prelude::*;
+
+use menos::data::Vocab;
+use menos::net::{decode_tensor, encode_tensor};
+use menos::tensor::Tensor;
+
+fn small_vec(max_len: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-10.0f32..10.0, 1..max_len)
+}
+
+proptest! {
+    #[test]
+    fn add_commutes_and_mul_distributes(a in small_vec(32)) {
+        let n = a.len();
+        let b: Vec<f32> = a.iter().map(|x| x * 0.5 - 1.0).collect();
+        let ta = Tensor::from_vec(a, [n]);
+        let tb = Tensor::from_vec(b, [n]);
+        prop_assert!(ta.add(&tb).max_abs_diff(&tb.add(&ta)) < 1e-6);
+        // (a + b) * 2 == 2a + 2b
+        let lhs = ta.add(&tb).mul_scalar(2.0);
+        let rhs = ta.mul_scalar(2.0).add(&tb.mul_scalar(2.0));
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-4);
+    }
+
+    #[test]
+    fn matmul_identity_and_associativity(data in prop::collection::vec(-2.0f32..2.0, 16)) {
+        let a = Tensor::from_vec(data.clone(), [4, 4]);
+        let mut eye = vec![0.0f32; 16];
+        for i in 0..4 { eye[i * 4 + i] = 1.0; }
+        let id = Tensor::from_vec(eye, [4, 4]);
+        prop_assert!(a.matmul(&id).max_abs_diff(&a) < 1e-6);
+        prop_assert!(id.matmul(&a).max_abs_diff(&a) < 1e-6);
+        // (A·B)·C == A·(B·C) within fp tolerance.
+        let b = Tensor::from_vec(data.iter().map(|x| x * 0.3).collect::<Vec<_>>(), [4, 4]);
+        let c = Tensor::from_vec(data.iter().map(|x| 1.0 - x).collect::<Vec<_>>(), [4, 4]);
+        let lhs = a.matmul(&b).matmul(&c);
+        let rhs = a.matmul(&b.matmul(&c));
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-3);
+    }
+
+    #[test]
+    fn transpose_is_involutive(data in prop::collection::vec(-5.0f32..5.0, 12)) {
+        let t = Tensor::from_vec(data, [3, 4]);
+        prop_assert!(t.t().t().max_abs_diff(&t) < 1e-7);
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(data in prop::collection::vec(-30.0f32..30.0, 24)) {
+        let t = Tensor::from_vec(data, [4, 6]);
+        let s = t.softmax_last();
+        let v = s.to_vec();
+        for r in 0..4 {
+            let row = &v[r * 6..(r + 1) * 6];
+            let sum: f32 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4, "row sum {sum}");
+            prop_assert!(row.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant(data in prop::collection::vec(-5.0f32..5.0, 8), shift in -50.0f32..50.0) {
+        let a = Tensor::from_vec(data.clone(), [2, 4]);
+        let b = Tensor::from_vec(data.iter().map(|x| x + shift).collect::<Vec<_>>(), [2, 4]);
+        prop_assert!(a.softmax_last().max_abs_diff(&b.softmax_last()) < 1e-4);
+    }
+
+    #[test]
+    fn rope_preserves_pair_norms(data in prop::collection::vec(-3.0f32..3.0, 16), offset in 0usize..64) {
+        let x = Tensor::from_vec(data, [1, 1, 2, 8]);
+        let y = x.rope(10_000.0, offset);
+        let xv = x.to_vec();
+        let yv = y.to_vec();
+        for p in 0..8 {
+            let nx = xv[2 * p].powi(2) + xv[2 * p + 1].powi(2);
+            let ny = yv[2 * p].powi(2) + yv[2 * p + 1].powi(2);
+            prop_assert!((nx - ny).abs() < 1e-3, "pair {p}: {nx} vs {ny}");
+        }
+    }
+
+    #[test]
+    fn reshape_concat_chunk_round_trip(data in prop::collection::vec(-5.0f32..5.0, 24)) {
+        let t = Tensor::from_vec(data, [4, 6]);
+        let halves = t.chunk(2, 1);
+        let back = Tensor::concat(&halves, 1);
+        prop_assert!(back.max_abs_diff(&t) < 1e-7);
+        let r = t.reshape([6, 4]).reshape([4, 6]);
+        prop_assert!(r.max_abs_diff(&t) < 1e-7);
+    }
+
+    #[test]
+    fn gradient_of_sum_is_ones(data in prop::collection::vec(-5.0f32..5.0, 10)) {
+        let n = data.len();
+        let x = Tensor::var_from_vec(data, [n]);
+        let grads = x.sum_all().backward();
+        let g = grads.get(&x).unwrap().to_vec();
+        prop_assert!(g.iter().all(|&v| (v - 1.0).abs() < 1e-7));
+    }
+
+    #[test]
+    fn linearity_of_gradients(data in prop::collection::vec(-3.0f32..3.0, 8), k in -4.0f32..4.0) {
+        // d/dx sum(k * x) = k everywhere.
+        let n = data.len();
+        let x = Tensor::var_from_vec(data, [n]);
+        let grads = x.mul_scalar(k).sum_all().backward();
+        let g = grads.get(&x).unwrap().to_vec();
+        prop_assert!(g.iter().all(|&v| (v - k).abs() < 1e-5));
+    }
+
+    #[test]
+    fn wire_codec_round_trips(data in prop::collection::vec(-1e6f32..1e6, 1..64), split in 1usize..8) {
+        let n = data.len();
+        // Arbitrary rank-2 factorization when divisible, else rank-1.
+        let t = if n % split == 0 && n / split > 0 {
+            Tensor::from_vec(data, [split, n / split])
+        } else {
+            Tensor::from_vec(data, [n])
+        };
+        let back = decode_tensor(&encode_tensor(&t)).unwrap();
+        prop_assert_eq!(back.dims(), t.dims());
+        prop_assert_eq!(back.to_vec(), t.to_vec());
+    }
+
+    #[test]
+    fn vocab_round_trips_any_text(words in prop::collection::vec("[a-z ]{1,12}", 1..12)) {
+        let text = words.join(" ");
+        let vocab = Vocab::from_text(&text);
+        prop_assert_eq!(vocab.decode(&vocab.encode(&text)), text);
+    }
+
+    #[test]
+    fn shared_storage_views_stay_coherent(data in prop::collection::vec(-5.0f32..5.0, 8), idx in 0usize..8, val in -10.0f32..10.0) {
+        let n = data.len();
+        let a = Tensor::from_vec(data, [n]);
+        let view = Tensor::from_shared_storage(a.storage().clone(), [n], true);
+        view.storage().write()[idx % n] = val;
+        prop_assert_eq!(a.to_vec(), view.to_vec());
+    }
+}
