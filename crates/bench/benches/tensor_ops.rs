@@ -1,22 +1,50 @@
 //! Tensor-engine kernel throughput: the real-engine substrate behind
 //! the convergence experiments.
+//!
+//! The `matmul`/`nn_primitives` groups measure the kernels at whatever
+//! pool size `MENOS_THREADS` selects (default: all cores); the
+//! `threads_sweep` group re-runs the hot kernels at 1/2/4/8 workers to
+//! expose the scaling curve of the shared compute backend.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 use menos_sim::seeded_rng;
-use menos_tensor::Tensor;
+use menos_tensor::{set_threads, threads, Tensor};
 
 fn bench_matmul(c: &mut Criterion) {
     let mut group = c.benchmark_group("matmul");
     let mut rng = seeded_rng(1, "bench");
-    for &n in &[32usize, 64, 128] {
+    for &n in &[32usize, 64, 128, 256, 512] {
         let a = Tensor::randn(&mut rng, [n, n], 1.0);
         let b = Tensor::randn(&mut rng, [n, n], 1.0);
         group.throughput(Throughput::Elements((2 * n * n * n) as u64));
+        if n >= 256 {
+            group.sample_size(10);
+        }
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
             bench.iter(|| a.matmul(&b));
         });
     }
+    // Transformer-shaped batched products: [batch, seq, d_model] against
+    // a shared projection (the linear-layer fast path) and a batched rhs
+    // (the attention-score path).
+    let (batch, seq, d_model) = (8usize, 128usize, 512usize);
+    let x = Tensor::randn(&mut rng, [batch, seq, d_model], 1.0);
+    let w = Tensor::randn(&mut rng, [d_model, d_model], 1.0);
+    group.throughput(Throughput::Elements(
+        (2 * batch * seq * d_model * d_model) as u64,
+    ));
+    group.sample_size(10);
+    group.bench_function(format!("{batch}x{seq}x{d_model}_proj"), |bench| {
+        bench.iter(|| x.matmul(&w))
+    });
+    let k = Tensor::randn(&mut rng, [batch, d_model, seq], 1.0);
+    group.throughput(Throughput::Elements(
+        (2 * batch * seq * d_model * seq) as u64,
+    ));
+    group.bench_function(format!("{batch}x{seq}x{d_model}_scores"), |bench| {
+        bench.iter(|| x.matmul(&k))
+    });
     group.finish();
 }
 
@@ -33,6 +61,16 @@ fn bench_nn_primitives(c: &mut Criterion) {
     group.bench_function("rms_norm_8x64x128", |b| b.iter(|| x.rms_norm(&gamma, 1e-5)));
     let q = Tensor::randn(&mut rng, [2, 4, 64, 16], 1.0);
     group.bench_function("rope_2x4x64x16", |b| b.iter(|| q.rope(10_000.0, 0)));
+    // A [batch, seq, d_model] activation large enough to engage the
+    // worker pool.
+    let big = Tensor::randn(&mut rng, [8, 128, 512], 1.0);
+    let gamma_big = Tensor::ones([512]);
+    let beta_big = Tensor::zeros([512]);
+    group.bench_function("softmax_8x128x512", |b| b.iter(|| big.softmax_last()));
+    group.bench_function("layer_norm_8x128x512", |b| {
+        b.iter(|| big.layer_norm(&gamma_big, &beta_big, 1e-5))
+    });
+    group.bench_function("gelu_8x128x512", |b| b.iter(|| big.gelu()));
     group.finish();
 }
 
@@ -51,5 +89,37 @@ fn bench_backward(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_matmul, bench_nn_primitives, bench_backward);
+/// Throughput of the hot kernels as the worker pool widens. Results are
+/// bitwise identical at every width; only the wall clock should move.
+fn bench_threads_sweep(c: &mut Criterion) {
+    let restore = threads();
+    let mut group = c.benchmark_group("threads_sweep");
+    let mut rng = seeded_rng(4, "bench");
+    let n = 256usize;
+    let a = Tensor::randn(&mut rng, [n, n], 1.0);
+    let b = Tensor::randn(&mut rng, [n, n], 1.0);
+    let act = Tensor::randn(&mut rng, [8, 128, 512], 1.0);
+    for &t in &[1usize, 2, 4, 8] {
+        set_threads(t);
+        group.throughput(Throughput::Elements((2 * n * n * n) as u64));
+        group.sample_size(15);
+        group.bench_function(format!("matmul_{n}/t{t}"), |bench| {
+            bench.iter(|| a.matmul(&b))
+        });
+        group.throughput(Throughput::Elements(act.elem_count() as u64));
+        group.bench_function(format!("softmax_8x128x512/t{t}"), |bench| {
+            bench.iter(|| act.softmax_last())
+        });
+    }
+    group.finish();
+    set_threads(restore);
+}
+
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_nn_primitives,
+    bench_backward,
+    bench_threads_sweep
+);
 criterion_main!(benches);

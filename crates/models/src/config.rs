@@ -150,13 +150,13 @@ impl ModelConfig {
         if self.hidden == 0 || self.heads == 0 || self.layers == 0 {
             return Err("hidden, heads, and layers must be positive".into());
         }
-        if self.hidden % self.heads != 0 {
+        if !self.hidden.is_multiple_of(self.heads) {
             return Err(format!(
                 "hidden {} not divisible by heads {}",
                 self.hidden, self.heads
             ));
         }
-        if self.arch == Arch::Llama && self.head_dim() % 2 != 0 {
+        if self.arch == Arch::Llama && !self.head_dim().is_multiple_of(2) {
             return Err("RoPE requires an even head dimension".into());
         }
         if self.arch == Arch::Llama && self.rope_base <= 0.0 {

@@ -15,6 +15,11 @@
 //! * **Seeded backward** ([`Tensor::backward_with_grad`]): split
 //!   learning resumes back-propagation from gradients received over the
 //!   network rather than from a local loss.
+//! * **Parallel compute backend** ([`threads`] / [`set_threads`], or
+//!   the `MENOS_THREADS` environment variable): matmul and the heavy
+//!   NN primitives fan out over a shared worker pool with a
+//!   partitioning scheme that keeps results bitwise identical at any
+//!   thread count. See `DESIGN.md` § "Compute backend".
 //!
 //! Tensors are dense, contiguous, row-major `f32` arrays. Autograd is
 //! reverse-mode over an op graph captured at execution time; backward
@@ -48,6 +53,7 @@ mod autograd;
 mod checkpoint;
 mod op;
 mod ops;
+mod parallel;
 mod param;
 mod shape;
 mod storage;
@@ -55,6 +61,7 @@ mod tensor;
 
 pub use autograd::GradStore;
 pub use checkpoint::{load_checkpoint, restore_into, save_checkpoint, CheckpointError};
+pub use parallel::{set_threads, threads};
 pub use param::ParamStore;
 pub use shape::Shape;
 pub use storage::Storage;

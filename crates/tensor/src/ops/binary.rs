@@ -9,7 +9,7 @@ use crate::tensor::Tensor;
 pub(crate) fn broadcast_binary_kernel(
     a: &Tensor,
     b: &Tensor,
-    f: impl Fn(f32, f32) -> f32,
+    f: impl Fn(f32, f32) -> f32 + Sync,
 ) -> (Vec<f32>, Shape) {
     let out_shape = a
         .shape()
@@ -17,11 +17,14 @@ pub(crate) fn broadcast_binary_kernel(
         .unwrap_or_else(|| panic!("cannot broadcast {} with {}", a.shape(), b.shape()));
     let da = a.storage().read();
     let db = b.storage().read();
-    let mut out = Vec::with_capacity(out_shape.elem_count());
     if a.shape() == b.shape() {
-        // Fast path: identical shapes.
-        out.extend(da.iter().zip(db.iter()).map(|(&x, &y)| f(x, y)));
-    } else {
+        // Fast path: identical shapes, fanned out over the pool.
+        let out = crate::parallel::par_map2(&da, &db, 2, &f);
+        return (out, out_shape);
+    }
+    let mut out = Vec::with_capacity(out_shape.elem_count());
+    {
+        // Broadcasting path: index arithmetic per element, serial.
         let sa = a.shape().clone();
         let sb = b.shape().clone();
         for_each_index(&out_shape, |idx| {
@@ -76,19 +79,19 @@ impl Tensor {
 
     /// Adds a scalar to every element.
     pub fn add_scalar(&self, s: f32) -> Tensor {
-        let data = self.storage().read().iter().map(|&x| x + s).collect();
+        let data = crate::parallel::par_map(&self.storage().read(), 2, |x| x + s);
         Tensor::from_op(data, self.shape().clone(), Op::AddScalar(self.clone()))
     }
 
     /// Multiplies every element by a scalar.
     pub fn mul_scalar(&self, s: f32) -> Tensor {
-        let data = self.storage().read().iter().map(|&x| x * s).collect();
+        let data = crate::parallel::par_map(&self.storage().read(), 2, |x| x * s);
         Tensor::from_op(data, self.shape().clone(), Op::MulScalar(self.clone(), s))
     }
 
     /// Raises every element to an integer power.
     pub fn powi(&self, p: i32) -> Tensor {
-        let data = self.storage().read().iter().map(|&x| x.powi(p)).collect();
+        let data = crate::parallel::par_map(&self.storage().read(), 4, |x| x.powi(p));
         Tensor::from_op(data, self.shape().clone(), Op::PowScalar(self.clone(), p))
     }
 }

@@ -1,32 +1,50 @@
 //! Neural-network primitives: softmax, normalization layers, embedding
 //! lookup, fused cross-entropy, and rotary position embeddings.
+//!
+//! Row-wise kernels fan out over the shared worker pool (see
+//! [`crate::parallel`]); rows are independent, so any partition of
+//! them yields bitwise-identical results. Cross-row reductions
+//! (the cross-entropy loss, `dgamma`/`dbeta`) accumulate over
+//! fixed-size row blocks combined in block order, which keeps them
+//! independent of the thread count too.
 
 use std::sync::Arc;
 
 use crate::op::Op;
+use crate::parallel;
 use crate::shape::Shape;
 use crate::tensor::Tensor;
+
+/// Rows per reduction block for blocked cross-row accumulations. Fixed
+/// (not derived from the pool size) so the summation tree never moves.
+const ROW_BLOCK: usize = 64;
 
 // ----------------------------------------------------------------------
 // Forward kernels (shared by ops and by backward recomputation)
 // ----------------------------------------------------------------------
 
-/// Numerically stable softmax along the last dimension, in place row by
-/// row.
-pub(crate) fn softmax_rows(data: &mut [f32], rows: usize, cols: usize) {
-    for r in 0..rows {
-        let row = &mut data[r * cols..(r + 1) * cols];
-        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-        let mut z = 0.0;
-        for x in row.iter_mut() {
-            *x = (*x - max).exp();
-            z += *x;
-        }
-        let inv = 1.0 / z;
-        for x in row.iter_mut() {
-            *x *= inv;
-        }
+fn softmax_row(row: &mut [f32]) {
+    let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut z = 0.0;
+    for x in row.iter_mut() {
+        *x = (*x - max).exp();
+        z += *x;
     }
+    let inv = 1.0 / z;
+    for x in row.iter_mut() {
+        *x *= inv;
+    }
+}
+
+/// Numerically stable softmax along the last dimension, in place row by
+/// row (rows are distributed over the worker pool).
+pub(crate) fn softmax_rows(data: &mut [f32], rows: usize, cols: usize) {
+    debug_assert_eq!(data.len(), rows * cols);
+    parallel::par_chunks_mut(data, cols, rows * cols * 8, |_, chunk| {
+        for row in chunk.chunks_exact_mut(cols) {
+            softmax_row(row);
+        }
+    });
 }
 
 pub(crate) fn layer_norm_stats(row: &[f32], eps: f32) -> (f32, f32) {
@@ -74,14 +92,17 @@ impl Tensor {
         let x = self.storage().read();
         let g = gamma.storage().read();
         let b = beta.storage().read();
-        let mut out = Vec::with_capacity(rows * cols);
-        for r in 0..rows {
-            let row = &x[r * cols..(r + 1) * cols];
-            let (mu, rstd) = layer_norm_stats(row, eps);
-            for c in 0..cols {
-                out.push((row[c] - mu) * rstd * g[c] + b[c]);
+        let mut out = vec![0.0f32; rows * cols];
+        parallel::par_chunks_mut(&mut out, cols, rows * cols * 6, |start, chunk| {
+            for (local, orow) in chunk.chunks_exact_mut(cols).enumerate() {
+                let r = start / cols + local;
+                let row = &x[r * cols..(r + 1) * cols];
+                let (mu, rstd) = layer_norm_stats(row, eps);
+                for c in 0..cols {
+                    orow[c] = (row[c] - mu) * rstd * g[c] + b[c];
+                }
             }
-        }
+        });
         drop((x, g, b));
         Tensor::from_op(
             out,
@@ -106,14 +127,17 @@ impl Tensor {
         assert_eq!(gamma.dims(), &[cols], "rms_norm gamma shape");
         let x = self.storage().read();
         let g = gamma.storage().read();
-        let mut out = Vec::with_capacity(rows * cols);
-        for r in 0..rows {
-            let row = &x[r * cols..(r + 1) * cols];
-            let rrms = rms_norm_rrms(row, eps);
-            for c in 0..cols {
-                out.push(row[c] * rrms * g[c]);
+        let mut out = vec![0.0f32; rows * cols];
+        parallel::par_chunks_mut(&mut out, cols, rows * cols * 4, |start, chunk| {
+            for (local, orow) in chunk.chunks_exact_mut(cols).enumerate() {
+                let r = start / cols + local;
+                let row = &x[r * cols..(r + 1) * cols];
+                let rrms = rms_norm_rrms(row, eps);
+                for c in 0..cols {
+                    orow[c] = row[c] * rrms * g[c];
+                }
             }
-        }
+        });
         drop((x, g));
         Tensor::from_op(
             out,
@@ -144,12 +168,17 @@ impl Tensor {
             batch_dims.iter().product::<usize>(),
             "ids length does not match batch dims {batch_dims:?}"
         );
-        let t = table.storage().read();
-        let mut out = Vec::with_capacity(ids.len() * dim);
         for &id in ids {
             assert!(id < vocab, "token id {id} out of vocabulary {vocab}");
-            out.extend_from_slice(&t[id * dim..(id + 1) * dim]);
         }
+        let t = table.storage().read();
+        let mut out = vec![0.0f32; ids.len() * dim];
+        parallel::par_chunks_mut(&mut out, dim, ids.len() * dim, |start, chunk| {
+            for (local, orow) in chunk.chunks_exact_mut(dim).enumerate() {
+                let id = ids[start / dim + local];
+                orow.copy_from_slice(&t[id * dim..(id + 1) * dim]);
+            }
+        });
         drop(t);
         let mut dims = batch_dims.to_vec();
         dims.push(dim);
@@ -179,13 +208,21 @@ impl Tensor {
         assert_eq!(targets.len(), rows, "one target per logit row");
         let mut probs = self.to_vec();
         softmax_rows(&mut probs, rows, cols);
-        let mut loss = 0.0f64;
-        for (r, &t) in targets.iter().enumerate() {
-            assert!(t < cols, "target {t} out of range {cols}");
-            // Clamp to avoid -inf on underflow.
-            loss -= f64::from(probs[r * cols + t].max(1e-12).ln());
-        }
-        let loss = (loss / rows as f64) as f32;
+        // Fixed-size row blocks keep the f64 summation order identical
+        // at any thread count.
+        let blocks = rows.div_ceil(ROW_BLOCK);
+        let partials = parallel::par_blocks(blocks, rows * 8, |bi| {
+            let lo = bi * ROW_BLOCK;
+            let hi = (lo + ROW_BLOCK).min(rows);
+            let mut s = 0.0f64;
+            for (r, &t) in targets[lo..hi].iter().enumerate().map(|(i, t)| (lo + i, t)) {
+                assert!(t < cols, "target {t} out of range {cols}");
+                // Clamp to avoid -inf on underflow.
+                s -= f64::from(probs[r * cols + t].max(1e-12).ln());
+            }
+            s
+        });
+        let loss = (partials.iter().sum::<f64>() / rows as f64) as f32;
         Tensor::from_op(
             vec![loss],
             Shape::scalar(),
@@ -208,27 +245,25 @@ impl Tensor {
         assert_eq!(self.rank(), 4, "rope expects [b, h, s, d]");
         let d = self.shape().dim(3);
         assert_eq!(d % 2, 0, "rope head dim must be even");
-        let (b, h, s) = (
-            self.shape().dim(0),
-            self.shape().dim(1),
-            self.shape().dim(2),
-        );
+        let s = self.shape().dim(2);
         let x = self.storage().read();
         let mut out = vec![0.0f32; x.len()];
         let half = d / 2;
-        for bi in 0..b * h {
-            for si in 0..s {
-                let off = bi * s * d + si * d;
+        parallel::par_chunks_mut(&mut out, d, x.len() * 12, |start, chunk| {
+            for (local, orow) in chunk.chunks_exact_mut(d).enumerate() {
+                let row = start / d + local;
+                let si = row % s;
+                let off = row * d;
                 for i in 0..half {
                     let theta = rope_angle(si + pos_offset, i, half, base);
                     let (sin, cos) = theta.sin_cos();
                     let x0 = x[off + 2 * i];
                     let x1 = x[off + 2 * i + 1];
-                    out[off + 2 * i] = x0 * cos - x1 * sin;
-                    out[off + 2 * i + 1] = x0 * sin + x1 * cos;
+                    orow[2 * i] = x0 * cos - x1 * sin;
+                    orow[2 * i + 1] = x0 * sin + x1 * cos;
                 }
             }
-        }
+        });
         drop(x);
         Tensor::from_op(
             out,
@@ -264,14 +299,17 @@ pub(crate) fn softmax_backward(x: &Tensor, grad: &[f32]) -> Vec<f32> {
     let mut y = x.to_vec();
     softmax_rows(&mut y, rows, cols);
     let mut dx = vec![0.0f32; y.len()];
-    for r in 0..rows {
-        let yr = &y[r * cols..(r + 1) * cols];
-        let gr = &grad[r * cols..(r + 1) * cols];
-        let dot: f32 = yr.iter().zip(gr.iter()).map(|(a, b)| a * b).sum();
-        for c in 0..cols {
-            dx[r * cols + c] = yr[c] * (gr[c] - dot);
+    parallel::par_chunks_mut(&mut dx, cols, rows * cols * 4, |start, chunk| {
+        for (local, drow) in chunk.chunks_exact_mut(cols).enumerate() {
+            let r = start / cols + local;
+            let yr = &y[r * cols..(r + 1) * cols];
+            let gr = &grad[r * cols..(r + 1) * cols];
+            let dot: f32 = yr.iter().zip(gr.iter()).map(|(a, b)| a * b).sum();
+            for c in 0..cols {
+                drow[c] = yr[c] * (gr[c] - dot);
+            }
         }
-    }
+    });
     dx
 }
 
@@ -286,27 +324,43 @@ pub(crate) fn layer_norm_backward(
     let g = gamma.storage().read();
     let n = cols as f32;
     let mut dx = vec![0.0f32; xd.len()];
+    // One pass per fixed row block: writes the block's dx rows and
+    // returns its dgamma/dbeta partials; folding the partials in block
+    // order reproduces one summation order at any pool size.
+    let partials =
+        parallel::par_blocks_mut(&mut dx, ROW_BLOCK * cols, rows * cols * 10, |bi, chunk| {
+            let mut dgamma = vec![0.0f32; cols];
+            let mut dbeta = vec![0.0f32; cols];
+            for (local, drow) in chunk.chunks_exact_mut(cols).enumerate() {
+                let r = bi * ROW_BLOCK + local;
+                let row = &xd[r * cols..(r + 1) * cols];
+                let gr = &grad[r * cols..(r + 1) * cols];
+                let (mu, rstd) = layer_norm_stats(row, eps);
+                // xhat and dxhat.
+                let mut sum_dxhat = 0.0f32;
+                let mut sum_dxhat_xhat = 0.0f32;
+                for c in 0..cols {
+                    let xhat = (row[c] - mu) * rstd;
+                    let dxhat = gr[c] * g[c];
+                    sum_dxhat += dxhat;
+                    sum_dxhat_xhat += dxhat * xhat;
+                    dgamma[c] += gr[c] * xhat;
+                    dbeta[c] += gr[c];
+                }
+                for c in 0..cols {
+                    let xhat = (row[c] - mu) * rstd;
+                    let dxhat = gr[c] * g[c];
+                    drow[c] = rstd / n * (n * dxhat - sum_dxhat - xhat * sum_dxhat_xhat);
+                }
+            }
+            (dgamma, dbeta)
+        });
     let mut dgamma = vec![0.0f32; cols];
     let mut dbeta = vec![0.0f32; cols];
-    for r in 0..rows {
-        let row = &xd[r * cols..(r + 1) * cols];
-        let gr = &grad[r * cols..(r + 1) * cols];
-        let (mu, rstd) = layer_norm_stats(row, eps);
-        // xhat and dxhat.
-        let mut sum_dxhat = 0.0f32;
-        let mut sum_dxhat_xhat = 0.0f32;
+    for (pg, pb) in partials {
         for c in 0..cols {
-            let xhat = (row[c] - mu) * rstd;
-            let dxhat = gr[c] * g[c];
-            sum_dxhat += dxhat;
-            sum_dxhat_xhat += dxhat * xhat;
-            dgamma[c] += gr[c] * xhat;
-            dbeta[c] += gr[c];
-        }
-        for c in 0..cols {
-            let xhat = (row[c] - mu) * rstd;
-            let dxhat = gr[c] * g[c];
-            dx[r * cols + c] = rstd / n * (n * dxhat - sum_dxhat - xhat * sum_dxhat_xhat);
+            dgamma[c] += pg[c];
+            dbeta[c] += pb[c];
         }
     }
     (dx, dgamma, dbeta)
@@ -323,25 +377,38 @@ pub(crate) fn rms_norm_backward(
     let g = gamma.storage().read();
     let n = cols as f32;
     let mut dx = vec![0.0f32; xd.len()];
+    let partials =
+        parallel::par_blocks_mut(&mut dx, ROW_BLOCK * cols, rows * cols * 8, |bi, chunk| {
+            let mut dgamma = vec![0.0f32; cols];
+            for (local, drow) in chunk.chunks_exact_mut(cols).enumerate() {
+                let r = bi * ROW_BLOCK + local;
+                let row = &xd[r * cols..(r + 1) * cols];
+                let gr = &grad[r * cols..(r + 1) * cols];
+                let rrms = rms_norm_rrms(row, eps);
+                let mut dot = 0.0f32; // sum_i dy_i * gamma_i * x_i
+                for c in 0..cols {
+                    dot += gr[c] * g[c] * row[c];
+                    dgamma[c] += gr[c] * row[c] * rrms;
+                }
+                let k = rrms * rrms * rrms / n;
+                for c in 0..cols {
+                    drow[c] = gr[c] * g[c] * rrms - k * row[c] * dot;
+                }
+            }
+            dgamma
+        });
     let mut dgamma = vec![0.0f32; cols];
-    for r in 0..rows {
-        let row = &xd[r * cols..(r + 1) * cols];
-        let gr = &grad[r * cols..(r + 1) * cols];
-        let rrms = rms_norm_rrms(row, eps);
-        let mut dot = 0.0f32; // sum_i dy_i * gamma_i * x_i
+    for pg in partials {
         for c in 0..cols {
-            dot += gr[c] * g[c] * row[c];
-            dgamma[c] += gr[c] * row[c] * rrms;
-        }
-        let k = rrms * rrms * rrms / n;
-        for c in 0..cols {
-            dx[r * cols + c] = gr[c] * g[c] * rrms - k * row[c] * dot;
+            dgamma[c] += pg[c];
         }
     }
     (dx, dgamma)
 }
 
 pub(crate) fn embedding_backward(table: &Tensor, ids: &[usize], grad: &[f32]) -> Vec<f32> {
+    // Scatter-add: distinct ids may collide on the same table row, so
+    // this stays serial (it is gather/scatter memory-bound anyway).
     let dim = table.shape().dim(1);
     let mut dt = vec![0.0f32; table.elem_count()];
     for (n, &id) in ids.iter().enumerate() {
@@ -363,38 +430,37 @@ pub(crate) fn cross_entropy_backward(
     let mut probs = logits.to_vec();
     softmax_rows(&mut probs, rows, cols);
     let scale = grad_scalar / rows as f32;
-    for (r, &t) in targets.iter().enumerate() {
-        probs[r * cols + t] -= 1.0;
-    }
-    for p in probs.iter_mut() {
-        *p *= scale;
-    }
+    parallel::par_chunks_mut(&mut probs, cols, rows * cols * 2, |start, chunk| {
+        for (local, prow) in chunk.chunks_exact_mut(cols).enumerate() {
+            prow[targets[start / cols + local]] -= 1.0;
+            for p in prow.iter_mut() {
+                *p *= scale;
+            }
+        }
+    });
     probs
 }
 
 pub(crate) fn rope_backward(x: &Tensor, base: f32, pos_offset: usize, grad: &[f32]) -> Vec<f32> {
-    let (b, h, s, d) = (
-        x.shape().dim(0),
-        x.shape().dim(1),
-        x.shape().dim(2),
-        x.shape().dim(3),
-    );
+    let (s, d) = (x.shape().dim(2), x.shape().dim(3));
     let half = d / 2;
     let mut dx = vec![0.0f32; grad.len()];
-    for bi in 0..b * h {
-        for si in 0..s {
-            let off = bi * s * d + si * d;
+    parallel::par_chunks_mut(&mut dx, d, grad.len() * 12, |start, chunk| {
+        for (local, drow) in chunk.chunks_exact_mut(d).enumerate() {
+            let row = start / d + local;
+            let si = row % s;
+            let off = row * d;
             for i in 0..half {
                 let theta = rope_angle(si + pos_offset, i, half, base);
                 let (sin, cos) = theta.sin_cos();
                 let g0 = grad[off + 2 * i];
                 let g1 = grad[off + 2 * i + 1];
                 // Rotation is orthogonal: the adjoint rotates by -theta.
-                dx[off + 2 * i] = g0 * cos + g1 * sin;
-                dx[off + 2 * i + 1] = -g0 * sin + g1 * cos;
+                drow[2 * i] = g0 * cos + g1 * sin;
+                drow[2 * i + 1] = -g0 * sin + g1 * cos;
             }
         }
-    }
+    });
     dx
 }
 

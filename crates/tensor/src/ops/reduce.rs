@@ -1,13 +1,37 @@
 //! Reduction operations.
+//!
+//! Full reductions accumulate over fixed-size element blocks combined
+//! in block order, so the result is independent of the worker-pool
+//! size (and, as a side effect, slightly more accurate than a single
+//! running sum).
 
 use crate::op::Op;
+use crate::parallel;
 use crate::shape::Shape;
 use crate::tensor::Tensor;
+
+/// Elements per partial-sum block. Fixed (never derived from the
+/// thread count) so the summation tree is stable.
+const SUM_BLOCK: usize = 4096;
+
+/// Block-wise sum: partials in block order, folded serially.
+fn blocked_sum(data: &[f32]) -> f32 {
+    if data.len() <= SUM_BLOCK {
+        return data.iter().sum();
+    }
+    let blocks = data.len().div_ceil(SUM_BLOCK);
+    let partials = parallel::par_blocks(blocks, data.len(), |b| {
+        let lo = b * SUM_BLOCK;
+        let hi = (lo + SUM_BLOCK).min(data.len());
+        data[lo..hi].iter().sum::<f32>()
+    });
+    partials.iter().sum()
+}
 
 impl Tensor {
     /// Sum of all elements, as a scalar tensor.
     pub fn sum_all(&self) -> Tensor {
-        let s: f32 = self.storage().read().iter().sum();
+        let s = blocked_sum(&self.storage().read());
         Tensor::from_op(vec![s], Shape::scalar(), Op::SumAll(self.clone()))
     }
 
@@ -19,7 +43,7 @@ impl Tensor {
     pub fn mean_all(&self) -> Tensor {
         let n = self.elem_count();
         assert!(n > 0, "mean of empty tensor");
-        let s: f32 = self.storage().read().iter().sum();
+        let s = blocked_sum(&self.storage().read());
         Tensor::from_op(
             vec![s / n as f32],
             Shape::scalar(),
@@ -31,10 +55,13 @@ impl Tensor {
     pub fn sum_last_keepdim(&self) -> Tensor {
         let (rows, cols) = self.shape().rows_cols();
         let data = self.storage().read();
-        let mut out = Vec::with_capacity(rows);
-        for r in 0..rows {
-            out.push(data[r * cols..(r + 1) * cols].iter().sum());
-        }
+        let mut out = vec![0.0f32; rows];
+        parallel::par_chunks_mut(&mut out, 1, rows * cols, |start, chunk| {
+            for (local, o) in chunk.iter_mut().enumerate() {
+                let r = start + local;
+                *o = data[r * cols..(r + 1) * cols].iter().sum();
+            }
+        });
         drop(data);
         let mut dims = self.dims().to_vec();
         *dims.last_mut().expect("rank >= 1") = 1;
@@ -65,11 +92,22 @@ impl Tensor {
 
     /// Maximum element value (no gradient).
     pub fn max_all(&self) -> f32 {
-        self.storage()
-            .read()
-            .iter()
-            .copied()
-            .fold(f32::NEG_INFINITY, f32::max)
+        let data = self.storage().read();
+        if data.len() <= SUM_BLOCK {
+            return data.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        }
+        // max is exact (no rounding), so blocking cannot change it.
+        let blocks = data.len().div_ceil(SUM_BLOCK);
+        parallel::par_blocks(blocks, data.len(), |b| {
+            let lo = b * SUM_BLOCK;
+            let hi = (lo + SUM_BLOCK).min(data.len());
+            data[lo..hi]
+                .iter()
+                .copied()
+                .fold(f32::NEG_INFINITY, f32::max)
+        })
+        .into_iter()
+        .fold(f32::NEG_INFINITY, f32::max)
     }
 }
 

@@ -4,7 +4,7 @@ use crate::op::Op;
 use crate::tensor::Tensor;
 
 /// The constant `sqrt(2/pi)` used by the tanh GELU approximation.
-pub(crate) const GELU_C: f32 = 0.797_884_56;
+pub(crate) const GELU_C: f32 = 0.797_884_6;
 
 pub(crate) fn sigmoid(x: f32) -> f32 {
     1.0 / (1.0 + (-x).exp())
@@ -76,11 +76,15 @@ impl Tensor {
     }
 }
 
+/// Threshold scaling for transcendental element-wise ops (exp/tanh/…
+/// cost roughly an order of magnitude more than an add).
+const UNARY_WORK: usize = 8;
+
 macro_rules! unary_method {
     ($name:ident, $opvar:ident, $f:expr, $doc:expr) => {
         #[doc = $doc]
         pub fn $name(&self) -> Tensor {
-            let data = self.storage().read().iter().map(|&x| $f(x)).collect();
+            let data = crate::parallel::par_map(&self.storage().read(), UNARY_WORK, |x| $f(x));
             Tensor::from_op(data, self.shape().clone(), Op::$opvar(self.clone()))
         }
     };

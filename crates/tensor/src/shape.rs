@@ -93,7 +93,7 @@ impl Shape {
     pub fn broadcast_with(&self, other: &Shape) -> Option<Shape> {
         let rank = self.rank().max(other.rank());
         let mut dims = vec![0usize; rank];
-        for i in 0..rank {
+        for (i, dim) in dims.iter_mut().enumerate() {
             let a = if i < rank - self.rank() {
                 1
             } else {
@@ -104,7 +104,7 @@ impl Shape {
             } else {
                 other.0[i - (rank - other.rank())]
             };
-            dims[i] = if a == b {
+            *dim = if a == b {
                 a
             } else if a == 1 {
                 b
@@ -206,14 +206,14 @@ pub fn broadcast_offset(out_idx: &[usize], in_shape: &Shape) -> usize {
     let out_rank = out_idx.len();
     let strides = in_shape.strides();
     let mut off = 0;
-    for d in 0..in_rank {
+    for (d, &stride) in strides.iter().enumerate().take(in_rank) {
         let out_d = out_rank - in_rank + d;
         let i = if in_shape.dim(d) == 1 {
             0
         } else {
             out_idx[out_d]
         };
-        off += i * strides[d];
+        off += i * stride;
     }
     off
 }

@@ -43,7 +43,7 @@ fn main() {
     };
 
     // Three tenants with different adapters, cuts, and private corpora.
-    let tenants = vec![
+    let tenants = [
         Tenant {
             name: "hospital (LoRA r=8, shallow cut)",
             ft: base_ft.clone(),

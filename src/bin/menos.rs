@@ -27,8 +27,8 @@ use menos::split::{
 
 const USAGE: &str = "\
 usage:
-  menos server [--port P] [--clients N] [--model-seed S] [--cached]
-  menos client --addr HOST:PORT [--steps N] [--seed S] [--model-seed S]
+  menos server [--port P] [--clients N] [--model-seed S] [--cached] [--threads T]
+  menos client --addr HOST:PORT [--steps N] [--seed S] [--model-seed S] [--threads T]
 
 options:
   --port P        listen port (default 7700)
@@ -38,12 +38,22 @@ options:
                   Menos' no-grad + re-forward policy
   --addr A        server address to connect to
   --steps N       fine-tuning iterations to run (default 10)
-  --seed S        client data/adapter seed (default 0)";
+  --seed S        client data/adapter seed (default 0)
+  --threads T     tensor-kernel worker threads (default: MENOS_THREADS env
+                  var, else all cores; results are identical at any T)";
 
 fn parse_flag(args: &[String], name: &str) -> Option<String> {
     args.iter()
         .position(|a| a == name)
         .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Applies `--threads` to the tensor compute backend (the
+/// `MENOS_THREADS` environment variable covers the no-flag case).
+fn configure_threads(args: &[String]) {
+    if let Some(t) = parse_flag(args, "--threads") {
+        menos::tensor::set_threads(t.parse().expect("--threads must be a positive number"));
+    }
 }
 
 fn shared_model(model_seed: u64) -> (Vocab, ModelConfig) {
@@ -66,6 +76,7 @@ fn main() {
 }
 
 fn run_server(args: &[String]) {
+    configure_threads(args);
     let port: u16 = parse_flag(args, "--port")
         .map(|v| v.parse().expect("--port must be a number"))
         .unwrap_or(7700);
@@ -93,8 +104,9 @@ fn run_server(args: &[String]) {
     let server =
         TcpSplitServer::spawn(("0.0.0.0", port), factory, mode, clients).expect("bind server port");
     println!(
-        "menos server on {} serving {clients} client(s), policy: {}",
+        "menos server on {} serving {clients} client(s) with {} tensor thread(s), policy: {}",
         server.addr(),
+        menos::tensor::threads(),
         match mode {
             ForwardMode::Cached => "cached forward (vanilla)",
             ForwardMode::NoGradReforward => "no-grad + re-forward (Menos)",
@@ -105,6 +117,7 @@ fn run_server(args: &[String]) {
 }
 
 fn run_client(args: &[String]) {
+    configure_threads(args);
     let addr = parse_flag(args, "--addr").unwrap_or_else(|| {
         eprintln!("client needs --addr HOST:PORT\n{USAGE}");
         std::process::exit(2);

@@ -183,8 +183,8 @@ proptest! {
         }
         // Drain: completing everything admits everything admissible.
         let mut guard = 0;
-        while !running.is_empty() {
-            let (client, _) = running.pop().unwrap();
+        while let Some((client, _)) = running.pop() {
+
             for d in s.task_completed(client) {
                 running.push((d.request.client, d.request.demand));
             }

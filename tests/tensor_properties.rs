@@ -139,3 +139,120 @@ proptest! {
         prop_assert_eq!(a.to_vec(), view.to_vec());
     }
 }
+
+// ----------------------------------------------------------------------
+// Thread-count invariance of the parallel compute backend
+// ----------------------------------------------------------------------
+
+/// Deterministic data fill (SplitMix64) so each proptest case only has
+/// to draw one seed instead of hundreds of kilobytes of floats.
+fn fill(seed: u64, len: usize, scale: f32) -> Vec<f32> {
+    let mut s = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    (0..len)
+        .map(|_| {
+            s = s.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^= z >> 31;
+            ((z >> 40) as f32 / (1u64 << 24) as f32 * 2.0 - 1.0) * scale
+        })
+        .collect()
+}
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The acceptance property of the parallel backend: every kernel —
+    /// forward and backward — is **bitwise** identical at 1, 2, and 4
+    /// worker threads. Sizes are chosen above the parallelism
+    /// threshold so the multi-threaded paths actually execute.
+    #[test]
+    fn kernels_bitwise_invariant_across_thread_counts(seed in any::<u64>()) {
+        use menos::tensor::set_threads;
+        // [batch, m, k] @ [k, n] with 2*b*m*k*n ≈ 7.9M scalar ops —
+        // far above the backend's fan-out threshold.
+        let (b, m, k, n) = (4usize, 48usize, 64usize, 160usize);
+        let rows = b * m;
+        let xs = fill(seed, b * m * k, 1.0);
+        let ws = fill(seed ^ 0xabcd, k * n, 0.5);
+        let targets: Vec<usize> =
+            (0..rows).map(|r| (seed as usize).wrapping_mul(31).wrapping_add(r * 7) % n).collect();
+
+        let restore = menos::tensor::threads();
+        let mut reference: Option<Vec<Vec<u32>>> = None;
+        for &t in &[1usize, 2, 4] {
+            set_threads(t);
+            let x = Tensor::var_from_vec(xs.clone(), [b, m, k]);
+            let w = Tensor::var_from_vec(ws.clone(), [k, n]);
+            let y = x.matmul(&w);
+            let gamma = Tensor::var_from_vec(fill(seed ^ 0x77, n, 1.0), [n]);
+            let beta = Tensor::var_from_vec(fill(seed ^ 0x99, n, 0.1), [n]);
+            let sm = y.softmax_last();
+            let ln = y.layer_norm(&gamma, &beta, 1e-5);
+            let rn = y.rms_norm(&gamma, 1e-5);
+            let act = y.gelu();
+            let loss = y.cross_entropy(&targets);
+            let grads = loss.backward();
+            let outs = vec![
+                bits(&y.to_vec()),
+                bits(&sm.to_vec()),
+                bits(&ln.to_vec()),
+                bits(&rn.to_vec()),
+                bits(&act.to_vec()),
+                bits(&loss.to_vec()),
+                bits(&grads.get(&x).unwrap().to_vec()),
+                bits(&grads.get(&w).unwrap().to_vec()),
+                bits(&ln.sum_all().backward().get(&gamma).unwrap().to_vec()),
+            ];
+            match &reference {
+                None => reference = Some(outs),
+                Some(r) => {
+                    for (i, (got, want)) in outs.iter().zip(r.iter()).enumerate() {
+                        prop_assert_eq!(got, want, "kernel output {} differs at {} threads", i, t);
+                    }
+                }
+            }
+        }
+        set_threads(restore);
+    }
+
+    /// Rope and the batched-rhs matmul backward, same invariance.
+    #[test]
+    fn batched_and_rope_invariant_across_thread_counts(seed in any::<u64>()) {
+        use menos::tensor::set_threads;
+        let (b, h, s, d) = (4usize, 4usize, 64usize, 64usize);
+        let xs = fill(seed, b * h * s * d, 1.0);
+        let ks = fill(seed ^ 0x1234, b * h * d * s, 0.5);
+
+        let restore = menos::tensor::threads();
+        let mut reference: Option<Vec<Vec<u32>>> = None;
+        for &t in &[1usize, 2, 4] {
+            set_threads(t);
+            let q = Tensor::var_from_vec(xs.clone(), [b, h, s, d]);
+            let kt = Tensor::var_from_vec(ks.clone(), [b, h, d, s]);
+            let rot = q.rope(10_000.0, 3);
+            let scores = rot.matmul(&kt); // batched rhs path
+            let grads = scores.sum_all().backward();
+            let outs = vec![
+                bits(&rot.to_vec()),
+                bits(&scores.to_vec()),
+                bits(&grads.get(&q).unwrap().to_vec()),
+                bits(&grads.get(&kt).unwrap().to_vec()),
+            ];
+            match &reference {
+                None => reference = Some(outs),
+                Some(r) => {
+                    for (i, (got, want)) in outs.iter().zip(r.iter()).enumerate() {
+                        prop_assert_eq!(got, want, "kernel output {} differs at {} threads", i, t);
+                    }
+                }
+            }
+        }
+        set_threads(restore);
+    }
+}

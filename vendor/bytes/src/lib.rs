@@ -1,0 +1,293 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! [`Bytes`] is a cheaply-cloneable view into a shared immutable
+//! buffer; [`BytesMut`] is a growable buffer that freezes into
+//! [`Bytes`]. The [`Buf`]/[`BufMut`] traits carry the little-endian
+//! accessors the tensor wire format uses.
+
+use std::ops::{Bound, Deref, RangeBounds};
+use std::sync::Arc;
+
+/// A cheaply-cloneable, sliceable view of an immutable byte buffer.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Bytes::from(Vec::new())
+    }
+
+    /// Wraps a static byte slice without copying semantics concerns.
+    pub fn from_static(bytes: &'static [u8]) -> Self {
+        Bytes::from(bytes.to_vec())
+    }
+
+    /// Number of visible bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A sub-view of this buffer (zero-copy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let lo = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len(),
+        };
+        assert!(lo <= hi && hi <= self.len(), "slice out of bounds");
+        Bytes {
+            data: self.data.clone(),
+            start: self.start + lo,
+            end: self.start + hi,
+        }
+    }
+
+    /// Copies the visible bytes into a `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_ref().to_vec()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let end = v.len();
+        Bytes {
+            data: v.into(),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        Bytes::from(v.to_vec())
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+/// A growable byte buffer that freezes into [`Bytes`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    vec: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        BytesMut { vec: Vec::new() }
+    }
+
+    /// An empty buffer with `cap` bytes reserved.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            vec: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of bytes written.
+    pub fn len(&self) -> usize {
+        self.vec.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.vec.is_empty()
+    }
+
+    /// Converts into an immutable [`Bytes`] without copying.
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.vec)
+    }
+
+    /// Appends raw bytes.
+    pub fn extend_from_slice(&mut self, bytes: &[u8]) {
+        self.vec.extend_from_slice(bytes);
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.vec
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+/// Sequential little-endian reads from a byte source.
+///
+/// # Panics
+///
+/// The `get_*` methods panic if fewer than the required bytes remain,
+/// matching the real crate; callers guard with [`Buf::remaining`].
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// Skips `n` bytes.
+    fn advance(&mut self, n: usize);
+    /// Copies out the next `dst.len()` bytes.
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+
+    /// Reads a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `f32`.
+    fn get_f32_le(&mut self) -> f32 {
+        f32::from_bits(self.get_u32_le())
+    }
+
+    /// Reads a single byte.
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.len(), "advance past end of buffer");
+        self.start += n;
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(dst.len() <= self.len(), "read past end of buffer");
+        dst.copy_from_slice(&self.data[self.start..self.start + dst.len()]);
+        self.start += dst.len();
+    }
+}
+
+/// Sequential little-endian writes into a byte sink.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, bytes: &[u8]);
+
+    /// Writes a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a little-endian `f32`.
+    fn put_f32_le(&mut self, v: f32) {
+        self.put_slice(&v.to_bits().to_le_bytes());
+    }
+
+    /// Writes a single byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, bytes: &[u8]) {
+        self.vec.extend_from_slice(bytes);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, bytes: &[u8]) {
+        self.extend_from_slice(bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_le() {
+        let mut buf = BytesMut::with_capacity(16);
+        buf.put_u32_le(0xDEAD_BEEF);
+        buf.put_u64_le(42);
+        buf.put_f32_le(1.5);
+        let mut b = buf.freeze();
+        assert_eq!(b.remaining(), 16);
+        assert_eq!(b.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(b.get_u64_le(), 42);
+        assert_eq!(b.get_f32_le(), 1.5);
+        assert_eq!(b.remaining(), 0);
+    }
+
+    #[test]
+    fn clone_is_independent_cursor() {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(7);
+        let original = buf.freeze();
+        let mut cursor = original.clone();
+        assert_eq!(cursor.get_u32_le(), 7);
+        assert_eq!(cursor.remaining(), 0);
+        assert_eq!(original.len(), 4, "clone consumed the original");
+    }
+
+    #[test]
+    fn slice_views() {
+        let b = Bytes::from(vec![0, 1, 2, 3, 4]);
+        assert_eq!(&*b.slice(..2), &[0, 1]);
+        assert_eq!(&*b.slice(2..4), &[2, 3]);
+        assert_eq!(b.slice(1..).slice(..2).to_vec(), vec![1, 2]);
+        assert_eq!(b.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "read past end")]
+    fn overread_panics() {
+        let mut b = Bytes::from(vec![1, 2]);
+        b.get_u32_le();
+    }
+}

@@ -1,0 +1,321 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the authoring API the workspace's benches use
+//! ([`Criterion::benchmark_group`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`BenchmarkId`], [`Throughput`],
+//! [`criterion_group!`], [`criterion_main!`]) over a deliberately
+//! simple measurement loop: warm-up, then timed samples, reporting the
+//! median, mean, and min per-iteration time plus derived throughput.
+//!
+//! Set `MENOS_BENCH_JSON=<path>` to append one JSON line per benchmark
+//! (`{"group":…,"bench":…,"median_ns":…,"mean_ns":…,"min_ns":…,
+//! "samples":…}`) — the repo's `BENCH_*.json` baselines are produced
+//! this way.
+
+use std::fmt::Display;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Declared work per iteration, used to derive throughput.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// How `iter_batched` inputs are grouped. The stand-in times each
+/// routine call individually, so the hint is accepted and ignored.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+}
+
+/// A benchmark's display name.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter as the name.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Entry point handed to `criterion_group!` functions.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: 20,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, mut f: F) {
+        let mut group = self.benchmark_group("");
+        group.bench_function(id.into().id, |b| f(b));
+        group.finish();
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput spec.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares per-iteration work for throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(5);
+        self
+    }
+
+    /// Runs a benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, mut f: F) {
+        let id = id.into();
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher);
+        report(&self.name, &id.id, self.throughput, &bencher.samples);
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher, input);
+        report(&self.name, &id.id, self.throughput, &bencher.samples);
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Collects timed samples of a routine.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+/// Cap on total time spent in one benchmark's measurement loop.
+const TIME_BUDGET: Duration = Duration::from_millis(1500);
+
+impl Bencher {
+    /// Times `routine`, called repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: let caches/allocator settle and estimate cost.
+        let warmup = Instant::now();
+        let mut one = Duration::ZERO;
+        for _ in 0..3 {
+            let t = Instant::now();
+            std::hint::black_box(routine());
+            one = t.elapsed();
+            if warmup.elapsed() > TIME_BUDGET / 4 {
+                break;
+            }
+        }
+        // Inner reps so that very fast routines are measurable above
+        // timer resolution.
+        let reps = if one < Duration::from_micros(25) {
+            (Duration::from_micros(50).as_nanos() / one.as_nanos().max(1)).clamp(1, 10_000) as u32
+        } else {
+            1
+        };
+        let started = Instant::now();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..reps {
+                std::hint::black_box(routine());
+            }
+            self.samples.push(t.elapsed() / reps);
+            if started.elapsed() > TIME_BUDGET {
+                break;
+            }
+        }
+    }
+
+    /// Times `routine` over fresh inputs from `setup` (setup excluded
+    /// from measurement).
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        std::hint::black_box(routine(setup()));
+        let started = Instant::now();
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let t = Instant::now();
+            std::hint::black_box(routine(input));
+            self.samples.push(t.elapsed());
+            if started.elapsed() > TIME_BUDGET {
+                break;
+            }
+        }
+    }
+}
+
+fn report(group: &str, bench: &str, throughput: Option<Throughput>, samples: &[Duration]) {
+    let full = if group.is_empty() {
+        bench.to_string()
+    } else {
+        format!("{group}/{bench}")
+    };
+    if samples.is_empty() {
+        println!("{full:<44} no samples collected");
+        return;
+    }
+    let mut sorted: Vec<u128> = samples.iter().map(Duration::as_nanos).collect();
+    sorted.sort_unstable();
+    let median = sorted[sorted.len() / 2];
+    let min = sorted[0];
+    let mean = sorted.iter().sum::<u128>() / sorted.len() as u128;
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => format!(" {:>10}/s", si(n as f64 / (median as f64 * 1e-9))),
+        Throughput::Bytes(n) => format!(" {:>9}B/s", si(n as f64 / (median as f64 * 1e-9))),
+    });
+    println!(
+        "{full:<44} median {:>12} mean {:>12} min {:>12}{}",
+        fmt_ns(median),
+        fmt_ns(mean),
+        fmt_ns(min),
+        rate.unwrap_or_default(),
+    );
+    if let Ok(path) = std::env::var("MENOS_BENCH_JSON") {
+        if let Ok(mut f) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+        {
+            let _ = writeln!(
+                f,
+                "{{\"group\":\"{group}\",\"bench\":\"{bench}\",\"median_ns\":{median},\
+                 \"mean_ns\":{mean},\"min_ns\":{min},\"samples\":{}}}",
+                sorted.len(),
+            );
+        }
+    }
+}
+
+fn fmt_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+fn si(v: f64) -> String {
+    if v >= 1e9 {
+        format!("{:.2} G", v / 1e9)
+    } else if v >= 1e6 {
+        format!("{:.2} M", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.2} K", v / 1e3)
+    } else {
+        format!("{v:.1} ")
+    }
+}
+
+/// Groups benchmark functions into one runnable entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($f:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($f(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_api_surfaces_run() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("stub");
+        group.throughput(Throughput::Elements(100));
+        group.sample_size(5);
+        group.bench_function("iter", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::new("with_input", 3), &3, |b, &x| {
+            b.iter_batched(
+                || vec![x; 10],
+                |v| v.iter().sum::<i32>(),
+                BatchSize::SmallInput,
+            )
+        });
+        group.finish();
+        c.bench_function("top_level", |b| b.iter(|| 2 * 2));
+    }
+}

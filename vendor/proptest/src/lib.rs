@@ -1,0 +1,650 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API this workspace's property
+//! tests use: the [`proptest!`] macro, [`Strategy`] with `prop_map`,
+//! ranges / tuples / [`Just`] / string character-class patterns as
+//! strategies, `prop::collection::vec`, `prop::sample::Index`,
+//! [`prop_oneof!`], `any::<T>()`, and `prop_assert*` macros.
+//!
+//! Differences from the real crate, by design:
+//!
+//! * **No shrinking.** A failing case panics with the generated inputs
+//!   Debug-printed in the message instead of reporting a minimal
+//!   counterexample.
+//! * **Deterministic seeding.** Cases derive from a fixed per-test seed
+//!   (FNV-1a of the test's module path and name), so failures reproduce
+//!   exactly across runs and machines. `*.proptest-regressions` files
+//!   are ignored.
+//! * Default case count is 64 (real default: 256), keeping the suite
+//!   fast in CI; override per-block with
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]`.
+
+use std::fmt::Debug;
+
+// ----------------------------------------------------------------------
+// Deterministic RNG
+// ----------------------------------------------------------------------
+
+/// The generator driving case construction (SplitMix64).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from a raw seed.
+    pub fn new(seed: u64) -> Self {
+        TestRng {
+            state: seed ^ 0x5851_F42D_4C95_7F2D,
+        }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)` at f64 precision.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in `0..n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0)");
+        self.next_u64() % n
+    }
+}
+
+/// Error type property bodies may `return Err(..)` with (the stand-in
+/// for `proptest::test_runner::TestCaseError`).
+#[derive(Clone, Debug)]
+pub struct TestCaseError(pub String);
+
+/// FNV-1a hash used to derive stable per-test seeds.
+pub fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+// ----------------------------------------------------------------------
+// Config
+// ----------------------------------------------------------------------
+
+pub mod test_runner {
+    //! Test-runner configuration.
+
+    /// Controls how many random cases each property runs.
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 64 }
+        }
+    }
+}
+
+/// The name the real crate's prelude exports the runner config under.
+pub type ProptestConfig = test_runner::Config;
+
+// ----------------------------------------------------------------------
+// Strategy
+// ----------------------------------------------------------------------
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases this strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<V>(Box<dyn DynStrategy<V>>);
+
+trait DynStrategy<V> {
+    fn generate_dyn(&self, rng: &mut TestRng) -> V;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        self.0.generate_dyn(rng)
+    }
+}
+
+/// Uniform choice between several boxed strategies — the engine behind
+/// [`prop_oneof!`].
+pub struct Union<V>(Vec<BoxedStrategy<V>>);
+
+impl<V> Union<V> {
+    /// Builds a union over `arms` (picked with equal probability).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arms` is empty.
+    pub fn new(arms: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! of zero strategies");
+        Union(arms)
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let i = rng.below(self.0.len() as u64) as usize;
+        self.0[i].generate(rng)
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+// Numeric ranges as strategies.
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "strategy on empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "strategy on empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = (rng.next_u64() as u128) % span;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "strategy on empty range");
+                self.start + (self.end - self.start) * rng.unit_f64() as $t
+            }
+        }
+    )*};
+}
+
+float_range_strategy!(f32, f64);
+
+// Tuples of strategies.
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+
+// String patterns: the `"[class]{lo,hi}"` regex subset.
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (chars, lo, hi) = parse_class_pattern(self).unwrap_or_else(|| {
+            panic!(
+                "the proptest stand-in supports only \"[chars]{{lo,hi}}\" string \
+                 patterns, got {self:?}"
+            )
+        });
+        let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+        (0..len)
+            .map(|_| chars[rng.below(chars.len() as u64) as usize])
+            .collect()
+    }
+}
+
+/// Parses `[a-z 0-9_]{lo,hi}` into (alphabet, lo, hi).
+fn parse_class_pattern(pat: &str) -> Option<(Vec<char>, usize, usize)> {
+    let rest = pat.strip_prefix('[')?;
+    let (class, rest) = rest.split_once(']')?;
+    let rest = rest.strip_prefix('{')?;
+    let counts = rest.strip_suffix('}')?;
+    let (lo, hi) = counts.split_once(',')?;
+    let lo: usize = lo.trim().parse().ok()?;
+    let hi: usize = hi.trim().parse().ok()?;
+    if hi < lo {
+        return None;
+    }
+    let mut chars = Vec::new();
+    let cs: Vec<char> = class.chars().collect();
+    let mut i = 0;
+    while i < cs.len() {
+        if i + 2 < cs.len() && cs[i + 1] == '-' {
+            let (a, b) = (cs[i], cs[i + 2]);
+            if a > b {
+                return None;
+            }
+            for c in a..=b {
+                chars.push(c);
+            }
+            i += 3;
+        } else {
+            chars.push(cs[i]);
+            i += 1;
+        }
+    }
+    if chars.is_empty() {
+        return None;
+    }
+    Some((chars, lo, hi))
+}
+
+// ----------------------------------------------------------------------
+// any::<T>() / Arbitrary
+// ----------------------------------------------------------------------
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// The canonical strategy for this type.
+    type Strategy: Strategy<Value = Self>;
+    /// Builds the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `T` (`any::<bool>()`, etc.).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Generator-backed strategy used for `Arbitrary` impls.
+pub struct FnStrategy<V>(fn(&mut TestRng) -> V);
+
+impl<V> Strategy for FnStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        (self.0)(rng)
+    }
+}
+
+macro_rules! arbitrary_via {
+    ($t:ty, $f:expr) => {
+        impl Arbitrary for $t {
+            type Strategy = FnStrategy<$t>;
+            fn arbitrary() -> Self::Strategy {
+                FnStrategy($f)
+            }
+        }
+    };
+}
+
+arbitrary_via!(bool, |rng| rng.next_u64() & 1 == 1);
+arbitrary_via!(u8, |rng| rng.next_u64() as u8);
+arbitrary_via!(u16, |rng| rng.next_u64() as u16);
+arbitrary_via!(u32, |rng| rng.next_u64() as u32);
+arbitrary_via!(u64, |rng| rng.next_u64());
+arbitrary_via!(usize, |rng| rng.next_u64() as usize);
+arbitrary_via!(i32, |rng| rng.next_u64() as i32);
+arbitrary_via!(i64, |rng| rng.next_u64() as i64);
+arbitrary_via!(f32, |rng| (rng.unit_f64() * 2.0 - 1.0) as f32 * 1e6);
+arbitrary_via!(f64, |rng| (rng.unit_f64() * 2.0 - 1.0) * 1e6);
+
+// ----------------------------------------------------------------------
+// prop:: modules
+// ----------------------------------------------------------------------
+
+pub mod prop {
+    //! The `prop::` namespace mirrored from the real crate.
+
+    pub mod collection {
+        //! Collection strategies.
+
+        use crate::{Strategy, TestRng};
+
+        /// Size specification for [`vec`]: a fixed size or a range.
+        pub struct SizeRange {
+            lo: usize,
+            hi: usize, // exclusive
+        }
+
+        impl From<usize> for SizeRange {
+            fn from(n: usize) -> Self {
+                SizeRange { lo: n, hi: n + 1 }
+            }
+        }
+
+        impl From<core::ops::Range<usize>> for SizeRange {
+            fn from(r: core::ops::Range<usize>) -> Self {
+                assert!(r.start < r.end, "empty vec size range");
+                SizeRange {
+                    lo: r.start,
+                    hi: r.end,
+                }
+            }
+        }
+
+        impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+            fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+                SizeRange {
+                    lo: *r.start(),
+                    hi: *r.end() + 1,
+                }
+            }
+        }
+
+        /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+
+        /// See [`vec`].
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let span = (self.size.hi - self.size.lo) as u64;
+                let len = self.size.lo + rng.below(span.max(1)) as usize;
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+
+    pub mod sample {
+        //! Sampling helpers.
+
+        use crate::{Arbitrary, FnStrategy};
+
+        /// An index into a collection whose size is unknown at
+        /// generation time; resolve with [`Index::index`].
+        #[derive(Clone, Copy, Debug)]
+        pub struct Index(pub(crate) u64);
+
+        impl Index {
+            /// Maps this abstract index into `0..size`.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `size == 0`.
+            pub fn index(&self, size: usize) -> usize {
+                assert!(size > 0, "Index::index(0)");
+                (self.0 % size as u64) as usize
+            }
+        }
+
+        impl Arbitrary for Index {
+            type Strategy = FnStrategy<Index>;
+            fn arbitrary() -> Self::Strategy {
+                FnStrategy(|rng| Index(rng.next_u64()))
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Macros
+// ----------------------------------------------------------------------
+
+/// Defines property tests. See the crate docs for the supported shape.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ @cfg($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            let seed = $crate::fnv1a(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..config.cases {
+                let mut __rng = $crate::TestRng::new(
+                    seed ^ (u64::from(case)).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                );
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)*
+                // One closure per case so bodies may `return Ok(())`
+                // early, as under the real proptest runner.
+                let run = || -> ::core::result::Result<(), $crate::TestCaseError> {
+                    $body
+                    Ok(())
+                };
+                if let Err(e) = run() {
+                    panic!("property rejected the case: {e:?}");
+                }
+            }
+        }
+    )*};
+}
+
+/// Asserts a condition inside a property, reporting the failing case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            panic!($($fmt)*);
+        }
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            a == b,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            a,
+            b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, $($fmt)*);
+    }};
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            a != b,
+            "assertion failed: `(left != right)`\n  both: `{:?}`",
+            a
+        );
+    }};
+}
+
+/// Uniform random choice between strategies yielding the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+pub mod prelude {
+    //! Glob-import surface matching `proptest::prelude::*`.
+
+    pub use crate::prop;
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let mut rng = crate::TestRng::new(1);
+        for _ in 0..1000 {
+            let v = Strategy::generate(&(3usize..10), &mut rng);
+            assert!((3..10).contains(&v));
+            let (a, b) = Strategy::generate(&(0u64..5, -1.0f32..1.0), &mut rng);
+            assert!(a < 5 && (-1.0..1.0).contains(&b));
+            let inc = Strategy::generate(&(1u64..=6), &mut rng);
+            assert!((1..=6).contains(&inc));
+        }
+    }
+
+    #[test]
+    fn vec_and_string_strategies() {
+        let mut rng = crate::TestRng::new(2);
+        for _ in 0..500 {
+            let v = Strategy::generate(&prop::collection::vec(-1.0f32..1.0, 1..8), &mut rng);
+            assert!((1..8).contains(&v.len()));
+            let s = Strategy::generate(&"[a-z ]{1,12}", &mut rng);
+            assert!((1..=12).contains(&s.len()));
+            assert!(s.chars().all(|c| c == ' ' || c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn oneof_and_map_cover_all_arms() {
+        let mut rng = crate::TestRng::new(3);
+        let strat = prop_oneof![(0u64..1).prop_map(|_| "lo"), (0u64..1).prop_map(|_| "hi"),];
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            seen.insert(Strategy::generate(&strat, &mut rng));
+        }
+        assert_eq!(seen.len(), 2);
+    }
+
+    #[test]
+    fn index_resolves_in_bounds() {
+        let mut rng = crate::TestRng::new(4);
+        for _ in 0..100 {
+            let idx = Strategy::generate(&any::<prop::sample::Index>(), &mut rng);
+            assert!(idx.index(7) < 7);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_binds_and_runs(a in 0usize..10, b in -1.0f32..1.0) {
+            prop_assert!(a < 10);
+            prop_assert!((-1.0..1.0).contains(&b));
+            prop_assert_eq!(a, a);
+            prop_assert_ne!(b - 1.5, b);
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on config types for
+//! forward compatibility but never links a serialization format crate
+//! (the TCP layer hand-rolls its binary config encoding). The traits
+//! here are therefore deliberately empty markers, and the `derive`
+//! feature provides no-op derive macros — enough for every current use,
+//! and a loud compile error the moment something actually needs a real
+//! data-format integration.
+
+/// Marker for types that declare themselves serializable.
+pub trait Serialize {}
+
+/// Marker for types that declare themselves deserializable.
+pub trait Deserialize {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,42 @@
+//! No-op `Serialize`/`Deserialize` derive macros for the vendored
+//! `serde` stand-in: they emit an empty marker-trait impl for the
+//! derived type.
+//!
+//! Written against `proc_macro` alone (no `syn`/`quote`, which are not
+//! available offline). Supports plain (non-generic) structs and enums,
+//! which covers every derive site in this workspace.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type name following the `struct`/`enum` keyword.
+fn type_name(input: TokenStream) -> String {
+    let mut iter = input.into_iter();
+    while let Some(tt) = iter.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let kw = id.to_string();
+            if kw == "struct" || kw == "enum" {
+                match iter.next() {
+                    Some(TokenTree::Ident(name)) => return name.to_string(),
+                    other => panic!("unsupported derive input after `{kw}`: {other:?}"),
+                }
+            }
+        }
+    }
+    panic!("derive input contains no struct or enum");
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Deserialize for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
