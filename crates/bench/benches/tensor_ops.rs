@@ -71,6 +71,7 @@ fn bench_nn_primitives(c: &mut Criterion) {
         b.iter(|| big.layer_norm(&gamma_big, &beta_big, 1e-5))
     });
     group.bench_function("gelu_8x128x512", |b| b.iter(|| big.gelu()));
+    group.bench_function("gelu_exact_8x128x512", |b| b.iter(|| big.gelu_exact()));
     group.finish();
 }
 

@@ -60,6 +60,9 @@ pub use policy::MemoryPolicy;
 pub use profiler::{probe_with_random_input, profile_client, MemoryDemands};
 pub use runtime::{jain_fairness, run_experiment, run_experiment_traced, RunReport};
 pub use scheduler::{Decision, OpKind, Request, SchedPolicy, Scheduler};
-pub use server::{MenosServer, ServeError};
+pub use server::MenosServer;
+// The serving façade reports errors through the unified protocol
+// taxonomy; re-exported so embedders don't need menos-split in scope.
+pub use menos_split::ProtocolError;
 pub use sharing::SharedBaseRegistry;
 pub use workload::{ClientDevice, LinkSpec, ServerMode, ServerSpec, WorkloadSpec};

@@ -3,47 +3,28 @@
 //!
 //! The timed multi-client behaviour (scheduling, memory) is the
 //! simulated runtime's job; this façade is the *real-engine* server a
-//! deployment embeds — the TCP layer in `menos-split` and the examples
-//! drive the same session objects this server manages.
+//! deployment embeds. It implements `menos-split`'s
+//! [`MessageHandler`], so any [`Transport`]-driven
+//! [`serve_loop`](menos_split::serve_loop) — in-memory channels, the
+//! simulated WAN, or real TCP sockets — pumps messages into the same
+//! state machine; the per-session forward/backward step is
+//! [`dispatch_session`], shared with the in-process driver.
+//!
+//! [`Transport`]: menos_split::Transport
 
 use std::collections::HashMap;
 
-use bytes::Bytes;
-
 use menos_adapters::FineTuneConfig;
 use menos_models::ModelConfig;
-use menos_net::{decode_tensor, encode_tensor};
-use menos_split::{ClientId, ClientMessage, ForwardMode, ServerMessage, ServerSession, SplitSpec};
+use menos_split::{
+    dispatch_session, ClientId, ClientMessage, ForwardMode, MessageHandler, ProtocolError,
+    ServerMessage, ServerSession, SplitSpec,
+};
+use menos_tensor::ParamStore;
 
 use crate::profiler::{profile_client, MemoryDemands};
 use crate::sharing::SharedBaseRegistry;
 use crate::workload::ServerSpec;
-
-/// Errors the serving façade reports to its transport.
-#[derive(Debug)]
-pub enum ServeError {
-    /// The client is not connected (or already disconnected).
-    UnknownClient(ClientId),
-    /// A tensor frame failed to decode.
-    BadFrame(String),
-    /// Protocol order violated (e.g. gradients before activations).
-    Protocol(String),
-    /// The client's configuration is invalid or unschedulable.
-    Rejected(String),
-}
-
-impl std::fmt::Display for ServeError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            ServeError::UnknownClient(c) => write!(f, "unknown client {c}"),
-            ServeError::BadFrame(m) => write!(f, "bad tensor frame: {m}"),
-            ServeError::Protocol(m) => write!(f, "protocol violation: {m}"),
-            ServeError::Rejected(m) => write!(f, "client rejected: {m}"),
-        }
-    }
-}
-
-impl std::error::Error for ServeError {}
 
 struct ClientState {
     session: ServerSession,
@@ -59,7 +40,7 @@ struct ClientState {
 /// use menos_adapters::FineTuneConfig;
 /// use menos_core::{MenosServer, ServerMode, ServerSpec};
 /// use menos_models::ModelConfig;
-/// use menos_split::{ClientId, ClientMessage, SplitSpec};
+/// use menos_split::{ClientId, ClientMessage, MessageHandler, SplitSpec};
 ///
 /// let config = ModelConfig::tiny_llama(16);
 /// let mut server = MenosServer::new(config.clone(), ServerSpec::v100(ServerMode::menos()), 1);
@@ -88,8 +69,24 @@ impl MenosServer {
     /// Creates a server: loads the base model once (the registry) and
     /// prepares to admit clients against `spec`'s memory budget.
     pub fn new(config: ModelConfig, spec: ServerSpec, seed: u64) -> Self {
+        Self::with_registry(SharedBaseRegistry::initialize(config, seed), spec, seed)
+    }
+
+    /// Creates a server around pre-existing base parameters (e.g. a
+    /// store the test harness also binds its clients to, so both sides
+    /// share one model without re-deriving it from the seed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` does not contain every parameter `config`
+    /// requires (delegated to the registry's validation).
+    pub fn from_store(config: ModelConfig, base: ParamStore, spec: ServerSpec, seed: u64) -> Self {
+        Self::with_registry(SharedBaseRegistry::from_store(config, base), spec, seed)
+    }
+
+    fn with_registry(registry: SharedBaseRegistry, spec: ServerSpec, seed: u64) -> Self {
         MenosServer {
-            registry: SharedBaseRegistry::initialize(config, seed),
+            registry,
             spec,
             mode: ForwardMode::NoGradReforward,
             clients: HashMap::new(),
@@ -123,58 +120,30 @@ impl MenosServer {
     ///
     /// # Errors
     ///
-    /// Returns [`ServeError`] on unknown clients, undecodable frames,
-    /// protocol-order violations, or rejected configurations. Errors
-    /// are scoped to the offending client; other clients are
+    /// Returns [`ProtocolError`] on unknown clients, undecodable
+    /// frames, protocol-order violations, or rejected configurations.
+    /// Errors are scoped to the offending client; other clients are
     /// unaffected.
-    pub fn handle(&mut self, msg: ClientMessage) -> Result<Option<ServerMessage>, ServeError> {
+    pub fn handle(&mut self, msg: ClientMessage) -> Result<Option<ServerMessage>, ProtocolError> {
         match msg {
             ClientMessage::Connect { client, ft, split } => {
                 self.connect(client, ft, split)?;
                 Ok(Some(ServerMessage::Ready { client }))
             }
-            ClientMessage::Activations { client, frame } => {
+            ClientMessage::Disconnect { client } => {
+                self.clients
+                    .remove(&client)
+                    .ok_or(ProtocolError::UnknownClient(client))?;
+                Ok(None)
+            }
+            tensor_msg => {
+                let client = tensor_msg.client();
                 let mode = self.mode;
                 let state = self
                     .clients
                     .get_mut(&client)
-                    .ok_or(ServeError::UnknownClient(client))?;
-                let x_c = decode(&frame)?;
-                let x_s = match mode {
-                    ForwardMode::Cached => state.session.forward_cached(&x_c),
-                    ForwardMode::NoGradReforward => state.session.forward_nograd(&x_c),
-                };
-                Ok(Some(ServerMessage::ServerActivations {
-                    client,
-                    frame: encode_tensor(&x_s),
-                }))
-            }
-            ClientMessage::Gradients { client, frame } => {
-                let state = self
-                    .clients
-                    .get_mut(&client)
-                    .ok_or(ServeError::UnknownClient(client))?;
-                let g_c = decode(&frame)?;
-                // `backward` panics on protocol misuse (no preceding
-                // forward); convert that into a recoverable transport
-                // error. The session mutates nothing before the check,
-                // so unwinding leaves it consistent.
-                let g_s = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    state.session.backward(&g_c)
-                }))
-                .map_err(|_| {
-                    ServeError::Protocol("gradients received before activations".into())
-                })?;
-                Ok(Some(ServerMessage::ServerGradients {
-                    client,
-                    frame: encode_tensor(&g_s),
-                }))
-            }
-            ClientMessage::Disconnect { client } => {
-                self.clients
-                    .remove(&client)
-                    .ok_or(ServeError::UnknownClient(client))?;
-                Ok(None)
+                    .ok_or(ProtocolError::UnknownClient(client))?;
+                dispatch_session(&mut state.session, mode, &tensor_msg).map(Some)
             }
         }
     }
@@ -184,10 +153,15 @@ impl MenosServer {
         client: ClientId,
         ft: FineTuneConfig,
         split: SplitSpec,
-    ) -> Result<(), ServeError> {
+    ) -> Result<(), ProtocolError> {
+        if self.clients.contains_key(&client) {
+            return Err(ProtocolError::Rejected(format!(
+                "{client} is already connected"
+            )));
+        }
         let config = self.registry.config().clone();
-        ft.validate(&config).map_err(ServeError::Rejected)?;
-        split.validate(&config).map_err(ServeError::Rejected)?;
+        ft.validate(&config).map_err(ProtocolError::Rejected)?;
+        split.validate(&config).map_err(ProtocolError::Rejected)?;
         // Profiling + admission (§3.3): reject demands that could never
         // be scheduled. For the tiny real engine the budget check uses
         // the profile of THIS config, so oversized batches are caught.
@@ -195,7 +169,7 @@ impl MenosServer {
         let demands = profile_client(&profile, &ft);
         let pool = self.spec.total_gpu_bytes();
         if demands.m_b > pool {
-            return Err(ServeError::Rejected(format!(
+            return Err(ProtocolError::Rejected(format!(
                 "profiled backward demand {} exceeds GPU pool {pool}",
                 demands.m_b
             )));
@@ -215,14 +189,18 @@ impl MenosServer {
     }
 }
 
-fn decode(frame: &Bytes) -> Result<menos_tensor::Tensor, ServeError> {
-    decode_tensor(frame).map_err(|e| ServeError::BadFrame(e.to_string()))
+impl MessageHandler for MenosServer {
+    fn handle(&mut self, msg: ClientMessage) -> Result<Option<ServerMessage>, ProtocolError> {
+        MenosServer::handle(self, msg)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::workload::ServerMode;
+    use bytes::Bytes;
+    use menos_net::{decode_tensor, encode_tensor, WireError};
     use menos_tensor::Tensor;
 
     fn server() -> (MenosServer, FineTuneConfig) {
@@ -294,7 +272,7 @@ mod tests {
                 frame: frame(&Tensor::zeros([1, 1, 64])),
             })
             .unwrap_err();
-        assert!(matches!(err, ServeError::UnknownClient(_)));
+        assert!(matches!(err, ProtocolError::UnknownClient(_)));
         assert!(err.to_string().contains("unknown client"));
     }
 
@@ -314,7 +292,7 @@ mod tests {
                 frame: Bytes::from_static(b"garbage"),
             })
             .unwrap_err();
-        assert!(matches!(err, ServeError::BadFrame(_)));
+        assert!(matches!(err, ProtocolError::Wire(WireError::Truncated)));
         // The client remains connected and serviceable.
         let x_c = Tensor::full(0.1, [2, 8, 64]);
         assert!(srv
@@ -341,7 +319,7 @@ mod tests {
                 frame: frame(&Tensor::zeros([2, 8, 64])),
             })
             .unwrap_err();
-        assert!(matches!(err, ServeError::Protocol(_)));
+        assert!(matches!(err, ProtocolError::OutOfOrder(_)));
     }
 
     #[test]
@@ -355,8 +333,24 @@ mod tests {
                 split: SplitSpec::paper(),
             })
             .unwrap_err();
-        assert!(matches!(err, ServeError::Rejected(_)));
+        assert!(matches!(err, ProtocolError::Rejected(_)));
         assert_eq!(srv.active_clients(), 0);
+    }
+
+    #[test]
+    fn duplicate_connect_rejected() {
+        let (mut srv, ft) = server();
+        let c = ClientId(0);
+        let connect = ClientMessage::Connect {
+            client: c,
+            ft,
+            split: SplitSpec::paper(),
+        };
+        srv.handle(connect.clone()).unwrap();
+        let err = srv.handle(connect).unwrap_err();
+        assert!(matches!(err, ProtocolError::Rejected(_)), "{err}");
+        // The original session is untouched.
+        assert_eq!(srv.active_clients(), 1);
     }
 
     #[test]
@@ -372,5 +366,15 @@ mod tests {
         }
         assert_eq!(srv.active_clients(), 3);
         assert_eq!(srv.registry().instances_created(), 3);
+    }
+
+    #[test]
+    fn from_store_shares_the_given_base() {
+        let config = ModelConfig::tiny_opt(17);
+        let mut rng = menos_sim::seeded_rng(5, "base-model");
+        let base = menos_models::init_params(&config, &mut rng);
+        let srv = MenosServer::from_store(config, base, ServerSpec::v100(ServerMode::menos()), 5);
+        assert_eq!(srv.active_clients(), 0);
+        assert!(srv.registry().base_bytes() > 0);
     }
 }

@@ -27,4 +27,8 @@ mod link;
 mod wire;
 
 pub use link::WanLink;
-pub use wire::{decode_tensor, encode_tensor, wire_size, WireError};
+pub use wire::{
+    decode_frame, decode_tensor, encode_frame, encode_frame_header, encode_tensor,
+    read_frame_bytes, wire_size, FrameError, WireError, DEFAULT_MAX_FRAME, FRAME_HEADER_BYTES,
+    WIRE_VERSION,
+};

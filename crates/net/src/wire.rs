@@ -1,41 +1,237 @@
-//! Tensor wire format.
+//! The split-protocol wire format: tensor payloads and versioned
+//! protocol frames.
 //!
 //! Split learning exchanges real tensors (activations and gradients)
 //! between client and server. Serializing them to an explicit byte
 //! format keeps message sizes honest — the simulated link charges for
 //! exactly the bytes a real deployment would move.
 //!
-//! Layout (little-endian): `u32` magic, `u32` rank, `u64` dims…,
-//! `f32` data….
+//! Two layers live here:
+//!
+//! * **Tensor payloads** ([`encode_tensor`] / [`decode_tensor`]):
+//!   `u32` magic, `u32` rank, `u64` dims…, `f32` data… (little-endian).
+//! * **Protocol frames** ([`encode_frame`] / [`decode_frame`] /
+//!   [`read_frame_bytes`]): a fixed 18-byte header — `u32` magic,
+//!   `u8` version, `u8` message kind, `u64` client id, `u32` payload
+//!   length — followed by the payload. The header is validated (and
+//!   the declared length checked against a configurable cap) *before*
+//!   any payload allocation, so a hostile length prefix cannot OOM a
+//!   server.
+
+use std::io;
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 use menos_tensor::Tensor;
 
 const MAGIC: u32 = 0x4d4e_5331; // "MNS1"
+const FRAME_MAGIC: u32 = 0x4d4e_5031; // "MNP1"
 
-/// Errors decoding a tensor from the wire.
+/// Version byte stamped into every protocol frame header.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Bytes of the fixed protocol frame header: magic (4), version (1),
+/// kind (1), client id (8), payload length (4).
+pub const FRAME_HEADER_BYTES: u64 = 18;
+
+/// Default cap on a single frame's payload (64 MiB) — far above any
+/// activation tensor the tiny real engine moves, far below an
+/// allocation that could hurt the host.
+pub const DEFAULT_MAX_FRAME: usize = 64 << 20;
+
+/// Errors decoding a frame or tensor from the wire.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum WireError {
     /// Message too short for the declared layout.
     Truncated,
-    /// Magic number mismatch — not a tensor frame.
+    /// Magic number mismatch — not a tensor/protocol frame.
     BadMagic(u32),
     /// Declared shape is implausibly large.
     Oversized(u64),
+    /// Frame version this codec does not speak.
+    BadVersion(u8),
+    /// Message kind byte not in the protocol.
+    UnknownKind(u8),
+    /// Declared payload length exceeds the configured cap.
+    TooLarge {
+        /// Length the peer declared.
+        declared: u64,
+        /// The configured maximum.
+        max: u64,
+    },
+    /// Payload present but structurally invalid.
+    Malformed(String),
 }
 
 impl std::fmt::Display for WireError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            WireError::Truncated => write!(f, "truncated tensor frame"),
+            WireError::Truncated => write!(f, "truncated frame"),
             WireError::BadMagic(m) => write!(f, "bad magic {m:#010x}"),
             WireError::Oversized(n) => write!(f, "declared element count {n} too large"),
+            WireError::BadVersion(v) => write!(f, "unsupported wire version {v}"),
+            WireError::UnknownKind(k) => write!(f, "unknown message kind {k}"),
+            WireError::TooLarge { declared, max } => {
+                write!(f, "declared frame length {declared} exceeds cap {max}")
+            }
+            WireError::Malformed(m) => write!(f, "malformed payload: {m}"),
         }
     }
 }
 
 impl std::error::Error for WireError {}
+
+/// Errors reading a frame from a byte stream: either the transport
+/// failed ([`FrameError::Io`]) or the peer sent bytes that do not
+/// decode ([`FrameError::Wire`]).
+#[derive(Debug)]
+pub enum FrameError {
+    /// The underlying reader failed.
+    Io(io::Error),
+    /// The bytes read do not form a valid frame.
+    Wire(WireError),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "frame i/o error: {e}"),
+            FrameError::Wire(e) => write!(f, "frame decode error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FrameError::Io(e) => Some(e),
+            FrameError::Wire(e) => Some(e),
+        }
+    }
+}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+impl From<WireError> for FrameError {
+    fn from(e: WireError) -> Self {
+        FrameError::Wire(e)
+    }
+}
+
+/// Serializes just a protocol frame header. Exposed so fault-injection
+/// tests can fabricate hostile headers (e.g. an absurd declared
+/// length) without reimplementing the layout.
+pub fn encode_frame_header(kind: u8, client: u64, payload_len: u32) -> Bytes {
+    let mut buf = BytesMut::with_capacity(FRAME_HEADER_BYTES as usize);
+    buf.put_u32_le(FRAME_MAGIC);
+    buf.put_u8(WIRE_VERSION);
+    buf.put_u8(kind);
+    buf.put_u64_le(client);
+    buf.put_u32_le(payload_len);
+    buf.freeze()
+}
+
+/// Serializes a complete protocol frame: header + payload.
+///
+/// # Panics
+///
+/// Panics if the payload exceeds `u32::MAX` bytes (no real message
+/// comes within orders of magnitude of that).
+pub fn encode_frame(kind: u8, client: u64, payload: &[u8]) -> Bytes {
+    let len = u32::try_from(payload.len()).expect("payload exceeds u32::MAX bytes");
+    let mut buf = BytesMut::with_capacity(FRAME_HEADER_BYTES as usize + payload.len());
+    buf.put_u32_le(FRAME_MAGIC);
+    buf.put_u8(WIRE_VERSION);
+    buf.put_u8(kind);
+    buf.put_u64_le(client);
+    buf.put_u32_le(len);
+    buf.put_slice(payload);
+    buf.freeze()
+}
+
+/// Decodes a complete protocol frame from a contiguous buffer,
+/// returning `(kind, client, payload)`.
+///
+/// # Errors
+///
+/// Rejects truncation at any prefix, bad magic/version, a declared
+/// payload length above `max_frame`, and trailing bytes past the
+/// declared length.
+pub fn decode_frame(bytes: &Bytes, max_frame: usize) -> Result<(u8, u64, Bytes), WireError> {
+    let mut buf = bytes.clone();
+    if buf.remaining() < FRAME_HEADER_BYTES as usize {
+        return Err(WireError::Truncated);
+    }
+    let magic = buf.get_u32_le();
+    if magic != FRAME_MAGIC {
+        return Err(WireError::BadMagic(magic));
+    }
+    let version = buf.get_u8();
+    if version != WIRE_VERSION {
+        return Err(WireError::BadVersion(version));
+    }
+    let kind = buf.get_u8();
+    let client = buf.get_u64_le();
+    let len = buf.get_u32_le() as usize;
+    if len > max_frame {
+        return Err(WireError::TooLarge {
+            declared: len as u64,
+            max: max_frame as u64,
+        });
+    }
+    if buf.remaining() < len {
+        return Err(WireError::Truncated);
+    }
+    if buf.remaining() > len {
+        return Err(WireError::Malformed(format!(
+            "{} trailing bytes after declared payload",
+            buf.remaining() - len
+        )));
+    }
+    let payload = bytes.slice(FRAME_HEADER_BYTES as usize..);
+    Ok((kind, client, payload))
+}
+
+/// Reads one complete protocol frame (header + payload) from a byte
+/// stream, returning the raw frame bytes ready for
+/// [`decode_frame`]. The header is validated and the declared length
+/// checked against `max_frame` **before** the payload buffer is
+/// allocated — a hostile length prefix yields a typed error, not an
+/// allocation.
+///
+/// # Errors
+///
+/// [`FrameError::Io`] on reader failure (including EOF mid-frame);
+/// [`FrameError::Wire`] on bad magic/version or an oversize
+/// declaration.
+pub fn read_frame_bytes(r: &mut impl io::Read, max_frame: usize) -> Result<Bytes, FrameError> {
+    let mut header = [0u8; FRAME_HEADER_BYTES as usize];
+    r.read_exact(&mut header)?;
+    let magic = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
+    if magic != FRAME_MAGIC {
+        return Err(WireError::BadMagic(magic).into());
+    }
+    let version = header[4];
+    if version != WIRE_VERSION {
+        return Err(WireError::BadVersion(version).into());
+    }
+    let len = u32::from_le_bytes(header[14..18].try_into().expect("4 bytes")) as usize;
+    if len > max_frame {
+        return Err(WireError::TooLarge {
+            declared: len as u64,
+            max: max_frame as u64,
+        }
+        .into());
+    }
+    let mut frame = vec![0u8; FRAME_HEADER_BYTES as usize + len];
+    frame[..FRAME_HEADER_BYTES as usize].copy_from_slice(&header);
+    r.read_exact(&mut frame[FRAME_HEADER_BYTES as usize..])?;
+    Ok(Bytes::from(frame))
+}
 
 /// Maximum element count a frame may declare (guards against corrupt
 /// length prefixes).
@@ -189,5 +385,87 @@ mod tests {
         assert!(WireError::Truncated.to_string().contains("truncated"));
         assert!(WireError::BadMagic(1).to_string().contains("magic"));
         assert!(WireError::Oversized(9).to_string().contains("9"));
+        assert!(WireError::BadVersion(9).to_string().contains("version 9"));
+        assert!(WireError::UnknownKind(42).to_string().contains("42"));
+        assert!(WireError::TooLarge {
+            declared: 100,
+            max: 10
+        }
+        .to_string()
+        .contains("100"));
+        assert!(WireError::Malformed("x".into()).to_string().contains("x"));
+    }
+
+    #[test]
+    fn frame_round_trip() {
+        let frame = encode_frame(3, 77, b"hello payload");
+        assert_eq!(frame.len() as u64, FRAME_HEADER_BYTES + 13);
+        let (kind, client, payload) = decode_frame(&frame, DEFAULT_MAX_FRAME).unwrap();
+        assert_eq!(kind, 3);
+        assert_eq!(client, 77);
+        assert_eq!(&payload[..], b"hello payload");
+    }
+
+    #[test]
+    fn frame_rejects_truncation_at_every_prefix() {
+        let frame = encode_frame(1, 5, b"abcdef");
+        for cut in 0..frame.len() {
+            let partial = frame.slice(..cut);
+            assert!(
+                matches!(
+                    decode_frame(&partial, DEFAULT_MAX_FRAME),
+                    Err(WireError::Truncated)
+                ),
+                "cut={cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn frame_rejects_bad_version_and_trailing_bytes() {
+        let frame = encode_frame(1, 5, b"abc");
+        let mut raw = frame.to_vec();
+        raw[4] = 9; // version byte
+        assert!(matches!(
+            decode_frame(&Bytes::from(raw), DEFAULT_MAX_FRAME),
+            Err(WireError::BadVersion(9))
+        ));
+        let mut raw = frame.to_vec();
+        raw.push(0);
+        assert!(matches!(
+            decode_frame(&Bytes::from(raw), DEFAULT_MAX_FRAME),
+            Err(WireError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn frame_rejects_oversize_declaration_without_allocating() {
+        // A hostile header declaring a u32::MAX-byte payload must be
+        // rejected from the 18 header bytes alone.
+        let header = encode_frame_header(2, 0, u32::MAX);
+        let err = decode_frame(&header, DEFAULT_MAX_FRAME).unwrap_err();
+        assert!(matches!(err, WireError::TooLarge { .. }));
+
+        let mut reader = std::io::Cursor::new(header.to_vec());
+        let err = read_frame_bytes(&mut reader, DEFAULT_MAX_FRAME).unwrap_err();
+        assert!(matches!(err, FrameError::Wire(WireError::TooLarge { .. })));
+        // Nothing past the header was consumed.
+        assert_eq!(reader.position(), FRAME_HEADER_BYTES);
+    }
+
+    #[test]
+    fn frame_stream_round_trip() {
+        let a = encode_frame(1, 1, b"first");
+        let b = encode_frame(2, 2, &encode_tensor(&Tensor::zeros([2, 2])));
+        let mut stream = a.to_vec();
+        stream.extend_from_slice(&b);
+        let mut reader = std::io::Cursor::new(stream);
+        let got_a = read_frame_bytes(&mut reader, DEFAULT_MAX_FRAME).unwrap();
+        let got_b = read_frame_bytes(&mut reader, DEFAULT_MAX_FRAME).unwrap();
+        assert_eq!(got_a, a);
+        assert_eq!(got_b, b);
+        // EOF surfaces as an I/O error, not a panic.
+        let err = read_frame_bytes(&mut reader, DEFAULT_MAX_FRAME).unwrap_err();
+        assert!(matches!(err, FrameError::Io(_)));
     }
 }

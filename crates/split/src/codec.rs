@@ -1,0 +1,382 @@
+//! The unified message codec: every [`ClientMessage`] and
+//! [`ServerMessage`] variant has exactly one byte representation,
+//! shared by all transports (in-memory channels, the simulated WAN,
+//! and real sockets).
+//!
+//! A message is a `menos-net` protocol frame: the fixed 18-byte header
+//! carries the message kind and the client id; the payload carries the
+//! variant's body — an encoded tensor for activation/gradient
+//! messages, the fine-tuning configuration for `Connect`, and nothing
+//! for the remaining control messages.
+
+use bytes::Bytes;
+
+use menos_adapters::{AdapterKind, FineTuneConfig, OptimKind};
+use menos_models::{AdapterTarget, LoraSpec};
+use menos_net::{decode_frame, encode_frame, WireError};
+
+use crate::message::{ClientId, ClientMessage, ServerMessage};
+use crate::spec::SplitSpec;
+
+pub(crate) const KIND_CONNECT: u8 = 1;
+pub(crate) const KIND_ACTIVATIONS: u8 = 2;
+pub(crate) const KIND_GRADIENTS: u8 = 3;
+pub(crate) const KIND_DISCONNECT: u8 = 4;
+pub(crate) const KIND_READY: u8 = 17;
+pub(crate) const KIND_SERVER_ACTIVATIONS: u8 = 18;
+pub(crate) const KIND_SERVER_GRADIENTS: u8 = 19;
+
+/// Serializes a client→server message to its wire frame.
+pub fn encode_client_message(msg: &ClientMessage) -> Bytes {
+    match msg {
+        ClientMessage::Connect { client, ft, split } => {
+            encode_frame(KIND_CONNECT, client.0, &encode_config(ft, *split))
+        }
+        ClientMessage::Activations { client, frame } => {
+            encode_frame(KIND_ACTIVATIONS, client.0, frame)
+        }
+        ClientMessage::Gradients { client, frame } => encode_frame(KIND_GRADIENTS, client.0, frame),
+        ClientMessage::Disconnect { client } => encode_frame(KIND_DISCONNECT, client.0, &[]),
+    }
+}
+
+/// Deserializes a client→server message from its wire frame.
+///
+/// # Errors
+///
+/// Rejects truncation at any prefix, bad magic/version, payloads above
+/// `max_frame` bytes, unknown message kinds, and malformed `Connect`
+/// bodies.
+pub fn decode_client_message(bytes: &Bytes, max_frame: usize) -> Result<ClientMessage, WireError> {
+    let (kind, client, payload) = decode_frame(bytes, max_frame)?;
+    let client = ClientId(client);
+    match kind {
+        KIND_CONNECT => {
+            let (ft, split) = decode_config(&payload)?;
+            Ok(ClientMessage::Connect { client, ft, split })
+        }
+        KIND_ACTIVATIONS => Ok(ClientMessage::Activations {
+            client,
+            frame: payload,
+        }),
+        KIND_GRADIENTS => Ok(ClientMessage::Gradients {
+            client,
+            frame: payload,
+        }),
+        KIND_DISCONNECT => {
+            expect_empty(&payload)?;
+            Ok(ClientMessage::Disconnect { client })
+        }
+        other => Err(WireError::UnknownKind(other)),
+    }
+}
+
+/// Serializes a server→client message to its wire frame.
+pub fn encode_server_message(msg: &ServerMessage) -> Bytes {
+    match msg {
+        ServerMessage::Ready { client } => encode_frame(KIND_READY, client.0, &[]),
+        ServerMessage::ServerActivations { client, frame } => {
+            encode_frame(KIND_SERVER_ACTIVATIONS, client.0, frame)
+        }
+        ServerMessage::ServerGradients { client, frame } => {
+            encode_frame(KIND_SERVER_GRADIENTS, client.0, frame)
+        }
+    }
+}
+
+/// Deserializes a server→client message from its wire frame.
+///
+/// # Errors
+///
+/// Same taxonomy as [`decode_client_message`].
+pub fn decode_server_message(bytes: &Bytes, max_frame: usize) -> Result<ServerMessage, WireError> {
+    let (kind, client, payload) = decode_frame(bytes, max_frame)?;
+    let client = ClientId(client);
+    match kind {
+        KIND_READY => {
+            expect_empty(&payload)?;
+            Ok(ServerMessage::Ready { client })
+        }
+        KIND_SERVER_ACTIVATIONS => Ok(ServerMessage::ServerActivations {
+            client,
+            frame: payload,
+        }),
+        KIND_SERVER_GRADIENTS => Ok(ServerMessage::ServerGradients {
+            client,
+            frame: payload,
+        }),
+        other => Err(WireError::UnknownKind(other)),
+    }
+}
+
+fn expect_empty(payload: &Bytes) -> Result<(), WireError> {
+    if payload.is_empty() {
+        Ok(())
+    } else {
+        Err(WireError::Malformed(format!(
+            "{} payload bytes on a control message",
+            payload.len()
+        )))
+    }
+}
+
+// ----------------------------------------------------------------------
+// Connect body: the fine-tuning configuration (self-contained binary
+// layout; serde derives exist on these types but no wire format crate
+// is in the dependency set).
+// ----------------------------------------------------------------------
+
+fn encode_config(ft: &FineTuneConfig, split: SplitSpec) -> Vec<u8> {
+    let mut out = Vec::new();
+    match &ft.adapter {
+        AdapterKind::Lora { spec, targets } => {
+            out.push(0u8);
+            out.extend((spec.rank as u64).to_le_bytes());
+            out.extend(spec.alpha.to_le_bytes());
+            out.extend((spec.targets_per_block as u64).to_le_bytes());
+            out.push(targets.len() as u8);
+            for t in targets {
+                out.push(match t {
+                    AdapterTarget::Q => 0,
+                    AdapterTarget::K => 1,
+                    AdapterTarget::V => 2,
+                    AdapterTarget::O => 3,
+                    AdapterTarget::MlpUp => 4,
+                    AdapterTarget::MlpDown => 5,
+                });
+            }
+        }
+        AdapterKind::Prefix { len } => {
+            out.push(1u8);
+            out.extend((*len as u64).to_le_bytes());
+        }
+    }
+    match ft.optimizer {
+        OptimKind::Adam { lr } => {
+            out.push(0u8);
+            out.extend(lr.to_le_bytes());
+        }
+        OptimKind::Sgd { lr, momentum } => {
+            out.push(1u8);
+            out.extend(lr.to_le_bytes());
+            out.extend(momentum.to_le_bytes());
+        }
+    }
+    out.extend((ft.batch_size as u64).to_le_bytes());
+    out.extend((ft.seq_len as u64).to_le_bytes());
+    out.extend((ft.grad_accumulation as u64).to_le_bytes());
+    out.extend((split.front_layers as u64).to_le_bytes());
+    out
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn u8(&mut self) -> Result<u8, WireError> {
+        let v = *self.buf.get(self.pos).ok_or(WireError::Truncated)?;
+        self.pos += 1;
+        Ok(v)
+    }
+    fn u64(&mut self) -> Result<u64, WireError> {
+        let end = self.pos + 8;
+        let bytes = self.buf.get(self.pos..end).ok_or(WireError::Truncated)?;
+        self.pos = end;
+        Ok(u64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+    }
+    fn f32(&mut self) -> Result<f32, WireError> {
+        let end = self.pos + 4;
+        let bytes = self.buf.get(self.pos..end).ok_or(WireError::Truncated)?;
+        self.pos = end;
+        Ok(f32::from_le_bytes(bytes.try_into().expect("4 bytes")))
+    }
+}
+
+fn decode_config(buf: &[u8]) -> Result<(FineTuneConfig, SplitSpec), WireError> {
+    let mut c = Cursor { buf, pos: 0 };
+    let adapter = match c.u8()? {
+        0 => {
+            let rank = c.u64()? as usize;
+            let alpha = c.f32()?;
+            let targets_per_block = c.u64()? as usize;
+            let n = c.u8()? as usize;
+            let mut targets = Vec::with_capacity(n);
+            for _ in 0..n {
+                targets.push(match c.u8()? {
+                    0 => AdapterTarget::Q,
+                    1 => AdapterTarget::K,
+                    2 => AdapterTarget::V,
+                    3 => AdapterTarget::O,
+                    4 => AdapterTarget::MlpUp,
+                    5 => AdapterTarget::MlpDown,
+                    x => return Err(WireError::Malformed(format!("bad adapter target {x}"))),
+                });
+            }
+            AdapterKind::Lora {
+                spec: LoraSpec {
+                    rank,
+                    alpha,
+                    targets_per_block,
+                },
+                targets,
+            }
+        }
+        1 => AdapterKind::Prefix {
+            len: c.u64()? as usize,
+        },
+        x => return Err(WireError::Malformed(format!("bad adapter kind {x}"))),
+    };
+    let optimizer = match c.u8()? {
+        0 => OptimKind::Adam { lr: c.f32()? },
+        1 => OptimKind::Sgd {
+            lr: c.f32()?,
+            momentum: c.f32()?,
+        },
+        x => return Err(WireError::Malformed(format!("bad optimizer kind {x}"))),
+    };
+    let batch_size = c.u64()? as usize;
+    let seq_len = c.u64()? as usize;
+    let grad_accumulation = c.u64()? as usize;
+    let front_layers = c.u64()? as usize;
+    if c.pos != buf.len() {
+        return Err(WireError::Malformed(format!(
+            "{} trailing bytes after config",
+            buf.len() - c.pos
+        )));
+    }
+    Ok((
+        FineTuneConfig {
+            adapter,
+            optimizer,
+            batch_size,
+            seq_len,
+            grad_accumulation,
+        },
+        SplitSpec::new(front_layers),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use menos_models::ModelConfig;
+    use menos_net::{encode_tensor, DEFAULT_MAX_FRAME};
+    use menos_tensor::Tensor;
+
+    #[test]
+    fn config_round_trip() {
+        let cfg = ModelConfig::tiny_opt(10);
+        let ft = FineTuneConfig::paper(&cfg);
+        let split = SplitSpec::new(2);
+        let (ft2, split2) = decode_config(&encode_config(&ft, split)).unwrap();
+        assert_eq!(ft, ft2);
+        assert_eq!(split, split2);
+
+        let ft = FineTuneConfig {
+            adapter: AdapterKind::Prefix { len: 6 },
+            optimizer: OptimKind::Sgd {
+                lr: 0.1,
+                momentum: 0.5,
+            },
+            batch_size: 3,
+            seq_len: 17,
+            grad_accumulation: 4,
+        };
+        let (ft2, _) = decode_config(&encode_config(&ft, split)).unwrap();
+        assert_eq!(ft, ft2);
+    }
+
+    #[test]
+    fn config_decode_rejects_garbage() {
+        assert!(decode_config(&[]).is_err());
+        assert!(decode_config(&[9, 0, 0]).is_err());
+    }
+
+    #[test]
+    fn all_client_variants_round_trip() {
+        let cfg = ModelConfig::tiny_opt(10);
+        let tensor_frame = encode_tensor(&Tensor::from_vec(vec![1.0, -2.0, 0.5], [3]));
+        let msgs = [
+            ClientMessage::Connect {
+                client: ClientId(3),
+                ft: FineTuneConfig::paper(&cfg),
+                split: SplitSpec::paper(),
+            },
+            ClientMessage::Activations {
+                client: ClientId(4),
+                frame: tensor_frame.clone(),
+            },
+            ClientMessage::Gradients {
+                client: ClientId(5),
+                frame: tensor_frame,
+            },
+            ClientMessage::Disconnect {
+                client: ClientId(6),
+            },
+        ];
+        for msg in msgs {
+            let bytes = encode_client_message(&msg);
+            let back = decode_client_message(&bytes, DEFAULT_MAX_FRAME).unwrap();
+            assert_eq!(back, msg);
+        }
+    }
+
+    #[test]
+    fn all_server_variants_round_trip() {
+        let tensor_frame = encode_tensor(&Tensor::zeros([2, 2]));
+        let msgs = [
+            ServerMessage::Ready {
+                client: ClientId(1),
+            },
+            ServerMessage::ServerActivations {
+                client: ClientId(2),
+                frame: tensor_frame.clone(),
+            },
+            ServerMessage::ServerGradients {
+                client: ClientId(3),
+                frame: tensor_frame,
+            },
+        ];
+        for msg in msgs {
+            let bytes = encode_server_message(&msg);
+            let back = decode_server_message(&bytes, DEFAULT_MAX_FRAME).unwrap();
+            assert_eq!(back, msg);
+        }
+    }
+
+    #[test]
+    fn unknown_kind_rejected() {
+        let frame = menos_net::encode_frame(99, 0, &[]);
+        assert!(matches!(
+            decode_client_message(&frame, DEFAULT_MAX_FRAME),
+            Err(WireError::UnknownKind(99))
+        ));
+        // Kinds are directional: a client kind is not a server kind.
+        let frame = menos_net::encode_frame(KIND_CONNECT, 0, &[]);
+        assert!(matches!(
+            decode_server_message(&frame, DEFAULT_MAX_FRAME),
+            Err(WireError::UnknownKind(KIND_CONNECT))
+        ));
+    }
+
+    #[test]
+    fn control_messages_reject_stray_payloads() {
+        let frame = menos_net::encode_frame(KIND_READY, 0, b"junk");
+        assert!(matches!(
+            decode_server_message(&frame, DEFAULT_MAX_FRAME),
+            Err(WireError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn oversize_frame_rejected_by_cap() {
+        let big = vec![0u8; 1024];
+        let frame = menos_net::encode_frame(KIND_ACTIVATIONS, 0, &big);
+        assert!(matches!(
+            decode_client_message(&frame, 512),
+            Err(WireError::TooLarge { .. })
+        ));
+    }
+}

@@ -9,10 +9,11 @@
 use menos_adapters::{build_optimizer, inject_adapters, FineTuneConfig};
 use menos_data::{LossCurve, TokenDataset};
 use menos_models::{causal_lm_loss, CausalLm};
-use menos_net::{decode_tensor, encode_tensor};
+use menos_net::{decode_tensor, encode_tensor, DEFAULT_MAX_FRAME};
 use menos_sim::seeded_rng;
 
 use crate::client::SplitClient;
+use crate::message::{ClientMessage, ServerMessage};
 use crate::server::ServerSession;
 use crate::spec::SplitSpec;
 
@@ -26,36 +27,72 @@ pub enum ForwardMode {
 }
 
 /// Runs `steps` split fine-tuning iterations between one client and its
-/// server session, round-tripping every tensor through the wire codec
-/// (so the exchanged bytes are exactly what a deployment would move).
+/// server session, round-tripping every message through the unified
+/// codec (so the exchanged bytes are exactly what a deployment would
+/// move) and executing the server side through the same
+/// [`dispatch_session`](crate::protocol::dispatch_session) state
+/// machine every transport-backed server uses.
 ///
 /// Returns the client's loss curve.
+///
+/// # Panics
+///
+/// Panics on a protocol error — with a co-located, well-behaved
+/// client/session pair every message decodes and arrives in order, so
+/// a failure here is a bug, not a runtime condition.
 pub fn run_split_steps(
     client: &mut SplitClient,
     session: &mut ServerSession,
     mode: ForwardMode,
     steps: usize,
 ) -> LossCurve {
+    use crate::codec::{
+        decode_client_message, decode_server_message, encode_client_message, encode_server_message,
+    };
+    use crate::protocol::dispatch_session;
+
+    let id = client.id();
+    // One in-process exchange: encode → decode (the exact wire bytes)
+    // → dispatch through the shared state machine.
+    let exchange = |session: &mut ServerSession, msg: ClientMessage| -> ServerMessage {
+        let msg = decode_client_message(&encode_client_message(&msg), DEFAULT_MAX_FRAME)
+            .expect("client frame");
+        let reply = dispatch_session(session, mode, &msg).expect("server dispatch");
+        decode_server_message(&encode_server_message(&reply), DEFAULT_MAX_FRAME)
+            .expect("server frame")
+    };
+
     for _ in 0..steps {
-        // Step 1: client forward, activations over the wire.
+        // Steps 1+2: client forward; server forward on the decoded
+        // activations, activations back.
         let x_c = client.start_step();
-        let x_c = decode_tensor(&encode_tensor(&x_c)).expect("x_c frame");
-
-        // Step 2: server forward, activations back.
-        let x_s = match mode {
-            ForwardMode::Cached => session.forward_cached(&x_c),
-            ForwardMode::NoGradReforward => session.forward_nograd(&x_c),
+        let reply = exchange(
+            session,
+            ClientMessage::Activations {
+                client: id,
+                frame: encode_tensor(&x_c),
+            },
+        );
+        let ServerMessage::ServerActivations { frame, .. } = reply else {
+            unreachable!("dispatch_session answers activations with activations");
         };
-        let x_s = decode_tensor(&encode_tensor(&x_s)).expect("x_s frame");
+        let x_s = decode_tensor(&frame).expect("x_s payload");
 
-        // Step 3: client loss + gradients over the wire.
+        // Steps 3+4: client loss + gradients over the wire; server
+        // backward (re-forwarding if needed), gradients back, both
+        // sides step their optimizers.
         let (_loss, g_c) = client.receive_server_activations(&x_s);
-        let g_c = decode_tensor(&encode_tensor(&g_c)).expect("g_c frame");
-
-        // Step 4: server backward (re-forwarding if needed), gradients
-        // back, both sides step their optimizers.
-        let g_s = session.backward(&g_c);
-        let g_s = decode_tensor(&encode_tensor(&g_s)).expect("g_s frame");
+        let reply = exchange(
+            session,
+            ClientMessage::Gradients {
+                client: id,
+                frame: encode_tensor(&g_c),
+            },
+        );
+        let ServerMessage::ServerGradients { frame, .. } = reply else {
+            unreachable!("dispatch_session answers gradients with gradients");
+        };
+        let g_s = decode_tensor(&frame).expect("g_s payload");
         client.receive_server_gradients(&g_s);
     }
     client.curve().clone()

@@ -1,0 +1,183 @@
+//! A fault-injecting server-side [`Transport`]: scripts a sequence of
+//! incoming byte frames — valid, truncated, delayed, hostile, or an
+//! abrupt hang-up — and records every reply the state machine sends.
+//!
+//! This exercises the full server stack (codec → [`serve_loop`] →
+//! handler) without sockets, so protocol-robustness tests are
+//! deterministic and instant.
+//!
+//! [`serve_loop`]: crate::protocol::serve_loop
+
+use std::collections::VecDeque;
+use std::time::Duration;
+
+use bytes::Bytes;
+
+use menos_net::{encode_frame_header, DEFAULT_MAX_FRAME};
+
+use crate::message::{ClientMessage, ServerMessage};
+use crate::protocol::{ProtocolError, Transport, WireMessage};
+
+struct Scripted {
+    bytes: Bytes,
+    /// Virtual arrival delay, compared against the deadline on recv.
+    delay: Duration,
+}
+
+/// Scripted server-side transport endpoint
+/// (`Tx = ServerMessage`, `Rx = ClientMessage`).
+///
+/// Push the client's behaviour up front with the `push_*` methods;
+/// when the script runs dry, `recv` reports
+/// [`ProtocolError::Disconnected`] — an abrupt mid-session hang-up.
+pub struct FaultTransport {
+    incoming: VecDeque<Scripted>,
+    sent: Vec<ServerMessage>,
+    deadline: Option<Duration>,
+    max_frame: usize,
+}
+
+impl Default for FaultTransport {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FaultTransport {
+    /// An empty script with the default frame cap.
+    pub fn new() -> Self {
+        FaultTransport {
+            incoming: VecDeque::new(),
+            sent: Vec::new(),
+            deadline: None,
+            max_frame: DEFAULT_MAX_FRAME,
+        }
+    }
+
+    /// Lowers the frame cap this endpoint enforces on decode.
+    pub fn with_max_frame(mut self, max_frame: usize) -> Self {
+        self.max_frame = max_frame;
+        self
+    }
+
+    /// Scripts a well-formed message.
+    pub fn push_message(&mut self, msg: &ClientMessage) {
+        self.push_raw(msg.to_wire());
+    }
+
+    /// Scripts a message truncated to its first `keep` bytes.
+    pub fn push_truncated(&mut self, msg: &ClientMessage, keep: usize) {
+        let full = msg.to_wire();
+        self.push_raw(full.slice(..keep.min(full.len())));
+    }
+
+    /// Scripts a well-formed message that arrives after `delay` of
+    /// virtual time — trips the deadline if one is set.
+    pub fn push_delayed(&mut self, msg: &ClientMessage, delay: Duration) {
+        self.incoming.push_back(Scripted {
+            bytes: msg.to_wire(),
+            delay,
+        });
+    }
+
+    /// Scripts a hostile frame header declaring a `declared`-byte
+    /// payload that never follows.
+    pub fn push_oversize_header(&mut self, declared: u32) {
+        self.push_raw(encode_frame_header(2, 0, declared));
+    }
+
+    /// Scripts arbitrary raw bytes as one incoming frame.
+    pub fn push_raw(&mut self, bytes: impl Into<Bytes>) {
+        self.incoming.push_back(Scripted {
+            bytes: bytes.into(),
+            delay: Duration::ZERO,
+        });
+    }
+
+    /// Every reply the server sent, in order.
+    pub fn sent(&self) -> &[ServerMessage] {
+        &self.sent
+    }
+}
+
+impl Transport for FaultTransport {
+    type Tx = ServerMessage;
+    type Rx = ClientMessage;
+
+    fn send(&mut self, msg: &ServerMessage) -> Result<(), ProtocolError> {
+        self.sent.push(msg.clone());
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<ClientMessage, ProtocolError> {
+        let item = self
+            .incoming
+            .pop_front()
+            .ok_or(ProtocolError::Disconnected)?;
+        if let Some(deadline) = self.deadline {
+            if item.delay > deadline {
+                return Err(ProtocolError::Timeout);
+            }
+        }
+        Ok(ClientMessage::from_wire(&item.bytes, self.max_frame)?)
+    }
+
+    fn set_deadline(&mut self, deadline: Option<Duration>) -> Result<(), ProtocolError> {
+        self.deadline = deadline;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::ClientId;
+    use menos_net::WireError;
+
+    #[test]
+    fn scripted_faults_surface_as_typed_errors() {
+        let disconnect = ClientMessage::Disconnect {
+            client: ClientId(1),
+        };
+        let mut t = FaultTransport::new();
+        t.push_message(&disconnect);
+        t.push_truncated(&disconnect, 5);
+        t.push_oversize_header(u32::MAX);
+        t.push_delayed(&disconnect, Duration::from_secs(60));
+
+        assert!(matches!(t.recv(), Ok(ClientMessage::Disconnect { .. })));
+        assert!(matches!(
+            t.recv(),
+            Err(ProtocolError::Wire(WireError::Truncated))
+        ));
+        assert!(matches!(
+            t.recv(),
+            Err(ProtocolError::Wire(WireError::TooLarge { .. }))
+        ));
+        // No deadline: the delayed frame arrives eventually.
+        assert!(t.recv().is_ok());
+        // Script exhausted: abrupt hang-up.
+        assert!(matches!(t.recv(), Err(ProtocolError::Disconnected)));
+    }
+
+    #[test]
+    fn deadline_trips_on_delayed_frames() {
+        let disconnect = ClientMessage::Disconnect {
+            client: ClientId(1),
+        };
+        let mut t = FaultTransport::new();
+        t.set_deadline(Some(Duration::from_millis(100))).unwrap();
+        t.push_delayed(&disconnect, Duration::from_secs(1));
+        assert!(matches!(t.recv(), Err(ProtocolError::Timeout)));
+    }
+
+    #[test]
+    fn replies_are_recorded() {
+        let mut t = FaultTransport::new();
+        t.send(&ServerMessage::Ready {
+            client: ClientId(2),
+        })
+        .unwrap();
+        assert_eq!(t.sent().len(), 1);
+    }
+}

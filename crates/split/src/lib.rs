@@ -52,17 +52,28 @@
 #![warn(missing_docs)]
 
 mod client;
+mod codec;
 mod driver;
+mod fault;
 mod message;
+mod protocol;
 mod server;
 mod spec;
 mod tcp;
 
 pub use client::SplitClient;
+pub use codec::{
+    decode_client_message, decode_server_message, encode_client_message, encode_server_message,
+};
 pub use driver::{
     evaluate_loss, local_finetune, local_finetune_returning_model, run_split_steps, ForwardMode,
 };
+pub use fault::FaultTransport;
 pub use message::{activation_wire_bytes, ClientId, ClientMessage, ServerMessage};
+pub use protocol::{
+    channel_pair, dispatch_session, drive_client, serve_loop, sim_pair, ChannelTransport,
+    MessageHandler, ProtocolError, SessionHandler, SimTransport, Transport, WireMessage,
+};
 pub use server::ServerSession;
 pub use spec::SplitSpec;
-pub use tcp::{registry_session_factory, run_tcp_client, SessionFactory, TcpError, TcpSplitServer};
+pub use tcp::{run_tcp_client, TcpOptions, TcpSplitServer, TcpTransport};

@@ -4,7 +4,7 @@
 use bytes::Bytes;
 
 use menos_adapters::FineTuneConfig;
-use menos_net::wire_size;
+use menos_net::{wire_size, FRAME_HEADER_BYTES};
 
 use crate::spec::SplitSpec;
 
@@ -19,7 +19,7 @@ impl std::fmt::Display for ClientId {
 }
 
 /// Messages a client sends to the server.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ClientMessage {
     /// Initial connection carrying the fine-tuning configuration the
     /// server will profile (paper §3.3).
@@ -56,7 +56,7 @@ pub enum ClientMessage {
 }
 
 /// Messages the server sends to a client.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ServerMessage {
     /// The client's session is profiled and ready to serve.
     Ready {
@@ -84,12 +84,14 @@ pub enum ServerMessage {
 const CONTROL_BYTES: u64 = 256;
 
 impl ClientMessage {
-    /// Bytes this message occupies on the wire.
+    /// Bytes this message occupies on the wire. Tensor messages are
+    /// exact (frame header + encoded payload); control messages use a
+    /// nominal size.
     pub fn wire_bytes(&self) -> u64 {
         match self {
             ClientMessage::Connect { .. } | ClientMessage::Disconnect { .. } => CONTROL_BYTES,
             ClientMessage::Activations { frame, .. } | ClientMessage::Gradients { frame, .. } => {
-                frame.len() as u64
+                FRAME_HEADER_BYTES + frame.len() as u64
             }
         }
     }
@@ -106,12 +108,16 @@ impl ClientMessage {
 }
 
 impl ServerMessage {
-    /// Bytes this message occupies on the wire.
+    /// Bytes this message occupies on the wire. Tensor messages are
+    /// exact (frame header + encoded payload); control messages use a
+    /// nominal size.
     pub fn wire_bytes(&self) -> u64 {
         match self {
             ServerMessage::Ready { .. } => CONTROL_BYTES,
             ServerMessage::ServerActivations { frame, .. }
-            | ServerMessage::ServerGradients { frame, .. } => frame.len() as u64,
+            | ServerMessage::ServerGradients { frame, .. } => {
+                FRAME_HEADER_BYTES + frame.len() as u64
+            }
         }
     }
 
@@ -125,10 +131,11 @@ impl ServerMessage {
     }
 }
 
-/// Analytic wire size of an activation/gradient tensor for a workload,
-/// without materializing it: `[batch, seq, hidden]`.
+/// Analytic wire size of a framed activation/gradient message for a
+/// workload, without materializing it: protocol frame header plus the
+/// encoded `[batch, seq, hidden]` tensor.
 pub fn activation_wire_bytes(batch: usize, seq: usize, hidden: usize) -> u64 {
-    wire_size(&[batch, seq, hidden])
+    FRAME_HEADER_BYTES + wire_size(&[batch, seq, hidden])
 }
 
 #[cfg(test)]
@@ -146,7 +153,7 @@ mod tests {
             client: ClientId(1),
             frame: frame.clone(),
         };
-        assert_eq!(msg.wire_bytes(), frame.len() as u64);
+        assert_eq!(msg.wire_bytes(), FRAME_HEADER_BYTES + frame.len() as u64);
         assert_eq!(msg.client(), ClientId(1));
 
         let cfg = ModelConfig::tiny_opt(10);
@@ -165,7 +172,7 @@ mod tests {
             client: ClientId(3),
             frame: frame.clone(),
         };
-        assert_eq!(msg.wire_bytes(), frame.len() as u64);
+        assert_eq!(msg.wire_bytes(), FRAME_HEADER_BYTES + frame.len() as u64);
         assert_eq!(msg.client(), ClientId(3));
         assert_eq!(
             ServerMessage::Ready {
@@ -178,11 +185,18 @@ mod tests {
 
     #[test]
     fn analytic_size_matches_real_encoding() {
+        // The analytic size must equal the length of the bytes the
+        // unified codec actually puts on the wire for that message.
         let t = Tensor::zeros([4, 100, 64]);
+        let msg = ClientMessage::Activations {
+            client: ClientId(0),
+            frame: encode_tensor(&t),
+        };
         assert_eq!(
             activation_wire_bytes(4, 100, 64),
-            encode_tensor(&t).len() as u64
+            crate::codec::encode_client_message(&msg).len() as u64
         );
+        assert_eq!(activation_wire_bytes(4, 100, 64), msg.wire_bytes());
     }
 
     #[test]

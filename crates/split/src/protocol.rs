@@ -1,0 +1,743 @@
+//! The transport-agnostic protocol core: one error hierarchy, one
+//! [`Transport`] abstraction, and one client/server message pump.
+//!
+//! Every execution path — in-process channels, the simulated WAN, and
+//! real TCP sockets — moves the *same encoded bytes* (the unified
+//! codec in [`crate::codec`]) through the same state machine:
+//!
+//! * [`drive_client`] is the only client-side protocol loop;
+//! * [`serve_loop`] is the only server-side pump, feeding messages to
+//!   a [`MessageHandler`] (the real-engine `MenosServer` in
+//!   `menos-core`, or a single-session [`SessionHandler`]);
+//! * [`dispatch_session`] is the per-session forward/backward step
+//!   every handler delegates to.
+//!
+//! Errors anywhere in the stack surface as one typed
+//! [`ProtocolError`]; `serve_loop` converts them into clean
+//! disconnect-reclamation so a failing client never strands its
+//! session memory.
+
+use std::marker::PhantomData;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use bytes::Bytes;
+
+use menos_net::{decode_tensor, encode_tensor, FrameError, WanLink, WireError, DEFAULT_MAX_FRAME};
+use menos_sim::Nanos;
+
+use crate::client::SplitClient;
+use crate::codec::{
+    decode_client_message, decode_server_message, encode_client_message, encode_server_message,
+};
+use crate::driver::ForwardMode;
+use crate::message::{ClientId, ClientMessage, ServerMessage};
+use crate::server::ServerSession;
+use menos_data::LossCurve;
+
+// ----------------------------------------------------------------------
+// Error hierarchy
+// ----------------------------------------------------------------------
+
+/// The unified error taxonomy of the split-learning protocol stack —
+/// transport faults and state-machine violations in one hierarchy, so
+/// every execution path reports failures identically.
+#[derive(Debug)]
+pub enum ProtocolError {
+    /// The underlying byte transport failed.
+    Io(std::io::Error),
+    /// Received bytes do not decode (truncation, bad magic/version,
+    /// oversize declaration, unknown kind, malformed payload).
+    Wire(WireError),
+    /// A read or write missed its deadline.
+    Timeout,
+    /// The peer hung up (cleanly or mid-frame).
+    Disconnected,
+    /// A message referenced a client with no session.
+    UnknownClient(ClientId),
+    /// Messages arrived in an order Algorithm 1 does not allow.
+    OutOfOrder(String),
+    /// The server refused the client's configuration (validation or
+    /// admission control).
+    Rejected(String),
+    /// The peer sent a well-formed message of the wrong type for the
+    /// current protocol step.
+    Unexpected(String),
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::Io(e) => write!(f, "transport error: {e}"),
+            ProtocolError::Wire(e) => write!(f, "wire error: {e}"),
+            ProtocolError::Timeout => write!(f, "deadline exceeded"),
+            ProtocolError::Disconnected => write!(f, "peer disconnected"),
+            ProtocolError::UnknownClient(c) => write!(f, "unknown client {c}"),
+            ProtocolError::OutOfOrder(m) => write!(f, "protocol order violated: {m}"),
+            ProtocolError::Rejected(m) => write!(f, "client rejected: {m}"),
+            ProtocolError::Unexpected(m) => write!(f, "unexpected message: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProtocolError::Io(e) => Some(e),
+            ProtocolError::Wire(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ProtocolError {
+    fn from(e: std::io::Error) -> Self {
+        match e.kind() {
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => ProtocolError::Timeout,
+            std::io::ErrorKind::UnexpectedEof
+            | std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::BrokenPipe => ProtocolError::Disconnected,
+            _ => ProtocolError::Io(e),
+        }
+    }
+}
+
+impl From<WireError> for ProtocolError {
+    fn from(e: WireError) -> Self {
+        ProtocolError::Wire(e)
+    }
+}
+
+impl From<FrameError> for ProtocolError {
+    fn from(e: FrameError) -> Self {
+        match e {
+            FrameError::Io(e) => e.into(),
+            FrameError::Wire(e) => e.into(),
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Typed messages ↔ wire bytes
+// ----------------------------------------------------------------------
+
+/// A protocol message with exactly one byte representation — the
+/// bound every [`Transport`] endpoint type satisfies. Implemented by
+/// [`ClientMessage`] and [`ServerMessage`] via the unified codec.
+pub trait WireMessage: Sized {
+    /// Serializes to the message's wire frame.
+    fn to_wire(&self) -> Bytes;
+    /// Deserializes from a wire frame, enforcing `max_frame`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] on any malformed frame.
+    fn from_wire(bytes: &Bytes, max_frame: usize) -> Result<Self, WireError>;
+}
+
+impl WireMessage for ClientMessage {
+    fn to_wire(&self) -> Bytes {
+        encode_client_message(self)
+    }
+    fn from_wire(bytes: &Bytes, max_frame: usize) -> Result<Self, WireError> {
+        decode_client_message(bytes, max_frame)
+    }
+}
+
+impl WireMessage for ServerMessage {
+    fn to_wire(&self) -> Bytes {
+        encode_server_message(self)
+    }
+    fn from_wire(bytes: &Bytes, max_frame: usize) -> Result<Self, WireError> {
+        decode_server_message(bytes, max_frame)
+    }
+}
+
+// ----------------------------------------------------------------------
+// Transport
+// ----------------------------------------------------------------------
+
+/// A blocking, bidirectional channel for typed protocol messages.
+///
+/// `Tx` is what this endpoint sends, `Rx` what it receives: a client
+/// endpoint is `Transport<Tx = ClientMessage, Rx = ServerMessage>`, a
+/// server endpoint the mirror image. Implementations move the
+/// *encoded* bytes of each message, so all transports are
+/// byte-for-byte interchangeable.
+pub trait Transport {
+    /// Message type this endpoint sends.
+    type Tx: WireMessage;
+    /// Message type this endpoint receives.
+    type Rx: WireMessage;
+
+    /// Sends one message.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::Disconnected`] if the peer is gone,
+    /// [`ProtocolError::Timeout`] past the deadline, or a transport
+    /// fault.
+    fn send(&mut self, msg: &Self::Tx) -> Result<(), ProtocolError>;
+
+    /// Receives the next message, blocking up to the configured
+    /// deadline.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::Wire`] if the peer's bytes do not decode,
+    /// [`ProtocolError::Timeout`] / [`ProtocolError::Disconnected`] /
+    /// [`ProtocolError::Io`] on transport faults.
+    fn recv(&mut self) -> Result<Self::Rx, ProtocolError>;
+
+    /// Sets the per-operation deadline for subsequent sends and
+    /// receives (`None` blocks indefinitely).
+    ///
+    /// # Errors
+    ///
+    /// Transport-specific; the in-memory transports never fail.
+    fn set_deadline(&mut self, deadline: Option<Duration>) -> Result<(), ProtocolError>;
+}
+
+/// In-memory transport endpoint: encoded frames over a pair of
+/// `std::sync::mpsc` channels. The cheapest way to connect a client
+/// and a server in one process — tests, benchmarks, and the
+/// byte-identity harness all use it.
+pub struct ChannelTransport<Tx, Rx> {
+    tx: mpsc::Sender<Bytes>,
+    rx: mpsc::Receiver<Bytes>,
+    deadline: Option<Duration>,
+    max_frame: usize,
+    _marker: PhantomData<fn(Tx) -> Rx>,
+}
+
+/// Creates a connected in-memory transport pair:
+/// `(client endpoint, server endpoint)`.
+pub fn channel_pair() -> (
+    ChannelTransport<ClientMessage, ServerMessage>,
+    ChannelTransport<ServerMessage, ClientMessage>,
+) {
+    let (to_server, from_client) = mpsc::channel();
+    let (to_client, from_server) = mpsc::channel();
+    (
+        ChannelTransport {
+            tx: to_server,
+            rx: from_server,
+            deadline: None,
+            max_frame: DEFAULT_MAX_FRAME,
+            _marker: PhantomData,
+        },
+        ChannelTransport {
+            tx: to_client,
+            rx: from_client,
+            deadline: None,
+            max_frame: DEFAULT_MAX_FRAME,
+            _marker: PhantomData,
+        },
+    )
+}
+
+impl<Tx: WireMessage, Rx: WireMessage> Transport for ChannelTransport<Tx, Rx> {
+    type Tx = Tx;
+    type Rx = Rx;
+
+    fn send(&mut self, msg: &Tx) -> Result<(), ProtocolError> {
+        self.tx
+            .send(msg.to_wire())
+            .map_err(|_| ProtocolError::Disconnected)
+    }
+
+    fn recv(&mut self) -> Result<Rx, ProtocolError> {
+        let bytes = match self.deadline {
+            Some(d) => self.rx.recv_timeout(d).map_err(|e| match e {
+                mpsc::RecvTimeoutError::Timeout => ProtocolError::Timeout,
+                mpsc::RecvTimeoutError::Disconnected => ProtocolError::Disconnected,
+            })?,
+            None => self.rx.recv().map_err(|_| ProtocolError::Disconnected)?,
+        };
+        Ok(Rx::from_wire(&bytes, self.max_frame)?)
+    }
+
+    fn set_deadline(&mut self, deadline: Option<Duration>) -> Result<(), ProtocolError> {
+        self.deadline = deadline;
+        Ok(())
+    }
+}
+
+/// A [`ChannelTransport`] timed by a [`WanLink`]: every send charges
+/// the link for the frame's exact byte size and advances a virtual
+/// clock shared by both endpoints. This is the DES-facing transport —
+/// protocol traffic acquires the same deterministic-but-jittered
+/// transfer times the analytic runtime charges, while still moving
+/// real bytes through the unified codec.
+pub struct SimTransport<Tx, Rx> {
+    inner: ChannelTransport<Tx, Rx>,
+    link: Arc<Mutex<WanLink>>,
+    clock: Arc<Mutex<Nanos>>,
+}
+
+/// Creates a connected simulated-WAN pair `(client, server)` with a
+/// shared virtual clock. `uplink` times client→server frames,
+/// `downlink` the reverse path.
+pub fn sim_pair(
+    uplink: WanLink,
+    downlink: WanLink,
+) -> (
+    SimTransport<ClientMessage, ServerMessage>,
+    SimTransport<ServerMessage, ClientMessage>,
+) {
+    let (client, server) = channel_pair();
+    let clock = Arc::new(Mutex::new(Nanos(0)));
+    (
+        SimTransport {
+            inner: client,
+            link: Arc::new(Mutex::new(uplink)),
+            clock: clock.clone(),
+        },
+        SimTransport {
+            inner: server,
+            link: Arc::new(Mutex::new(downlink)),
+            clock,
+        },
+    )
+}
+
+impl<Tx, Rx> SimTransport<Tx, Rx> {
+    /// Virtual time accumulated by both directions so far.
+    pub fn elapsed(&self) -> Nanos {
+        *self.clock.lock().expect("clock lock")
+    }
+
+    /// `(bytes, messages)` charged to this endpoint's outgoing link.
+    pub fn link_stats(&self) -> (u64, u64) {
+        self.link.lock().expect("link lock").stats()
+    }
+}
+
+impl<Tx: WireMessage, Rx: WireMessage> Transport for SimTransport<Tx, Rx> {
+    type Tx = Tx;
+    type Rx = Rx;
+
+    fn send(&mut self, msg: &Tx) -> Result<(), ProtocolError> {
+        let bytes = msg.to_wire().len() as u64;
+        let t = self.link.lock().expect("link lock").transfer_time(bytes);
+        let mut clock = self.clock.lock().expect("clock lock");
+        *clock = clock.checked_add(t).expect("virtual clock overflow");
+        drop(clock);
+        self.inner.send(msg)
+    }
+
+    fn recv(&mut self) -> Result<Rx, ProtocolError> {
+        self.inner.recv()
+    }
+
+    fn set_deadline(&mut self, deadline: Option<Duration>) -> Result<(), ProtocolError> {
+        self.inner.set_deadline(deadline)
+    }
+}
+
+// ----------------------------------------------------------------------
+// The server state machine surface
+// ----------------------------------------------------------------------
+
+/// The server side of Algorithm 1 as seen by a transport: one message
+/// in, at most one reply out. `menos-core`'s `MenosServer` is the
+/// full multi-client implementation (admission control, profiling,
+/// shared-base registry); [`SessionHandler`] is the single-session
+/// variant the in-process tests use. [`serve_loop`] drives either —
+/// transports never interpret protocol state themselves.
+pub trait MessageHandler {
+    /// Dispatches one client message, returning the reply to send (if
+    /// any).
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError`] scoped to the offending client; handler state
+    /// for other clients must be unaffected.
+    fn handle(&mut self, msg: ClientMessage) -> Result<Option<ServerMessage>, ProtocolError>;
+}
+
+/// Shared handlers: connection threads hand `Arc<Mutex<H>>` around and
+/// serialize dispatch through the lock (one GPU, one state machine).
+impl<H: MessageHandler> MessageHandler for Arc<Mutex<H>> {
+    fn handle(&mut self, msg: ClientMessage) -> Result<Option<ServerMessage>, ProtocolError> {
+        self.lock()
+            .map_err(|_| ProtocolError::Unexpected("handler lock poisoned".into()))?
+            .handle(msg)
+    }
+}
+
+/// Executes one forward or backward step of Algorithm 1 against a
+/// session — the single place where protocol messages meet tensor
+/// compute. Every handler (the `menos-core` server, the in-process
+/// driver, [`SessionHandler`]) delegates here.
+///
+/// # Errors
+///
+/// [`ProtocolError::Wire`] if the tensor payload does not decode;
+/// [`ProtocolError::OutOfOrder`] for gradients without a preceding
+/// forward, or for control messages (which belong to the session's
+/// owner, not the session).
+pub fn dispatch_session(
+    session: &mut ServerSession,
+    mode: ForwardMode,
+    msg: &ClientMessage,
+) -> Result<ServerMessage, ProtocolError> {
+    match msg {
+        ClientMessage::Activations { client, frame } => {
+            let x_c = decode_tensor(frame)?;
+            let x_s = match mode {
+                ForwardMode::Cached => session.forward_cached(&x_c),
+                ForwardMode::NoGradReforward => session.forward_nograd(&x_c),
+            };
+            Ok(ServerMessage::ServerActivations {
+                client: *client,
+                frame: encode_tensor(&x_s),
+            })
+        }
+        ClientMessage::Gradients { client, frame } => {
+            let g_c = decode_tensor(frame)?;
+            // `backward` panics on protocol misuse (no preceding
+            // forward); convert that into a recoverable protocol
+            // error. The session mutates nothing before the check, so
+            // unwinding leaves it consistent.
+            let g_s =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| session.backward(&g_c)))
+                    .map_err(|_| {
+                    ProtocolError::OutOfOrder("gradients received before activations".into())
+                })?;
+            Ok(ServerMessage::ServerGradients {
+                client: *client,
+                frame: encode_tensor(&g_s),
+            })
+        }
+        ClientMessage::Connect { .. } | ClientMessage::Disconnect { .. } => Err(
+            ProtocolError::OutOfOrder("control message routed to a bound session".into()),
+        ),
+    }
+}
+
+/// A [`MessageHandler`] over one pre-built [`ServerSession`] — the
+/// minimal server for single-client transports and tests. `Connect`
+/// must name the session's client; `Disconnect` drops the session
+/// (reclaiming its memory); tensor messages go through
+/// [`dispatch_session`].
+pub struct SessionHandler {
+    session: Option<ServerSession>,
+    mode: ForwardMode,
+}
+
+impl SessionHandler {
+    /// Wraps a session built for one client.
+    pub fn new(session: ServerSession, mode: ForwardMode) -> Self {
+        SessionHandler {
+            session: Some(session),
+            mode,
+        }
+    }
+
+    /// The session, if not yet disconnected.
+    pub fn session(&self) -> Option<&ServerSession> {
+        self.session.as_ref()
+    }
+}
+
+impl MessageHandler for SessionHandler {
+    fn handle(&mut self, msg: ClientMessage) -> Result<Option<ServerMessage>, ProtocolError> {
+        let bound = self
+            .session
+            .as_ref()
+            .map(|s| s.client())
+            .ok_or_else(|| ProtocolError::UnknownClient(msg.client()))?;
+        if msg.client() != bound {
+            return Err(ProtocolError::UnknownClient(msg.client()));
+        }
+        match msg {
+            ClientMessage::Connect { client, .. } => Ok(Some(ServerMessage::Ready { client })),
+            ClientMessage::Disconnect { .. } => {
+                self.session = None;
+                Ok(None)
+            }
+            tensor_msg => {
+                let session = self.session.as_mut().expect("checked above");
+                dispatch_session(session, self.mode, &tensor_msg).map(Some)
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// The two protocol pumps
+// ----------------------------------------------------------------------
+
+/// The single server-side protocol pump: receives client messages
+/// from `transport`, dispatches them to `handler`, and sends replies —
+/// until the client disconnects cleanly or an error ends the
+/// connection.
+///
+/// On any failure after a successful `Connect`, the handler is fed a
+/// synthetic `Disconnect` before the error propagates, so the failed
+/// client's session memory is reclaimed and other clients are
+/// untouched.
+///
+/// # Errors
+///
+/// The first [`ProtocolError`] from the transport or the handler.
+pub fn serve_loop<T, H>(transport: &mut T, handler: &mut H) -> Result<(), ProtocolError>
+where
+    T: Transport<Tx = ServerMessage, Rx = ClientMessage>,
+    H: MessageHandler,
+{
+    let mut active: Option<ClientId> = None;
+    let reclaim = |handler: &mut H, active: Option<ClientId>| {
+        if let Some(client) = active {
+            let _ = handler.handle(ClientMessage::Disconnect { client });
+        }
+    };
+    loop {
+        let msg = match transport.recv() {
+            Ok(msg) => msg,
+            Err(e) => {
+                reclaim(handler, active);
+                return Err(e);
+            }
+        };
+        let client = msg.client();
+        let is_connect = matches!(msg, ClientMessage::Connect { .. });
+        let is_disconnect = matches!(msg, ClientMessage::Disconnect { .. });
+        let reply = match handler.handle(msg) {
+            Ok(reply) => reply,
+            Err(e) => {
+                reclaim(handler, active);
+                return Err(e);
+            }
+        };
+        if let Some(reply) = reply {
+            if let Err(e) = transport.send(&reply) {
+                reclaim(handler, active);
+                return Err(e);
+            }
+        }
+        if is_connect {
+            active = Some(client);
+        }
+        if is_disconnect {
+            return Ok(());
+        }
+    }
+}
+
+/// The single client-side protocol loop: `Connect`/`Ready` handshake,
+/// then `steps` four-step iterations (activations out, server
+/// activations in, gradients out, server gradients in), then a clean
+/// `Disconnect`. Returns the client's loss curve.
+///
+/// # Errors
+///
+/// The first [`ProtocolError`]; the client's local state is
+/// consistent up to the last completed step.
+pub fn drive_client<T>(
+    client: &mut SplitClient,
+    transport: &mut T,
+    steps: usize,
+) -> Result<LossCurve, ProtocolError>
+where
+    T: Transport<Tx = ClientMessage, Rx = ServerMessage>,
+{
+    let id = client.id();
+    transport.send(&ClientMessage::Connect {
+        client: id,
+        ft: client.ft_config().clone(),
+        split: client.split(),
+    })?;
+    match transport.recv()? {
+        ServerMessage::Ready { .. } => {}
+        other => {
+            return Err(ProtocolError::Unexpected(format!(
+                "expected Ready, got {}",
+                kind_name(&other)
+            )))
+        }
+    }
+    for _ in 0..steps {
+        let x_c = client.start_step();
+        transport.send(&ClientMessage::Activations {
+            client: id,
+            frame: encode_tensor(&x_c),
+        })?;
+        let x_s = match transport.recv()? {
+            ServerMessage::ServerActivations { frame, .. } => decode_tensor(&frame)?,
+            other => {
+                return Err(ProtocolError::Unexpected(format!(
+                    "expected ServerActivations, got {}",
+                    kind_name(&other)
+                )))
+            }
+        };
+        let (_loss, g_c) = client.receive_server_activations(&x_s);
+        transport.send(&ClientMessage::Gradients {
+            client: id,
+            frame: encode_tensor(&g_c),
+        })?;
+        let g_s = match transport.recv()? {
+            ServerMessage::ServerGradients { frame, .. } => decode_tensor(&frame)?,
+            other => {
+                return Err(ProtocolError::Unexpected(format!(
+                    "expected ServerGradients, got {}",
+                    kind_name(&other)
+                )))
+            }
+        };
+        client.receive_server_gradients(&g_s);
+    }
+    transport.send(&ClientMessage::Disconnect { client: id })?;
+    Ok(client.curve().clone())
+}
+
+fn kind_name(msg: &ServerMessage) -> &'static str {
+    match msg {
+        ServerMessage::Ready { .. } => "Ready",
+        ServerMessage::ServerActivations { .. } => "ServerActivations",
+        ServerMessage::ServerGradients { .. } => "ServerGradients",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use menos_adapters::FineTuneConfig;
+    use menos_data::{wiki_corpus, TokenDataset, Vocab};
+    use menos_models::{CausalLm, ModelConfig};
+    use menos_sim::seeded_rng;
+
+    fn pair(seed: u64) -> (SplitClient, ServerSession) {
+        let text = wiki_corpus(5, 4000);
+        let vocab = Vocab::from_text(&text);
+        let cfg = ModelConfig::tiny_opt(33);
+        let mut rng = seeded_rng(100, "protocol-test");
+        let ps = menos_models::init_params(&cfg, &mut rng);
+        let ds = TokenDataset::new(vocab.encode(&text), 16, 5);
+        let mut ft = FineTuneConfig::paper(&cfg);
+        ft.batch_size = 2;
+        ft.seq_len = 16;
+        let split = crate::spec::SplitSpec::paper();
+        let client = SplitClient::new(
+            ClientId(0),
+            CausalLm::bind(&cfg, &ps.shared_view(false)),
+            split,
+            ft.clone(),
+            ds,
+            seed,
+        );
+        let session = ServerSession::new(
+            ClientId(0),
+            CausalLm::bind(&cfg, &ps.shared_view(false)),
+            split,
+            &ft,
+            seed,
+        );
+        (client, session)
+    }
+
+    #[test]
+    fn channel_transport_trains_through_serve_loop() {
+        let (mut client, session) = pair(1);
+        let (mut client_t, mut server_t) = channel_pair();
+        let server = std::thread::spawn(move || {
+            let mut handler = SessionHandler::new(session, ForwardMode::NoGradReforward);
+            let r = serve_loop(&mut server_t, &mut handler);
+            (r, handler.session().is_none())
+        });
+        let curve = drive_client(&mut client, &mut client_t, 3).expect("channel training");
+        assert_eq!(curve.points().len(), 3);
+        let (served, reclaimed) = server.join().expect("server thread");
+        served.expect("clean serve");
+        assert!(reclaimed, "disconnect must release the session");
+    }
+
+    #[test]
+    fn sim_transport_charges_virtual_time_for_exact_bytes() {
+        let (mut client, session) = pair(2);
+        let (mut client_t, mut server_t) = sim_pair(WanLink::lan(1), WanLink::lan(2));
+        let clock = client_t.clock.clone();
+        let server = std::thread::spawn(move || {
+            let mut handler = SessionHandler::new(session, ForwardMode::NoGradReforward);
+            serve_loop(&mut server_t, &mut handler)
+        });
+        drive_client(&mut client, &mut client_t, 2).expect("sim training");
+        server.join().expect("thread").expect("clean serve");
+        let elapsed = *clock.lock().unwrap();
+        assert!(elapsed > Nanos(0), "transfers must advance virtual time");
+        let (bytes, msgs) = client_t.link_stats();
+        // Connect + 2*(activations + gradients) + disconnect = 6 uplink messages.
+        assert_eq!(msgs, 6);
+        assert!(bytes > 0);
+    }
+
+    #[test]
+    fn channel_deadline_times_out() {
+        let (mut client_t, _server_t) = channel_pair();
+        client_t
+            .set_deadline(Some(Duration::from_millis(10)))
+            .unwrap();
+        // Server endpoint alive but silent → Timeout (not Disconnected).
+        let err = client_t.recv().unwrap_err();
+        assert!(matches!(err, ProtocolError::Timeout));
+    }
+
+    #[test]
+    fn dropped_peer_is_disconnected() {
+        let (mut client_t, server_t) = channel_pair();
+        drop(server_t);
+        assert!(matches!(
+            client_t.recv().unwrap_err(),
+            ProtocolError::Disconnected
+        ));
+        let err = client_t
+            .send(&ClientMessage::Disconnect {
+                client: ClientId(0),
+            })
+            .unwrap_err();
+        assert!(matches!(err, ProtocolError::Disconnected));
+    }
+
+    #[test]
+    fn session_handler_rejects_foreign_client() {
+        let (_client, session) = pair(3);
+        let mut handler = SessionHandler::new(session, ForwardMode::Cached);
+        let err = handler
+            .handle(ClientMessage::Disconnect {
+                client: ClientId(9),
+            })
+            .unwrap_err();
+        assert!(matches!(err, ProtocolError::UnknownClient(ClientId(9))));
+    }
+
+    #[test]
+    fn error_display_and_source() {
+        let e = ProtocolError::Wire(WireError::Truncated);
+        assert!(e.to_string().contains("wire error"));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(ProtocolError::Timeout.to_string().contains("deadline"));
+        assert!(ProtocolError::UnknownClient(ClientId(4))
+            .to_string()
+            .contains("client-4"));
+    }
+
+    #[test]
+    fn io_error_kinds_map_to_typed_variants() {
+        use std::io::{Error, ErrorKind};
+        assert!(matches!(
+            ProtocolError::from(Error::new(ErrorKind::TimedOut, "t")),
+            ProtocolError::Timeout
+        ));
+        assert!(matches!(
+            ProtocolError::from(Error::new(ErrorKind::UnexpectedEof, "e")),
+            ProtocolError::Disconnected
+        ));
+        assert!(matches!(
+            ProtocolError::from(Error::new(ErrorKind::Other, "o")),
+            ProtocolError::Io(_)
+        ));
+    }
+}

@@ -1,249 +1,121 @@
-//! A real TCP transport for the split fine-tuning protocol.
+//! TCP framing for the split fine-tuning protocol.
 //!
-//! The simulated `menos-net` link powers the paper-scale experiments;
-//! this module makes the same protocol run over actual sockets so the
-//! system can be deployed between real machines (or across threads in
-//! the tests). Framing: one byte of message type, a little-endian u64
-//! payload length, then the payload (tensor frames use the
-//! `menos-net` wire codec).
+//! This module contains **no protocol logic**: it is a
+//! [`Transport`] implementation over `std::net::TcpStream` plus an
+//! accept loop. Message bytes come from the unified codec
+//! ([`crate::codec`]), the client loop is [`drive_client`], and the
+//! server loop is [`serve_loop`] feeding a shared
+//! [`MessageHandler`] — the same state machine every other transport
+//! drives.
+//!
+//! Robustness: each frame header is validated (version, magic,
+//! declared length vs a configurable cap) before any payload
+//! allocation, connections carry read/write deadlines, and a failing
+//! connection reclaims its session via `serve_loop`'s
+//! disconnect-reclamation — other clients keep training.
 
-use std::io::{Read, Write};
+use std::marker::PhantomData;
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
-use bytes::Bytes;
-
-use menos_adapters::{AdapterKind, FineTuneConfig, OptimKind};
 use menos_data::LossCurve;
-use menos_models::{AdapterTarget, LoraSpec};
-use menos_net::{decode_tensor, encode_tensor};
-use menos_tensor::Tensor;
+use menos_net::{read_frame_bytes, DEFAULT_MAX_FRAME};
 
 use crate::client::SplitClient;
-use crate::driver::ForwardMode;
-use crate::server::ServerSession;
-use crate::spec::SplitSpec;
+use crate::message::{ClientMessage, ServerMessage};
+use crate::protocol::{
+    drive_client, serve_loop, MessageHandler, ProtocolError, Transport, WireMessage,
+};
 
-const MSG_CONNECT: u8 = 1;
-const MSG_READY: u8 = 2;
-const MSG_ACTIVATIONS: u8 = 3;
-const MSG_SERVER_ACTIVATIONS: u8 = 4;
-const MSG_GRADIENTS: u8 = 5;
-const MSG_SERVER_GRADIENTS: u8 = 6;
-const MSG_DISCONNECT: u8 = 7;
-
-/// Errors from the TCP transport.
-#[derive(Debug)]
-pub enum TcpError {
-    /// Underlying socket error.
-    Io(std::io::Error),
-    /// Peer sent a frame that does not decode.
-    Protocol(String),
+/// Tuning knobs for TCP endpoints.
+#[derive(Debug, Clone, Copy)]
+pub struct TcpOptions {
+    /// Largest payload a peer may declare (frames above this are
+    /// rejected before allocation).
+    pub max_frame: usize,
+    /// Per-operation read/write deadline (`None` blocks forever).
+    pub io_timeout: Option<Duration>,
 }
 
-impl std::fmt::Display for TcpError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            TcpError::Io(e) => write!(f, "socket error: {e}"),
-            TcpError::Protocol(m) => write!(f, "protocol error: {m}"),
+impl Default for TcpOptions {
+    fn default() -> Self {
+        TcpOptions {
+            max_frame: DEFAULT_MAX_FRAME,
+            io_timeout: Some(Duration::from_secs(30)),
         }
     }
 }
 
-impl std::error::Error for TcpError {}
+/// A [`Transport`] over one TCP stream. The client side is
+/// `TcpTransport<ClientMessage, ServerMessage>`; the server side is
+/// the mirror image.
+pub struct TcpTransport<Tx, Rx> {
+    stream: TcpStream,
+    max_frame: usize,
+    _marker: PhantomData<fn(Tx) -> Rx>,
+}
 
-impl From<std::io::Error> for TcpError {
-    fn from(e: std::io::Error) -> Self {
-        TcpError::Io(e)
+impl TcpTransport<ClientMessage, ServerMessage> {
+    /// Connects a client endpoint to a listening server.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the address does not resolve or the connection is
+    /// refused.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ProtocolError> {
+        let stream = TcpStream::connect(addr)?;
+        Self::from_stream(stream, TcpOptions::default())
     }
 }
 
-fn write_frame(stream: &mut TcpStream, kind: u8, payload: &[u8]) -> Result<(), TcpError> {
-    stream.write_all(&[kind])?;
-    stream.write_all(&(payload.len() as u64).to_le_bytes())?;
-    stream.write_all(payload)?;
-    stream.flush()?;
-    Ok(())
-}
-
-fn read_frame(stream: &mut TcpStream) -> Result<(u8, Vec<u8>), TcpError> {
-    let mut kind = [0u8; 1];
-    stream.read_exact(&mut kind)?;
-    let mut len = [0u8; 8];
-    stream.read_exact(&mut len)?;
-    let len = u64::from_le_bytes(len);
-    if len > (1 << 32) {
-        return Err(TcpError::Protocol(format!("oversized frame: {len} bytes")));
-    }
-    let mut payload = vec![0u8; len as usize];
-    stream.read_exact(&mut payload)?;
-    Ok((kind[0], payload))
-}
-
-fn write_tensor_frame(stream: &mut TcpStream, kind: u8, t: &Tensor) -> Result<(), TcpError> {
-    write_frame(stream, kind, &encode_tensor(t))
-}
-
-fn read_tensor_payload(payload: Vec<u8>) -> Result<Tensor, TcpError> {
-    decode_tensor(&Bytes::from(payload)).map_err(|e| TcpError::Protocol(e.to_string()))
-}
-
-// ----------------------------------------------------------------------
-// Config encoding (self-contained binary layout; serde derives exist on
-// these types but no wire format crate is in the dependency set).
-// ----------------------------------------------------------------------
-
-fn encode_config(ft: &FineTuneConfig, split: SplitSpec) -> Vec<u8> {
-    let mut out = Vec::new();
-    match &ft.adapter {
-        AdapterKind::Lora { spec, targets } => {
-            out.push(0u8);
-            out.extend((spec.rank as u64).to_le_bytes());
-            out.extend(spec.alpha.to_le_bytes());
-            out.extend((spec.targets_per_block as u64).to_le_bytes());
-            out.push(targets.len() as u8);
-            for t in targets {
-                out.push(match t {
-                    AdapterTarget::Q => 0,
-                    AdapterTarget::K => 1,
-                    AdapterTarget::V => 2,
-                    AdapterTarget::O => 3,
-                    AdapterTarget::MlpUp => 4,
-                    AdapterTarget::MlpDown => 5,
-                });
-            }
-        }
-        AdapterKind::Prefix { len } => {
-            out.push(1u8);
-            out.extend((*len as u64).to_le_bytes());
-        }
-    }
-    match ft.optimizer {
-        OptimKind::Adam { lr } => {
-            out.push(0u8);
-            out.extend(lr.to_le_bytes());
-        }
-        OptimKind::Sgd { lr, momentum } => {
-            out.push(1u8);
-            out.extend(lr.to_le_bytes());
-            out.extend(momentum.to_le_bytes());
-        }
-    }
-    out.extend((ft.batch_size as u64).to_le_bytes());
-    out.extend((ft.seq_len as u64).to_le_bytes());
-    out.extend((ft.grad_accumulation as u64).to_le_bytes());
-    out.extend((split.front_layers as u64).to_le_bytes());
-    out
-}
-
-struct Cursor<'a> {
-    buf: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Cursor<'a> {
-    fn u8(&mut self) -> Result<u8, TcpError> {
-        let v = *self
-            .buf
-            .get(self.pos)
-            .ok_or_else(|| TcpError::Protocol("truncated config".into()))?;
-        self.pos += 1;
-        Ok(v)
-    }
-    fn u64(&mut self) -> Result<u64, TcpError> {
-        let end = self.pos + 8;
-        let bytes = self
-            .buf
-            .get(self.pos..end)
-            .ok_or_else(|| TcpError::Protocol("truncated config".into()))?;
-        self.pos = end;
-        Ok(u64::from_le_bytes(bytes.try_into().expect("8 bytes")))
-    }
-    fn f32(&mut self) -> Result<f32, TcpError> {
-        let end = self.pos + 4;
-        let bytes = self
-            .buf
-            .get(self.pos..end)
-            .ok_or_else(|| TcpError::Protocol("truncated config".into()))?;
-        self.pos = end;
-        Ok(f32::from_le_bytes(bytes.try_into().expect("4 bytes")))
+impl<Tx: WireMessage, Rx: WireMessage> TcpTransport<Tx, Rx> {
+    /// Wraps an accepted or connected stream.
+    ///
+    /// # Errors
+    ///
+    /// Fails if socket options cannot be applied.
+    pub fn from_stream(stream: TcpStream, options: TcpOptions) -> Result<Self, ProtocolError> {
+        stream.set_nodelay(true)?;
+        let mut transport = TcpTransport {
+            stream,
+            max_frame: options.max_frame,
+            _marker: PhantomData,
+        };
+        transport.set_deadline(options.io_timeout)?;
+        Ok(transport)
     }
 }
 
-fn decode_config(buf: &[u8]) -> Result<(FineTuneConfig, SplitSpec), TcpError> {
-    let mut c = Cursor { buf, pos: 0 };
-    let adapter = match c.u8()? {
-        0 => {
-            let rank = c.u64()? as usize;
-            let alpha = c.f32()?;
-            let targets_per_block = c.u64()? as usize;
-            let n = c.u8()? as usize;
-            let mut targets = Vec::with_capacity(n);
-            for _ in 0..n {
-                targets.push(match c.u8()? {
-                    0 => AdapterTarget::Q,
-                    1 => AdapterTarget::K,
-                    2 => AdapterTarget::V,
-                    3 => AdapterTarget::O,
-                    4 => AdapterTarget::MlpUp,
-                    5 => AdapterTarget::MlpDown,
-                    x => return Err(TcpError::Protocol(format!("bad target {x}"))),
-                });
-            }
-            AdapterKind::Lora {
-                spec: LoraSpec {
-                    rank,
-                    alpha,
-                    targets_per_block,
-                },
-                targets,
-            }
-        }
-        1 => AdapterKind::Prefix {
-            len: c.u64()? as usize,
-        },
-        x => return Err(TcpError::Protocol(format!("bad adapter kind {x}"))),
-    };
-    let optimizer = match c.u8()? {
-        0 => OptimKind::Adam { lr: c.f32()? },
-        1 => OptimKind::Sgd {
-            lr: c.f32()?,
-            momentum: c.f32()?,
-        },
-        x => return Err(TcpError::Protocol(format!("bad optimizer kind {x}"))),
-    };
-    let batch_size = c.u64()? as usize;
-    let seq_len = c.u64()? as usize;
-    let grad_accumulation = c.u64()? as usize;
-    let front_layers = c.u64()? as usize;
-    Ok((
-        FineTuneConfig {
-            adapter,
-            optimizer,
-            batch_size,
-            seq_len,
-            grad_accumulation,
-        },
-        SplitSpec::new(front_layers),
-    ))
+impl<Tx: WireMessage, Rx: WireMessage> Transport for TcpTransport<Tx, Rx> {
+    type Tx = Tx;
+    type Rx = Rx;
+
+    fn send(&mut self, msg: &Tx) -> Result<(), ProtocolError> {
+        use std::io::Write;
+        self.stream.write_all(&msg.to_wire())?;
+        self.stream.flush()?;
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<Rx, ProtocolError> {
+        let frame = read_frame_bytes(&mut self.stream, self.max_frame)?;
+        Ok(Rx::from_wire(&frame, self.max_frame)?)
+    }
+
+    fn set_deadline(&mut self, deadline: Option<Duration>) -> Result<(), ProtocolError> {
+        self.stream.set_read_timeout(deadline)?;
+        self.stream.set_write_timeout(deadline)?;
+        Ok(())
+    }
 }
 
-// ----------------------------------------------------------------------
-// Server
-// ----------------------------------------------------------------------
-
-/// Builds a per-connection [`ServerSession`] from the configuration the
-/// client reported — typically closing over a shared base registry.
-pub type SessionFactory = dyn Fn(FineTuneConfig, SplitSpec) -> ServerSession + Send + Sync;
-
-/// A TCP split-fine-tuning server: accepts connections and serves each
-/// on its own thread with the Menos execution path (no-grad forward +
-/// re-forward backward).
-///
-/// # Examples
-///
-/// See the integration test in this module or the `tcp_demo` example.
+/// A TCP accept loop serving the split protocol: each connection gets
+/// its own thread running [`serve_loop`] against a shared
+/// [`MessageHandler`] (typically `menos-core`'s `MenosServer`), so
+/// admission control and error isolation apply identically over
+/// sockets and in-memory transports.
 pub struct TcpSplitServer {
     addr: std::net::SocketAddr,
     handle: Option<JoinHandle<()>>,
@@ -252,18 +124,39 @@ pub struct TcpSplitServer {
 
 impl TcpSplitServer {
     /// Binds to `addr` (use port 0 for an ephemeral port) and starts
-    /// accepting. `max_clients` connections are served before the
-    /// accept loop exits (keeps tests and demos bounded).
+    /// accepting with default [`TcpOptions`]. `max_clients`
+    /// connections are served before the accept loop exits (keeps
+    /// tests and demos bounded).
     ///
     /// # Errors
     ///
     /// Fails if the address cannot be bound.
-    pub fn spawn(
+    pub fn spawn<H>(
         addr: impl ToSocketAddrs,
-        factory: Arc<SessionFactory>,
-        mode: ForwardMode,
+        handler: Arc<Mutex<H>>,
         max_clients: usize,
-    ) -> Result<TcpSplitServer, TcpError> {
+    ) -> Result<TcpSplitServer, ProtocolError>
+    where
+        H: MessageHandler + Send + 'static,
+    {
+        Self::spawn_with(addr, handler, max_clients, TcpOptions::default())
+    }
+
+    /// [`TcpSplitServer::spawn`] with explicit frame-cap and deadline
+    /// options applied to every connection.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the address cannot be bound.
+    pub fn spawn_with<H>(
+        addr: impl ToSocketAddrs,
+        handler: Arc<Mutex<H>>,
+        max_clients: usize,
+        options: TcpOptions,
+    ) -> Result<TcpSplitServer, ProtocolError>
+    where
+        H: MessageHandler + Send + 'static,
+    {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let shutdown = Arc::new(std::sync::atomic::AtomicBool::new(false));
@@ -277,9 +170,19 @@ impl TcpSplitServer {
                 let Ok((stream, _)) = listener.accept() else {
                     break;
                 };
-                let factory = factory.clone();
+                let mut handler = handler.clone();
                 workers.push(std::thread::spawn(move || {
-                    if let Err(e) = serve_connection(stream, &factory, mode) {
+                    let mut transport =
+                        match TcpTransport::<ServerMessage, ClientMessage>::from_stream(
+                            stream, options,
+                        ) {
+                            Ok(t) => t,
+                            Err(e) => {
+                                eprintln!("connection setup failed: {e}");
+                                return;
+                            }
+                        };
+                    if let Err(e) = serve_loop(&mut transport, &mut handler) {
                         eprintln!("connection ended with error: {e}");
                     }
                 }));
@@ -318,52 +221,9 @@ impl Drop for TcpSplitServer {
     }
 }
 
-fn serve_connection(
-    mut stream: TcpStream,
-    factory: &Arc<SessionFactory>,
-    mode: ForwardMode,
-) -> Result<(), TcpError> {
-    stream.set_nodelay(true)?;
-    let (kind, payload) = read_frame(&mut stream)?;
-    if kind != MSG_CONNECT {
-        return Err(TcpError::Protocol(format!("expected CONNECT, got {kind}")));
-    }
-    let (ft, split) = decode_config(&payload)?;
-    let mut session = factory(ft, split);
-    write_frame(&mut stream, MSG_READY, &[])?;
-
-    loop {
-        let (kind, payload) = read_frame(&mut stream)?;
-        match kind {
-            MSG_ACTIVATIONS => {
-                let x_c = read_tensor_payload(payload)?;
-                let x_s = match mode {
-                    ForwardMode::Cached => session.forward_cached(&x_c),
-                    ForwardMode::NoGradReforward => session.forward_nograd(&x_c),
-                };
-                write_tensor_frame(&mut stream, MSG_SERVER_ACTIVATIONS, &x_s)?;
-            }
-            MSG_GRADIENTS => {
-                let g_c = read_tensor_payload(payload)?;
-                let g_s = session.backward(&g_c);
-                write_tensor_frame(&mut stream, MSG_SERVER_GRADIENTS, &g_s)?;
-            }
-            MSG_DISCONNECT => return Ok(()),
-            other => {
-                return Err(TcpError::Protocol(format!(
-                    "unexpected message {other} mid-session"
-                )))
-            }
-        }
-    }
-}
-
-// ----------------------------------------------------------------------
-// Client
-// ----------------------------------------------------------------------
-
-/// Runs `steps` split fine-tuning iterations against a
-/// [`TcpSplitServer`], returning the loss curve.
+/// Runs `steps` split fine-tuning iterations against a TCP server,
+/// returning the loss curve. Thin shorthand for
+/// [`TcpTransport::connect`] + [`drive_client`].
 ///
 /// # Errors
 ///
@@ -373,137 +233,109 @@ pub fn run_tcp_client(
     addr: impl ToSocketAddrs,
     client: &mut SplitClient,
     steps: usize,
-) -> Result<LossCurve, TcpError> {
-    let mut stream = TcpStream::connect(addr)?;
-    stream.set_nodelay(true)?;
-    write_frame(
-        &mut stream,
-        MSG_CONNECT,
-        &encode_config(client.ft_config(), client.split()),
-    )?;
-    let (kind, _) = read_frame(&mut stream)?;
-    if kind != MSG_READY {
-        return Err(TcpError::Protocol(format!("expected READY, got {kind}")));
-    }
-    for _ in 0..steps {
-        let x_c = client.start_step();
-        write_tensor_frame(&mut stream, MSG_ACTIVATIONS, &x_c)?;
-        let (kind, payload) = read_frame(&mut stream)?;
-        if kind != MSG_SERVER_ACTIVATIONS {
-            return Err(TcpError::Protocol(format!("expected x_s, got {kind}")));
-        }
-        let x_s = read_tensor_payload(payload)?;
-        let (_, g_c) = client.receive_server_activations(&x_s);
-        write_tensor_frame(&mut stream, MSG_GRADIENTS, &g_c)?;
-        let (kind, payload) = read_frame(&mut stream)?;
-        if kind != MSG_SERVER_GRADIENTS {
-            return Err(TcpError::Protocol(format!("expected g_s, got {kind}")));
-        }
-        let g_s = read_tensor_payload(payload)?;
-        client.receive_server_gradients(&g_s);
-    }
-    write_frame(&mut stream, MSG_DISCONNECT, &[])?;
-    Ok(client.curve().clone())
-}
-
-/// Convenience: a [`SessionFactory`] over a mutex-guarded shared-base
-/// parameter store.
-pub fn registry_session_factory(
-    config: menos_models::ModelConfig,
-    base: Arc<Mutex<menos_tensor::ParamStore>>,
-    seed: u64,
-) -> Arc<SessionFactory> {
-    let counter = Arc::new(std::sync::atomic::AtomicU64::new(0));
-    Arc::new(move |ft: FineTuneConfig, split: SplitSpec| {
-        let id = counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        let view = base.lock().expect("registry lock").shared_view(false);
-        let model = menos_models::CausalLm::bind(&config, &view);
-        ServerSession::new(crate::message::ClientId(id), model, split, &ft, seed + id)
-    })
+) -> Result<LossCurve, ProtocolError> {
+    let mut transport = TcpTransport::connect(addr)?;
+    drive_client(client, &mut transport, steps)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::driver::ForwardMode;
     use crate::message::ClientId;
+    use crate::protocol::SessionHandler;
+    use crate::server::ServerSession;
+    use crate::spec::SplitSpec;
+    use menos_adapters::FineTuneConfig;
     use menos_data::{wiki_corpus, TokenDataset, Vocab};
     use menos_models::{CausalLm, ModelConfig};
     use menos_sim::seeded_rng;
 
-    #[test]
-    fn config_round_trip() {
-        let cfg = ModelConfig::tiny_opt(10);
-        let ft = FineTuneConfig::paper(&cfg);
-        let split = SplitSpec::new(2);
-        let (ft2, split2) = decode_config(&encode_config(&ft, split)).unwrap();
-        assert_eq!(ft, ft2);
-        assert_eq!(split, split2);
-
-        let ft = FineTuneConfig {
-            adapter: AdapterKind::Prefix { len: 6 },
-            optimizer: OptimKind::Sgd {
-                lr: 0.1,
-                momentum: 0.5,
-            },
-            batch_size: 3,
-            seq_len: 17,
-            grad_accumulation: 4,
-        };
-        let (ft2, _) = decode_config(&encode_config(&ft, split)).unwrap();
-        assert_eq!(ft, ft2);
-    }
-
-    #[test]
-    fn config_decode_rejects_garbage() {
-        assert!(decode_config(&[]).is_err());
-        assert!(decode_config(&[9, 0, 0]).is_err());
-    }
-
-    #[test]
-    fn two_clients_train_over_real_sockets() {
-        let text = wiki_corpus(31, 12_000);
+    fn pair(seed: u64) -> (SplitClient, ServerSession) {
+        let text = wiki_corpus(31, 6000);
         let vocab = Vocab::from_text(&text);
-        let config = ModelConfig::tiny_opt(vocab.size());
+        let cfg = ModelConfig::tiny_opt(vocab.size());
         let mut rng = seeded_rng(31, "tcp");
-        let base = Arc::new(Mutex::new(menos_models::init_params(&config, &mut rng)));
+        let ps = menos_models::init_params(&cfg, &mut rng);
+        let ds = TokenDataset::new(vocab.encode(&text), 16, seed);
+        let mut ft = FineTuneConfig::paper(&cfg);
+        ft.batch_size = 2;
+        ft.seq_len = 16;
+        let split = SplitSpec::paper();
+        let client = SplitClient::new(
+            ClientId(0),
+            CausalLm::bind(&cfg, &ps.shared_view(false)),
+            split,
+            ft.clone(),
+            ds,
+            seed,
+        );
+        let session = ServerSession::new(
+            ClientId(0),
+            CausalLm::bind(&cfg, &ps.shared_view(false)),
+            split,
+            &ft,
+            seed,
+        );
+        (client, session)
+    }
 
-        let factory = registry_session_factory(config.clone(), base.clone(), 500);
-        let server = TcpSplitServer::spawn("127.0.0.1:0", factory, ForwardMode::NoGradReforward, 2)
-            .expect("bind");
-        let addr = server.addr();
-
-        let mut handles = Vec::new();
-        for k in 0..2u64 {
-            let text = text.clone();
-            let config = config.clone();
-            let base = base.clone();
-            handles.push(std::thread::spawn(move || {
-                let vocab = Vocab::from_text(&text);
-                let mut ft = FineTuneConfig::paper(&config);
-                ft.batch_size = 2;
-                ft.seq_len = 16;
-                let ds = TokenDataset::new(vocab.encode(&text), 16, k);
-                let view = base.lock().unwrap().shared_view(false);
-                let mut client = SplitClient::new(
-                    ClientId(k),
-                    CausalLm::bind(&config, &view),
-                    SplitSpec::paper(),
-                    ft,
-                    ds,
-                    k,
-                );
-                run_tcp_client(addr, &mut client, 6).expect("tcp training")
-            }));
-        }
-        for h in handles {
-            let curve = h.join().expect("client thread");
-            assert_eq!(curve.points().len(), 6);
-            assert!(
-                curve.final_loss().unwrap() < curve.points()[0].1 + 0.05,
-                "{:?}",
-                curve.points()
-            );
-        }
+    #[test]
+    fn client_trains_over_a_real_socket() {
+        let (mut client, session) = pair(500);
+        let handler = Arc::new(Mutex::new(SessionHandler::new(
+            session,
+            ForwardMode::NoGradReforward,
+        )));
+        let server = TcpSplitServer::spawn("127.0.0.1:0", handler.clone(), 1).expect("bind");
+        let curve = run_tcp_client(server.addr(), &mut client, 4).expect("tcp training");
+        assert_eq!(curve.points().len(), 4);
+        assert!(
+            curve.final_loss().unwrap() < curve.points()[0].1 + 0.05,
+            "{:?}",
+            curve.points()
+        );
         server.join();
+        // Clean disconnect released the session.
+        assert!(handler.lock().unwrap().session().is_none());
+    }
+
+    #[test]
+    fn hostile_length_prefix_cannot_oom_the_server() {
+        use std::io::{Read, Write};
+        let (_client, session) = pair(501);
+        let handler = Arc::new(Mutex::new(SessionHandler::new(
+            session,
+            ForwardMode::NoGradReforward,
+        )));
+        // Tight cap so the test proves the check, not the allocator.
+        let options = TcpOptions {
+            max_frame: 1 << 20,
+            io_timeout: Some(Duration::from_secs(5)),
+        };
+        let server = TcpSplitServer::spawn_with("127.0.0.1:0", handler, 1, options).expect("bind");
+        let mut socket = TcpStream::connect(server.addr()).expect("connect");
+        // A header declaring a 4 GiB payload. The server must reject it
+        // from the header alone and close the connection — never
+        // allocate.
+        socket
+            .write_all(&menos_net::encode_frame_header(2, 0, u32::MAX))
+            .expect("write hostile header");
+        let mut buf = [0u8; 1];
+        // Read returns 0 (EOF) once the server drops the connection.
+        let n = socket.read(&mut buf).expect("read");
+        assert_eq!(n, 0, "server must close on oversize declaration");
+        server.join();
+    }
+
+    #[test]
+    fn tcp_transport_surfaces_timeouts() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().unwrap();
+        let _held = std::thread::spawn(move || listener.accept());
+        let mut t = TcpTransport::connect(addr).expect("connect");
+        t.set_deadline(Some(Duration::from_millis(50))).unwrap();
+        let err = t.recv().unwrap_err();
+        assert!(matches!(err, ProtocolError::Timeout), "{err}");
     }
 }

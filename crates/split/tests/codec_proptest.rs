@@ -1,0 +1,168 @@
+//! Property tests for the unified message codec: every arbitrary
+//! message round-trips bit-exactly, and decoding rejects truncation at
+//! *every* prefix length — no partial frame is ever accepted.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+
+use menos_adapters::{AdapterKind, FineTuneConfig, OptimKind};
+use menos_models::{AdapterTarget, LoraSpec};
+use menos_net::DEFAULT_MAX_FRAME;
+use menos_split::{
+    decode_client_message, decode_server_message, encode_client_message, encode_server_message,
+    ClientId, ClientMessage, ServerMessage, SplitSpec,
+};
+
+fn arb_target() -> BoxedStrategy<AdapterTarget> {
+    prop_oneof![
+        Just(AdapterTarget::Q),
+        Just(AdapterTarget::K),
+        Just(AdapterTarget::V),
+        Just(AdapterTarget::O),
+        Just(AdapterTarget::MlpUp),
+        Just(AdapterTarget::MlpDown),
+    ]
+    .boxed()
+}
+
+fn arb_adapter() -> BoxedStrategy<AdapterKind> {
+    // Finite float ranges keep `PartialEq` round-trip assertions sound
+    // (NaN never compares equal to itself).
+    let lora = (
+        1usize..64,
+        0.25f32..128.0,
+        1usize..8,
+        prop::collection::vec(arb_target(), 0..6),
+    )
+        .prop_map(
+            |(rank, alpha, targets_per_block, targets)| AdapterKind::Lora {
+                spec: LoraSpec {
+                    rank,
+                    alpha,
+                    targets_per_block,
+                },
+                targets,
+            },
+        );
+    let prefix = (1usize..64).prop_map(|len| AdapterKind::Prefix { len });
+    prop_oneof![lora.boxed(), prefix.boxed()].boxed()
+}
+
+fn arb_optimizer() -> BoxedStrategy<OptimKind> {
+    prop_oneof![
+        (1e-6f32..1.0).prop_map(|lr| OptimKind::Adam { lr }).boxed(),
+        (1e-6f32..1.0, 0.0f32..0.999)
+            .prop_map(|(lr, momentum)| OptimKind::Sgd { lr, momentum })
+            .boxed(),
+    ]
+    .boxed()
+}
+
+fn arb_ft() -> BoxedStrategy<FineTuneConfig> {
+    (
+        arb_adapter(),
+        arb_optimizer(),
+        1usize..64,
+        1usize..512,
+        1usize..16,
+    )
+        .prop_map(
+            |(adapter, optimizer, batch_size, seq_len, grad_accumulation)| FineTuneConfig {
+                adapter,
+                optimizer,
+                batch_size,
+                seq_len,
+                grad_accumulation,
+            },
+        )
+        .boxed()
+}
+
+fn arb_payload() -> BoxedStrategy<Bytes> {
+    // The codec treats tensor payloads as opaque bytes, so arbitrary
+    // byte strings cover the framing exhaustively.
+    prop::collection::vec(0u8..=255, 0..256)
+        .prop_map(Bytes::from)
+        .boxed()
+}
+
+fn arb_client_message() -> BoxedStrategy<ClientMessage> {
+    let id = || (0u64..u64::MAX).prop_map(ClientId);
+    prop_oneof![
+        (id(), arb_ft(), 1usize..12)
+            .prop_map(|(client, ft, layers)| ClientMessage::Connect {
+                client,
+                ft,
+                split: SplitSpec::new(layers),
+            })
+            .boxed(),
+        (id(), arb_payload())
+            .prop_map(|(client, frame)| ClientMessage::Activations { client, frame })
+            .boxed(),
+        (id(), arb_payload())
+            .prop_map(|(client, frame)| ClientMessage::Gradients { client, frame })
+            .boxed(),
+        id().prop_map(|client| ClientMessage::Disconnect { client })
+            .boxed(),
+    ]
+    .boxed()
+}
+
+fn arb_server_message() -> BoxedStrategy<ServerMessage> {
+    let id = || (0u64..u64::MAX).prop_map(ClientId);
+    prop_oneof![
+        id().prop_map(|client| ServerMessage::Ready { client })
+            .boxed(),
+        (id(), arb_payload())
+            .prop_map(|(client, frame)| ServerMessage::ServerActivations { client, frame })
+            .boxed(),
+        (id(), arb_payload())
+            .prop_map(|(client, frame)| ServerMessage::ServerGradients { client, frame })
+            .boxed(),
+    ]
+    .boxed()
+}
+
+proptest! {
+    #[test]
+    fn client_messages_round_trip(msg in arb_client_message()) {
+        let bytes = encode_client_message(&msg);
+        let back = decode_client_message(&bytes, DEFAULT_MAX_FRAME)
+            .expect("well-formed frame must decode");
+        prop_assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn server_messages_round_trip(msg in arb_server_message()) {
+        let bytes = encode_server_message(&msg);
+        let back = decode_server_message(&bytes, DEFAULT_MAX_FRAME)
+            .expect("well-formed frame must decode");
+        prop_assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn client_decode_rejects_every_truncation(msg in arb_client_message()) {
+        let bytes = encode_client_message(&msg);
+        for keep in 0..bytes.len() {
+            let prefix = bytes.slice(..keep);
+            prop_assert!(
+                decode_client_message(&prefix, DEFAULT_MAX_FRAME).is_err(),
+                "prefix of {keep}/{} bytes must not decode",
+                bytes.len()
+            );
+        }
+    }
+
+    #[test]
+    fn server_decode_rejects_every_truncation(msg in arb_server_message()) {
+        let bytes = encode_server_message(&msg);
+        for keep in 0..bytes.len() {
+            let prefix = bytes.slice(..keep);
+            prop_assert!(
+                decode_server_message(&prefix, DEFAULT_MAX_FRAME).is_err(),
+                "prefix of {keep}/{} bytes must not decode",
+                bytes.len()
+            );
+        }
+    }
+}

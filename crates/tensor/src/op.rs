@@ -9,7 +9,7 @@ use crate::ops::nn::{
     rope_backward, softmax_backward,
 };
 use crate::ops::shape_ops::{inverse_perm, narrow_backward_kernel, permute_kernel};
-use crate::ops::unary::{gelu_prime, sigmoid, silu_prime};
+use crate::ops::unary::{gelu_exact_prime, gelu_prime, sigmoid, silu_prime};
 use crate::tensor::Tensor;
 
 /// A recorded tensor operation, holding its inputs.
@@ -33,6 +33,7 @@ pub(crate) enum Op {
     Sigmoid(Tensor),
     Relu(Tensor),
     Gelu(Tensor),
+    GeluExact(Tensor),
     Silu(Tensor),
     Matmul(Tensor, Tensor),
     SumAll(Tensor),
@@ -91,6 +92,7 @@ impl Op {
             | Op::Sigmoid(a)
             | Op::Relu(a)
             | Op::Gelu(a)
+            | Op::GeluExact(a)
             | Op::Silu(a)
             | Op::SumAll(a)
             | Op::MeanAll(a)
@@ -183,6 +185,7 @@ impl Op {
             }),
             Op::Relu(a) => unary_grad(a, grad, |x| if x > 0.0 { 1.0 } else { 0.0 }),
             Op::Gelu(a) => unary_grad(a, grad, gelu_prime),
+            Op::GeluExact(a) => unary_grad(a, grad, gelu_exact_prime),
             Op::Silu(a) => unary_grad(a, grad, silu_prime),
             Op::Matmul(a, b) => {
                 let (ga, gb) = matmul_backward(a, b, grad);

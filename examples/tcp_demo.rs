@@ -1,10 +1,12 @@
 //! Deployment demo: split fine-tuning over **real TCP sockets** —
-//! a Menos-style server on one thread, three clients connecting over
-//! loopback, each training against the shared base model.
+//! the full Menos server façade behind an accept loop, three clients
+//! connecting over loopback, each training against the shared base
+//! model.
 //!
 //! The same protocol runs geo-distributed in the paper; here the wire
 //! is localhost, but every byte crosses an actual socket through the
-//! tensor wire codec.
+//! unified frame codec, and the accept loop pumps the same
+//! `MenosServer` state machine the in-memory transports drive.
 //!
 //! ```bash
 //! cargo run --example tcp_demo --release
@@ -13,13 +15,11 @@
 use std::sync::{Arc, Mutex};
 
 use menos::adapters::FineTuneConfig;
+use menos::core::{MenosServer, ServerMode, ServerSpec};
 use menos::data::{wiki_corpus, TokenDataset, Vocab};
 use menos::models::{CausalLm, ModelConfig};
 use menos::sim::seeded_rng;
-use menos::split::{
-    registry_session_factory, run_tcp_client, ClientId, ForwardMode, SplitClient, SplitSpec,
-    TcpSplitServer,
-};
+use menos::split::{run_tcp_client, ClientId, SplitClient, SplitSpec, TcpSplitServer};
 
 fn main() {
     let text = wiki_corpus(77, 20_000);
@@ -29,14 +29,17 @@ fn main() {
     let base = Arc::new(Mutex::new(menos::models::init_params(&config, &mut rng)));
 
     const CLIENTS: usize = 3;
-    let factory = registry_session_factory(config.clone(), base.clone(), 9000);
-    let server = TcpSplitServer::spawn(
-        "127.0.0.1:0",
-        factory,
-        ForwardMode::NoGradReforward,
-        CLIENTS,
-    )
-    .expect("bind server");
+    // The server shares the exact in-process base the clients bind to
+    // (a provider would distribute the client sections instead).
+    let menos_server = MenosServer::from_store(
+        config.clone(),
+        base.lock().unwrap().shared_view(false),
+        ServerSpec::v100(ServerMode::menos()),
+        9000,
+    );
+    let handler = Arc::new(Mutex::new(menos_server));
+    let server =
+        TcpSplitServer::spawn("127.0.0.1:0", handler.clone(), CLIENTS).expect("bind server");
     let addr = server.addr();
     println!("Menos TCP server listening on {addr} (Menos policy: no-grad + re-forward)\n");
 
@@ -75,6 +78,8 @@ fn main() {
         );
     }
     server.join();
-    println!("\ntcp demo OK — the protocol is transport-agnostic: the paper-scale");
+    let sessions_left = handler.lock().unwrap().active_clients();
+    println!("\nsessions still held after disconnects: {sessions_left} (memory reclaimed)");
+    println!("tcp demo OK — the protocol is transport-agnostic: the paper-scale");
     println!("experiments swap this socket for the simulated geo-distributed WAN.");
 }

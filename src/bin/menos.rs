@@ -17,13 +17,11 @@
 use std::sync::{Arc, Mutex};
 
 use menos::adapters::FineTuneConfig;
+use menos::core::{MenosServer, ServerMode, ServerSpec};
 use menos::data::{wiki_corpus, TokenDataset, Vocab};
 use menos::models::{CausalLm, ModelConfig};
 use menos::sim::seeded_rng;
-use menos::split::{
-    registry_session_factory, run_tcp_client, ClientId, ForwardMode, SplitClient, SplitSpec,
-    TcpSplitServer,
-};
+use menos::split::{run_tcp_client, ClientId, ForwardMode, SplitClient, SplitSpec, TcpSplitServer};
 
 const USAGE: &str = "\
 usage:
@@ -93,16 +91,19 @@ fn run_server(args: &[String]) {
     };
 
     let (_, config) = shared_model(model_seed);
-    let mut rng = seeded_rng(model_seed, "base-model");
-    let base = Arc::new(Mutex::new(menos::models::init_params(&config, &mut rng)));
     println!(
         "loaded base model {} ({} params) — ONE shared copy for all clients",
         config.name,
         config.total_params()
     );
-    let factory = registry_session_factory(config, base, model_seed);
+    // The full Menos façade (shared-base registry + admission control),
+    // derived from the same model seed the clients use.
+    let mut menos_server =
+        MenosServer::new(config, ServerSpec::v100(ServerMode::menos()), model_seed);
+    menos_server.set_forward_mode(mode);
+    let handler = Arc::new(Mutex::new(menos_server));
     let server =
-        TcpSplitServer::spawn(("0.0.0.0", port), factory, mode, clients).expect("bind server port");
+        TcpSplitServer::spawn(("0.0.0.0", port), handler, clients).expect("bind server port");
     println!(
         "menos server on {} serving {clients} client(s) with {} tensor thread(s), policy: {}",
         server.addr(),

@@ -61,8 +61,13 @@ fn three_clients_share_one_base_and_all_learn() {
     for (client, session) in &pairs {
         let curve = client.curve();
         assert_eq!(curve.points().len(), 10);
+        // Compare a trailing mean against a leading mean rather than
+        // two individual points: single-step losses jitter with the
+        // batch drawn, which made a point-vs-point check flaky.
+        let head_mean: f32 = curve.points()[..3].iter().map(|(_, l)| l).sum::<f32>() / 3.0;
+        let tail_mean = curve.tail_mean(3).unwrap();
         assert!(
-            curve.final_loss().unwrap() < curve.points()[0].1 + 0.02,
+            tail_mean < head_mean + 0.02,
             "client {:?} failed to learn: {:?}",
             client.id(),
             curve.points()

@@ -1,18 +1,17 @@
 //! Robustness of the TCP transport: malformed peers and abrupt
-//! disconnects must not poison the server or other clients.
+//! disconnects must not poison the server or other clients, and a
+//! failed connection must reclaim its session memory.
 
 use std::io::Write;
 use std::net::TcpStream;
 use std::sync::{Arc, Mutex};
 
 use menos::adapters::FineTuneConfig;
+use menos::core::{MenosServer, ServerMode, ServerSpec};
 use menos::data::{wiki_corpus, TokenDataset, Vocab};
 use menos::models::{CausalLm, ModelConfig};
 use menos::sim::seeded_rng;
-use menos::split::{
-    registry_session_factory, run_tcp_client, ClientId, ForwardMode, SplitClient, SplitSpec,
-    TcpSplitServer,
-};
+use menos::split::{run_tcp_client, ClientId, ForwardMode, SplitClient, SplitSpec, TcpSplitServer};
 
 fn setup() -> (
     String,
@@ -26,6 +25,26 @@ fn setup() -> (
     let mut rng = seeded_rng(55, "tcp-robust");
     let base = Arc::new(Mutex::new(menos::models::init_params(&config, &mut rng)));
     (text, vocab, config, base)
+}
+
+fn spawn_server(
+    config: &ModelConfig,
+    base: &Arc<Mutex<menos::tensor::ParamStore>>,
+    seed: u64,
+    mode: ForwardMode,
+    clients: usize,
+) -> (TcpSplitServer, Arc<Mutex<MenosServer>>) {
+    let view = base.lock().unwrap().shared_view(false);
+    let mut srv = MenosServer::from_store(
+        config.clone(),
+        view,
+        ServerSpec::v100(ServerMode::menos()),
+        seed,
+    );
+    srv.set_forward_mode(mode);
+    let handler = Arc::new(Mutex::new(srv));
+    let server = TcpSplitServer::spawn("127.0.0.1:0", handler.clone(), clients).expect("bind");
+    (server, handler)
 }
 
 fn make_client(
@@ -53,14 +72,12 @@ fn make_client(
 #[test]
 fn garbage_peer_does_not_poison_healthy_clients() {
     let (text, _vocab, config, base) = setup();
-    let factory = registry_session_factory(config.clone(), base.clone(), 700);
     // Serve three connections: one garbage, two healthy.
-    let server = TcpSplitServer::spawn("127.0.0.1:0", factory, ForwardMode::NoGradReforward, 3)
-        .expect("bind");
+    let (server, handler) = spawn_server(&config, &base, 700, ForwardMode::NoGradReforward, 3);
     let addr = server.addr();
 
-    // Garbage peer: random bytes, then abrupt close. Its connection
-    // thread must fail in isolation.
+    // Garbage peer: random bytes (not even a valid frame header), then
+    // abrupt close. Its connection thread must fail in isolation.
     {
         let mut s = TcpStream::connect(addr).expect("connect");
         s.write_all(&[0xFF; 64]).expect("write garbage");
@@ -83,34 +100,28 @@ fn garbage_peer_does_not_poison_healthy_clients() {
         assert_eq!(curve.points().len(), 4);
     }
     server.join();
+    // Every session — including any the garbage peer might have opened —
+    // is reclaimed.
+    assert_eq!(handler.lock().unwrap().active_clients(), 0);
 }
 
 #[test]
 fn mid_session_disconnect_is_contained() {
     let (text, _vocab, config, base) = setup();
-    let factory = registry_session_factory(config.clone(), base.clone(), 701);
-    let server =
-        TcpSplitServer::spawn("127.0.0.1:0", factory, ForwardMode::Cached, 2).expect("bind");
+    let (server, handler) = spawn_server(&config, &base, 701, ForwardMode::Cached, 2);
     let addr = server.addr();
 
-    // First peer: completes the handshake, sends one valid activation
-    // frame header with a huge length, then vanishes.
+    // First peer: a syntactically plausible-looking stream that is not
+    // a valid frame (wrong magic), then vanishes. The server closes
+    // the connection instead of hanging.
     {
         use std::io::Read;
         let mut s = TcpStream::connect(addr).expect("connect");
-        // A valid CONNECT from a throwaway client gets us past the
-        // handshake.
-        let probe = make_client(9, &text, &config, &base);
-        // Drive one legit step manually? Simpler: valid connect frame
-        // via the public client API on a separate short run would
-        // consume the slot; instead send a syntactically valid but
-        // truncated frame: type + length, no payload.
-        let _ = probe.ft_config();
-        s.write_all(&[3u8]).expect("type"); // MSG_ACTIVATIONS before CONNECT
+        s.write_all(&[3u8]).expect("type");
         s.write_all(&8u64.to_le_bytes()).expect("len");
         s.write_all(&[0u8; 8]).expect("payload");
-        // The server rejects (expected CONNECT) and closes; our read
-        // sees EOF rather than a hang.
+        // The server rejects (bad frame) and closes; our read sees EOF
+        // rather than a hang.
         let mut buf = [0u8; 1];
         let _ = s.read(&mut buf);
     }
@@ -120,14 +131,13 @@ fn mid_session_disconnect_is_contained() {
     let curve = run_tcp_client(addr, &mut client, 3).expect("client after bad peer");
     assert_eq!(curve.points().len(), 3);
     server.join();
+    assert_eq!(handler.lock().unwrap().active_clients(), 0);
 }
 
 #[test]
 fn clients_with_different_configs_share_one_server() {
     let (text, _vocab, config, base) = setup();
-    let factory = registry_session_factory(config.clone(), base.clone(), 702);
-    let server = TcpSplitServer::spawn("127.0.0.1:0", factory, ForwardMode::NoGradReforward, 2)
-        .expect("bind");
+    let (server, handler) = spawn_server(&config, &base, 702, ForwardMode::NoGradReforward, 2);
     let addr = server.addr();
 
     let mut handles = Vec::new();
@@ -160,4 +170,5 @@ fn clients_with_different_configs_share_one_server() {
         assert_eq!(h.join().expect("thread").points().len(), 3);
     }
     server.join();
+    assert_eq!(handler.lock().unwrap().active_clients(), 0);
 }

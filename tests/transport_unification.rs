@@ -1,0 +1,282 @@
+//! The acceptance harness of the unified transport stack: every
+//! transport moves the same codec bytes through the same state
+//! machine, so (a) training is byte-identical across transports and
+//! (b) injected faults surface as typed [`ProtocolError`]s that
+//! reclaim the failed client's session and leave other clients
+//! training.
+
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use menos::adapters::FineTuneConfig;
+use menos::core::{MenosServer, ProtocolError, ServerMode, ServerSpec};
+use menos::data::{wiki_corpus, LossCurve, TokenDataset, Vocab};
+use menos::models::{CausalLm, ModelConfig};
+use menos::net::WireError;
+use menos::sim::seeded_rng;
+use menos::split::{
+    channel_pair, drive_client, serve_loop, sim_pair, ClientId, ClientMessage, FaultTransport,
+    SplitClient, SplitSpec, TcpSplitServer, Transport,
+};
+
+const SEED: u64 = 4100;
+
+fn setup() -> (
+    String,
+    Vocab,
+    ModelConfig,
+    Arc<Mutex<menos::tensor::ParamStore>>,
+) {
+    let text = wiki_corpus(41, 12_000);
+    let vocab = Vocab::from_text(&text);
+    let config = ModelConfig::tiny_opt(vocab.size());
+    let mut rng = seeded_rng(41, "transport-unification");
+    let base = Arc::new(Mutex::new(menos::models::init_params(&config, &mut rng)));
+    (text, vocab, config, base)
+}
+
+fn make_server(
+    config: &ModelConfig,
+    base: &Arc<Mutex<menos::tensor::ParamStore>>,
+) -> Arc<Mutex<MenosServer>> {
+    let view = base.lock().unwrap().shared_view(false);
+    Arc::new(Mutex::new(MenosServer::from_store(
+        config.clone(),
+        view,
+        ServerSpec::v100(ServerMode::menos()),
+        SEED,
+    )))
+}
+
+fn make_client(
+    k: u64,
+    text: &str,
+    config: &ModelConfig,
+    base: &Arc<Mutex<menos::tensor::ParamStore>>,
+) -> SplitClient {
+    let vocab = Vocab::from_text(text);
+    let mut ft = FineTuneConfig::paper(config);
+    ft.batch_size = 2;
+    ft.seq_len = 16;
+    let ds = TokenDataset::new(vocab.encode(text), 16, k);
+    let view = base.lock().unwrap().shared_view(false);
+    SplitClient::new(
+        ClientId(k),
+        CausalLm::bind(config, &view),
+        SplitSpec::paper(),
+        ft,
+        ds,
+        k,
+    )
+}
+
+fn connect_msg(client: &SplitClient) -> ClientMessage {
+    ClientMessage::Connect {
+        client: client.id(),
+        ft: client.ft_config().clone(),
+        split: client.split(),
+    }
+}
+
+/// One scripted training step's worth of frames for `client`, captured
+/// by running the real client against a scratch server.
+fn train_over_channel(
+    client: &mut SplitClient,
+    handler: Arc<Mutex<MenosServer>>,
+    steps: usize,
+) -> LossCurve {
+    let (mut client_t, mut server_t) = channel_pair();
+    let server = std::thread::spawn(move || {
+        let mut handler = handler;
+        serve_loop(&mut server_t, &mut handler)
+    });
+    let curve = drive_client(client, &mut client_t, steps).expect("channel training");
+    server.join().expect("server thread").expect("clean serve");
+    curve
+}
+
+#[test]
+fn same_messages_give_byte_identical_curves_on_every_transport() {
+    let (text, _vocab, config, base) = setup();
+    const STEPS: usize = 4;
+
+    // In-memory channels.
+    let mut client = make_client(0, &text, &config, &base);
+    let channel_curve = train_over_channel(&mut client, make_server(&config, &base), STEPS);
+
+    // Real TCP sockets.
+    let handler = make_server(&config, &base);
+    let server = TcpSplitServer::spawn("127.0.0.1:0", handler, 1).expect("bind");
+    let mut client = make_client(0, &text, &config, &base);
+    let tcp_curve =
+        menos::split::run_tcp_client(server.addr(), &mut client, STEPS).expect("tcp training");
+    server.join();
+
+    // Simulated WAN (same bytes, plus virtual transfer time).
+    let (mut client_t, mut server_t) =
+        sim_pair(menos::net::WanLink::lan(7), menos::net::WanLink::lan(8));
+    let handler = make_server(&config, &base);
+    let sim_server = std::thread::spawn(move || {
+        let mut handler = handler;
+        serve_loop(&mut server_t, &mut handler)
+    });
+    let mut client = make_client(0, &text, &config, &base);
+    let sim_curve = drive_client(&mut client, &mut client_t, STEPS).expect("sim training");
+    sim_server.join().expect("thread").expect("clean serve");
+    assert!(client_t.elapsed() > menos::sim::Nanos(0));
+
+    // Bit-exact equality: same client, same server seed, same bytes on
+    // the wire → the same floats, regardless of transport.
+    let bits = |curve: &LossCurve| -> Vec<(usize, u32)> {
+        curve
+            .points()
+            .iter()
+            .map(|&(s, l)| (s, l.to_bits()))
+            .collect()
+    };
+    assert_eq!(channel_curve.points().len(), STEPS);
+    assert_eq!(bits(&channel_curve), bits(&tcp_curve));
+    assert_eq!(bits(&channel_curve), bits(&sim_curve));
+}
+
+/// Runs a fault script against a fresh `MenosServer`, returning the
+/// serve-loop error and the handler for post-mortem assertions.
+fn run_script(
+    handler: Arc<Mutex<MenosServer>>,
+    script: impl FnOnce(&mut FaultTransport, &ClientMessage),
+    connect: &ClientMessage,
+) -> ProtocolError {
+    let mut transport = FaultTransport::new();
+    script(&mut transport, connect);
+    let mut h = handler;
+    serve_loop(&mut transport, &mut h).expect_err("script must fail the connection")
+}
+
+#[test]
+fn injected_faults_surface_typed_errors_and_reclaim_sessions() {
+    let (text, _vocab, config, base) = setup();
+    let handler = make_server(&config, &base);
+
+    let victim = make_client(7, &text, &config, &base);
+    let connect = connect_msg(&victim);
+    let activations = ClientMessage::Activations {
+        client: ClientId(7),
+        frame: menos::net::encode_tensor(&menos::tensor::Tensor::zeros([2, 16, 64])),
+    };
+
+    // Truncated frame after a successful connect.
+    let err = run_script(
+        handler.clone(),
+        |t, connect| {
+            t.push_message(connect);
+            t.push_truncated(&activations, 9);
+        },
+        &connect,
+    );
+    assert!(
+        matches!(err, ProtocolError::Wire(WireError::Truncated)),
+        "{err}"
+    );
+    assert_eq!(handler.lock().unwrap().active_clients(), 0);
+
+    // Hostile oversize length declaration.
+    let err = run_script(
+        handler.clone(),
+        |t, connect| {
+            t.push_message(connect);
+            t.push_oversize_header(u32::MAX);
+        },
+        &connect,
+    );
+    assert!(
+        matches!(err, ProtocolError::Wire(WireError::TooLarge { .. })),
+        "{err}"
+    );
+    assert_eq!(handler.lock().unwrap().active_clients(), 0);
+
+    // Out-of-order message: gradients before any forward.
+    let err = run_script(
+        handler.clone(),
+        |t, connect| {
+            t.push_message(connect);
+            t.push_message(&ClientMessage::Gradients {
+                client: ClientId(7),
+                frame: menos::net::encode_tensor(&menos::tensor::Tensor::zeros([2, 16, 64])),
+            });
+        },
+        &connect,
+    );
+    assert!(matches!(err, ProtocolError::OutOfOrder(_)), "{err}");
+    assert_eq!(handler.lock().unwrap().active_clients(), 0);
+
+    // Mid-step disconnect: the script runs dry after one good step's
+    // first message, modelling an abrupt hang-up.
+    let err = run_script(
+        handler.clone(),
+        |t, connect| {
+            t.push_message(connect);
+            t.push_message(&activations);
+        },
+        &connect,
+    );
+    assert!(matches!(err, ProtocolError::Disconnected), "{err}");
+    assert_eq!(handler.lock().unwrap().active_clients(), 0);
+
+    // Deadline enforcement: a frame that arrives too late.
+    let err = {
+        let mut transport = FaultTransport::new();
+        transport
+            .set_deadline(Some(Duration::from_millis(100)))
+            .unwrap();
+        transport.push_message(&connect);
+        transport.push_delayed(&activations, Duration::from_secs(120));
+        let mut h = handler.clone();
+        serve_loop(&mut transport, &mut h).expect_err("late frame must fail")
+    };
+    assert!(matches!(err, ProtocolError::Timeout), "{err}");
+    assert_eq!(handler.lock().unwrap().active_clients(), 0);
+
+    // Through all that abuse, an unrelated client still trains on the
+    // same server instance.
+    let mut healthy = make_client(1, &text, &config, &base);
+    let curve = train_over_channel(&mut healthy, handler.clone(), 3);
+    assert_eq!(curve.points().len(), 3);
+    assert_eq!(handler.lock().unwrap().active_clients(), 0);
+}
+
+#[test]
+fn faulty_client_does_not_stop_a_concurrent_one() {
+    let (text, _vocab, config, base) = setup();
+    let handler = make_server(&config, &base);
+
+    // Healthy client trains over channels on one thread...
+    let (mut client_t, mut server_t) = channel_pair();
+    let healthy_handler = handler.clone();
+    let healthy_server = std::thread::spawn(move || {
+        let mut h = healthy_handler;
+        serve_loop(&mut server_t, &mut h)
+    });
+    let mut healthy = make_client(2, &text, &config, &base);
+
+    // ...while a faulty one connects and breaks mid-step on this one.
+    let faulty = make_client(3, &text, &config, &base);
+    let mut fault_t = FaultTransport::new();
+    fault_t.push_message(&connect_msg(&faulty));
+    fault_t.push_truncated(
+        &ClientMessage::Activations {
+            client: ClientId(3),
+            frame: menos::net::encode_tensor(&menos::tensor::Tensor::zeros([2, 16, 64])),
+        },
+        20,
+    );
+    let mut fault_handler = handler.clone();
+    let fault_err = serve_loop(&mut fault_t, &mut fault_handler).expect_err("fault");
+    assert!(matches!(fault_err, ProtocolError::Wire(_)), "{fault_err}");
+
+    let curve = drive_client(&mut healthy, &mut client_t, 3).expect("healthy client");
+    healthy_server.join().expect("thread").expect("clean serve");
+    assert_eq!(curve.points().len(), 3);
+    // The faulty session is reclaimed; the healthy one disconnected
+    // cleanly — nothing leaks.
+    assert_eq!(handler.lock().unwrap().active_clients(), 0);
+}

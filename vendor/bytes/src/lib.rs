@@ -9,12 +9,22 @@ use std::ops::{Bound, Deref, RangeBounds};
 use std::sync::Arc;
 
 /// A cheaply-cloneable, sliceable view of an immutable byte buffer.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default)]
 pub struct Bytes {
     data: Arc<[u8]>,
     start: usize,
     end: usize,
 }
+
+// Equality is over the visible bytes (like the real crate), not the
+// backing buffer — a zero-copy sub-slice equals an owned copy.
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_ref() == other.as_ref()
+    }
+}
+
+impl Eq for Bytes {}
 
 impl Bytes {
     /// An empty buffer.
