@@ -1,0 +1,211 @@
+//! Many-client serving throughput: thread-per-client blocking pump vs
+//! the single-thread event-driven server with batched steps, over
+//! `SimTransport`.
+//!
+//! For each fleet size N the same N clients train the same number of
+//! steps against one shared `MenosServer`; the aggregate throughput is
+//! `N * steps / wall_time`. Appends one JSON line per configuration to
+//! stdout and rewrites `BENCH_serve.json` when run from the repository
+//! (the EXPERIMENTS.md study quotes those numbers).
+
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use menos_adapters::FineTuneConfig;
+use menos_core::{MenosServer, ServerMode, ServerSpec};
+use menos_data::{wiki_corpus, TokenDataset, Vocab};
+use menos_models::{init_params, CausalLm, ModelConfig};
+use menos_net::WanLink;
+use menos_sim::seeded_rng;
+use menos_split::{
+    drive_client, event_sim_listener, serve_loop, sim_pair, ClientId, EventLoopOptions,
+    EventLoopStats, ServerEventLoop, SplitClient, SplitSpec,
+};
+use menos_tensor::ParamStore;
+
+const SEED: u64 = 4300;
+const STEPS: usize = 3;
+
+fn setup() -> (String, ModelConfig, Arc<Mutex<ParamStore>>) {
+    let text = wiki_corpus(43, 12_000);
+    let vocab = Vocab::from_text(&text);
+    let config = ModelConfig::tiny_opt(vocab.size());
+    let mut rng = seeded_rng(43, "exp-serve");
+    let base = Arc::new(Mutex::new(init_params(&config, &mut rng)));
+    (text, config, base)
+}
+
+fn make_server(config: &ModelConfig, base: &Arc<Mutex<ParamStore>>) -> Arc<Mutex<MenosServer>> {
+    let view = base.lock().unwrap().shared_view(false);
+    Arc::new(Mutex::new(MenosServer::from_store(
+        config.clone(),
+        view,
+        ServerSpec::v100(ServerMode::menos()),
+        SEED,
+    )))
+}
+
+fn make_client(
+    k: u64,
+    text: &str,
+    config: &ModelConfig,
+    base: &Arc<Mutex<ParamStore>>,
+) -> SplitClient {
+    let vocab = Vocab::from_text(text);
+    let mut ft = FineTuneConfig::paper(config);
+    ft.batch_size = 2;
+    ft.seq_len = 16;
+    let ds = TokenDataset::new(vocab.encode(text), 16, k);
+    let view = base.lock().unwrap().shared_view(false);
+    SplitClient::new(
+        ClientId(k),
+        CausalLm::bind(config, &view),
+        SplitSpec::paper(),
+        ft,
+        ds,
+        k,
+    )
+}
+
+/// Peak resident set of this process so far, from `/proc/self/status`
+/// (kB). Monotonic high-water mark; 0 where procfs is unavailable.
+fn vm_hwm_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmHWM:"))
+                .and_then(|l| l.split_whitespace().nth(1).and_then(|v| v.parse().ok()))
+        })
+        .unwrap_or(0)
+}
+
+/// N blocking `serve_loop` threads (one per client) over SimTransport.
+fn run_threaded(n: u64, text: &str, config: &ModelConfig, base: &Arc<Mutex<ParamStore>>) -> f64 {
+    let handler = make_server(config, base);
+    let start = Instant::now();
+    let mut drivers = Vec::new();
+    let mut servers = Vec::new();
+    for k in 0..n {
+        let (mut client_t, mut server_t) = sim_pair(WanLink::lan(7 + k), WanLink::lan(100 + k));
+        let mut h = handler.clone();
+        servers.push(std::thread::spawn(move || {
+            serve_loop(&mut server_t, &mut h)
+        }));
+        let mut client = make_client(k, text, config, base);
+        drivers.push(std::thread::spawn(move || {
+            drive_client(&mut client, &mut client_t, STEPS).expect("threaded fleet");
+        }));
+    }
+    for d in drivers {
+        d.join().expect("driver thread");
+    }
+    for s in servers {
+        s.join().expect("server thread").expect("clean serve");
+    }
+    start.elapsed().as_secs_f64()
+}
+
+/// One `ServerEventLoop` thread serving all N clients over SimTransport.
+fn run_event_loop(
+    n: u64,
+    text: &str,
+    config: &ModelConfig,
+    base: &Arc<Mutex<ParamStore>>,
+) -> (f64, EventLoopStats) {
+    let handler = make_server(config, base);
+    let (dialer, listener) = event_sim_listener();
+    let event_loop = ServerEventLoop::new(
+        listener,
+        handler,
+        EventLoopOptions {
+            max_clients: n as usize,
+            ..EventLoopOptions::default()
+        },
+    );
+    let start = Instant::now();
+    let loop_thread = std::thread::spawn(move || event_loop.run());
+    let mut drivers = Vec::new();
+    for k in 0..n {
+        let mut client = make_client(k, text, config, base);
+        let dialer = dialer.clone();
+        drivers.push(std::thread::spawn(move || {
+            let mut transport = dialer
+                .dial(WanLink::lan(7 + k), WanLink::lan(100 + k))
+                .expect("dial");
+            drive_client(&mut client, &mut transport, STEPS).expect("event-loop fleet");
+        }));
+    }
+    for d in drivers {
+        d.join().expect("driver thread");
+    }
+    let (_h, stats) = loop_thread.join().expect("loop thread");
+    (start.elapsed().as_secs_f64(), stats)
+}
+
+/// Median of an odd-length slice (sorted copy).
+fn median(xs: &[f64]) -> f64 {
+    let mut s = xs.to_vec();
+    s.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    s[s.len() / 2]
+}
+
+fn main() {
+    const REPEATS: usize = 3;
+    let (text, config, base) = setup();
+    let mut lines = Vec::new();
+    println!("== Many-client serving: thread-per-client vs event-loop-batched ==");
+    println!("   (median of {REPEATS} repeats, {STEPS} steps/client, SimTransport)\n");
+    println!(
+        "{:>8} {:>14} {:>14} {:>8} {:>10} {:>10}",
+        "clients", "threaded st/s", "eventloop st/s", "speedup", "max batch", "VmHWM MB"
+    );
+    for n in [1u64, 8, 32, 128] {
+        let total_steps = (n as usize * STEPS) as f64;
+        let threaded: Vec<f64> = (0..REPEATS)
+            .map(|_| total_steps / run_threaded(n, &text, &config, &base))
+            .collect();
+        let threaded_rate = median(&threaded);
+        let hwm_threaded = vm_hwm_kb();
+        lines.push(format!(
+            "{{\"group\":\"serve\",\"bench\":\"threaded/n{n}\",\"clients\":{n},\"steps\":{STEPS},\
+             \"repeats\":{REPEATS},\"steps_per_sec\":{threaded_rate:.2},\
+             \"vm_hwm_kb\":{hwm_threaded}}}",
+        ));
+        let mut event = Vec::new();
+        let mut stats = EventLoopStats::default();
+        for _ in 0..REPEATS {
+            let (s, st) = run_event_loop(n, &text, &config, &base);
+            event.push(total_steps / s);
+            stats = st;
+        }
+        let event_rate = median(&event);
+        let hwm_event = vm_hwm_kb();
+        lines.push(format!(
+            "{{\"group\":\"serve\",\"bench\":\"event_loop/n{n}\",\"clients\":{n},\"steps\":{STEPS},\
+             \"repeats\":{REPEATS},\"steps_per_sec\":{event_rate:.2},\"batches\":{},\
+             \"batched_messages\":{},\"max_batch\":{},\"vm_hwm_kb\":{hwm_event}}}",
+            stats.batches,
+            stats.batched_messages,
+            stats.max_batch,
+        ));
+        println!(
+            "{n:>8} {threaded_rate:>14.2} {event_rate:>14.2} {:>7.2}x {:>10} {:>10.1}",
+            event_rate / threaded_rate,
+            stats.max_batch,
+            hwm_event as f64 / 1024.0,
+        );
+    }
+    let json = lines.join("\n") + "\n";
+    print!("\n{json}");
+    // Best-effort baseline refresh when run from the repo checkout.
+    if std::path::Path::new("BENCH_serve.json").exists()
+        || std::path::Path::new("Cargo.toml").exists()
+    {
+        if let Ok(mut f) = std::fs::File::create("BENCH_serve.json") {
+            let _ = f.write_all(json.as_bytes());
+            eprintln!("wrote BENCH_serve.json");
+        }
+    }
+}

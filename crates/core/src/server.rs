@@ -12,19 +12,27 @@
 //!
 //! [`Transport`]: menos_split::Transport
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
+use std::ops::Range;
 
 use menos_adapters::FineTuneConfig;
-use menos_models::ModelConfig;
+use menos_models::{stacked_model, CausalLm, ModelConfig};
+use menos_net::{decode_tensor, encode_tensor};
 use menos_split::{
-    dispatch_session, ClientId, ClientMessage, ForwardMode, MessageHandler, ProtocolError,
-    ServerMessage, ServerSession, SplitSpec,
+    dispatch_session, BatchHandler, ClientId, ClientMessage, ForwardMode, MessageHandler,
+    ProtocolError, ServerMessage, ServerSession, SplitSpec,
 };
-use menos_tensor::ParamStore;
+use menos_tensor::{no_grad, ParamStore, Tensor};
 
 use crate::profiler::{profile_client, MemoryDemands};
 use crate::sharing::SharedBaseRegistry;
 use crate::workload::ServerSpec;
+
+/// Most sessions one fused stacked step will carry. Beyond this the
+/// reverse pass's per-band scatter contributions (each the size of the
+/// whole stacked activation) cost more in transient memory and copy
+/// bandwidth than the larger matmul saves.
+pub const MAX_STACK_MEMBERS: usize = 32;
 
 struct ClientState {
     session: ServerSession,
@@ -148,6 +156,273 @@ impl MenosServer {
         }
     }
 
+    /// Dispatches a whole ready-set of tensor messages as (at most) one
+    /// stacked forward / re-forward+backward per compatible group —
+    /// the server step behind the event-driven pump.
+    ///
+    /// Grouping: messages batch together when they are the same
+    /// protocol step (forward or backward) over the same server block
+    /// range with the same `[seq, hidden]` activation geometry, the
+    /// server runs Menos' no-grad/re-forward policy, and no member
+    /// carries a KV prefix in the range (prefix tuning changes the
+    /// attention sequence structure and is not stackable). Everything
+    /// else — control messages, undecodable frames, unknown clients,
+    /// cached-mode traffic — takes the exact solo path of
+    /// [`MenosServer::handle`].
+    ///
+    /// Backward groups are additionally chunked by Algorithm 2's
+    /// admissibility rule: members join a chunk while the sum of their
+    /// profiled backward demands `m_b` fits the GPU pool, so one fused
+    /// re-forward+backward never exceeds the budget that admission
+    /// control promised each client individually.
+    ///
+    /// Per-client results are bit-identical to the solo path: every
+    /// `menos-tensor` kernel is row-bitwise-invariant, adapters are
+    /// per-band additive paths, and each session's optimizer steps on
+    /// its own gradients only.
+    pub fn handle_batch(
+        &mut self,
+        msgs: Vec<ClientMessage>,
+    ) -> Vec<(ClientId, Result<Option<ServerMessage>, ProtocolError>)> {
+        let mut out = Vec::with_capacity(msgs.len());
+        // Group key: protocol step + server range + activation
+        // geometry. BTreeMap keeps dispatch order deterministic.
+        type GroupKey = (bool, usize, usize, usize, usize);
+        let mut groups: BTreeMap<GroupKey, Vec<(ClientId, Tensor)>> = BTreeMap::new();
+        for msg in msgs {
+            match self.stage_for_batch(&msg) {
+                Some((is_backward, range, t)) => {
+                    let key = (
+                        is_backward,
+                        range.start,
+                        range.end,
+                        t.dims()[1],
+                        t.dims()[2],
+                    );
+                    groups.entry(key).or_default().push((msg.client(), t));
+                }
+                None => {
+                    let client = msg.client();
+                    out.push((client, self.handle(msg)));
+                }
+            }
+        }
+        for ((is_backward, start, end, _, _), mut members) in groups {
+            // A control message above may have removed a member (e.g.
+            // a hostile caller mixing Disconnect into the batch).
+            members.retain(|(client, _)| {
+                let alive = self.clients.contains_key(client);
+                if !alive {
+                    out.push((*client, Err(ProtocolError::UnknownClient(*client))));
+                }
+                alive
+            });
+            if is_backward {
+                for chunk in self.admissible_chunks(members) {
+                    self.batched_backward(chunk, start..end, &mut out);
+                }
+            } else {
+                for chunk in self.admissible_chunks(members) {
+                    self.batched_forward(chunk, start..end, &mut out);
+                }
+            }
+        }
+        out
+    }
+
+    /// Decides whether a message may join a stacked batch, returning
+    /// its decoded tensor and server range if so.
+    fn stage_for_batch(&self, msg: &ClientMessage) -> Option<(bool, Range<usize>, Tensor)> {
+        if self.mode != ForwardMode::NoGradReforward {
+            return None;
+        }
+        let (frame, is_backward) = match msg {
+            ClientMessage::Activations { frame, .. } => (frame, false),
+            ClientMessage::Gradients { frame, .. } => (frame, true),
+            _ => return None,
+        };
+        let state = self.clients.get(&msg.client())?;
+        let t = decode_tensor(frame).ok()?;
+        if t.dims().len() != 3 || t.dims()[0] == 0 {
+            return None;
+        }
+        let range = state.session.range();
+        if state.session.model().has_kv_prefix_in(range.clone()) {
+            return None;
+        }
+        if is_backward {
+            // Backward needs the no-grad forward's saved input, with a
+            // geometry matching the incoming gradients.
+            let pending = state.session.pending_input()?;
+            if pending.dims() != t.dims() {
+                return None;
+            }
+        }
+        Some((is_backward, range, t))
+    }
+
+    /// Splits a compatible group into chunks whose summed profiled
+    /// backward demands fit the GPU pool (Algorithm 2's admissible
+    /// set), additionally capped at [`MAX_STACK_MEMBERS`] sessions per
+    /// fused step: the re-forward's autograd pass buffers one
+    /// full-batch gradient contribution per member band, so an
+    /// unbounded stack turns a wide ready-set into quadratic transient
+    /// memory. Admission control guarantees every single client fits,
+    /// so chunks are never empty.
+    fn admissible_chunks(&self, members: Vec<(ClientId, Tensor)>) -> Vec<Vec<(ClientId, Tensor)>> {
+        let pool = self.spec.total_gpu_bytes();
+        let mut chunks = Vec::new();
+        let mut current: Vec<(ClientId, Tensor)> = Vec::new();
+        let mut current_bytes = 0u64;
+        for (client, t) in members {
+            let m_b = self
+                .clients
+                .get(&client)
+                .map(|s| s.demands.m_b)
+                .unwrap_or(0);
+            if !current.is_empty()
+                && (current.len() >= MAX_STACK_MEMBERS || current_bytes.saturating_add(m_b) > pool)
+            {
+                chunks.push(std::mem::take(&mut current));
+                current_bytes = 0;
+            }
+            current_bytes += m_b;
+            current.push((client, t));
+        }
+        if !current.is_empty() {
+            chunks.push(current);
+        }
+        chunks
+    }
+
+    /// One stacked no-grad forward for a group (solo fallback for
+    /// singleton groups — same math, fewer copies).
+    fn batched_forward(
+        &mut self,
+        members: Vec<(ClientId, Tensor)>,
+        range: Range<usize>,
+        out: &mut Vec<(ClientId, Result<Option<ServerMessage>, ProtocolError>)>,
+    ) {
+        if members.is_empty() {
+            return;
+        }
+        if members.len() == 1 {
+            let (client, x_c) = members.into_iter().next().expect("one member");
+            let state = self.clients.get_mut(&client).expect("retained member");
+            let x_s = state.session.forward_nograd(&x_c);
+            out.push((
+                client,
+                Ok(Some(ServerMessage::ServerActivations {
+                    client,
+                    frame: encode_tensor(&x_s),
+                })),
+            ));
+            return;
+        }
+        let spans: Vec<usize> = members.iter().map(|(_, t)| t.dims()[0]).collect();
+        let xs: Vec<Tensor> = members.iter().map(|(_, t)| t.detach()).collect();
+        let stacked_x = Tensor::stack_batches(&xs);
+        // The stacked model borrows every member's session immutably;
+        // build it (owned) before mutating any session.
+        let model = {
+            let group: Vec<(&CausalLm, usize)> = members
+                .iter()
+                .map(|(client, t)| {
+                    let state = self.clients.get(client).expect("retained member");
+                    (state.session.model(), t.dims()[0])
+                })
+                .collect();
+            stacked_model(&group, range.clone())
+        };
+        let stacked_out = no_grad(|| model.blocks_forward(&stacked_x.detach(), range));
+        let outs = stacked_out.unstack_batches(&spans);
+        for ((client, x_c), x_s) in members.into_iter().zip(outs) {
+            let state = self.clients.get_mut(&client).expect("retained member");
+            state.session.note_batched_forward(&x_c);
+            out.push((
+                client,
+                Ok(Some(ServerMessage::ServerActivations {
+                    client,
+                    frame: encode_tensor(&x_s),
+                })),
+            ));
+        }
+    }
+
+    /// One fused re-forward + backward for an admissible chunk (solo
+    /// fallback for singletons).
+    fn batched_backward(
+        &mut self,
+        chunk: Vec<(ClientId, Tensor)>,
+        range: Range<usize>,
+        out: &mut Vec<(ClientId, Result<Option<ServerMessage>, ProtocolError>)>,
+    ) {
+        if chunk.is_empty() {
+            return;
+        }
+        if chunk.len() == 1 {
+            let (client, g_c) = chunk.into_iter().next().expect("one member");
+            let state = self.clients.get_mut(&client).expect("retained member");
+            // Eligibility verified the pending input, so the solo
+            // backward cannot hit its missing-forward panic.
+            let g_s = state.session.backward(&g_c);
+            out.push((
+                client,
+                Ok(Some(ServerMessage::ServerGradients {
+                    client,
+                    frame: encode_tensor(&g_s),
+                })),
+            ));
+            return;
+        }
+        let spans: Vec<usize> = chunk.iter().map(|(_, t)| t.dims()[0]).collect();
+        let (model, stacked_in) = {
+            let mut pend = Vec::with_capacity(chunk.len());
+            let mut group: Vec<(&CausalLm, usize)> = Vec::with_capacity(chunk.len());
+            for (client, t) in &chunk {
+                let state = self.clients.get(client).expect("retained member");
+                pend.push(
+                    state
+                        .session
+                        .pending_input()
+                        .expect("eligibility checked pending input")
+                        .clone(),
+                );
+                group.push((state.session.model(), t.dims()[0]));
+            }
+            (
+                stacked_model(&group, range.clone()),
+                Tensor::stack_batches(&pend),
+            )
+        };
+        // The re-forward runs gradient-ready from a fresh leaf over the
+        // stacked inputs — the batched image of the solo re-forward.
+        let leaf = Tensor::from_shared_storage(
+            stacked_in.storage().clone(),
+            stacked_in.shape().clone(),
+            true,
+        );
+        let x_s = model.blocks_forward(&leaf, range);
+        let gs: Vec<Tensor> = chunk.iter().map(|(_, t)| t.detach()).collect();
+        let stacked_g = Tensor::stack_batches(&gs);
+        let mut grads = x_s.backward_with_grad(&stacked_g);
+        let g_in = grads
+            .remove(&leaf)
+            .expect("gradient for stacked client activations");
+        let g_outs = g_in.unstack_batches(&spans);
+        for ((client, _), g_s) in chunk.into_iter().zip(g_outs) {
+            let state = self.clients.get_mut(&client).expect("retained member");
+            state.session.apply_batched_backward(&mut grads);
+            out.push((
+                client,
+                Ok(Some(ServerMessage::ServerGradients {
+                    client,
+                    frame: encode_tensor(&g_s),
+                })),
+            ));
+        }
+    }
+
     fn connect(
         &mut self,
         client: ClientId,
@@ -192,6 +467,15 @@ impl MenosServer {
 impl MessageHandler for MenosServer {
     fn handle(&mut self, msg: ClientMessage) -> Result<Option<ServerMessage>, ProtocolError> {
         MenosServer::handle(self, msg)
+    }
+}
+
+impl BatchHandler for MenosServer {
+    fn handle_batch(
+        &mut self,
+        msgs: Vec<ClientMessage>,
+    ) -> Vec<(ClientId, Result<Option<ServerMessage>, ProtocolError>)> {
+        MenosServer::handle_batch(self, msgs)
     }
 }
 

@@ -1,0 +1,194 @@
+//! Cross-client batch stacking: run several clients' micro-batches
+//! through the shared base model as ONE forward pass while keeping
+//! each client's private adapters mathematically (and bitwise) intact.
+//!
+//! The Menos server multiplexes many clients over one set of frozen
+//! base weights. Executing their activations one client at a time
+//! wastes the compute backend on small matmuls; stacking them along
+//! the batch axis ([`menos_tensor::Tensor::stack_batches`]) feeds the
+//! kernels the large batches they were built for. The only thing that
+//! differs between clients is their *adapters* — so a stacked model is
+//! just a structural alias of the shared base
+//! ([`crate::CausalLm::clone_structure`]) whose adapter slots hold a
+//! [`StackedAdapter`]: a dispatcher that narrows the stacked rows back
+//! to per-client bands, applies each client's own adapter to its band,
+//! and concatenates the results.
+//!
+//! Because every kernel in `menos-tensor` is row-bitwise-invariant
+//! (a row's value never depends on which batch position it occupies)
+//! and LoRA-style adapters are a *separate additive path* on top of
+//! the base projection, each client's outputs — and, through autograd,
+//! each client's adapter gradients — are bit-identical to running that
+//! client alone. Prefix tuning breaks this (it changes the attention
+//! sequence structure), so models carrying KV prefixes in the stacked
+//! range are rejected; the server falls back to per-client execution
+//! for them.
+
+use std::ops::Range;
+use std::sync::Arc;
+
+use menos_tensor::Tensor;
+
+use crate::layers::LinearAdapter;
+use crate::model::{AdapterTarget, CausalLm};
+
+/// Every projection an adapter can attach to, in a fixed order.
+pub const ALL_ADAPTER_TARGETS: [AdapterTarget; 6] = [
+    AdapterTarget::Q,
+    AdapterTarget::K,
+    AdapterTarget::V,
+    AdapterTarget::O,
+    AdapterTarget::MlpUp,
+    AdapterTarget::MlpDown,
+];
+
+/// A [`LinearAdapter`] that multiplexes one stacked batch across the
+/// per-client adapters of a group: client `i` owns rows
+/// `[offset_i, offset_i + spans[i])` of the batch dimension and its
+/// band is adjusted by `parts[i]` (or passed through untouched when
+/// that client has no adapter on this projection).
+#[derive(Debug)]
+pub struct StackedAdapter {
+    /// Batch-dimension extent of each client's band, in stack order.
+    spans: Vec<usize>,
+    /// Each client's adapter for this projection (`None` = frozen
+    /// base only).
+    parts: Vec<Option<Arc<dyn LinearAdapter>>>,
+}
+
+impl StackedAdapter {
+    /// Builds a dispatcher over `(span, adapter)` pairs in stack order.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty group or a zero span.
+    pub fn new(parts: Vec<(usize, Option<Arc<dyn LinearAdapter>>)>) -> StackedAdapter {
+        assert!(!parts.is_empty(), "stacked adapter over zero clients");
+        assert!(
+            parts.iter().all(|(span, _)| *span > 0),
+            "zero-size batch band"
+        );
+        let (spans, parts) = parts.into_iter().unzip();
+        StackedAdapter { spans, parts }
+    }
+}
+
+impl LinearAdapter for StackedAdapter {
+    fn adjust(&self, x: &Tensor, base: &Tensor) -> Tensor {
+        let xs = x.unstack_batches(&self.spans);
+        let bases = base.unstack_batches(&self.spans);
+        let adjusted: Vec<Tensor> = self
+            .parts
+            .iter()
+            .zip(xs.iter().zip(bases.iter()))
+            .map(|(part, (x_i, base_i))| match part {
+                Some(a) => a.adjust(x_i, base_i),
+                None => base_i.clone(),
+            })
+            .collect();
+        Tensor::stack_batches(&adjusted)
+    }
+
+    fn trainable_params(&self) -> Vec<(String, Tensor)> {
+        let mut out = Vec::new();
+        for (i, part) in self.parts.iter().enumerate() {
+            if let Some(a) = part {
+                for (suffix, t) in a.trainable_params() {
+                    out.push((format!("stack{i}.{suffix}"), t));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Builds a model that executes blocks `range` for a whole group of
+/// clients at once: a structural alias of `group[0]`'s base weights
+/// with every adapter slot in `range` replaced by a [`StackedAdapter`]
+/// dispatching to the group members' own adapters. `group[i].1` is
+/// client `i`'s batch size (its band in the stacked batch dimension).
+///
+/// The caller is responsible for the grouping precondition that makes
+/// this meaningful: all members bind the *same* base storage and run
+/// the *same* block range (the server checks both before grouping).
+///
+/// # Panics
+///
+/// Panics on an empty group or if any member carries a KV prefix in
+/// `range` (prefix tuning is not stackable).
+pub fn stacked_model(group: &[(&CausalLm, usize)], range: Range<usize>) -> CausalLm {
+    assert!(!group.is_empty(), "stacked model over zero clients");
+    for (m, _) in group {
+        assert!(
+            !m.has_kv_prefix_in(range.clone()),
+            "prefix tuning is not stackable"
+        );
+    }
+    let mut stacked = group[0].0.clone_structure();
+    for layer in range {
+        for target in ALL_ADAPTER_TARGETS {
+            let parts: Vec<(usize, Option<Arc<dyn LinearAdapter>>)> = group
+                .iter()
+                .map(|(m, span)| (*span, m.linear_adapter(layer, target)))
+                .collect();
+            if parts.iter().any(|(_, a)| a.is_some()) {
+                stacked.set_linear_adapter(layer, target, Arc::new(StackedAdapter::new(parts)));
+            } else {
+                stacked.clear_linear_adapter(layer, target);
+            }
+        }
+    }
+    stacked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy adapter that adds `bump` to every output element —
+    /// enough to prove per-band dispatch without pulling in
+    /// menos-adapters (which depends on this crate).
+    #[derive(Debug)]
+    struct Bump {
+        bump: Tensor,
+    }
+
+    impl LinearAdapter for Bump {
+        fn adjust(&self, _x: &Tensor, base: &Tensor) -> Tensor {
+            base.add(&self.bump)
+        }
+        fn trainable_params(&self) -> Vec<(String, Tensor)> {
+            vec![("bump".into(), self.bump.clone())]
+        }
+    }
+
+    #[test]
+    fn bands_get_their_own_adapter_and_bare_bands_pass_through() {
+        let a: Arc<dyn LinearAdapter> = Arc::new(Bump {
+            bump: Tensor::scalar(10.0),
+        });
+        let b: Arc<dyn LinearAdapter> = Arc::new(Bump {
+            bump: Tensor::scalar(100.0),
+        });
+        let stacked = StackedAdapter::new(vec![(1, Some(a)), (2, None), (1, Some(b))]);
+        let x = Tensor::zeros([4, 2]);
+        let base = Tensor::from_vec((0..8).map(|v| v as f32).collect(), [4, 2]);
+        let out = stacked.adjust(&x, &base);
+        assert_eq!(
+            out.to_vec(),
+            vec![10.0, 11.0, 2.0, 3.0, 4.0, 5.0, 106.0, 107.0]
+        );
+        let names: Vec<String> = stacked
+            .trainable_params()
+            .into_iter()
+            .map(|(n, _)| n)
+            .collect();
+        assert_eq!(names, vec!["stack0.bump", "stack2.bump"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-size batch band")]
+    fn rejects_empty_band() {
+        StackedAdapter::new(vec![(0, None)]);
+    }
+}

@@ -24,9 +24,11 @@
 #![warn(missing_docs)]
 
 mod link;
+mod nonblocking;
 mod wire;
 
 pub use link::WanLink;
+pub use nonblocking::{FrameAccumulator, WriteQueue};
 pub use wire::{
     decode_frame, decode_tensor, encode_frame, encode_frame_header, encode_tensor,
     read_frame_bytes, wire_size, FrameError, WireError, DEFAULT_MAX_FRAME, FRAME_HEADER_BYTES,

@@ -25,7 +25,7 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 use menos_tensor::Tensor;
 
 const MAGIC: u32 = 0x4d4e_5331; // "MNS1"
-const FRAME_MAGIC: u32 = 0x4d4e_5031; // "MNP1"
+pub(crate) const FRAME_MAGIC: u32 = 0x4d4e_5031; // "MNP1"
 
 /// Version byte stamped into every protocol frame header.
 pub const WIRE_VERSION: u8 = 1;

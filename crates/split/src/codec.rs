@@ -26,6 +26,66 @@ pub(crate) const KIND_READY: u8 = 17;
 pub(crate) const KIND_SERVER_ACTIVATIONS: u8 = 18;
 pub(crate) const KIND_SERVER_GRADIENTS: u8 = 19;
 
+/// Every message kind of wire-protocol v1 — the single source of
+/// truth `PROTOCOL.md` is checked against. Client→server kinds live
+/// in `1..=16`, server→client kinds in `17..=32`; kinds are
+/// directional, so a client kind in a server frame is rejected as
+/// [`WireError::UnknownKind`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum MessageKind {
+    /// Client requests a session, carrying its fine-tuning config.
+    Connect = KIND_CONNECT,
+    /// Cut-layer activations `x_c` (client→server forward input).
+    Activations = KIND_ACTIVATIONS,
+    /// Cut-layer gradients `g_c` (client→server backward input).
+    Gradients = KIND_GRADIENTS,
+    /// Client ends its session; the server reclaims its state.
+    Disconnect = KIND_DISCONNECT,
+    /// Server accepted the connection; the session is live.
+    Ready = KIND_READY,
+    /// Server-side forward output `x_s` (server→client).
+    ServerActivations = KIND_SERVER_ACTIVATIONS,
+    /// Server-side gradients `g_s` (server→client).
+    ServerGradients = KIND_SERVER_GRADIENTS,
+}
+
+impl MessageKind {
+    /// All kinds of protocol v1, in wire-code order.
+    pub const ALL: [MessageKind; 7] = [
+        MessageKind::Connect,
+        MessageKind::Activations,
+        MessageKind::Gradients,
+        MessageKind::Disconnect,
+        MessageKind::Ready,
+        MessageKind::ServerActivations,
+        MessageKind::ServerGradients,
+    ];
+
+    /// The kind byte carried in the frame header.
+    pub fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// The kind's name as written in `PROTOCOL.md`.
+    pub fn name(self) -> &'static str {
+        match self {
+            MessageKind::Connect => "Connect",
+            MessageKind::Activations => "Activations",
+            MessageKind::Gradients => "Gradients",
+            MessageKind::Disconnect => "Disconnect",
+            MessageKind::Ready => "Ready",
+            MessageKind::ServerActivations => "ServerActivations",
+            MessageKind::ServerGradients => "ServerGradients",
+        }
+    }
+
+    /// True for client→server kinds.
+    pub fn client_to_server(self) -> bool {
+        self.code() <= 16
+    }
+}
+
 /// Serializes a client→server message to its wire frame.
 pub fn encode_client_message(msg: &ClientMessage) -> Bytes {
     match msg {
@@ -368,6 +428,48 @@ mod tests {
             decode_server_message(&frame, DEFAULT_MAX_FRAME),
             Err(WireError::Malformed(_))
         ));
+    }
+
+    /// `PROTOCOL.md` §2 is enforced against [`MessageKind`]: every
+    /// kind must appear in the table for its direction with its exact
+    /// name and code, and the tables must list nothing else.
+    #[test]
+    fn protocol_md_matches_message_kinds() {
+        let doc =
+            std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/../../PROTOCOL.md"))
+                .expect("PROTOCOL.md at the repository root");
+
+        // Collect `(name, code, client_to_server)` from the §2 tables:
+        // rows whose first cell is a backticked identifier and whose
+        // second cell is an integer. Direction = before/after §2.2.
+        let server_section = doc
+            .find("### 2.2")
+            .expect("PROTOCOL.md §2.2 server→client table");
+        let mut documented = Vec::new();
+        for (pos, line) in doc.lines().scan(0usize, |off, l| {
+            let pos = *off;
+            *off += l.len() + 1;
+            Some((pos, l))
+        }) {
+            let mut cells = line.split('|').map(str::trim).skip(1);
+            let (Some(first), Some(second)) = (cells.next(), cells.next()) else {
+                continue;
+            };
+            let name = first.strip_prefix('`').and_then(|s| s.strip_suffix('`'));
+            let (Some(name), Ok(code)) = (name, second.parse::<u8>()) else {
+                continue;
+            };
+            documented.push((name.to_string(), code, pos < server_section));
+        }
+
+        let expected: Vec<(String, u8, bool)> = MessageKind::ALL
+            .iter()
+            .map(|k| (k.name().to_string(), k.code(), k.client_to_server()))
+            .collect();
+        assert_eq!(
+            documented, expected,
+            "PROTOCOL.md §2 message-kind tables drifted from MessageKind"
+        );
     }
 
     #[test]

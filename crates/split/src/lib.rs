@@ -54,6 +54,7 @@
 mod client;
 mod codec;
 mod driver;
+mod event_loop;
 mod fault;
 mod message;
 mod protocol;
@@ -64,9 +65,14 @@ mod tcp;
 pub use client::SplitClient;
 pub use codec::{
     decode_client_message, decode_server_message, encode_client_message, encode_server_message,
+    MessageKind,
 };
 pub use driver::{
     evaluate_loss, local_finetune, local_finetune_returning_model, run_split_steps, ForwardMode,
+};
+pub use event_loop::{
+    event_channel_listener, event_sim_listener, BatchHandler, ChannelDialer, EventConn,
+    EventListener, EventLoopOptions, EventLoopStats, QueueListener, ServerEventLoop, SimDialer,
 };
 pub use fault::FaultTransport;
 pub use message::{activation_wire_bytes, ClientId, ClientMessage, ServerMessage};
@@ -76,4 +82,7 @@ pub use protocol::{
 };
 pub use server::ServerSession;
 pub use spec::SplitSpec;
-pub use tcp::{run_tcp_client, TcpOptions, TcpSplitServer, TcpTransport};
+pub use tcp::{
+    run_tcp_client, TcpEventConn, TcpEventListener, TcpEventServer, TcpOptions, TcpSplitServer,
+    TcpTransport,
+};

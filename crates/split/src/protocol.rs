@@ -237,6 +237,19 @@ pub fn channel_pair() -> (
     )
 }
 
+impl<Tx: WireMessage, Rx: WireMessage> ChannelTransport<Tx, Rx> {
+    /// Nonblocking receive: decodes the next already-delivered message,
+    /// if any. The event-driven server polls its channel connections
+    /// with this instead of parking a thread in [`Transport::recv`].
+    pub(crate) fn try_recv(&mut self) -> Result<Option<Rx>, ProtocolError> {
+        match self.rx.try_recv() {
+            Ok(bytes) => Ok(Some(Rx::from_wire(&bytes, self.max_frame)?)),
+            Err(mpsc::TryRecvError::Empty) => Ok(None),
+            Err(mpsc::TryRecvError::Disconnected) => Err(ProtocolError::Disconnected),
+        }
+    }
+}
+
 impl<Tx: WireMessage, Rx: WireMessage> Transport for ChannelTransport<Tx, Rx> {
     type Tx = Tx;
     type Rx = Rx;
@@ -311,6 +324,15 @@ impl<Tx, Rx> SimTransport<Tx, Rx> {
     /// `(bytes, messages)` charged to this endpoint's outgoing link.
     pub fn link_stats(&self) -> (u64, u64) {
         self.link.lock().expect("link lock").stats()
+    }
+}
+
+impl<Tx: WireMessage, Rx: WireMessage> SimTransport<Tx, Rx> {
+    /// Nonblocking receive — see [`ChannelTransport::try_recv`].
+    /// Receiving consumes no virtual time (the link was charged at
+    /// send time), exactly as in the blocking path.
+    pub(crate) fn try_recv(&mut self) -> Result<Option<Rx>, ProtocolError> {
+        self.inner.try_recv()
     }
 }
 

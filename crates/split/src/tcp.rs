@@ -21,9 +21,12 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use menos_data::LossCurve;
-use menos_net::{read_frame_bytes, DEFAULT_MAX_FRAME};
+use menos_net::{read_frame_bytes, FrameAccumulator, WriteQueue, DEFAULT_MAX_FRAME};
 
 use crate::client::SplitClient;
+use crate::event_loop::{
+    BatchHandler, EventConn, EventListener, EventLoopOptions, EventLoopStats, ServerEventLoop,
+};
 use crate::message::{ClientMessage, ServerMessage};
 use crate::protocol::{
     drive_client, serve_loop, MessageHandler, ProtocolError, Transport, WireMessage,
@@ -218,6 +221,185 @@ impl Drop for TcpSplitServer {
         // The accept loop exits after the in-flight clients; tests call
         // join() explicitly, so dropping without join leaks at most a
         // blocked accept until process exit.
+    }
+}
+
+// ----------------------------------------------------------------------
+// Nonblocking TCP for the event-driven server
+// ----------------------------------------------------------------------
+
+/// One nonblocking TCP connection as seen by the event loop: a
+/// [`FrameAccumulator`] reassembles inbound fragments into the exact
+/// frames the blocking reader would produce, and a [`WriteQueue`]
+/// resumes outbound frames wherever the socket stopped accepting
+/// bytes — even mid-header.
+pub struct TcpEventConn {
+    stream: TcpStream,
+    acc: FrameAccumulator,
+    writes: WriteQueue,
+    max_frame: usize,
+}
+
+impl TcpEventConn {
+    /// Wraps an accepted stream, switching it to nonblocking mode.
+    ///
+    /// # Errors
+    ///
+    /// Fails if socket options cannot be applied.
+    pub fn from_stream(stream: TcpStream, options: TcpOptions) -> Result<Self, ProtocolError> {
+        stream.set_nodelay(true)?;
+        stream.set_nonblocking(true)?;
+        Ok(TcpEventConn {
+            stream,
+            acc: FrameAccumulator::new(options.max_frame),
+            writes: WriteQueue::new(),
+            max_frame: options.max_frame,
+        })
+    }
+}
+
+impl EventConn for TcpEventConn {
+    fn poll_recv(&mut self, out: &mut Vec<ClientMessage>) -> Result<(), ProtocolError> {
+        use std::io::Read;
+        let mut buf = [0u8; 16 * 1024];
+        loop {
+            match self.stream.read(&mut buf) {
+                Ok(0) => {
+                    // EOF: surface buffered messages now, the
+                    // disconnect on the next sweep.
+                    return if out.is_empty() {
+                        Err(ProtocolError::Disconnected)
+                    } else {
+                        Ok(())
+                    };
+                }
+                Ok(n) => {
+                    for frame in self.acc.push(&buf[..n])? {
+                        out.push(ClientMessage::from_wire(&frame, self.max_frame)?);
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Ok(()),
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    fn queue(&mut self, msg: &ServerMessage) -> Result<(), ProtocolError> {
+        self.writes.push(msg.to_wire());
+        self.flush().map(|_| ())
+    }
+
+    fn flush(&mut self) -> Result<bool, ProtocolError> {
+        // write_to swallows WouldBlock (returns Ok(false)); any error
+        // it surfaces is fatal to the connection.
+        Ok(self.writes.write_to(&mut self.stream)?)
+    }
+
+    fn has_queued_writes(&self) -> bool {
+        !self.writes.is_empty()
+    }
+}
+
+/// A nonblocking accept source feeding [`TcpEventConn`]s to a
+/// [`ServerEventLoop`].
+pub struct TcpEventListener {
+    listener: TcpListener,
+    options: TcpOptions,
+    addr: std::net::SocketAddr,
+}
+
+impl TcpEventListener {
+    /// Binds to `addr` (port 0 for ephemeral) in nonblocking mode.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the address cannot be bound.
+    pub fn bind(addr: impl ToSocketAddrs, options: TcpOptions) -> Result<Self, ProtocolError> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        Ok(TcpEventListener {
+            listener,
+            options,
+            addr,
+        })
+    }
+
+    /// The bound address (useful with ephemeral ports).
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+}
+
+impl EventListener for TcpEventListener {
+    type Conn = TcpEventConn;
+
+    fn poll_accept(&mut self) -> Result<Option<TcpEventConn>, ProtocolError> {
+        match self.listener.accept() {
+            Ok((stream, _)) => Ok(Some(TcpEventConn::from_stream(stream, self.options)?)),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => Ok(None),
+            Err(e) => Err(e.into()),
+        }
+    }
+}
+
+/// The event-driven counterpart of [`TcpSplitServer`]: ONE thread
+/// runs a [`ServerEventLoop`] over a nonblocking listener, serving
+/// every client and batching their ready messages into single server
+/// steps. The handler needs no `Arc<Mutex<_>>` — the loop owns it.
+pub struct TcpEventServer<H> {
+    addr: std::net::SocketAddr,
+    handle: Option<JoinHandle<(H, EventLoopStats)>>,
+    shutdown: Arc<std::sync::atomic::AtomicBool>,
+}
+
+impl<H> TcpEventServer<H>
+where
+    H: BatchHandler + Send + 'static,
+{
+    /// Binds to `addr` and starts the loop thread. `options` bounds
+    /// the run ([`EventLoopOptions::max_clients`] connections are
+    /// served before the loop exits); `tcp` sets per-connection frame
+    /// caps.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the address cannot be bound.
+    pub fn spawn(
+        addr: impl ToSocketAddrs,
+        handler: H,
+        options: EventLoopOptions,
+        tcp: TcpOptions,
+    ) -> Result<TcpEventServer<H>, ProtocolError> {
+        let listener = TcpEventListener::bind(addr, tcp)?;
+        let addr = listener.addr();
+        let event_loop = ServerEventLoop::new(listener, handler, options);
+        let shutdown = event_loop.shutdown_handle();
+        let handle = std::thread::spawn(move || event_loop.run());
+        Ok(TcpEventServer {
+            addr,
+            handle: Some(handle),
+            shutdown,
+        })
+    }
+
+    /// The bound address (useful with ephemeral ports).
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Waits for the loop to finish, returning the handler and the
+    /// run's counters.
+    pub fn join(mut self) -> Option<(H, EventLoopStats)> {
+        self.handle.take().and_then(|h| h.join().ok())
+    }
+}
+
+impl<H> Drop for TcpEventServer<H> {
+    fn drop(&mut self) {
+        self.shutdown
+            .store(true, std::sync::atomic::Ordering::Relaxed);
     }
 }
 

@@ -41,6 +41,13 @@ impl GradStore {
         self.grads.remove(&t.id())
     }
 
+    /// Stores `grad` as the gradient of `t`, replacing any existing
+    /// entry. Used when redistributing the gradients of a fused
+    /// (batched) backward pass to their owning sessions.
+    pub fn insert(&mut self, t: &Tensor, grad: Tensor) {
+        self.grads.insert(t.id(), grad);
+    }
+
     /// Number of tensors with gradients.
     pub fn len(&self) -> usize {
         self.grads.len()
@@ -56,20 +63,9 @@ impl GradStore {
         self.grads.iter()
     }
 
-    /// Accumulates `data` into the gradient for tensor id `id`.
-    fn accumulate(&mut self, id: u64, data: Vec<f32>, shape: crate::shape::Shape) {
-        match self.grads.get_mut(&id) {
-            Some(existing) => {
-                let mut w = existing.storage().write();
-                debug_assert_eq!(w.len(), data.len(), "gradient shape changed");
-                for (e, d) in w.iter_mut().zip(data.iter()) {
-                    *e += d;
-                }
-            }
-            None => {
-                self.grads.insert(id, Tensor::from_vec(data, shape));
-            }
-        }
+    /// Inserts a gradient by raw tensor id (backward-pass internal).
+    fn insert_raw(&mut self, id: u64, grad: Tensor) {
+        self.grads.insert(id, grad);
     }
 
     /// Total bytes held by all gradients — used by the memory
@@ -163,19 +159,46 @@ impl Tensor {
             }
         }
 
-        store.accumulate(self.id(), grad.to_vec(), self.shape().clone());
+        // Contributions are buffered per tensor and summed in ascending
+        // consumer-creation order, NOT in traversal-arrival order. The
+        // traversal order depends on the global graph shape, so two
+        // graphs computing the same per-row math (e.g. a solo model and
+        // its image inside a stacked multi-client batch) would group
+        // float additions differently and drift by ulps. Creation order
+        // is a structural property of the op that built each consumer,
+        // identical in both graphs, which makes gradients bitwise
+        // reproducible across graph embeddings.
+        let mut pending: HashMap<u64, Vec<(u64, Vec<f32>)>> = HashMap::new();
+        // Seed sorts first: no real consumer can have id 0 here because
+        // the root itself was created after id 0.
+        pending.insert(self.id(), vec![(0, grad.to_vec())]);
 
         for t in topo.iter().rev() {
-            let Some(op) = t.op() else { continue };
-            let Some(gt) = store.get(t) else { continue };
-            let grad_data = gt.to_vec();
-            for (parent, pgrad) in op.backward(t, &grad_data) {
-                if parent.requires_grad() {
-                    store.accumulate(parent.id(), pgrad, parent.shape().clone());
+            let Some(mut contribs) = pending.remove(&t.id()) else {
+                continue;
+            };
+            contribs.sort_by_key(|(consumer, _)| *consumer);
+            let mut it = contribs.into_iter();
+            let (_, mut acc) = it.next().expect("non-empty contribution list");
+            for (_, data) in it {
+                debug_assert_eq!(acc.len(), data.len(), "gradient shape changed");
+                for (e, d) in acc.iter_mut().zip(data.iter()) {
+                    *e += d;
+                }
+            }
+            if let Some(op) = t.op() {
+                for (parent, pgrad) in op.backward(t, &acc) {
+                    if parent.requires_grad() {
+                        pending
+                            .entry(parent.id())
+                            .or_default()
+                            .push((t.id(), pgrad));
+                    }
                 }
             }
             // Interior gradients could be dropped here to save memory;
             // they are kept because tests inspect them.
+            store.insert_raw(t.id(), Tensor::from_vec(acc, t.shape().clone()));
         }
         store
     }

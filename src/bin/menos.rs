@@ -3,7 +3,7 @@
 //!
 //! ```bash
 //! # Terminal 1 — the model owner's server (serves up to 2 clients):
-//! cargo run --release --bin menos -- server --port 7700 --clients 2
+//! cargo run --release --bin menos -- server --port 7700 --max-clients 2
 //!
 //! # Terminals 2..n — data owners' clients:
 //! cargo run --release --bin menos -- client --addr 127.0.0.1:7700 --steps 20 --seed 1
@@ -21,24 +21,33 @@ use menos::core::{MenosServer, ServerMode, ServerSpec};
 use menos::data::{wiki_corpus, TokenDataset, Vocab};
 use menos::models::{CausalLm, ModelConfig};
 use menos::sim::seeded_rng;
-use menos::split::{run_tcp_client, ClientId, ForwardMode, SplitClient, SplitSpec, TcpSplitServer};
+use menos::split::{
+    run_tcp_client, ClientId, EventLoopOptions, ForwardMode, SplitClient, SplitSpec,
+    TcpEventServer, TcpOptions, TcpSplitServer,
+};
 
 const USAGE: &str = "\
 usage:
-  menos server [--port P] [--clients N] [--model-seed S] [--cached] [--threads T]
+  menos server [--port P] [--max-clients N] [--batch-window W] [--model-seed S]
+               [--cached] [--blocking] [--threads T]
   menos client --addr HOST:PORT [--steps N] [--seed S] [--model-seed S] [--threads T]
 
 options:
-  --port P        listen port (default 7700)
-  --clients N     serve N connections then exit (default 1)
-  --model-seed S  base-model derivation seed shared by both sides (default 21)
-  --cached        serve with the vanilla cached-forward path instead of
-                  Menos' no-grad + re-forward policy
-  --addr A        server address to connect to
-  --steps N       fine-tuning iterations to run (default 10)
-  --seed S        client data/adapter seed (default 0)
-  --threads T     tensor-kernel worker threads (default: MENOS_THREADS env
-                  var, else all cores; results are identical at any T)";
+  --port P          listen port (default 7700)
+  --max-clients N   serve N connections then exit (default 1; alias --clients)
+  --batch-window W  max ready clients fused into one stacked server step
+                    (default 32; event-loop server only)
+  --model-seed S    base-model derivation seed shared by both sides (default 21)
+  --cached          serve with the vanilla cached-forward path instead of
+                    Menos' no-grad + re-forward policy
+  --blocking        thread-per-client blocking server instead of the
+                    single-thread event loop (reference pump; same bytes,
+                    bit-identical training)
+  --addr A          server address to connect to
+  --steps N         fine-tuning iterations to run (default 10)
+  --seed S          client data/adapter seed (default 0)
+  --threads T       tensor-kernel worker threads (default: MENOS_THREADS env
+                    var, else all cores; results are identical at any T)";
 
 fn parse_flag(args: &[String], name: &str) -> Option<String> {
     args.iter()
@@ -78,9 +87,13 @@ fn run_server(args: &[String]) {
     let port: u16 = parse_flag(args, "--port")
         .map(|v| v.parse().expect("--port must be a number"))
         .unwrap_or(7700);
-    let clients: usize = parse_flag(args, "--clients")
-        .map(|v| v.parse().expect("--clients must be a number"))
+    let clients: usize = parse_flag(args, "--max-clients")
+        .or_else(|| parse_flag(args, "--clients"))
+        .map(|v| v.parse().expect("--max-clients must be a number"))
         .unwrap_or(1);
+    let batch_window: usize = parse_flag(args, "--batch-window")
+        .map(|v| v.parse().expect("--batch-window must be a number"))
+        .unwrap_or(32);
     let model_seed: u64 = parse_flag(args, "--model-seed")
         .map(|v| v.parse().expect("--model-seed must be a number"))
         .unwrap_or(21);
@@ -89,6 +102,7 @@ fn run_server(args: &[String]) {
     } else {
         ForwardMode::NoGradReforward
     };
+    let blocking = args.iter().any(|a| a == "--blocking");
 
     let (_, config) = shared_model(model_seed);
     println!(
@@ -102,18 +116,46 @@ fn run_server(args: &[String]) {
         MenosServer::new(config, ServerSpec::v100(ServerMode::menos()), model_seed);
     menos_server.set_forward_mode(mode);
     let handler = Arc::new(Mutex::new(menos_server));
-    let server =
-        TcpSplitServer::spawn(("0.0.0.0", port), handler, clients).expect("bind server port");
-    println!(
-        "menos server on {} serving {clients} client(s) with {} tensor thread(s), policy: {}",
-        server.addr(),
-        menos::tensor::threads(),
-        match mode {
-            ForwardMode::Cached => "cached forward (vanilla)",
-            ForwardMode::NoGradReforward => "no-grad + re-forward (Menos)",
+    let policy = match mode {
+        ForwardMode::Cached => "cached forward (vanilla)",
+        ForwardMode::NoGradReforward => "no-grad + re-forward (Menos)",
+    };
+    if blocking {
+        let server =
+            TcpSplitServer::spawn(("0.0.0.0", port), handler, clients).expect("bind server port");
+        println!(
+            "menos blocking server on {} serving {clients} client(s) with {} tensor thread(s), \
+             policy: {policy}",
+            server.addr(),
+            menos::tensor::threads(),
+        );
+        server.join();
+    } else {
+        let server = TcpEventServer::spawn(
+            ("0.0.0.0", port),
+            handler,
+            EventLoopOptions {
+                max_clients: clients,
+                batch_window,
+                ..EventLoopOptions::default()
+            },
+            TcpOptions::default(),
+        )
+        .expect("bind server port");
+        println!(
+            "menos event-loop server on {} serving up to {clients} client(s), batch window \
+             {batch_window}, {} tensor thread(s), policy: {policy}",
+            server.addr(),
+            menos::tensor::threads(),
+        );
+        if let Some((_, stats)) = server.join() {
+            println!(
+                "served {} session(s): {} batched messages in {} server steps (largest fused \
+                 batch: {})",
+                stats.served, stats.batched_messages, stats.batches, stats.max_batch
+            );
         }
-    );
-    server.join();
+    }
     println!("all clients served; bye");
 }
 

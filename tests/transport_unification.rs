@@ -15,8 +15,9 @@ use menos::models::{CausalLm, ModelConfig};
 use menos::net::WireError;
 use menos::sim::seeded_rng;
 use menos::split::{
-    channel_pair, drive_client, serve_loop, sim_pair, ClientId, ClientMessage, FaultTransport,
-    SplitClient, SplitSpec, TcpSplitServer, Transport,
+    channel_pair, drive_client, event_channel_listener, event_sim_listener, serve_loop, sim_pair,
+    ClientId, ClientMessage, EventLoopOptions, EventLoopStats, FaultTransport, ServerEventLoop,
+    ServerMessage, SplitClient, SplitSpec, TcpEventServer, TcpSplitServer, Transport,
 };
 
 const SEED: u64 = 4100;
@@ -242,6 +243,318 @@ fn injected_faults_surface_typed_errors_and_reclaim_sessions() {
     let curve = train_over_channel(&mut healthy, handler.clone(), 3);
     assert_eq!(curve.points().len(), 3);
     assert_eq!(handler.lock().unwrap().active_clients(), 0);
+}
+
+// ----------------------------------------------------------------------
+// Event-driven server: batched steps must be bit-identical to the
+// blocking thread-per-client pump, on every transport.
+// ----------------------------------------------------------------------
+
+type CurveBits = Vec<(usize, u32)>;
+
+fn bits(curve: &LossCurve) -> CurveBits {
+    curve
+        .points()
+        .iter()
+        .map(|&(s, l)| (s, l.to_bits()))
+        .collect()
+}
+
+/// Trains `n` clients concurrently against one shared server via the
+/// blocking pump (one `serve_loop` thread per client) — the reference
+/// the event loop must reproduce bit-for-bit.
+fn blocking_fleet(
+    n: u64,
+    steps: usize,
+    text: &str,
+    config: &ModelConfig,
+    base: &Arc<Mutex<menos::tensor::ParamStore>>,
+) -> Vec<CurveBits> {
+    let handler = make_server(config, base);
+    let mut drivers = Vec::new();
+    let mut servers = Vec::new();
+    for k in 0..n {
+        let (mut client_t, mut server_t) = channel_pair();
+        let mut h = handler.clone();
+        servers.push(std::thread::spawn(move || {
+            serve_loop(&mut server_t, &mut h)
+        }));
+        let mut client = make_client(k, text, config, base);
+        drivers.push(std::thread::spawn(move || {
+            bits(&drive_client(&mut client, &mut client_t, steps).expect("blocking fleet"))
+        }));
+    }
+    let curves = drivers
+        .into_iter()
+        .map(|d| d.join().expect("driver thread"))
+        .collect();
+    for s in servers {
+        s.join().expect("server thread").expect("clean serve");
+    }
+    assert_eq!(handler.lock().unwrap().active_clients(), 0);
+    curves
+}
+
+/// Trains `n` clients against one `ServerEventLoop` thread over
+/// in-memory channels, returning per-client curves and loop counters.
+fn event_loop_fleet(
+    n: u64,
+    steps: usize,
+    text: &str,
+    config: &ModelConfig,
+    base: &Arc<Mutex<menos::tensor::ParamStore>>,
+) -> (Vec<CurveBits>, EventLoopStats) {
+    let handler = make_server(config, base);
+    let (dialer, listener) = event_channel_listener();
+    let event_loop = ServerEventLoop::new(
+        listener,
+        handler.clone(),
+        EventLoopOptions {
+            max_clients: n as usize,
+            ..EventLoopOptions::default()
+        },
+    );
+    let loop_thread = std::thread::spawn(move || event_loop.run());
+    let mut drivers = Vec::new();
+    for k in 0..n {
+        let mut client = make_client(k, text, config, base);
+        let dialer = dialer.clone();
+        drivers.push(std::thread::spawn(move || {
+            let mut transport = dialer.dial().expect("dial");
+            bits(&drive_client(&mut client, &mut transport, steps).expect("event-loop fleet"))
+        }));
+    }
+    let curves: Vec<CurveBits> = drivers
+        .into_iter()
+        .map(|d| d.join().expect("driver thread"))
+        .collect();
+    let (_h, stats) = loop_thread.join().expect("loop thread");
+    assert_eq!(handler.lock().unwrap().active_clients(), 0);
+    (curves, stats)
+}
+
+#[test]
+fn event_loop_curves_are_bit_identical_to_blocking_on_all_transports() {
+    let (text, _vocab, config, base) = setup();
+    const N: u64 = 4;
+    const STEPS: usize = 3;
+
+    let reference = blocking_fleet(N, STEPS, &text, &config, &base);
+    for curve in &reference {
+        assert_eq!(curve.len(), STEPS);
+    }
+
+    // Channel transport through the event loop.
+    let (channel_curves, stats) = event_loop_fleet(N, STEPS, &text, &config, &base);
+    assert_eq!(channel_curves, reference, "channel event loop diverged");
+    assert_eq!(stats.accepted, N);
+    assert_eq!(stats.served, N);
+    assert_eq!(stats.conn_errors, 0);
+    assert_eq!(stats.batched_messages, N * STEPS as u64 * 2);
+
+    // Simulated WAN through the event loop (same bytes, plus virtual
+    // transfer time on heterogeneous per-client links).
+    let handler = make_server(&config, &base);
+    let (dialer, listener) = event_sim_listener();
+    let event_loop = ServerEventLoop::new(
+        listener,
+        handler.clone(),
+        EventLoopOptions {
+            max_clients: N as usize,
+            ..EventLoopOptions::default()
+        },
+    );
+    let loop_thread = std::thread::spawn(move || event_loop.run());
+    let mut drivers = Vec::new();
+    for k in 0..N {
+        let mut client = make_client(k, &text, &config, &base);
+        let dialer = dialer.clone();
+        drivers.push(std::thread::spawn(move || {
+            let mut transport = dialer
+                .dial(
+                    menos::net::WanLink::lan(7 + k),
+                    menos::net::WanLink::lan(100 + k),
+                )
+                .expect("sim dial");
+            bits(&drive_client(&mut client, &mut transport, STEPS).expect("sim event loop"))
+        }));
+    }
+    let sim_curves: Vec<CurveBits> = drivers
+        .into_iter()
+        .map(|d| d.join().expect("driver thread"))
+        .collect();
+    loop_thread.join().expect("loop thread");
+    assert_eq!(sim_curves, reference, "sim event loop diverged");
+
+    // Real TCP sockets through the event loop (nonblocking reads,
+    // partial-frame reassembly, write queues).
+    let handler = make_server(&config, &base);
+    let server = TcpEventServer::spawn(
+        "127.0.0.1:0",
+        handler.clone(),
+        EventLoopOptions {
+            max_clients: N as usize,
+            ..EventLoopOptions::default()
+        },
+        menos::split::TcpOptions::default(),
+    )
+    .expect("bind");
+    let addr = server.addr();
+    let mut drivers = Vec::new();
+    for k in 0..N {
+        let mut client = make_client(k, &text, &config, &base);
+        drivers.push(std::thread::spawn(move || {
+            bits(&menos::split::run_tcp_client(addr, &mut client, STEPS).expect("tcp event loop"))
+        }));
+    }
+    let tcp_curves: Vec<CurveBits> = drivers
+        .into_iter()
+        .map(|d| d.join().expect("driver thread"))
+        .collect();
+    let (_h, tcp_stats) = server.join().expect("loop finished");
+    assert_eq!(tcp_curves, reference, "tcp event loop diverged");
+    assert_eq!(tcp_stats.served, N);
+}
+
+/// The deterministic core of the bit-identity claim, with no thread
+/// timing involved: feeding `handle_batch` all clients' messages at
+/// once must produce byte-identical reply frames to dispatching each
+/// client alone through `handle`.
+#[test]
+fn stacked_handle_batch_replies_are_byte_identical_to_solo_dispatch() {
+    let (text, _vocab, config, base) = setup();
+    const N: u64 = 3;
+    const STEPS: usize = 2;
+
+    let solo = make_server(&config, &base);
+    let batched = make_server(&config, &base);
+    let mut solo_clients: Vec<SplitClient> = (0..N)
+        .map(|k| make_client(k, &text, &config, &base))
+        .collect();
+    let mut batch_clients: Vec<SplitClient> = (0..N)
+        .map(|k| make_client(k, &text, &config, &base))
+        .collect();
+
+    for client in &solo_clients {
+        solo.lock().unwrap().handle(connect_msg(client)).unwrap();
+    }
+    for client in &batch_clients {
+        batched.lock().unwrap().handle(connect_msg(client)).unwrap();
+    }
+
+    let tensor_frame = |reply: &ServerMessage| -> bytes::Bytes {
+        match reply {
+            ServerMessage::ServerActivations { frame, .. }
+            | ServerMessage::ServerGradients { frame, .. } => frame.clone(),
+            other => panic!("unexpected reply {other:?}"),
+        }
+    };
+
+    for _ in 0..STEPS {
+        // Forward: solo one at a time, batched all at once.
+        let mut solo_xs = Vec::new();
+        for client in &mut solo_clients {
+            let x_c = client.start_step();
+            let reply = solo
+                .lock()
+                .unwrap()
+                .handle(ClientMessage::Activations {
+                    client: client.id(),
+                    frame: menos::net::encode_tensor(&x_c),
+                })
+                .unwrap()
+                .unwrap();
+            solo_xs.push(tensor_frame(&reply));
+        }
+        let batch_msgs: Vec<ClientMessage> = batch_clients
+            .iter_mut()
+            .map(|client| ClientMessage::Activations {
+                client: client.id(),
+                frame: menos::net::encode_tensor(&client.start_step()),
+            })
+            .collect();
+        let mut replies = batched.lock().unwrap().handle_batch(batch_msgs);
+        replies.sort_by_key(|(client, _)| *client);
+        let batch_xs: Vec<bytes::Bytes> = replies
+            .iter()
+            .map(|(_, r)| tensor_frame(r.as_ref().unwrap().as_ref().unwrap()))
+            .collect();
+        assert_eq!(solo_xs, batch_xs, "stacked forward diverged");
+
+        // Backward: gradients computed by bit-identical clients.
+        let mut solo_gs = Vec::new();
+        for (client, x_frame) in solo_clients.iter_mut().zip(&solo_xs) {
+            let x_s = menos::net::decode_tensor(x_frame).unwrap();
+            let (_loss, g_c) = client.receive_server_activations(&x_s);
+            let reply = solo
+                .lock()
+                .unwrap()
+                .handle(ClientMessage::Gradients {
+                    client: client.id(),
+                    frame: menos::net::encode_tensor(&g_c),
+                })
+                .unwrap()
+                .unwrap();
+            solo_gs.push(tensor_frame(&reply));
+        }
+        let batch_msgs: Vec<ClientMessage> = batch_clients
+            .iter_mut()
+            .zip(&batch_xs)
+            .map(|(client, x_frame)| {
+                let x_s = menos::net::decode_tensor(x_frame).unwrap();
+                let (_loss, g_c) = client.receive_server_activations(&x_s);
+                ClientMessage::Gradients {
+                    client: client.id(),
+                    frame: menos::net::encode_tensor(&g_c),
+                }
+            })
+            .collect();
+        let mut replies = batched.lock().unwrap().handle_batch(batch_msgs);
+        replies.sort_by_key(|(client, _)| *client);
+        let batch_gs: Vec<bytes::Bytes> = replies
+            .iter()
+            .map(|(_, r)| tensor_frame(r.as_ref().unwrap().as_ref().unwrap()))
+            .collect();
+        assert_eq!(solo_gs, batch_gs, "stacked backward diverged");
+
+        for (client, g_frame) in solo_clients.iter_mut().zip(&solo_gs) {
+            client.receive_server_gradients(&menos::net::decode_tensor(g_frame).unwrap());
+        }
+        for (client, g_frame) in batch_clients.iter_mut().zip(&batch_gs) {
+            client.receive_server_gradients(&menos::net::decode_tensor(g_frame).unwrap());
+        }
+    }
+
+    // Final sanity: the loss curves of both fleets agree bit-for-bit.
+    for (a, b) in solo_clients.iter().zip(&batch_clients) {
+        assert_eq!(bits(a.curve()), bits(b.curve()));
+    }
+}
+
+#[test]
+fn one_event_loop_thread_drives_32_concurrent_clients() {
+    let (text, _vocab, config, base) = setup();
+    const N: u64 = 32;
+    const STEPS: usize = 2;
+
+    let (curves, stats) = event_loop_fleet(N, STEPS, &text, &config, &base);
+    assert_eq!(curves.len(), N as usize);
+    for curve in &curves {
+        assert_eq!(curve.len(), STEPS, "every client finishes training");
+    }
+    assert_eq!(stats.accepted, N);
+    assert_eq!(stats.served, N);
+    assert_eq!(stats.conn_errors, 0);
+    assert_eq!(stats.batched_messages, N * STEPS as u64 * 2);
+    // The whole point of the event loop: with 32 clients hammering one
+    // thread, ready sets pile up while the handler computes, so
+    // dispatches genuinely batch instead of degenerating to one
+    // message each.
+    assert!(stats.max_batch >= 2, "no batching happened: {stats:?}");
+    assert!(
+        stats.batches < stats.batched_messages,
+        "every dispatch was a singleton: {stats:?}"
+    );
 }
 
 #[test]
