@@ -185,6 +185,21 @@ impl Scheduler {
         self.schedule()
     }
 
+    /// Event: a client's connection was lost (deadline eviction or
+    /// crash). The Alg. 2 counterpart of session quarantine: the dead
+    /// client must not hold memory *or a queue position* while its
+    /// session is parked, so any waiting requests are purged, its live
+    /// allocation is reclaimed, and the freed capacity reschedules
+    /// immediately. A later `Resume` re-enters through `data_arrived`
+    /// like any other request.
+    pub fn client_evicted(&mut self, client: ClientId) -> Vec<Decision> {
+        self.waiting.retain(|r| r.client != client);
+        if let Some(bytes) = self.allocation.remove(&client) {
+            self.m_avail += bytes;
+        }
+        self.schedule()
+    }
+
     /// The scheduling procedure (Alg. 2 lines 14-24, or the ablation
     /// variants).
     fn schedule(&mut self) -> Vec<Decision> {
@@ -281,6 +296,31 @@ mod tests {
         assert!(!d[0].backfilled);
         assert_eq!(s.available(), 60);
         assert_eq!(s.allocated_to(ClientId(0)), 40);
+    }
+
+    #[test]
+    fn eviction_purges_queue_slots_and_reclaims_memory() {
+        let mut s = Scheduler::new(100, true);
+        s.data_arrived(req(0, OpKind::Backward, 80)); // running
+        assert!(s.data_arrived(req(1, OpKind::Backward, 60)).is_empty()); // blocked head
+        assert!(s.data_arrived(req(2, OpKind::Backward, 70)).is_empty()); // queued behind it
+        assert_eq!(s.waiting_len(), 2);
+
+        // Client 1 dies while queued: its slot vanishes and the freed
+        // head lets nothing through yet (client 0 still holds 80)...
+        assert!(s.client_evicted(ClientId(1)).is_empty());
+        assert_eq!(s.waiting_len(), 1);
+
+        // ...then client 0 dies holding memory: the reclaim admits the
+        // surviving head immediately.
+        let d = s.client_evicted(ClientId(0));
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].request.client, ClientId(2));
+        assert_eq!(s.allocated_to(ClientId(0)), 0);
+        assert_eq!(s.available(), 30);
+
+        // Evicting a client the scheduler never saw is a no-op.
+        assert!(s.client_evicted(ClientId(9)).is_empty());
     }
 
     #[test]

@@ -14,13 +14,15 @@
 
 use std::collections::{BTreeMap, HashMap};
 use std::ops::Range;
+use std::time::{Duration, Instant};
 
+use bytes::Bytes;
 use menos_adapters::FineTuneConfig;
 use menos_models::{stacked_model, CausalLm, ModelConfig};
 use menos_net::{decode_tensor, encode_tensor};
 use menos_split::{
-    dispatch_session, BatchHandler, ClientId, ClientMessage, ForwardMode, MessageHandler,
-    ProtocolError, ServerMessage, ServerSession, SplitSpec,
+    dispatch_session, encode_server_message, BatchHandler, ClientId, ClientMessage, ForwardMode,
+    MessageHandler, ProtocolError, ServerMessage, ServerSession, SplitSpec,
 };
 use menos_tensor::{no_grad, ParamStore, Tensor};
 
@@ -37,6 +39,23 @@ pub const MAX_STACK_MEMBERS: usize = 32;
 struct ClientState {
     session: ServerSession,
     demands: MemoryDemands,
+    /// Session epoch: 1 for a fresh connect, bumped on every successful
+    /// resume so stale reconnect attempts are detectable.
+    epoch: u64,
+    /// The last gradient reply sent, kept so a resume that raced the
+    /// reply can have it re-delivered inside `Resumed`.
+    last_reply: Option<ServerMessage>,
+}
+
+/// A disconnected client's parked state: the session survives the
+/// connection so a reconnecting client can resume exactly where it
+/// left off, until the quarantine TTL expires it.
+struct Quarantined {
+    session: ServerSession,
+    demands: MemoryDemands,
+    epoch: u64,
+    last_reply: Option<ServerMessage>,
+    since: Instant,
 }
 
 /// A real-engine Menos server: shared base model, per-client sessions,
@@ -60,6 +79,7 @@ struct ClientState {
 ///         client: ClientId(0),
 ///         ft,
 ///         split: SplitSpec::paper(),
+///         epoch: 1,
 ///     })
 ///     .unwrap();
 /// assert!(matches!(reply, Some(menos_split::ServerMessage::Ready { .. })));
@@ -70,6 +90,7 @@ pub struct MenosServer {
     spec: ServerSpec,
     mode: ForwardMode,
     clients: HashMap<ClientId, ClientState>,
+    quarantined: HashMap<ClientId, Quarantined>,
     seed: u64,
 }
 
@@ -98,6 +119,7 @@ impl MenosServer {
             spec,
             mode: ForwardMode::NoGradReforward,
             clients: HashMap::new(),
+            quarantined: HashMap::new(),
             seed,
         }
     }
@@ -123,6 +145,75 @@ impl MenosServer {
         self.clients.get(&client).map(|c| c.demands)
     }
 
+    /// Total profiled backward bytes currently reserved by *live*
+    /// sessions — the Algorithm-2 pool share that eviction must return
+    /// to zero when the last client leaves. Quarantined sessions hold
+    /// no reservation: their GPU claim was released with the
+    /// connection; only their (host-side) adapter/optimizer state is
+    /// parked.
+    pub fn reserved_bytes(&self) -> u64 {
+        self.clients.values().map(|c| c.demands.m_b).sum()
+    }
+
+    /// Sessions currently parked for reconnection.
+    pub fn quarantined_clients(&self) -> usize {
+        self.quarantined.len()
+    }
+
+    /// The server-side adapter parameters of a client's session, live
+    /// or quarantined (for bit-identity checks in tests and tooling).
+    pub fn session_adapters(&self, client: ClientId) -> Option<&ParamStore> {
+        self.clients
+            .get(&client)
+            .map(|c| c.session.adapter_params())
+            .or_else(|| {
+                self.quarantined
+                    .get(&client)
+                    .map(|q| q.session.adapter_params())
+            })
+    }
+
+    /// Parks a client's session for later resumption instead of
+    /// dropping it — the server side of a lost connection. The live
+    /// entry (and with it the Algorithm-2 reservation) is removed; the
+    /// session itself survives under quarantine until a [`Resume`]
+    /// re-attaches it or [`MenosServer::expire_idle`] reaps it.
+    /// Unknown clients are ignored (the connection died before
+    /// `Connect`).
+    ///
+    /// [`Resume`]: ClientMessage::Resume
+    pub fn quarantine(&mut self, client: ClientId) {
+        if let Some(state) = self.clients.remove(&client) {
+            self.quarantined.insert(
+                client,
+                Quarantined {
+                    session: state.session,
+                    demands: state.demands,
+                    epoch: state.epoch,
+                    last_reply: state.last_reply,
+                    since: Instant::now(),
+                },
+            );
+        }
+    }
+
+    /// Reaps quarantined sessions idle longer than `max_idle`,
+    /// returning the expired client ids (so the caller can notify any
+    /// late reconnects). Their adapter/optimizer state is dropped for
+    /// good.
+    pub fn expire_idle(&mut self, max_idle: Duration) -> Vec<ClientId> {
+        let mut expired = Vec::new();
+        self.quarantined.retain(|client, q| {
+            let keep = q.since.elapsed() <= max_idle;
+            if !keep {
+                expired.push(*client);
+            }
+            keep
+        });
+        expired.sort_unstable();
+        expired
+    }
+
     /// Dispatches one protocol message (Algorithm 1), returning the
     /// reply to send, if any.
     ///
@@ -134,14 +225,26 @@ impl MenosServer {
     /// unaffected.
     pub fn handle(&mut self, msg: ClientMessage) -> Result<Option<ServerMessage>, ProtocolError> {
         match msg {
-            ClientMessage::Connect { client, ft, split } => {
-                self.connect(client, ft, split)?;
+            ClientMessage::Connect {
+                client,
+                ft,
+                split,
+                epoch,
+            } => {
+                self.connect(client, ft, split, epoch)?;
                 Ok(Some(ServerMessage::Ready { client }))
             }
+            ClientMessage::Resume {
+                client,
+                epoch,
+                last_step,
+            } => self.resume(client, epoch, last_step).map(Some),
             ClientMessage::Disconnect { client } => {
-                self.clients
-                    .remove(&client)
-                    .ok_or(ProtocolError::UnknownClient(client))?;
+                if self.clients.remove(&client).is_none()
+                    && self.quarantined.remove(&client).is_none()
+                {
+                    return Err(ProtocolError::UnknownClient(client));
+                }
                 Ok(None)
             }
             tensor_msg => {
@@ -151,9 +254,87 @@ impl MenosServer {
                     .clients
                     .get_mut(&client)
                     .ok_or(ProtocolError::UnknownClient(client))?;
-                dispatch_session(&mut state.session, mode, &tensor_msg).map(Some)
+                let reply = dispatch_session(&mut state.session, mode, &tensor_msg)?;
+                if matches!(reply, ServerMessage::ServerGradients { .. }) {
+                    state.last_reply = Some(reply.clone());
+                }
+                Ok(Some(reply))
             }
         }
+    }
+
+    /// Re-attaches a quarantined session (the `Resume` handshake).
+    ///
+    /// The client reports the epoch it last held and the number of
+    /// steps it has *completed*. Two positions are reconcilable:
+    ///
+    /// * server step == `last_step`: both sides agree; the client
+    ///   redoes its aborted in-flight step (if any) from scratch.
+    /// * server step == `last_step` + 1: the server finished the step
+    ///   but the gradient reply was lost in flight; the cached reply is
+    ///   re-delivered embedded in [`ServerMessage::Resumed`] so the
+    ///   one-reply-per-message contract holds.
+    ///
+    /// Anything else means the two sides diverged irrecoverably; the
+    /// parked state is dropped and the resume rejected.
+    fn resume(
+        &mut self,
+        client: ClientId,
+        epoch: u64,
+        last_step: u64,
+    ) -> Result<ServerMessage, ProtocolError> {
+        if self.clients.contains_key(&client) {
+            // The old connection is still live (its EOF has not been
+            // processed yet). Retryable: the client backs off and tries
+            // again rather than hijacking a live session.
+            return Err(ProtocolError::SessionActive(client));
+        }
+        let q = self
+            .quarantined
+            .get(&client)
+            .ok_or(ProtocolError::UnknownClient(client))?;
+        if q.epoch != epoch {
+            return Err(ProtocolError::StaleEpoch {
+                client,
+                expected: q.epoch,
+                got: epoch,
+            });
+        }
+        let server_step = q.session.steps_completed();
+        let replay = if server_step == last_step {
+            Bytes::new()
+        } else if server_step == last_step + 1 {
+            match &q.last_reply {
+                Some(reply) => encode_server_message(reply),
+                None => {
+                    return Err(ProtocolError::Unexpected(format!(
+                        "{client} resumed one step behind but no reply is cached"
+                    )))
+                }
+            }
+        } else {
+            self.quarantined.remove(&client);
+            return Err(ProtocolError::OutOfOrder(format!(
+                "{client} resumed at step {last_step} but the server is at {server_step}"
+            )));
+        };
+        let q = self.quarantined.remove(&client).expect("checked above");
+        let new_epoch = epoch + 1;
+        self.clients.insert(
+            client,
+            ClientState {
+                session: q.session,
+                demands: q.demands,
+                epoch: new_epoch,
+                last_reply: q.last_reply,
+            },
+        );
+        Ok(ServerMessage::Resumed {
+            client,
+            epoch: new_epoch,
+            server_step,
+            replay,
+        })
     }
 
     /// Dispatches a whole ready-set of tensor messages as (at most) one
@@ -366,13 +547,12 @@ impl MenosServer {
             // Eligibility verified the pending input, so the solo
             // backward cannot hit its missing-forward panic.
             let g_s = state.session.backward(&g_c);
-            out.push((
+            let reply = ServerMessage::ServerGradients {
                 client,
-                Ok(Some(ServerMessage::ServerGradients {
-                    client,
-                    frame: encode_tensor(&g_s),
-                })),
-            ));
+                frame: encode_tensor(&g_s),
+            };
+            state.last_reply = Some(reply.clone());
+            out.push((client, Ok(Some(reply))));
             return;
         }
         let spans: Vec<usize> = chunk.iter().map(|(_, t)| t.dims()[0]).collect();
@@ -413,13 +593,12 @@ impl MenosServer {
         for ((client, _), g_s) in chunk.into_iter().zip(g_outs) {
             let state = self.clients.get_mut(&client).expect("retained member");
             state.session.apply_batched_backward(&mut grads);
-            out.push((
+            let reply = ServerMessage::ServerGradients {
                 client,
-                Ok(Some(ServerMessage::ServerGradients {
-                    client,
-                    frame: encode_tensor(&g_s),
-                })),
-            ));
+                frame: encode_tensor(&g_s),
+            };
+            state.last_reply = Some(reply.clone());
+            out.push((client, Ok(Some(reply))));
         }
     }
 
@@ -428,6 +607,7 @@ impl MenosServer {
         client: ClientId,
         ft: FineTuneConfig,
         split: SplitSpec,
+        epoch: u64,
     ) -> Result<(), ProtocolError> {
         if self.clients.contains_key(&client) {
             return Err(ProtocolError::Rejected(format!(
@@ -458,8 +638,19 @@ impl MenosServer {
             session_seed,
         );
         debug_assert!(self.registry.verify_aliasing(session.model()));
-        self.clients
-            .insert(client, ClientState { session, demands });
+        // A fresh Connect is an explicit restart: any parked state from
+        // a previous incarnation is superseded.
+        self.quarantined.remove(&client);
+        self.clients.insert(
+            client,
+            ClientState {
+                session,
+                demands,
+                // v1.0 peers send no epoch (decoded as 0); treat as 1.
+                epoch: epoch.max(1),
+                last_reply: None,
+            },
+        );
         Ok(())
     }
 }
@@ -467,6 +658,16 @@ impl MenosServer {
 impl MessageHandler for MenosServer {
     fn handle(&mut self, msg: ClientMessage) -> Result<Option<ServerMessage>, ProtocolError> {
         MenosServer::handle(self, msg)
+    }
+
+    /// A lost connection quarantines the session instead of dropping
+    /// it, so the client can reconnect and resume.
+    fn connection_lost(&mut self, client: ClientId) {
+        self.quarantine(client);
+    }
+
+    fn expire_idle(&mut self, max_idle: Duration) -> Vec<ClientId> {
+        MenosServer::expire_idle(self, max_idle)
     }
 }
 
@@ -511,6 +712,7 @@ mod tests {
                 client: c,
                 ft: ft.clone(),
                 split: SplitSpec::paper(),
+                epoch: 1,
             })
             .unwrap();
         assert!(matches!(ready, Some(ServerMessage::Ready { .. })));
@@ -568,6 +770,7 @@ mod tests {
             client: c,
             ft,
             split: SplitSpec::paper(),
+            epoch: 1,
         })
         .unwrap();
         let err = srv
@@ -595,6 +798,7 @@ mod tests {
             client: c,
             ft,
             split: SplitSpec::paper(),
+            epoch: 1,
         })
         .unwrap();
         let err = srv
@@ -615,6 +819,7 @@ mod tests {
                 client: ClientId(0),
                 ft,
                 split: SplitSpec::paper(),
+                epoch: 1,
             })
             .unwrap_err();
         assert!(matches!(err, ProtocolError::Rejected(_)));
@@ -629,6 +834,7 @@ mod tests {
             client: c,
             ft,
             split: SplitSpec::paper(),
+            epoch: 1,
         };
         srv.handle(connect.clone()).unwrap();
         let err = srv.handle(connect).unwrap_err();
@@ -645,6 +851,7 @@ mod tests {
                 client: ClientId(k),
                 ft: ft.clone(),
                 split: SplitSpec::paper(),
+                epoch: 1,
             })
             .unwrap();
         }

@@ -95,6 +95,13 @@ impl LossCurve {
         self.points.push((step, loss));
     }
 
+    /// Removes and returns the most recent sample — how a split client
+    /// rolls back the provisional loss point of a step it must redo
+    /// after a reconnect.
+    pub fn pop(&mut self) -> Option<(usize, f32)> {
+        self.points.pop()
+    }
+
     /// All recorded points.
     pub fn points(&self) -> &[(usize, f32)] {
         &self.points

@@ -53,6 +53,9 @@ const HEADER: usize = FRAME_HEADER_BYTES as usize;
 #[derive(Debug)]
 pub struct FrameAccumulator {
     max_frame: usize,
+    /// Upper bound on bytes this accumulator will ever stage for one
+    /// in-progress frame (header + payload). Defaults to `max_frame`.
+    staged_cap: usize,
     /// Bytes of the in-progress frame (header prefix + payload prefix).
     buf: Vec<u8>,
     /// Total size of the in-progress frame once the header is parsed
@@ -68,10 +71,29 @@ impl FrameAccumulator {
     pub fn new(max_frame: usize) -> FrameAccumulator {
         FrameAccumulator {
             max_frame,
+            staged_cap: HEADER + max_frame,
             buf: Vec::new(),
             need: None,
             checked: 0,
         }
+    }
+
+    /// Caps the reassembly buffer at `staged_cap` bytes (header +
+    /// payload), independently of the protocol-level frame cap.
+    ///
+    /// `max_frame` is a protocol constant ("no peer may *declare* more
+    /// than this"); the staged cap is a deployment memory knob ("this
+    /// server will not *hold* more than this per session while a frame
+    /// trickles in"). A slow-drip client parks its partial frame in
+    /// this buffer for as long as it stays connected, so an event
+    /// server with many sessions sizes the cap to its largest
+    /// legitimate frame, not to the defensive protocol maximum. A
+    /// header declaring more than the cap is rejected with
+    /// [`WireError::StagedOverflow`] before any payload capacity is
+    /// reserved.
+    pub fn with_staged_cap(mut self, staged_cap: usize) -> FrameAccumulator {
+        self.staged_cap = staged_cap;
+        self
     }
 
     /// Number of buffered bytes belonging to a not-yet-complete frame.
@@ -113,6 +135,12 @@ impl FrameAccumulator {
                 return Err(WireError::TooLarge {
                     declared: len as u64,
                     max: self.max_frame as u64,
+                });
+            }
+            if HEADER + len > self.staged_cap {
+                return Err(WireError::StagedOverflow {
+                    needed: (HEADER + len) as u64,
+                    cap: self.staged_cap as u64,
                 });
             }
             // Only now — with the declared length validated — is the
@@ -322,6 +350,51 @@ mod tests {
         assert!(matches!(err, WireError::TooLarge { .. }), "{err}");
         // No payload-sized buffer was ever reserved.
         assert!(acc.buf.capacity() < 4096, "capacity {}", acc.buf.capacity());
+    }
+
+    /// Satellite requirement: N sessions drip-feeding partial frames
+    /// cannot grow server memory past `N * staged_cap` — a header
+    /// declaring more than the cap is rejected before any payload
+    /// capacity is reserved, and an accepted frame's buffer never
+    /// exceeds the cap.
+    #[test]
+    fn slow_drip_sessions_stay_under_the_staged_cap() {
+        const SESSIONS: usize = 64;
+        const STAGED_CAP: usize = 4 << 10;
+        let header = HEADER;
+
+        // Hostile case: each session declares a 1 MiB payload (legal
+        // under max_frame) and then stalls. The declaration itself must
+        // be rejected at header completion.
+        let mut hostile: Vec<FrameAccumulator> = (0..SESSIONS)
+            .map(|_| FrameAccumulator::new(DEFAULT_MAX_FRAME).with_staged_cap(STAGED_CAP))
+            .collect();
+        let big = encode_frame_header(2, 0, 1 << 20);
+        for acc in &mut hostile {
+            // Drip the header one byte at a time; the overflow fires on
+            // the final header byte, before any payload reservation.
+            for &b in &big[..header - 1] {
+                assert!(acc.push(&[b]).unwrap().is_empty());
+            }
+            let err = acc.push(&big[header - 1..header]).unwrap_err();
+            assert!(matches!(err, WireError::StagedOverflow { .. }), "{err}");
+        }
+        let total: usize = hostile.iter().map(|a| a.buf.capacity()).sum();
+        assert!(
+            total <= SESSIONS * STAGED_CAP,
+            "hostile sessions hold {total} bytes"
+        );
+
+        // Legitimate case: frames under the cap still reassemble from a
+        // drip, and the buffer never exceeds the cap.
+        let mut acc = FrameAccumulator::new(DEFAULT_MAX_FRAME).with_staged_cap(STAGED_CAP);
+        let frame = encode_frame(2, 9, &vec![0x5A; STAGED_CAP / 2]);
+        let mut got = Vec::new();
+        for chunk in frame.chunks(7) {
+            got.extend(acc.push(chunk).unwrap());
+            assert!(acc.buf.capacity() <= STAGED_CAP, "{}", acc.buf.capacity());
+        }
+        assert_eq!(got, vec![frame]);
     }
 
     /// A writer that accepts at most `cap` bytes per call and signals

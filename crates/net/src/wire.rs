@@ -59,6 +59,14 @@ pub enum WireError {
         /// The configured maximum.
         max: u64,
     },
+    /// A frame would stage more reassembly bytes than the per-session
+    /// cap allows (anti-slow-drip bound; at most the frame cap).
+    StagedOverflow {
+        /// Header + payload bytes the frame would stage.
+        needed: u64,
+        /// The configured per-session staging cap.
+        cap: u64,
+    },
     /// Payload present but structurally invalid.
     Malformed(String),
 }
@@ -73,6 +81,9 @@ impl std::fmt::Display for WireError {
             WireError::UnknownKind(k) => write!(f, "unknown message kind {k}"),
             WireError::TooLarge { declared, max } => {
                 write!(f, "declared frame length {declared} exceeds cap {max}")
+            }
+            WireError::StagedOverflow { needed, cap } => {
+                write!(f, "frame stages {needed} bytes, per-session cap is {cap}")
             }
             WireError::Malformed(m) => write!(f, "malformed payload: {m}"),
         }

@@ -1,0 +1,299 @@
+//! Deterministic chaos injection for the event-driven server path.
+//!
+//! [`FaultTransport`](crate::FaultTransport) scripts faults into the
+//! *blocking* server pump; this module extends the idea to the
+//! nonblocking path: [`ChaosListener`] wraps any
+//! [`EventListener`](crate::EventListener) and hands the event loop
+//! [`ChaosConn`]s that inject scripted faults — hangups on the read
+//! path, hangups while queueing replies, and reply delays that force
+//! the loop through its partial-write flush machinery.
+//!
+//! Faults are *scripted, not random at runtime*: each connection
+//! learns its client id from the `Connect`/`Resume` message passing
+//! through it, counts that client's **incarnation** (connection
+//! attempt number), and derives its fault plan from
+//! `seeded_rng(seed, "chaos-{client}-{incarnation}")`. The plan
+//! therefore depends only on the seed and on how many times that
+//! client has connected — not on accept order, sweep timing, or
+//! thread interleaving — so a chaos run is reproducible from its seed
+//! alone.
+//!
+//! Faults land only at message boundaries and never corrupt bytes, so
+//! a client that survives (via the `Resume` handshake) must produce a
+//! loss curve **bit-identical** to a fault-free run — the soak test's
+//! core assertion. Kills are budgeted per client
+//! ([`ChaosOptions::max_faulted_incarnations`]): after the budget is
+//! spent, later incarnations run clean, so retrying clients always
+//! finish.
+//!
+//! One deliberate gap in the fault model: replies to a `Resume`
+//! handshake are exempt from queue-kills. Killing the `Resumed` reply
+//! after the server has already bumped the session epoch would strand
+//! the client with a stale epoch by design — detecting exactly that
+//! zombie case is what the epoch is *for* — so the chaos plan only
+//! kills tensor-reply queues.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Mutex};
+
+use rand::Rng;
+
+use menos_sim::seeded_rng;
+
+use crate::event_loop::{EventConn, EventListener};
+use crate::message::{ClientId, ClientMessage, ServerMessage};
+use crate::protocol::ProtocolError;
+
+/// Tuning for a chaos run.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosOptions {
+    /// Root seed; every per-connection plan derives from it.
+    pub seed: u64,
+    /// How many of a client's first incarnations may draw a fault.
+    /// Later incarnations always run clean, bounding the retries any
+    /// client needs to finish.
+    pub max_faulted_incarnations: u64,
+    /// Longest reply hold, in flush calls, a delay fault may impose.
+    pub max_hold_flushes: u32,
+}
+
+impl Default for ChaosOptions {
+    fn default() -> Self {
+        ChaosOptions {
+            seed: 0xC4A05,
+            max_faulted_incarnations: 2,
+            max_hold_flushes: 3,
+        }
+    }
+}
+
+impl ChaosOptions {
+    /// Reads the seed from `MENOS_CHAOS_SEED` (decimal), keeping the
+    /// other knobs at their defaults — how CI pins a soak run.
+    pub fn from_env() -> Self {
+        let mut options = ChaosOptions::default();
+        if let Some(seed) = std::env::var("MENOS_CHAOS_SEED")
+            .ok()
+            .and_then(|s| s.trim().parse::<u64>().ok())
+        {
+            options.seed = seed;
+        }
+        options
+    }
+}
+
+/// One incarnation's scripted fault.
+#[derive(Debug, Clone, Copy)]
+enum Fault {
+    /// Hang up the read path after this many post-handshake messages.
+    KillRecvAfter(u32),
+    /// Hang up while queueing the nth tensor reply.
+    KillQueueAfter(u32),
+    /// Hold every reply for this many flush calls before releasing it.
+    HoldReplies(u32),
+}
+
+fn plan_for(options: &ChaosOptions, client: ClientId, incarnation: u64) -> Option<Fault> {
+    if incarnation > options.max_faulted_incarnations {
+        return None;
+    }
+    let mut rng = seeded_rng(options.seed, &format!("chaos-{client}-{incarnation}"));
+    let roll: f64 = rng.gen();
+    Some(if roll < 0.4 {
+        Fault::KillRecvAfter(rng.gen_range(1..=5))
+    } else if roll < 0.8 {
+        Fault::KillQueueAfter(rng.gen_range(1..=5))
+    } else {
+        Fault::HoldReplies(rng.gen_range(1..=options.max_hold_flushes.max(1)))
+    })
+}
+
+/// An [`EventListener`] whose accepted connections inject scripted
+/// faults. Wrap the real listener and run the loop unchanged.
+pub struct ChaosListener<L> {
+    inner: L,
+    options: ChaosOptions,
+    incarnations: Arc<Mutex<HashMap<ClientId, u64>>>,
+}
+
+impl<L> ChaosListener<L> {
+    /// Wraps a listener with a chaos script.
+    pub fn new(inner: L, options: ChaosOptions) -> Self {
+        ChaosListener {
+            inner,
+            options,
+            incarnations: Arc::new(Mutex::new(HashMap::new())),
+        }
+    }
+
+    /// How many connections each client has opened so far — useful for
+    /// asserting a soak actually exercised reconnects.
+    pub fn incarnations_of(&self, client: ClientId) -> u64 {
+        self.incarnations
+            .lock()
+            .expect("incarnation lock")
+            .get(&client)
+            .copied()
+            .unwrap_or(0)
+    }
+}
+
+impl<L: EventListener> EventListener for ChaosListener<L> {
+    type Conn = ChaosConn<L::Conn>;
+
+    fn poll_accept(&mut self) -> Result<Option<Self::Conn>, ProtocolError> {
+        Ok(self.inner.poll_accept()?.map(|conn| ChaosConn {
+            inner: conn,
+            options: self.options,
+            incarnations: self.incarnations.clone(),
+            fault: None,
+            identified: false,
+            msgs_seen: 0,
+            replies_seen: 0,
+            held: VecDeque::new(),
+            hold_left: 0,
+            recv_dead: false,
+        }))
+    }
+}
+
+/// An [`EventConn`] that executes one incarnation's fault plan around
+/// an inner connection.
+pub struct ChaosConn<C> {
+    inner: C,
+    options: ChaosOptions,
+    incarnations: Arc<Mutex<HashMap<ClientId, u64>>>,
+    fault: Option<Fault>,
+    identified: bool,
+    /// Messages seen after the handshake message.
+    msgs_seen: u32,
+    /// Tensor replies queued so far.
+    replies_seen: u32,
+    held: VecDeque<ServerMessage>,
+    hold_left: u32,
+    recv_dead: bool,
+}
+
+impl<C> ChaosConn<C> {
+    fn learn_identity(&mut self, client: ClientId) {
+        self.identified = true;
+        let incarnation = {
+            let mut map = self.incarnations.lock().expect("incarnation lock");
+            let n = map.entry(client).or_insert(0);
+            *n += 1;
+            *n
+        };
+        self.fault = plan_for(&self.options, client, incarnation);
+    }
+}
+
+impl<C: EventConn> EventConn for ChaosConn<C> {
+    fn poll_recv(&mut self, out: &mut Vec<ClientMessage>) -> Result<(), ProtocolError> {
+        if self.recv_dead {
+            return Err(ProtocolError::Disconnected);
+        }
+        let start = out.len();
+        self.inner.poll_recv(out)?;
+        for msg in &out[start..] {
+            if !self.identified {
+                if let ClientMessage::Connect { client, .. }
+                | ClientMessage::Resume { client, .. } = msg
+                {
+                    let client = *client;
+                    self.learn_identity(client);
+                    continue;
+                }
+            }
+            self.msgs_seen += 1;
+        }
+        if let Some(Fault::KillRecvAfter(n)) = self.fault {
+            if self.msgs_seen >= n {
+                // Per the EventConn contract, messages already drained
+                // this call are delivered; the hangup surfaces on the
+                // next poll.
+                self.recv_dead = true;
+                if out.len() == start {
+                    return Err(ProtocolError::Disconnected);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn queue(&mut self, msg: &ServerMessage) -> Result<(), ProtocolError> {
+        match self.fault {
+            Some(Fault::KillQueueAfter(n)) => {
+                // Only tensor replies count: killing a handshake reply
+                // after the server committed its side would strand the
+                // client by design (see the module docs).
+                if matches!(
+                    msg,
+                    ServerMessage::ServerActivations { .. } | ServerMessage::ServerGradients { .. }
+                ) {
+                    self.replies_seen += 1;
+                    if self.replies_seen >= n {
+                        return Err(ProtocolError::Disconnected);
+                    }
+                }
+                self.inner.queue(msg)
+            }
+            Some(Fault::HoldReplies(hold)) => {
+                if self.held.is_empty() {
+                    self.hold_left = hold;
+                }
+                self.held.push_back(msg.clone());
+                Ok(())
+            }
+            _ => self.inner.queue(msg),
+        }
+    }
+
+    fn flush(&mut self) -> Result<bool, ProtocolError> {
+        if !self.held.is_empty() {
+            if self.hold_left > 0 {
+                self.hold_left -= 1;
+                return Ok(false);
+            }
+            while let Some(msg) = self.held.pop_front() {
+                self.inner.queue(&msg)?;
+            }
+        }
+        self.inner.flush()
+    }
+
+    fn has_queued_writes(&self) -> bool {
+        !self.held.is_empty() || self.inner.has_queued_writes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_depend_only_on_seed_client_and_incarnation() {
+        let options = ChaosOptions::default();
+        for incarnation in 1..=options.max_faulted_incarnations {
+            for id in 0..8 {
+                let a = plan_for(&options, ClientId(id), incarnation);
+                let b = plan_for(&options, ClientId(id), incarnation);
+                assert_eq!(format!("{a:?}"), format!("{b:?}"));
+                assert!(a.is_some(), "faulted incarnations always draw a fault");
+            }
+        }
+        // Past the budget, incarnations run clean.
+        assert!(plan_for(&options, ClientId(0), options.max_faulted_incarnations + 1).is_none());
+    }
+
+    #[test]
+    fn chaos_seed_comes_from_the_environment() {
+        // Set + unset around the read; the var name is test-local
+        // enough that parallel tests in this crate do not race it.
+        std::env::set_var("MENOS_CHAOS_SEED", "12345");
+        let options = ChaosOptions::from_env();
+        std::env::remove_var("MENOS_CHAOS_SEED");
+        assert_eq!(options.seed, 12345);
+        let fallback = ChaosOptions::from_env();
+        assert_eq!(fallback.seed, ChaosOptions::default().seed);
+    }
+}

@@ -39,7 +39,9 @@ pub struct SplitClient {
     ft: FineTuneConfig,
     dataset: TokenDataset,
     optimizer: Box<dyn Optimizer>,
+    adapter_params: menos_tensor::ParamStore,
     step: usize,
+    epoch: u64,
     pending: Option<PendingStep>,
     accum: Option<GradStore>,
     micro: usize,
@@ -75,7 +77,9 @@ impl SplitClient {
             ft,
             dataset,
             optimizer,
+            adapter_params: params,
             step: 0,
+            epoch: 1,
             pending: None,
             accum: None,
             micro: 0,
@@ -91,6 +95,54 @@ impl SplitClient {
     /// Completed optimization steps.
     pub fn steps_completed(&self) -> usize {
         self.step
+    }
+
+    /// The session epoch this client is at: 1 for a fresh session,
+    /// bumped by the server on every successful resume.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Adopts the epoch returned by a successful resume.
+    pub fn set_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
+    }
+
+    /// The client-side adapter parameters (the state a resume must
+    /// preserve bit-for-bit).
+    pub fn adapter_params(&self) -> &menos_tensor::ParamStore {
+        &self.adapter_params
+    }
+
+    /// True when a step is in flight and the loss has already been
+    /// recorded — the client owes the server gradients, or is owed the
+    /// server's gradient reply.
+    pub fn awaiting_gradients(&self) -> bool {
+        self.pending
+            .as_ref()
+            .is_some_and(|p| p.head_grads.is_some())
+    }
+
+    /// Abandons the in-flight step (if any) so it can be redone
+    /// deterministically after a reconnect, rolling back the
+    /// provisionally recorded loss point. Returns true if a step was
+    /// abandoned.
+    ///
+    /// Safe at any protocol position: the optimizer only steps in
+    /// [`SplitClient::receive_server_gradients`], which also completes
+    /// the step — so an in-flight step has never touched persistent
+    /// state except the curve point pushed by
+    /// [`SplitClient::receive_server_activations`].
+    pub fn abort_step(&mut self) -> bool {
+        match self.pending.take() {
+            Some(p) => {
+                if p.head_grads.is_some() {
+                    self.curve.pop();
+                }
+                true
+            }
+            None => false,
+        }
     }
 
     /// The loss curve recorded so far.

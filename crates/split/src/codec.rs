@@ -15,16 +15,19 @@ use menos_adapters::{AdapterKind, FineTuneConfig, OptimKind};
 use menos_models::{AdapterTarget, LoraSpec};
 use menos_net::{decode_frame, encode_frame, WireError};
 
-use crate::message::{ClientId, ClientMessage, ServerMessage};
+use crate::message::{ClientId, ClientMessage, EvictionCode, ServerMessage};
 use crate::spec::SplitSpec;
 
 pub(crate) const KIND_CONNECT: u8 = 1;
 pub(crate) const KIND_ACTIVATIONS: u8 = 2;
 pub(crate) const KIND_GRADIENTS: u8 = 3;
 pub(crate) const KIND_DISCONNECT: u8 = 4;
+pub(crate) const KIND_RESUME: u8 = 5;
 pub(crate) const KIND_READY: u8 = 17;
 pub(crate) const KIND_SERVER_ACTIVATIONS: u8 = 18;
 pub(crate) const KIND_SERVER_GRADIENTS: u8 = 19;
+pub(crate) const KIND_RESUMED: u8 = 20;
+pub(crate) const KIND_EVICTED: u8 = 21;
 
 /// Every message kind of wire-protocol v1 — the single source of
 /// truth `PROTOCOL.md` is checked against. Client→server kinds live
@@ -42,24 +45,35 @@ pub enum MessageKind {
     Gradients = KIND_GRADIENTS,
     /// Client ends its session; the server reclaims its state.
     Disconnect = KIND_DISCONNECT,
+    /// Client re-attaches to a quarantined session (v1.1, allocated
+    /// from the reserved client→server range).
+    Resume = KIND_RESUME,
     /// Server accepted the connection; the session is live.
     Ready = KIND_READY,
     /// Server-side forward output `x_s` (server→client).
     ServerActivations = KIND_SERVER_ACTIVATIONS,
     /// Server-side gradients `g_s` (server→client).
     ServerGradients = KIND_SERVER_GRADIENTS,
+    /// Server accepted a resume; the session continues (v1.1).
+    Resumed = KIND_RESUMED,
+    /// Server closed the session, with a close code (v1.1).
+    Evicted = KIND_EVICTED,
 }
 
 impl MessageKind {
-    /// All kinds of protocol v1, in wire-code order.
-    pub const ALL: [MessageKind; 7] = [
+    /// All kinds of protocol v1 (including the v1.1 session-lifecycle
+    /// additions), in wire-code order.
+    pub const ALL: [MessageKind; 10] = [
         MessageKind::Connect,
         MessageKind::Activations,
         MessageKind::Gradients,
         MessageKind::Disconnect,
+        MessageKind::Resume,
         MessageKind::Ready,
         MessageKind::ServerActivations,
         MessageKind::ServerGradients,
+        MessageKind::Resumed,
+        MessageKind::Evicted,
     ];
 
     /// The kind byte carried in the frame header.
@@ -74,9 +88,12 @@ impl MessageKind {
             MessageKind::Activations => "Activations",
             MessageKind::Gradients => "Gradients",
             MessageKind::Disconnect => "Disconnect",
+            MessageKind::Resume => "Resume",
             MessageKind::Ready => "Ready",
             MessageKind::ServerActivations => "ServerActivations",
             MessageKind::ServerGradients => "ServerGradients",
+            MessageKind::Resumed => "Resumed",
+            MessageKind::Evicted => "Evicted",
         }
     }
 
@@ -89,8 +106,21 @@ impl MessageKind {
 /// Serializes a client→server message to its wire frame.
 pub fn encode_client_message(msg: &ClientMessage) -> Bytes {
     match msg {
-        ClientMessage::Connect { client, ft, split } => {
-            encode_frame(KIND_CONNECT, client.0, &encode_config(ft, *split))
+        ClientMessage::Connect {
+            client,
+            ft,
+            split,
+            epoch,
+        } => encode_frame(KIND_CONNECT, client.0, &encode_config(ft, *split, *epoch)),
+        ClientMessage::Resume {
+            client,
+            epoch,
+            last_step,
+        } => {
+            let mut body = Vec::with_capacity(16);
+            body.extend(epoch.to_le_bytes());
+            body.extend(last_step.to_le_bytes());
+            encode_frame(KIND_RESUME, client.0, &body)
         }
         ClientMessage::Activations { client, frame } => {
             encode_frame(KIND_ACTIVATIONS, client.0, frame)
@@ -112,8 +142,27 @@ pub fn decode_client_message(bytes: &Bytes, max_frame: usize) -> Result<ClientMe
     let client = ClientId(client);
     match kind {
         KIND_CONNECT => {
-            let (ft, split) = decode_config(&payload)?;
-            Ok(ClientMessage::Connect { client, ft, split })
+            let (ft, split, epoch) = decode_config(&payload)?;
+            Ok(ClientMessage::Connect {
+                client,
+                ft,
+                split,
+                epoch,
+            })
+        }
+        KIND_RESUME => {
+            let mut c = Cursor {
+                buf: &payload,
+                pos: 0,
+            };
+            let epoch = c.u64()?;
+            let last_step = c.u64()?;
+            c.finish()?;
+            Ok(ClientMessage::Resume {
+                client,
+                epoch,
+                last_step,
+            })
         }
         KIND_ACTIVATIONS => Ok(ClientMessage::Activations {
             client,
@@ -141,6 +190,21 @@ pub fn encode_server_message(msg: &ServerMessage) -> Bytes {
         ServerMessage::ServerGradients { client, frame } => {
             encode_frame(KIND_SERVER_GRADIENTS, client.0, frame)
         }
+        ServerMessage::Resumed {
+            client,
+            epoch,
+            server_step,
+            replay,
+        } => {
+            let mut body = Vec::with_capacity(16 + replay.len());
+            body.extend(epoch.to_le_bytes());
+            body.extend(server_step.to_le_bytes());
+            body.extend_from_slice(replay);
+            encode_frame(KIND_RESUMED, client.0, &body)
+        }
+        ServerMessage::Evicted { client, code } => {
+            encode_frame(KIND_EVICTED, client.0, &[code.code()])
+        }
     }
 }
 
@@ -165,6 +229,32 @@ pub fn decode_server_message(bytes: &Bytes, max_frame: usize) -> Result<ServerMe
             client,
             frame: payload,
         }),
+        KIND_RESUMED => {
+            let mut c = Cursor {
+                buf: &payload,
+                pos: 0,
+            };
+            let epoch = c.u64()?;
+            let server_step = c.u64()?;
+            Ok(ServerMessage::Resumed {
+                client,
+                epoch,
+                server_step,
+                replay: payload.slice(16..),
+            })
+        }
+        KIND_EVICTED => {
+            if payload.len() != 1 {
+                return Err(WireError::Malformed(format!(
+                    "Evicted body must be 1 close-code byte, got {}",
+                    payload.len()
+                )));
+            }
+            let code = EvictionCode::from_code(payload[0]).ok_or_else(|| {
+                WireError::Malformed(format!("unknown eviction close code {}", payload[0]))
+            })?;
+            Ok(ServerMessage::Evicted { client, code })
+        }
         other => Err(WireError::UnknownKind(other)),
     }
 }
@@ -186,7 +276,7 @@ fn expect_empty(payload: &Bytes) -> Result<(), WireError> {
 // is in the dependency set).
 // ----------------------------------------------------------------------
 
-fn encode_config(ft: &FineTuneConfig, split: SplitSpec) -> Vec<u8> {
+fn encode_config(ft: &FineTuneConfig, split: SplitSpec, epoch: u64) -> Vec<u8> {
     let mut out = Vec::new();
     match &ft.adapter {
         AdapterKind::Lora { spec, targets } => {
@@ -226,6 +316,10 @@ fn encode_config(ft: &FineTuneConfig, split: SplitSpec) -> Vec<u8> {
     out.extend((ft.seq_len as u64).to_le_bytes());
     out.extend((ft.grad_accumulation as u64).to_le_bytes());
     out.extend((split.front_layers as u64).to_le_bytes());
+    // v1.1: the session epoch rides as an appended field, per the §5
+    // versioning policy (v1.0 decoders never read this far; v1.0
+    // encoders omit it and decode below as epoch 0).
+    out.extend(epoch.to_le_bytes());
     out
 }
 
@@ -252,9 +346,22 @@ impl<'a> Cursor<'a> {
         self.pos = end;
         Ok(f32::from_le_bytes(bytes.try_into().expect("4 bytes")))
     }
+    fn at_end(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+    fn finish(&self) -> Result<(), WireError> {
+        if self.at_end() {
+            Ok(())
+        } else {
+            Err(WireError::Malformed(format!(
+                "{} trailing bytes after body",
+                self.buf.len() - self.pos
+            )))
+        }
+    }
 }
 
-fn decode_config(buf: &[u8]) -> Result<(FineTuneConfig, SplitSpec), WireError> {
+fn decode_config(buf: &[u8]) -> Result<(FineTuneConfig, SplitSpec, u64), WireError> {
     let mut c = Cursor { buf, pos: 0 };
     let adapter = match c.u8()? {
         0 => {
@@ -300,12 +407,10 @@ fn decode_config(buf: &[u8]) -> Result<(FineTuneConfig, SplitSpec), WireError> {
     let seq_len = c.u64()? as usize;
     let grad_accumulation = c.u64()? as usize;
     let front_layers = c.u64()? as usize;
-    if c.pos != buf.len() {
-        return Err(WireError::Malformed(format!(
-            "{} trailing bytes after config",
-            buf.len() - c.pos
-        )));
-    }
+    // Tolerant decode of the v1.1 appended epoch: a v1.0 body simply
+    // ends here (epoch 0 ⇒ "pre-lifecycle peer").
+    let epoch = if c.at_end() { 0 } else { c.u64()? };
+    c.finish()?;
     Ok((
         FineTuneConfig {
             adapter,
@@ -315,6 +420,7 @@ fn decode_config(buf: &[u8]) -> Result<(FineTuneConfig, SplitSpec), WireError> {
             grad_accumulation,
         },
         SplitSpec::new(front_layers),
+        epoch,
     ))
 }
 
@@ -330,9 +436,10 @@ mod tests {
         let cfg = ModelConfig::tiny_opt(10);
         let ft = FineTuneConfig::paper(&cfg);
         let split = SplitSpec::new(2);
-        let (ft2, split2) = decode_config(&encode_config(&ft, split)).unwrap();
+        let (ft2, split2, epoch2) = decode_config(&encode_config(&ft, split, 3)).unwrap();
         assert_eq!(ft, ft2);
         assert_eq!(split, split2);
+        assert_eq!(epoch2, 3);
 
         let ft = FineTuneConfig {
             adapter: AdapterKind::Prefix { len: 6 },
@@ -344,8 +451,26 @@ mod tests {
             seq_len: 17,
             grad_accumulation: 4,
         };
-        let (ft2, _) = decode_config(&encode_config(&ft, split)).unwrap();
+        let (ft2, _, _) = decode_config(&encode_config(&ft, split, 1)).unwrap();
         assert_eq!(ft, ft2);
+    }
+
+    /// §5 versioning: the epoch is an appended Connect-body field, so a
+    /// v1.0 body (without it) must still decode — as epoch 0.
+    #[test]
+    fn v1_0_connect_body_without_epoch_still_decodes() {
+        let cfg = ModelConfig::tiny_opt(10);
+        let ft = FineTuneConfig::paper(&cfg);
+        let split = SplitSpec::new(2);
+        let mut body = encode_config(&ft, split, 7);
+        body.truncate(body.len() - 8); // strip the appended epoch — a v1.0 body
+        let (ft2, split2, epoch) = decode_config(&body).unwrap();
+        assert_eq!(ft, ft2);
+        assert_eq!(split, split2);
+        assert_eq!(epoch, 0, "missing epoch decodes as 0");
+        // A partially present epoch is still malformed.
+        body.extend_from_slice(&[1, 2, 3]);
+        assert!(decode_config(&body).is_err());
     }
 
     #[test]
@@ -363,6 +488,12 @@ mod tests {
                 client: ClientId(3),
                 ft: FineTuneConfig::paper(&cfg),
                 split: SplitSpec::paper(),
+                epoch: 1,
+            },
+            ClientMessage::Resume {
+                client: ClientId(3),
+                epoch: 2,
+                last_step: 40,
             },
             ClientMessage::Activations {
                 client: ClientId(4),
@@ -396,7 +527,27 @@ mod tests {
             },
             ServerMessage::ServerGradients {
                 client: ClientId(3),
-                frame: tensor_frame,
+                frame: tensor_frame.clone(),
+            },
+            ServerMessage::Resumed {
+                client: ClientId(4),
+                epoch: 3,
+                server_step: 41,
+                replay: Bytes::new(),
+            },
+            ServerMessage::Resumed {
+                client: ClientId(4),
+                epoch: 3,
+                server_step: 41,
+                // An embedded replay is a full encoded frame.
+                replay: encode_server_message(&ServerMessage::ServerGradients {
+                    client: ClientId(4),
+                    frame: tensor_frame,
+                }),
+            },
+            ServerMessage::Evicted {
+                client: ClientId(5),
+                code: EvictionCode::IdleExpired,
             },
         ];
         for msg in msgs {
@@ -404,6 +555,23 @@ mod tests {
             let back = decode_server_message(&bytes, DEFAULT_MAX_FRAME).unwrap();
             assert_eq!(back, msg);
         }
+    }
+
+    #[test]
+    fn lifecycle_bodies_reject_garbage() {
+        // Resume body must be exactly 16 bytes.
+        let frame = menos_net::encode_frame(KIND_RESUME, 0, &[1, 2, 3]);
+        assert!(decode_client_message(&frame, DEFAULT_MAX_FRAME).is_err());
+        let frame = menos_net::encode_frame(KIND_RESUME, 0, &[0; 24]);
+        assert!(decode_client_message(&frame, DEFAULT_MAX_FRAME).is_err());
+        // Resumed body needs at least epoch + server_step.
+        let frame = menos_net::encode_frame(KIND_RESUMED, 0, &[0; 15]);
+        assert!(decode_server_message(&frame, DEFAULT_MAX_FRAME).is_err());
+        // Evicted body must be one known close-code byte.
+        let frame = menos_net::encode_frame(KIND_EVICTED, 0, &[]);
+        assert!(decode_server_message(&frame, DEFAULT_MAX_FRAME).is_err());
+        let frame = menos_net::encode_frame(KIND_EVICTED, 0, &[99]);
+        assert!(decode_server_message(&frame, DEFAULT_MAX_FRAME).is_err());
     }
 
     #[test]

@@ -43,7 +43,7 @@ use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crate::message::{ClientId, ClientMessage, ServerMessage};
+use crate::message::{ClientId, ClientMessage, EvictionCode, ServerMessage};
 use crate::protocol::{
     channel_pair, sim_pair, ChannelTransport, MessageHandler, ProtocolError, SimTransport,
     Transport,
@@ -188,13 +188,25 @@ pub struct EventLoopOptions {
     /// Dispatch the pending batch as soon as it reaches this many
     /// messages, even if more clients look ready.
     pub batch_window: usize,
-    /// Sleep between sweeps that made no progress (bounds busy-poll
-    /// CPU; keep small — it is the idle-path latency floor).
+    /// Floor of the idle-backoff ladder: the first sleep after a sweep
+    /// that made no progress. Keep small — it is the idle-path latency
+    /// floor.
     pub idle_sleep: Duration,
-    /// Drop a connection silent for longer than this (`None` waits
-    /// forever). Reclaims sessions of clients that vanished without a
-    /// `Disconnect`.
+    /// Ceiling of the idle-backoff ladder: consecutive idle sweeps
+    /// double the sleep up to this bound, so a quiet server does not
+    /// busy-spin at the floor cadence forever. Any readiness snaps the
+    /// ladder back to `idle_sleep`.
+    pub max_idle_sleep: Duration,
+    /// Evict a connection silent for longer than this (`None` waits
+    /// forever). The evicted client gets a best-effort
+    /// [`ServerMessage::Evicted`] notice and its session is handed to
+    /// [`MessageHandler::connection_lost`] — under `MenosServer` that
+    /// quarantines it for later resumption rather than dropping it.
     pub io_timeout: Option<Duration>,
+    /// How long a quarantined (disconnected but resumable) session may
+    /// sit idle before [`MessageHandler::expire_idle`] reaps it
+    /// (`None` keeps parked sessions forever).
+    pub max_session_idle: Option<Duration>,
 }
 
 impl Default for EventLoopOptions {
@@ -203,8 +215,57 @@ impl Default for EventLoopOptions {
             max_clients: usize::MAX,
             batch_window: 32,
             idle_sleep: Duration::from_micros(200),
+            max_idle_sleep: Duration::from_millis(2),
             io_timeout: None,
+            max_session_idle: None,
         }
+    }
+}
+
+/// The sweep loop's adaptive idle backoff: a sleep ladder that starts
+/// at a floor, doubles on every consecutive idle sweep up to a
+/// ceiling, and snaps back to the floor the moment any sweep makes
+/// progress.
+///
+/// This replaces a fixed idle sleep, which forced a hard choice
+/// between busy-polling a quiet server (floor too low) and adding
+/// latency to every lock-step round-trip (floor too high): under load
+/// the ladder never leaves the floor, and a quiet server climbs to the
+/// ceiling within a handful of sweeps.
+#[derive(Debug, Clone, Copy)]
+pub struct IdleBackoff {
+    floor: Duration,
+    ceil: Duration,
+    current: Duration,
+}
+
+impl IdleBackoff {
+    /// Builds a ladder over `[floor, ceil]` (a ceiling below the floor
+    /// is clamped up to it), starting at the floor.
+    pub fn new(floor: Duration, ceil: Duration) -> Self {
+        let ceil = ceil.max(floor);
+        IdleBackoff {
+            floor,
+            ceil,
+            current: floor,
+        }
+    }
+
+    /// The sleep the next idle sweep would take.
+    pub fn current(&self) -> Duration {
+        self.current
+    }
+
+    /// Snaps back to the floor — call on any readiness.
+    pub fn reset(&mut self) {
+        self.current = self.floor;
+    }
+
+    /// Returns the sleep for this idle sweep and climbs one rung.
+    pub fn next_sleep(&mut self) -> Duration {
+        let sleep = self.current;
+        self.current = (self.current * 2).min(self.ceil);
+        sleep
     }
 }
 
@@ -225,6 +286,12 @@ pub struct EventLoopStats {
     pub max_batch: usize,
     /// Readiness sweeps executed.
     pub sweeps: u64,
+    /// Connections evicted for exceeding the client timeout.
+    pub evicted: u64,
+    /// Sessions successfully re-attached via `Resume`.
+    pub resumed: u64,
+    /// Quarantined sessions reaped by the idle TTL.
+    pub expired: u64,
 }
 
 // ----------------------------------------------------------------------
@@ -291,19 +358,32 @@ impl<L: EventListener, H: BatchHandler> ServerEventLoop<L, H> {
         let mut pending: Vec<(u64, ClientMessage)> = Vec::new();
         let mut ready: Vec<ClientMessage> = Vec::new();
 
-        // Drops a connection and reclaims its session, leaving every
-        // other client untouched — the event-loop analogue of
-        // `serve_loop`'s error path.
+        let mut backoff = IdleBackoff::new(options.idle_sleep, options.max_idle_sleep);
+        let mut last_expiry_check = Instant::now();
+
+        // Drops a connection and hands its session to the handler's
+        // lost-connection path, leaving every other client untouched —
+        // the event-loop analogue of `serve_loop`'s error path. Under
+        // `MenosServer` the session is quarantined for resumption; the
+        // default hook synthesizes a `Disconnect`, preserving the old
+        // reclaim-on-error behaviour for plain handlers.
+        //
+        // Staged-but-undispatched messages from the dead connection are
+        // purged with it: dispatching them later would advance the
+        // session behind the client's back — fatal once the client
+        // resumes and redoes the step the server already half-ran.
         fn fail_conn<C, H: BatchHandler>(
             conns: &mut BTreeMap<u64, ConnState<C>>,
             handler: &mut H,
             stats: &mut EventLoopStats,
+            pending: &mut Vec<(u64, ClientMessage)>,
             key: u64,
         ) {
             if let Some(state) = conns.remove(&key) {
                 stats.conn_errors += 1;
+                pending.retain(|(k, _)| *k != key);
                 if let Some(client) = state.client {
-                    let _ = handler.handle(ClientMessage::Disconnect { client });
+                    handler.connection_lost(client);
                 }
             }
         }
@@ -313,9 +393,18 @@ impl<L: EventListener, H: BatchHandler> ServerEventLoop<L, H> {
             let mut progress = false;
 
             if shutdown.load(Ordering::Relaxed) {
-                for (_, state) in std::mem::take(&mut conns) {
+                for (_, mut state) in std::mem::take(&mut conns) {
                     if let Some(client) = state.client {
-                        let _ = handler.handle(ClientMessage::Disconnect { client });
+                        // Best-effort courtesy notice; the session is
+                        // parked (or reclaimed) regardless.
+                        let notice = ServerMessage::Evicted {
+                            client,
+                            code: EvictionCode::Shutdown,
+                        };
+                        if state.conn.queue(&notice).is_ok() {
+                            let _ = state.conn.flush();
+                        }
+                        handler.connection_lost(client);
                     }
                 }
                 break;
@@ -357,7 +446,7 @@ impl<L: EventListener, H: BatchHandler> ServerEventLoop<L, H> {
                     state.conn.poll_recv(&mut ready)
                 };
                 if let Err(_e) = recv {
-                    fail_conn(&mut conns, &mut handler, &mut stats, key);
+                    fail_conn(&mut conns, &mut handler, &mut stats, &mut pending, key);
                     continue;
                 }
                 if !ready.is_empty() {
@@ -368,26 +457,57 @@ impl<L: EventListener, H: BatchHandler> ServerEventLoop<L, H> {
                 }
                 for msg in ready.drain(..) {
                     match msg {
-                        msg @ ClientMessage::Connect { .. } => {
+                        msg @ (ClientMessage::Connect { .. } | ClientMessage::Resume { .. }) => {
                             let client = msg.client();
+                            let is_resume = matches!(msg, ClientMessage::Resume { .. });
                             match handler.handle(msg) {
                                 Ok(reply) => {
                                     let state =
                                         conns.get_mut(&key).expect("conn alive during connect");
                                     state.client = Some(client);
+                                    if is_resume {
+                                        stats.resumed += 1;
+                                    }
                                     if let Some(reply) = reply {
                                         if state.conn.queue(&reply).is_err() {
-                                            fail_conn(&mut conns, &mut handler, &mut stats, key);
+                                            fail_conn(
+                                                &mut conns,
+                                                &mut handler,
+                                                &mut stats,
+                                                &mut pending,
+                                                key,
+                                            );
                                             break;
                                         }
                                     }
                                 }
-                                Err(_e) => {
-                                    // Rejected (validation/admission):
+                                Err(e) => {
+                                    // A resume for state the TTL already
+                                    // reaped gets a courtesy notice so the
+                                    // client stops retrying.
+                                    if is_resume && matches!(e, ProtocolError::UnknownClient(_)) {
+                                        if let Some(state) = conns.get_mut(&key) {
+                                            let notice = ServerMessage::Evicted {
+                                                client,
+                                                code: EvictionCode::IdleExpired,
+                                            };
+                                            if state.conn.queue(&notice).is_ok() {
+                                                let _ = state.conn.flush();
+                                            }
+                                        }
+                                    }
+                                    // Rejected (validation/admission,
+                                    // stale epoch, live session):
                                     // drop the connection; the peer
                                     // observes a disconnect, same as
                                     // the blocking pump.
-                                    fail_conn(&mut conns, &mut handler, &mut stats, key);
+                                    fail_conn(
+                                        &mut conns,
+                                        &mut handler,
+                                        &mut stats,
+                                        &mut pending,
+                                        key,
+                                    );
                                     break;
                                 }
                             }
@@ -433,12 +553,12 @@ impl<L: EventListener, H: BatchHandler> ServerEventLoop<L, H> {
                                 None => continue,
                             };
                             if !alive {
-                                fail_conn(&mut conns, &mut handler, &mut stats, key);
+                                fail_conn(&mut conns, &mut handler, &mut stats, &mut pending, key);
                             }
                         }
                         Ok(None) => {}
                         Err(_e) => {
-                            fail_conn(&mut conns, &mut handler, &mut stats, key);
+                            fail_conn(&mut conns, &mut handler, &mut stats, &mut pending, key);
                         }
                     }
                 }
@@ -456,7 +576,7 @@ impl<L: EventListener, H: BatchHandler> ServerEventLoop<L, H> {
                             }
                         }
                         Err(_e) => {
-                            fail_conn(&mut conns, &mut handler, &mut stats, key);
+                            fail_conn(&mut conns, &mut handler, &mut stats, &mut pending, key);
                             continue;
                         }
                     }
@@ -464,8 +584,31 @@ impl<L: EventListener, H: BatchHandler> ServerEventLoop<L, H> {
                 if let Some(limit) = options.io_timeout {
                     let state = conns.get_mut(&key).expect("timeout key exists");
                     if state.last_activity.elapsed() > limit {
-                        fail_conn(&mut conns, &mut handler, &mut stats, key);
+                        // Best-effort eviction notice before the drop;
+                        // the session is quarantined via fail_conn.
+                        if let Some(client) = state.client {
+                            let notice = ServerMessage::Evicted {
+                                client,
+                                code: EvictionCode::Timeout,
+                            };
+                            if state.conn.queue(&notice).is_ok() {
+                                let _ = state.conn.flush();
+                            }
+                        }
+                        stats.evicted += 1;
+                        fail_conn(&mut conns, &mut handler, &mut stats, &mut pending, key);
                     }
+                }
+            }
+
+            // Phase 5: reap quarantined sessions past the idle TTL.
+            // Checked on a coarse cadence — expiry precision does not
+            // need sweep-frequency polling.
+            if let Some(ttl) = options.max_session_idle {
+                let cadence = (ttl / 4).clamp(Duration::from_millis(1), Duration::from_millis(100));
+                if last_expiry_check.elapsed() >= cadence {
+                    last_expiry_check = Instant::now();
+                    stats.expired += handler.expire_idle(ttl).len() as u64;
                 }
             }
 
@@ -475,8 +618,10 @@ impl<L: EventListener, H: BatchHandler> ServerEventLoop<L, H> {
             {
                 break;
             }
-            if !progress {
-                std::thread::sleep(options.idle_sleep);
+            if progress {
+                backoff.reset();
+            } else {
+                std::thread::sleep(backoff.next_sleep());
             }
         }
         (handler, stats)
@@ -729,6 +874,37 @@ mod tests {
         stop.store(true, Ordering::Relaxed);
         let (_handler, stats) = server.join().expect("loop thread");
         assert_eq!(stats.accepted, 0);
+    }
+
+    #[test]
+    fn idle_backoff_climbs_to_the_ceiling_and_resets_under_load() {
+        let floor = Duration::from_micros(200);
+        let ceil = Duration::from_millis(2);
+        let mut b = IdleBackoff::new(floor, ceil);
+        // Idle sweeps double the sleep: 200µs, 400µs, 800µs, 1.6ms,
+        // then clamp at the 2ms ceiling.
+        let ladder: Vec<Duration> = (0..6).map(|_| b.next_sleep()).collect();
+        assert_eq!(
+            ladder,
+            vec![
+                Duration::from_micros(200),
+                Duration::from_micros(400),
+                Duration::from_micros(800),
+                Duration::from_micros(1600),
+                Duration::from_millis(2),
+                Duration::from_millis(2),
+            ]
+        );
+        assert_eq!(b.current(), ceil);
+        // Any readiness snaps back to the floor — a loaded loop never
+        // pays more than the floor latency.
+        b.reset();
+        assert_eq!(b.current(), floor);
+        assert_eq!(b.next_sleep(), floor);
+        // A ceiling below the floor is clamped up, never inverting.
+        let mut odd = IdleBackoff::new(Duration::from_millis(5), Duration::from_millis(1));
+        assert_eq!(odd.next_sleep(), Duration::from_millis(5));
+        assert_eq!(odd.current(), Duration::from_millis(5));
     }
 
     #[test]

@@ -6,6 +6,13 @@
 //! handler) without sockets, so protocol-robustness tests are
 //! deterministic and instant.
 //!
+//! The blocking pump is only half the story: the nonblocking
+//! equivalent is [`ChaosListener`](crate::ChaosListener), which wraps
+//! an event-loop listener and injects seed-scripted kills and delays
+//! into live connections — same philosophy (deterministic faults,
+//! typed errors, nothing random at runtime), applied to the
+//! [`ServerEventLoop`](crate::ServerEventLoop) path.
+//!
 //! [`serve_loop`]: crate::protocol::serve_loop
 
 use std::collections::VecDeque;

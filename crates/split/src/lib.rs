@@ -51,6 +51,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod chaos;
 mod client;
 mod codec;
 mod driver;
@@ -58,10 +59,12 @@ mod event_loop;
 mod fault;
 mod message;
 mod protocol;
+mod retry;
 mod server;
 mod spec;
 mod tcp;
 
+pub use chaos::{ChaosConn, ChaosListener, ChaosOptions};
 pub use client::SplitClient;
 pub use codec::{
     decode_client_message, decode_server_message, encode_client_message, encode_server_message,
@@ -72,17 +75,19 @@ pub use driver::{
 };
 pub use event_loop::{
     event_channel_listener, event_sim_listener, BatchHandler, ChannelDialer, EventConn,
-    EventListener, EventLoopOptions, EventLoopStats, QueueListener, ServerEventLoop, SimDialer,
+    EventListener, EventLoopOptions, EventLoopStats, IdleBackoff, QueueListener, ServerEventLoop,
+    SimDialer,
 };
 pub use fault::FaultTransport;
-pub use message::{activation_wire_bytes, ClientId, ClientMessage, ServerMessage};
+pub use message::{activation_wire_bytes, ClientId, ClientMessage, EvictionCode, ServerMessage};
 pub use protocol::{
     channel_pair, dispatch_session, drive_client, serve_loop, sim_pair, ChannelTransport,
     MessageHandler, ProtocolError, SessionHandler, SimTransport, Transport, WireMessage,
 };
+pub use retry::{drive_client_resumable, RetryPolicy};
 pub use server::ServerSession;
 pub use spec::SplitSpec;
 pub use tcp::{
-    run_tcp_client, TcpEventConn, TcpEventListener, TcpEventServer, TcpOptions, TcpSplitServer,
-    TcpTransport,
+    run_tcp_client, run_tcp_client_resumable, TcpEventConn, TcpEventListener, TcpEventServer,
+    TcpOptions, TcpSplitServer, TcpTransport,
 };

@@ -18,6 +18,38 @@ impl std::fmt::Display for ClientId {
     }
 }
 
+/// Why the server closed a session (carried by
+/// [`ServerMessage::Evicted`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum EvictionCode {
+    /// The connection was silent past the server's client timeout; the
+    /// session is quarantined and resumable.
+    Timeout = 1,
+    /// The quarantined session sat idle past `max_session_idle` and was
+    /// expired; its state is gone and a `Resume` cannot succeed.
+    IdleExpired = 2,
+    /// The server is shutting down.
+    Shutdown = 3,
+}
+
+impl EvictionCode {
+    /// The close-code byte on the wire.
+    pub fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// Parses a wire close-code byte.
+    pub fn from_code(code: u8) -> Option<EvictionCode> {
+        match code {
+            1 => Some(EvictionCode::Timeout),
+            2 => Some(EvictionCode::IdleExpired),
+            3 => Some(EvictionCode::Shutdown),
+            _ => None,
+        }
+    }
+}
+
 /// Messages a client sends to the server.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ClientMessage {
@@ -30,6 +62,24 @@ pub enum ClientMessage {
         ft: FineTuneConfig,
         /// Where the model is cut.
         split: SplitSpec,
+        /// Session epoch the client proposes (fresh sessions start at
+        /// 1; each successful resume bumps it). v1.0 peers omit the
+        /// field and decode as epoch 0, which the server treats as 1.
+        epoch: u64,
+    },
+    /// A reconnecting client asks to re-attach to its quarantined
+    /// session and continue from where training stopped.
+    Resume {
+        /// The returning client.
+        client: ClientId,
+        /// The epoch of the session being resumed; must match the
+        /// quarantined session's epoch or the server rejects the
+        /// resume as stale.
+        epoch: u64,
+        /// Optimization steps the client has fully completed — lets
+        /// the server detect (and replay) a reply the client never
+        /// received.
+        last_step: u64,
     },
     /// Intermediate activations `x_c` — the server's forward input
     /// (protocol step 1).
@@ -78,6 +128,31 @@ pub enum ServerMessage {
         /// Encoded gradient tensor.
         frame: Bytes,
     },
+    /// The server re-attached the client to its quarantined session.
+    Resumed {
+        /// Addressee.
+        client: ClientId,
+        /// The session's new epoch (old epoch + 1); the client carries
+        /// it in any later `Resume`.
+        epoch: u64,
+        /// Optimization steps the server session has completed. Equal
+        /// to the client's `last_step`, or one ahead when the server
+        /// processed a `Gradients` whose reply the client never saw.
+        server_step: u64,
+        /// When the server is one step ahead: the full encoded
+        /// `ServerGradients` frame the client missed, replayed inside
+        /// the handshake so the lock-step one-reply-per-message
+        /// contract holds on every pump. Empty otherwise.
+        replay: Bytes,
+    },
+    /// The server evicted the client's connection (best-effort notice;
+    /// the connection closes right after).
+    Evicted {
+        /// Addressee.
+        client: ClientId,
+        /// Why the session was closed.
+        code: EvictionCode,
+    },
 }
 
 /// Size of a small control frame on the wire.
@@ -89,7 +164,9 @@ impl ClientMessage {
     /// nominal size.
     pub fn wire_bytes(&self) -> u64 {
         match self {
-            ClientMessage::Connect { .. } | ClientMessage::Disconnect { .. } => CONTROL_BYTES,
+            ClientMessage::Connect { .. }
+            | ClientMessage::Resume { .. }
+            | ClientMessage::Disconnect { .. } => CONTROL_BYTES,
             ClientMessage::Activations { frame, .. } | ClientMessage::Gradients { frame, .. } => {
                 FRAME_HEADER_BYTES + frame.len() as u64
             }
@@ -100,6 +177,7 @@ impl ClientMessage {
     pub fn client(&self) -> ClientId {
         match self {
             ClientMessage::Connect { client, .. }
+            | ClientMessage::Resume { client, .. }
             | ClientMessage::Activations { client, .. }
             | ClientMessage::Gradients { client, .. }
             | ClientMessage::Disconnect { client } => *client,
@@ -113,11 +191,12 @@ impl ServerMessage {
     /// nominal size.
     pub fn wire_bytes(&self) -> u64 {
         match self {
-            ServerMessage::Ready { .. } => CONTROL_BYTES,
+            ServerMessage::Ready { .. } | ServerMessage::Evicted { .. } => CONTROL_BYTES,
             ServerMessage::ServerActivations { frame, .. }
             | ServerMessage::ServerGradients { frame, .. } => {
                 FRAME_HEADER_BYTES + frame.len() as u64
             }
+            ServerMessage::Resumed { replay, .. } => CONTROL_BYTES + replay.len() as u64,
         }
     }
 
@@ -126,7 +205,9 @@ impl ServerMessage {
         match self {
             ServerMessage::Ready { client }
             | ServerMessage::ServerActivations { client, .. }
-            | ServerMessage::ServerGradients { client, .. } => *client,
+            | ServerMessage::ServerGradients { client, .. }
+            | ServerMessage::Resumed { client, .. }
+            | ServerMessage::Evicted { client, .. } => *client,
         }
     }
 }
@@ -161,8 +242,16 @@ mod tests {
             client: ClientId(2),
             ft: menos_adapters::FineTuneConfig::paper(&cfg),
             split: SplitSpec::paper(),
+            epoch: 1,
         };
         assert_eq!(connect.wire_bytes(), 256);
+        let resume = ClientMessage::Resume {
+            client: ClientId(2),
+            epoch: 1,
+            last_step: 9,
+        };
+        assert_eq!(resume.wire_bytes(), 256);
+        assert_eq!(resume.client(), ClientId(2));
     }
 
     #[test]
@@ -202,5 +291,24 @@ mod tests {
     #[test]
     fn client_id_display() {
         assert_eq!(ClientId(7).to_string(), "client-7");
+    }
+
+    #[test]
+    fn eviction_codes_round_trip() {
+        for code in [
+            EvictionCode::Timeout,
+            EvictionCode::IdleExpired,
+            EvictionCode::Shutdown,
+        ] {
+            assert_eq!(EvictionCode::from_code(code.code()), Some(code));
+        }
+        assert_eq!(EvictionCode::from_code(0), None);
+        assert_eq!(EvictionCode::from_code(9), None);
+        let evicted = ServerMessage::Evicted {
+            client: ClientId(3),
+            code: EvictionCode::Timeout,
+        };
+        assert_eq!(evicted.wire_bytes(), 256);
+        assert_eq!(evicted.client(), ClientId(3));
     }
 }

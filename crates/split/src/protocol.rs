@@ -64,6 +64,22 @@ pub enum ProtocolError {
     /// The peer sent a well-formed message of the wrong type for the
     /// current protocol step.
     Unexpected(String),
+    /// A `Resume` carried an epoch that does not match the quarantined
+    /// session — a stale connection from before the last successful
+    /// resume. Not retryable.
+    StaleEpoch {
+        /// The resuming client.
+        client: ClientId,
+        /// The epoch the quarantined session is at.
+        expected: u64,
+        /// The epoch the resume carried.
+        got: u64,
+    },
+    /// A `Resume` arrived while the session's previous connection is
+    /// still live — the server has not yet observed its death.
+    /// Retryable: back off and resume again once the server reclaims
+    /// the old connection.
+    SessionActive(ClientId),
 }
 
 impl std::fmt::Display for ProtocolError {
@@ -77,6 +93,17 @@ impl std::fmt::Display for ProtocolError {
             ProtocolError::OutOfOrder(m) => write!(f, "protocol order violated: {m}"),
             ProtocolError::Rejected(m) => write!(f, "client rejected: {m}"),
             ProtocolError::Unexpected(m) => write!(f, "unexpected message: {m}"),
+            ProtocolError::StaleEpoch {
+                client,
+                expected,
+                got,
+            } => write!(
+                f,
+                "stale resume for {client}: session is at epoch {expected}, resume carried {got}"
+            ),
+            ProtocolError::SessionActive(c) => {
+                write!(f, "{c} still has a live connection; resume later")
+            }
         }
     }
 }
@@ -377,6 +404,26 @@ pub trait MessageHandler {
     /// [`ProtocolError`] scoped to the offending client; handler state
     /// for other clients must be unaffected.
     fn handle(&mut self, msg: ClientMessage) -> Result<Option<ServerMessage>, ProtocolError>;
+
+    /// The pump lost `client`'s connection without a clean
+    /// `Disconnect` — a transport fault, a deadline, or an eviction.
+    ///
+    /// The default synthesizes a `Disconnect`, reclaiming the session
+    /// outright (the pre-lifecycle behaviour). Handlers that support
+    /// reconnection override this to *quarantine* the session instead:
+    /// its memory reservations are released, but adapter and optimizer
+    /// state is parked for a `Resume`.
+    fn connection_lost(&mut self, client: ClientId) {
+        let _ = self.handle(ClientMessage::Disconnect { client });
+    }
+
+    /// Drops quarantined sessions idle for longer than `max_idle`,
+    /// returning the expired clients. Handlers without a quarantine
+    /// have nothing to expire.
+    fn expire_idle(&mut self, max_idle: Duration) -> Vec<ClientId> {
+        let _ = max_idle;
+        Vec::new()
+    }
 }
 
 /// Shared handlers: connection threads hand `Arc<Mutex<H>>` around and
@@ -386,6 +433,19 @@ impl<H: MessageHandler> MessageHandler for Arc<Mutex<H>> {
         self.lock()
             .map_err(|_| ProtocolError::Unexpected("handler lock poisoned".into()))?
             .handle(msg)
+    }
+
+    fn connection_lost(&mut self, client: ClientId) {
+        if let Ok(mut h) = self.lock() {
+            h.connection_lost(client);
+        }
+    }
+
+    fn expire_idle(&mut self, max_idle: Duration) -> Vec<ClientId> {
+        match self.lock() {
+            Ok(mut h) => h.expire_idle(max_idle),
+            Err(_) => Vec::new(),
+        }
     }
 }
 
@@ -433,9 +493,11 @@ pub fn dispatch_session(
                 frame: encode_tensor(&g_s),
             })
         }
-        ClientMessage::Connect { .. } | ClientMessage::Disconnect { .. } => Err(
-            ProtocolError::OutOfOrder("control message routed to a bound session".into()),
-        ),
+        ClientMessage::Connect { .. }
+        | ClientMessage::Resume { .. }
+        | ClientMessage::Disconnect { .. } => Err(ProtocolError::OutOfOrder(
+            "control message routed to a bound session".into(),
+        )),
     }
 }
 
@@ -513,7 +575,7 @@ where
     let mut active: Option<ClientId> = None;
     let reclaim = |handler: &mut H, active: Option<ClientId>| {
         if let Some(client) = active {
-            let _ = handler.handle(ClientMessage::Disconnect { client });
+            handler.connection_lost(client);
         }
     };
     loop {
@@ -525,7 +587,12 @@ where
             }
         };
         let client = msg.client();
-        let is_connect = matches!(msg, ClientMessage::Connect { .. });
+        // Resume binds the session to this connection exactly like
+        // Connect: a later fault must re-quarantine it.
+        let is_connect = matches!(
+            msg,
+            ClientMessage::Connect { .. } | ClientMessage::Resume { .. }
+        );
         let is_disconnect = matches!(msg, ClientMessage::Disconnect { .. });
         let reply = match handler.handle(msg) {
             Ok(reply) => reply,
@@ -571,6 +638,7 @@ where
         client: id,
         ft: client.ft_config().clone(),
         split: client.split(),
+        epoch: client.epoch(),
     })?;
     match transport.recv()? {
         ServerMessage::Ready { .. } => {}
@@ -616,11 +684,13 @@ where
     Ok(client.curve().clone())
 }
 
-fn kind_name(msg: &ServerMessage) -> &'static str {
+pub(crate) fn kind_name(msg: &ServerMessage) -> &'static str {
     match msg {
         ServerMessage::Ready { .. } => "Ready",
         ServerMessage::ServerActivations { .. } => "ServerActivations",
         ServerMessage::ServerGradients { .. } => "ServerGradients",
+        ServerMessage::Resumed { .. } => "Resumed",
+        ServerMessage::Evicted { .. } => "Evicted",
     }
 }
 
@@ -744,6 +814,15 @@ mod tests {
         assert!(ProtocolError::UnknownClient(ClientId(4))
             .to_string()
             .contains("client-4"));
+        let stale = ProtocolError::StaleEpoch {
+            client: ClientId(4),
+            expected: 2,
+            got: 1,
+        };
+        assert!(stale.to_string().contains("epoch 2"), "{stale}");
+        assert!(ProtocolError::SessionActive(ClientId(4))
+            .to_string()
+            .contains("live connection"));
     }
 
     #[test]

@@ -1,0 +1,315 @@
+//! Client-side fault tolerance: capped exponential backoff with
+//! deterministic jitter, and the resumable protocol driver.
+//!
+//! [`drive_client`](crate::drive_client) treats any transport fault as
+//! fatal. [`drive_client_resumable`] treats the retryable ones —
+//! timeouts, disconnects, I/O faults — as interruptions: it drops the
+//! dead connection, backs off per a [`RetryPolicy`], redials, and
+//! re-attaches to its quarantined server session with the v1.1
+//! `Resume` handshake (PROTOCOL.md §6). The two reconcilable positions
+//! map onto client actions directly:
+//!
+//! * server at the client's step — abort the in-flight step and redo
+//!   it (deterministic: batches key on the step index and the
+//!   optimizer only advances on completed steps);
+//! * server one step ahead — the gradient reply was lost in flight;
+//!   apply the copy the server re-delivers inside `Resumed`.
+//!
+//! Everything else — stale epochs, expired quarantine (`Evicted`),
+//! validation rejects — is terminal and surfaces as the typed error.
+
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+
+use menos_data::LossCurve;
+use menos_net::{decode_tensor, encode_tensor, DEFAULT_MAX_FRAME};
+use menos_sim::{jitter_factor, seeded_rng};
+
+use crate::client::SplitClient;
+use crate::codec::decode_server_message;
+use crate::message::{ClientMessage, ServerMessage};
+use crate::protocol::{kind_name, ProtocolError, Transport};
+
+/// Reconnect policy: how many times to retry, and how long to wait
+/// between attempts (capped exponential backoff with deterministic
+/// ±50% jitter).
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Consecutive failed attempts tolerated before giving up. The
+    /// budget refills on every successful handshake, so a long run
+    /// survives many *separate* faults as long as each is overcome
+    /// within `retries` attempts.
+    pub retries: u32,
+    /// Backoff before the first retry; doubles per consecutive
+    /// failure.
+    pub backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+    /// Seed for the jitter stream (decorrelates clients retrying after
+    /// a shared fault, deterministically).
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            retries: 5,
+            backoff: Duration::from_millis(50),
+            max_backoff: Duration::from_secs(2),
+            seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries — [`drive_client_resumable`]
+    /// degrades to single-shot semantics.
+    pub fn none() -> Self {
+        RetryPolicy {
+            retries: 0,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// Whether an error is worth retrying: transient transport faults
+    /// are; protocol rejections and state-machine violations are not.
+    pub fn retryable(e: &ProtocolError) -> bool {
+        matches!(
+            e,
+            ProtocolError::Timeout
+                | ProtocolError::Disconnected
+                | ProtocolError::Io(_)
+                | ProtocolError::SessionActive(_)
+        )
+    }
+
+    /// The sleep before retry number `attempt` (0-based): base backoff
+    /// doubled per attempt, capped, jittered ±50%.
+    pub fn delay(&self, attempt: u32, rng: &mut StdRng) -> Duration {
+        let factor = 1u32.checked_shl(attempt).unwrap_or(u32::MAX);
+        let base = self
+            .backoff
+            .checked_mul(factor)
+            .unwrap_or(self.max_backoff)
+            .min(self.max_backoff);
+        base.mul_f64(jitter_factor(rng, 0.5))
+    }
+}
+
+/// Drives `steps` additional training steps like
+/// [`drive_client`](crate::drive_client), but survives transient
+/// transport faults: on a retryable error the connection is dropped,
+/// the policy's backoff elapses, `connect` mints a fresh transport,
+/// and the `Resume` handshake re-attaches the quarantined session.
+///
+/// `connect` is called once per connection attempt (including the
+/// first); for TCP it is a redial, for in-memory transports a fresh
+/// dial on the server's listener queue.
+///
+/// # Errors
+///
+/// The first non-retryable [`ProtocolError`], or the last error once
+/// the retry budget is exhausted. The client's local state is
+/// consistent up to its last completed step either way.
+pub fn drive_client_resumable<T, F>(
+    client: &mut SplitClient,
+    mut connect: F,
+    steps: usize,
+    policy: &RetryPolicy,
+) -> Result<LossCurve, ProtocolError>
+where
+    T: Transport<Tx = ClientMessage, Rx = ServerMessage>,
+    F: FnMut() -> Result<T, ProtocolError>,
+{
+    let target = client.steps_completed() + steps;
+    let mut rng = seeded_rng(policy.seed, &format!("retry-{}", client.id()));
+    let mut established = false;
+    let mut attempt: u32 = 0;
+
+    loop {
+        let result = connect().and_then(|mut transport| {
+            handshake(client, &mut transport, &mut established)?;
+            // A completed handshake is progress: refill the budget.
+            attempt = 0;
+            while client.steps_completed() < target {
+                run_one_step(client, &mut transport)?;
+            }
+            transport.send(&ClientMessage::Disconnect {
+                client: client.id(),
+            })
+        });
+        match result {
+            Ok(()) => return Ok(client.curve().clone()),
+            Err(e) => {
+                // The transport was dropped above, so the server sees
+                // EOF and quarantines the session before we redial.
+                if !RetryPolicy::retryable(&e) || attempt >= policy.retries {
+                    return Err(e);
+                }
+                std::thread::sleep(policy.delay(attempt, &mut rng));
+                attempt += 1;
+            }
+        }
+    }
+}
+
+/// Runs the connection handshake: `Connect`/`Ready` the first time,
+/// `Resume`/`Resumed` with step reconciliation on every reconnect.
+fn handshake<T>(
+    client: &mut SplitClient,
+    transport: &mut T,
+    established: &mut bool,
+) -> Result<(), ProtocolError>
+where
+    T: Transport<Tx = ClientMessage, Rx = ServerMessage>,
+{
+    let id = client.id();
+    if !*established {
+        transport.send(&ClientMessage::Connect {
+            client: id,
+            ft: client.ft_config().clone(),
+            split: client.split(),
+            epoch: client.epoch(),
+        })?;
+        match transport.recv()? {
+            ServerMessage::Ready { .. } => {
+                *established = true;
+                Ok(())
+            }
+            other => Err(unexpected("Ready", &other)),
+        }
+    } else {
+        let last_step = client.steps_completed() as u64;
+        transport.send(&ClientMessage::Resume {
+            client: id,
+            epoch: client.epoch(),
+            last_step,
+        })?;
+        match transport.recv()? {
+            ServerMessage::Resumed {
+                epoch,
+                server_step,
+                replay,
+                ..
+            } => {
+                client.set_epoch(epoch);
+                if server_step == last_step + 1 {
+                    // The server finished the step but its reply was
+                    // lost; apply the re-delivered copy.
+                    if !client.awaiting_gradients() {
+                        return Err(ProtocolError::Unexpected(
+                            "server replayed a step the client never finished sending".into(),
+                        ));
+                    }
+                    let replayed = decode_server_message(&replay, DEFAULT_MAX_FRAME)?;
+                    match replayed {
+                        ServerMessage::ServerGradients { frame, .. } => {
+                            let g_s = decode_tensor(&frame)?;
+                            client.receive_server_gradients(&g_s);
+                        }
+                        other => return Err(unexpected("replayed ServerGradients", &other)),
+                    }
+                } else {
+                    // Same step on both sides: redo the aborted
+                    // in-flight step (if any) from scratch.
+                    client.abort_step();
+                }
+                Ok(())
+            }
+            ServerMessage::Evicted { code, .. } => Err(ProtocolError::Rejected(format!(
+                "session evicted ({code:?}); resume impossible"
+            ))),
+            other => Err(unexpected("Resumed", &other)),
+        }
+    }
+}
+
+/// One four-step protocol iteration — the loop body of
+/// [`drive_client`](crate::drive_client), factored so the resumable
+/// driver can restart it cleanly.
+fn run_one_step<T>(client: &mut SplitClient, transport: &mut T) -> Result<(), ProtocolError>
+where
+    T: Transport<Tx = ClientMessage, Rx = ServerMessage>,
+{
+    let id = client.id();
+    let x_c = client.start_step();
+    transport.send(&ClientMessage::Activations {
+        client: id,
+        frame: encode_tensor(&x_c),
+    })?;
+    let x_s = match transport.recv()? {
+        ServerMessage::ServerActivations { frame, .. } => decode_tensor(&frame)?,
+        other => return Err(unexpected("ServerActivations", &other)),
+    };
+    let (_loss, g_c) = client.receive_server_activations(&x_s);
+    transport.send(&ClientMessage::Gradients {
+        client: id,
+        frame: encode_tensor(&g_c),
+    })?;
+    let g_s = match transport.recv()? {
+        ServerMessage::ServerGradients { frame, .. } => decode_tensor(&frame)?,
+        other => return Err(unexpected("ServerGradients", &other)),
+    };
+    client.receive_server_gradients(&g_s);
+    Ok(())
+}
+
+fn unexpected(wanted: &str, got: &ServerMessage) -> ProtocolError {
+    ProtocolError::Unexpected(format!("expected {wanted}, got {}", kind_name(got)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retryable_classification() {
+        assert!(RetryPolicy::retryable(&ProtocolError::Timeout));
+        assert!(RetryPolicy::retryable(&ProtocolError::Disconnected));
+        assert!(RetryPolicy::retryable(&ProtocolError::Io(
+            std::io::Error::other("x")
+        )));
+        assert!(RetryPolicy::retryable(&ProtocolError::SessionActive(
+            crate::ClientId(1)
+        )));
+        assert!(!RetryPolicy::retryable(&ProtocolError::Rejected(
+            "r".into()
+        )));
+        assert!(!RetryPolicy::retryable(&ProtocolError::StaleEpoch {
+            client: crate::ClientId(1),
+            expected: 2,
+            got: 1,
+        }));
+        assert!(!RetryPolicy::retryable(&ProtocolError::OutOfOrder(
+            "o".into()
+        )));
+    }
+
+    #[test]
+    fn delay_doubles_caps_and_is_deterministic() {
+        let policy = RetryPolicy {
+            retries: 8,
+            backoff: Duration::from_millis(100),
+            max_backoff: Duration::from_millis(500),
+            seed: 7,
+        };
+        let mut a = seeded_rng(7, "retry-client-0");
+        let mut b = seeded_rng(7, "retry-client-0");
+        let da: Vec<Duration> = (0..6).map(|i| policy.delay(i, &mut a)).collect();
+        let db: Vec<Duration> = (0..6).map(|i| policy.delay(i, &mut b)).collect();
+        assert_eq!(da, db, "same seed, same delays");
+        // Jitter is ±50%, so attempt i's delay lies within
+        // [base/2, 3*base/2] where base = min(100ms << i, 500ms).
+        for (i, d) in da.iter().enumerate() {
+            let base = Duration::from_millis(100)
+                .saturating_mul(1 << i)
+                .min(Duration::from_millis(500));
+            assert!(*d >= base / 2 && *d <= base * 3 / 2, "attempt {i}: {d:?}");
+        }
+        // The cap binds from attempt 3 on (800ms -> 500ms).
+        assert!(da[4] <= Duration::from_millis(750));
+        // A huge attempt index must not overflow the shift.
+        let _ = policy.delay(40, &mut a);
+    }
+}

@@ -36,10 +36,16 @@ use crate::protocol::{
 #[derive(Debug, Clone, Copy)]
 pub struct TcpOptions {
     /// Largest payload a peer may declare (frames above this are
-    /// rejected before allocation).
+    /// rejected before allocation). A *protocol* limit: both ends must
+    /// agree on it.
     pub max_frame: usize,
     /// Per-operation read/write deadline (`None` blocks forever).
     pub io_timeout: Option<Duration>,
+    /// Per-session reassembly staging cap for the nonblocking path
+    /// (`None` = header + `max_frame`). A *deployment* memory knob:
+    /// lowering it bounds what N slow-dripping sessions can pin in
+    /// server memory, independent of the protocol frame limit.
+    pub max_staged: Option<usize>,
 }
 
 impl Default for TcpOptions {
@@ -47,6 +53,7 @@ impl Default for TcpOptions {
         TcpOptions {
             max_frame: DEFAULT_MAX_FRAME,
             io_timeout: Some(Duration::from_secs(30)),
+            max_staged: None,
         }
     }
 }
@@ -249,9 +256,13 @@ impl TcpEventConn {
     pub fn from_stream(stream: TcpStream, options: TcpOptions) -> Result<Self, ProtocolError> {
         stream.set_nodelay(true)?;
         stream.set_nonblocking(true)?;
+        let mut acc = FrameAccumulator::new(options.max_frame);
+        if let Some(cap) = options.max_staged {
+            acc = acc.with_staged_cap(cap);
+        }
         Ok(TcpEventConn {
             stream,
-            acc: FrameAccumulator::new(options.max_frame),
+            acc,
             writes: WriteQueue::new(),
             max_frame: options.max_frame,
         })
@@ -420,6 +431,25 @@ pub fn run_tcp_client(
     drive_client(client, &mut transport, steps)
 }
 
+/// Fault-tolerant [`run_tcp_client`]: survives transient socket faults
+/// by redialing under `policy`'s capped backoff and re-attaching to
+/// the quarantined server session with the `Resume` handshake
+/// (PROTOCOL.md §6) — the loss curve of a faulted-and-resumed run is
+/// bit-identical to an uninterrupted one.
+///
+/// # Errors
+///
+/// The first non-retryable [`ProtocolError`], or the last error once
+/// `policy`'s retry budget is exhausted.
+pub fn run_tcp_client_resumable(
+    addr: impl ToSocketAddrs,
+    client: &mut SplitClient,
+    steps: usize,
+    policy: &crate::retry::RetryPolicy,
+) -> Result<LossCurve, ProtocolError> {
+    crate::retry::drive_client_resumable(client, || TcpTransport::connect(&addr), steps, policy)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -494,6 +524,7 @@ mod tests {
         let options = TcpOptions {
             max_frame: 1 << 20,
             io_timeout: Some(Duration::from_secs(5)),
+            max_staged: None,
         };
         let server = TcpSplitServer::spawn_with("127.0.0.1:0", handler, 1, options).expect("bind");
         let mut socket = TcpStream::connect(server.addr()).expect("connect");

@@ -10,7 +10,7 @@ use menos_models::{AdapterTarget, LoraSpec};
 use menos_net::DEFAULT_MAX_FRAME;
 use menos_split::{
     decode_client_message, decode_server_message, encode_client_message, encode_server_message,
-    ClientId, ClientMessage, ServerMessage, SplitSpec,
+    ClientId, ClientMessage, EvictionCode, ServerMessage, SplitSpec,
 };
 
 fn arb_target() -> BoxedStrategy<AdapterTarget> {
@@ -89,11 +89,12 @@ fn arb_payload() -> BoxedStrategy<Bytes> {
 fn arb_client_message() -> BoxedStrategy<ClientMessage> {
     let id = || (0u64..u64::MAX).prop_map(ClientId);
     prop_oneof![
-        (id(), arb_ft(), 1usize..12)
-            .prop_map(|(client, ft, layers)| ClientMessage::Connect {
+        (id(), arb_ft(), 1usize..12, 1u64..u64::MAX)
+            .prop_map(|(client, ft, layers, epoch)| ClientMessage::Connect {
                 client,
                 ft,
                 split: SplitSpec::new(layers),
+                epoch,
             })
             .boxed(),
         (id(), arb_payload())
@@ -102,8 +103,24 @@ fn arb_client_message() -> BoxedStrategy<ClientMessage> {
         (id(), arb_payload())
             .prop_map(|(client, frame)| ClientMessage::Gradients { client, frame })
             .boxed(),
+        (id(), 0u64..u64::MAX, 0u64..u64::MAX)
+            .prop_map(|(client, epoch, last_step)| ClientMessage::Resume {
+                client,
+                epoch,
+                last_step,
+            })
+            .boxed(),
         id().prop_map(|client| ClientMessage::Disconnect { client })
             .boxed(),
+    ]
+    .boxed()
+}
+
+fn arb_eviction_code() -> BoxedStrategy<EvictionCode> {
+    prop_oneof![
+        Just(EvictionCode::Timeout),
+        Just(EvictionCode::IdleExpired),
+        Just(EvictionCode::Shutdown),
     ]
     .boxed()
 }
@@ -118,6 +135,19 @@ fn arb_server_message() -> BoxedStrategy<ServerMessage> {
             .boxed(),
         (id(), arb_payload())
             .prop_map(|(client, frame)| ServerMessage::ServerGradients { client, frame })
+            .boxed(),
+        (id(), 0u64..u64::MAX, 0u64..u64::MAX, arb_payload())
+            .prop_map(
+                |(client, epoch, server_step, replay)| ServerMessage::Resumed {
+                    client,
+                    epoch,
+                    server_step,
+                    replay,
+                }
+            )
+            .boxed(),
+        (id(), arb_eviction_code())
+            .prop_map(|(client, code)| ServerMessage::Evicted { client, code })
             .boxed(),
     ]
     .boxed()

@@ -15,6 +15,7 @@
 //! data; the client never runs the server blocks).
 
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 use menos::adapters::FineTuneConfig;
 use menos::core::{MenosServer, ServerMode, ServerSpec};
@@ -22,15 +23,17 @@ use menos::data::{wiki_corpus, TokenDataset, Vocab};
 use menos::models::{CausalLm, ModelConfig};
 use menos::sim::seeded_rng;
 use menos::split::{
-    run_tcp_client, ClientId, EventLoopOptions, ForwardMode, SplitClient, SplitSpec,
-    TcpEventServer, TcpOptions, TcpSplitServer,
+    run_tcp_client, run_tcp_client_resumable, ClientId, EventLoopOptions, ForwardMode, RetryPolicy,
+    SplitClient, SplitSpec, TcpEventServer, TcpOptions, TcpSplitServer,
 };
 
 const USAGE: &str = "\
 usage:
   menos server [--port P] [--max-clients N] [--batch-window W] [--model-seed S]
+               [--client-timeout MS] [--max-session-idle MS]
                [--cached] [--blocking] [--threads T]
-  menos client --addr HOST:PORT [--steps N] [--seed S] [--model-seed S] [--threads T]
+  menos client --addr HOST:PORT [--steps N] [--seed S] [--model-seed S]
+               [--retries R] [--backoff-ms MS] [--threads T]
 
 options:
   --port P          listen port (default 7700)
@@ -38,6 +41,14 @@ options:
   --batch-window W  max ready clients fused into one stacked server step
                     (default 32; event-loop server only)
   --model-seed S    base-model derivation seed shared by both sides (default 21)
+  --client-timeout MS
+                    evict a connection silent for MS milliseconds; its session
+                    is quarantined for resumption (default: never; event-loop
+                    server only)
+  --max-session-idle MS
+                    drop a quarantined (disconnected but resumable) session
+                    after MS milliseconds (default: never; event-loop server
+                    only)
   --cached          serve with the vanilla cached-forward path instead of
                     Menos' no-grad + re-forward policy
   --blocking        thread-per-client blocking server instead of the
@@ -46,6 +57,10 @@ options:
   --addr A          server address to connect to
   --steps N         fine-tuning iterations to run (default 10)
   --seed S          client data/adapter seed (default 0)
+  --retries R       reconnect-and-resume up to R times per fault (default 0:
+                    fail on the first fault)
+  --backoff-ms MS   base reconnect backoff, doubled per consecutive failure
+                    with +/-50% jitter (default 50)
   --threads T       tensor-kernel worker threads (default: MENOS_THREADS env
                     var, else all cores; results are identical at any T)";
 
@@ -103,6 +118,11 @@ fn run_server(args: &[String]) {
         ForwardMode::NoGradReforward
     };
     let blocking = args.iter().any(|a| a == "--blocking");
+    let client_timeout = parse_flag(args, "--client-timeout")
+        .map(|v| Duration::from_millis(v.parse().expect("--client-timeout must be milliseconds")));
+    let max_session_idle = parse_flag(args, "--max-session-idle").map(|v| {
+        Duration::from_millis(v.parse().expect("--max-session-idle must be milliseconds"))
+    });
 
     let (_, config) = shared_model(model_seed);
     println!(
@@ -137,6 +157,8 @@ fn run_server(args: &[String]) {
             EventLoopOptions {
                 max_clients: clients,
                 batch_window,
+                io_timeout: client_timeout,
+                max_session_idle,
                 ..EventLoopOptions::default()
             },
             TcpOptions::default(),
@@ -174,6 +196,12 @@ fn run_client(args: &[String]) {
     let model_seed: u64 = parse_flag(args, "--model-seed")
         .map(|v| v.parse().expect("--model-seed must be a number"))
         .unwrap_or(21);
+    let retries: u32 = parse_flag(args, "--retries")
+        .map(|v| v.parse().expect("--retries must be a number"))
+        .unwrap_or(0);
+    let backoff_ms: u64 = parse_flag(args, "--backoff-ms")
+        .map(|v| v.parse().expect("--backoff-ms must be milliseconds"))
+        .unwrap_or(50);
 
     let (vocab, config) = shared_model(model_seed);
     // The client's PRIVATE corpus — never leaves this process; only
@@ -195,7 +223,18 @@ fn run_client(args: &[String]) {
     );
 
     println!("connecting to {addr} for {steps} split fine-tuning steps...");
-    let curve = run_tcp_client(addr.as_str(), &mut client, steps).unwrap_or_else(|e| {
+    let result = if retries > 0 {
+        let policy = RetryPolicy {
+            retries,
+            backoff: Duration::from_millis(backoff_ms),
+            seed,
+            ..RetryPolicy::default()
+        };
+        run_tcp_client_resumable(addr.as_str(), &mut client, steps, &policy)
+    } else {
+        run_tcp_client(addr.as_str(), &mut client, steps)
+    };
+    let curve = result.unwrap_or_else(|e| {
         eprintln!("training failed: {e}");
         std::process::exit(1);
     });

@@ -76,6 +76,7 @@ fn connect_msg(client: &SplitClient) -> ClientMessage {
         client: client.id(),
         ft: client.ft_config().clone(),
         split: client.split(),
+        epoch: 1,
     }
 }
 
@@ -555,6 +556,171 @@ fn one_event_loop_thread_drives_32_concurrent_clients() {
         stats.batches < stats.batched_messages,
         "every dispatch was a singleton: {stats:?}"
     );
+}
+
+/// Batched-step isolation: a client that dies mid-batch — after its
+/// activations joined a 32-wide stacked forward but before it sent
+/// gradients — is excised without perturbing the 31 survivors. Their
+/// reply frames stay byte-identical to solo dispatch, the dead session
+/// is quarantined (not leaked), and its Alg. 2 pool reservation is
+/// reclaimed once the quarantine expires.
+#[test]
+fn mid_batch_disconnect_excises_one_client_and_leaves_31_peers_bit_identical() {
+    let (text, _vocab, config, base) = setup();
+    const N: u64 = 32;
+    const VICTIM: ClientId = ClientId(13);
+
+    let solo = make_server(&config, &base);
+    let batched = make_server(&config, &base);
+    let mut solo_clients: Vec<SplitClient> = (0..N)
+        .map(|k| make_client(k, &text, &config, &base))
+        .collect();
+    let mut batch_clients: Vec<SplitClient> = (0..N)
+        .map(|k| make_client(k, &text, &config, &base))
+        .collect();
+    for client in &solo_clients {
+        solo.lock().unwrap().handle(connect_msg(client)).unwrap();
+    }
+    for client in &batch_clients {
+        batched.lock().unwrap().handle(connect_msg(client)).unwrap();
+    }
+    let full_reservation = batched.lock().unwrap().reserved_bytes();
+    assert!(full_reservation > 0, "connects reserve pool capacity");
+
+    let tensor_frame = |reply: &ServerMessage| -> bytes::Bytes {
+        match reply {
+            ServerMessage::ServerActivations { frame, .. }
+            | ServerMessage::ServerGradients { frame, .. } => frame.clone(),
+            other => panic!("unexpected reply {other:?}"),
+        }
+    };
+
+    // Solo reference: every client, including the future victim, runs
+    // the full forward alone.
+    let mut solo_xs = Vec::new();
+    for client in &mut solo_clients {
+        let x_c = client.start_step();
+        let reply = solo
+            .lock()
+            .unwrap()
+            .handle(ClientMessage::Activations {
+                client: client.id(),
+                frame: menos::net::encode_tensor(&x_c),
+            })
+            .unwrap()
+            .unwrap();
+        solo_xs.push(tensor_frame(&reply));
+    }
+
+    // Stacked forward with all 32 aboard.
+    let batch_msgs: Vec<ClientMessage> = batch_clients
+        .iter_mut()
+        .map(|client| ClientMessage::Activations {
+            client: client.id(),
+            frame: menos::net::encode_tensor(&client.start_step()),
+        })
+        .collect();
+    let mut replies = batched.lock().unwrap().handle_batch(batch_msgs);
+    replies.sort_by_key(|(client, _)| *client);
+    let batch_xs: Vec<bytes::Bytes> = replies
+        .iter()
+        .map(|(_, r)| tensor_frame(r.as_ref().unwrap().as_ref().unwrap()))
+        .collect();
+    assert_eq!(solo_xs, batch_xs, "stacked forward diverged");
+
+    // The victim's connection dies between forward and backward — the
+    // event loop reports it via `connection_lost`, which quarantines.
+    {
+        use menos::split::MessageHandler;
+        batched.lock().unwrap().connection_lost(VICTIM);
+    }
+    assert_eq!(batched.lock().unwrap().active_clients(), N as usize - 1);
+    assert_eq!(batched.lock().unwrap().quarantined_clients(), 1);
+    assert_eq!(
+        batched.lock().unwrap().reserved_bytes() + per_client_reservation(full_reservation, N),
+        full_reservation,
+        "the dead client's pool reservation is released on quarantine"
+    );
+
+    // Backward: solo reference for the 31 survivors...
+    let mut solo_gs = Vec::new();
+    for (client, x_frame) in solo_clients.iter_mut().zip(&solo_xs) {
+        let x_s = menos::net::decode_tensor(x_frame).unwrap();
+        let (_loss, g_c) = client.receive_server_activations(&x_s);
+        if client.id() == VICTIM {
+            continue;
+        }
+        let reply = solo
+            .lock()
+            .unwrap()
+            .handle(ClientMessage::Gradients {
+                client: client.id(),
+                frame: menos::net::encode_tensor(&g_c),
+            })
+            .unwrap()
+            .unwrap();
+        solo_gs.push(tensor_frame(&reply));
+    }
+
+    // ...and a stacked backward that still contains the dead client's
+    // in-flight gradients (they raced the hang-up). The batch must
+    // excise the victim with a typed error and serve everyone else.
+    let batch_msgs: Vec<ClientMessage> = batch_clients
+        .iter_mut()
+        .zip(&batch_xs)
+        .map(|(client, x_frame)| {
+            let x_s = menos::net::decode_tensor(x_frame).unwrap();
+            let (_loss, g_c) = client.receive_server_activations(&x_s);
+            ClientMessage::Gradients {
+                client: client.id(),
+                frame: menos::net::encode_tensor(&g_c),
+            }
+        })
+        .collect();
+    let mut replies = batched.lock().unwrap().handle_batch(batch_msgs);
+    replies.sort_by_key(|(client, _)| *client);
+    assert_eq!(replies.len(), N as usize);
+    let mut batch_gs = Vec::new();
+    for (client, reply) in &replies {
+        if *client == VICTIM {
+            assert!(
+                reply.is_err(),
+                "the quarantined member must be excised, got {reply:?}"
+            );
+        } else {
+            batch_gs.push(tensor_frame(reply.as_ref().unwrap().as_ref().unwrap()));
+        }
+    }
+    assert_eq!(solo_gs, batch_gs, "survivors' backward diverged");
+
+    // Survivors finish cleanly; the victim's quarantine expires; every
+    // reservation returns to the pool.
+    for client in &batch_clients {
+        if client.id() != VICTIM {
+            batched
+                .lock()
+                .unwrap()
+                .handle(ClientMessage::Disconnect {
+                    client: client.id(),
+                })
+                .unwrap();
+        }
+    }
+    let expired = batched
+        .lock()
+        .unwrap()
+        .expire_idle(Duration::from_millis(0));
+    assert_eq!(expired, vec![VICTIM]);
+    assert_eq!(batched.lock().unwrap().active_clients(), 0);
+    assert_eq!(batched.lock().unwrap().quarantined_clients(), 0);
+    assert_eq!(batched.lock().unwrap().reserved_bytes(), 0);
+}
+
+/// All clients in these tests share one `FineTuneConfig`, so the pool
+/// reservation divides evenly.
+fn per_client_reservation(total: u64, n: u64) -> u64 {
+    assert_eq!(total % n, 0, "equal configs must reserve equal shares");
+    total / n
 }
 
 #[test]
