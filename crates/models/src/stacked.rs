@@ -75,17 +75,21 @@ impl StackedAdapter {
 
 impl LinearAdapter for StackedAdapter {
     fn adjust(&self, x: &Tensor, base: &Tensor) -> Tensor {
-        let xs = x.unstack_batches(&self.spans);
-        let bases = base.unstack_batches(&self.spans);
-        let adjusted: Vec<Tensor> = self
-            .parts
-            .iter()
-            .zip(xs.iter().zip(bases.iter()))
-            .map(|(part, (x_i, base_i))| match part {
-                Some(a) => a.adjust(x_i, base_i),
-                None => base_i.clone(),
-            })
-            .collect();
+        // Bands are narrowed lazily: a pass-through band (no adapter)
+        // only narrows `base`, never `x`, so no input copy — and no
+        // autograd edge — is created for clients that don't need one.
+        // An unused narrow contributes nothing to the graph, so the
+        // result stays bit-identical to the eager unstack.
+        let mut adjusted = Vec::with_capacity(self.spans.len());
+        let mut start = 0;
+        for (part, &span) in self.parts.iter().zip(&self.spans) {
+            let base_i = base.narrow(0, start, span);
+            adjusted.push(match part {
+                Some(a) => a.adjust(&x.narrow(0, start, span), &base_i),
+                None => base_i,
+            });
+            start += span;
+        }
         Tensor::stack_batches(&adjusted)
     }
 

@@ -30,7 +30,7 @@ mod wire;
 pub use link::WanLink;
 pub use nonblocking::{FrameAccumulator, WriteQueue};
 pub use wire::{
-    decode_frame, decode_tensor, encode_frame, encode_frame_header, encode_tensor,
-    read_frame_bytes, wire_size, FrameError, WireError, DEFAULT_MAX_FRAME, FRAME_HEADER_BYTES,
-    WIRE_VERSION,
+    decode_frame, decode_frame_parts, decode_tensor, encode_frame, encode_frame_header,
+    encode_tensor, read_frame_bytes, wire_size, write_frame_vectored, FrameError, WireError,
+    DEFAULT_MAX_FRAME, FRAME_HEADER_BYTES, WIRE_VERSION,
 };

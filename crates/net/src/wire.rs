@@ -22,7 +22,15 @@ use std::io;
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
-use menos_tensor::Tensor;
+use menos_tensor::{pool, Tensor};
+
+/// Routes buffer allocations dropped by the `bytes` layer into the
+/// tensor buffer pool, so frame bodies are recycled across steps.
+/// Idempotent; called from every codec entry point that allocates.
+pub(crate) fn register_recycler() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| bytes::set_buffer_recycler(pool::recycle_bytes));
+}
 
 const MAGIC: u32 = 0x4d4e_5331; // "MNS1"
 pub(crate) const FRAME_MAGIC: u32 = 0x4d4e_5031; // "MNP1"
@@ -153,15 +161,97 @@ pub fn encode_frame_header(kind: u8, client: u64, payload_len: u32) -> Bytes {
 /// Panics if the payload exceeds `u32::MAX` bytes (no real message
 /// comes within orders of magnitude of that).
 pub fn encode_frame(kind: u8, client: u64, payload: &[u8]) -> Bytes {
+    register_recycler();
     let len = u32::try_from(payload.len()).expect("payload exceeds u32::MAX bytes");
-    let mut buf = BytesMut::with_capacity(FRAME_HEADER_BYTES as usize + payload.len());
-    buf.put_u32_le(FRAME_MAGIC);
-    buf.put_u8(WIRE_VERSION);
-    buf.put_u8(kind);
-    buf.put_u64_le(client);
-    buf.put_u32_le(len);
-    buf.put_slice(payload);
-    buf.freeze()
+    let mut buf = pool::take_bytes(FRAME_HEADER_BYTES as usize + payload.len());
+    buf.extend_from_slice(&FRAME_MAGIC.to_le_bytes());
+    buf.push(WIRE_VERSION);
+    buf.push(kind);
+    buf.extend_from_slice(&client.to_le_bytes());
+    buf.extend_from_slice(&len.to_le_bytes());
+    buf.extend_from_slice(payload);
+    pool::count_copied(payload.len());
+    Bytes::from(buf)
+}
+
+/// Decodes a protocol frame delivered as separate header and body
+/// buffers, returning `(kind, client, payload)` with the payload
+/// shared by reference (no copy).
+///
+/// # Errors
+///
+/// Rejects a short header, bad magic/version, a declared length above
+/// `max_frame`, and a body whose length disagrees with the header.
+pub fn decode_frame_parts(
+    header: &[u8],
+    body: &Bytes,
+    max_frame: usize,
+) -> Result<(u8, u64, Bytes), WireError> {
+    if header.len() < FRAME_HEADER_BYTES as usize {
+        return Err(WireError::Truncated);
+    }
+    if header.len() > FRAME_HEADER_BYTES as usize {
+        return Err(WireError::Malformed(format!(
+            "{} extra header bytes",
+            header.len() - FRAME_HEADER_BYTES as usize
+        )));
+    }
+    let magic = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
+    if magic != FRAME_MAGIC {
+        return Err(WireError::BadMagic(magic));
+    }
+    let version = header[4];
+    if version != WIRE_VERSION {
+        return Err(WireError::BadVersion(version));
+    }
+    let kind = header[5];
+    let client = u64::from_le_bytes(header[6..14].try_into().expect("8 bytes"));
+    let len = u32::from_le_bytes(header[14..18].try_into().expect("4 bytes")) as usize;
+    if len > max_frame {
+        return Err(WireError::TooLarge {
+            declared: len as u64,
+            max: max_frame as u64,
+        });
+    }
+    if body.len() < len {
+        return Err(WireError::Truncated);
+    }
+    if body.len() > len {
+        return Err(WireError::Malformed(format!(
+            "{} trailing bytes after declared payload",
+            body.len() - len
+        )));
+    }
+    Ok((kind, client, body.clone()))
+}
+
+/// Writes a frame given as `[header, body]` slices with vectored I/O,
+/// avoiding an intermediate contiguous copy. Retries short writes
+/// until both slices are fully flushed.
+///
+/// # Errors
+///
+/// Propagates writer errors; a zero-length write surfaces as
+/// [`io::ErrorKind::WriteZero`].
+pub fn write_frame_vectored(w: &mut impl io::Write, header: &[u8], body: &[u8]) -> io::Result<()> {
+    let mut head = header;
+    let mut tail = body;
+    while !head.is_empty() || !tail.is_empty() {
+        let n = if head.is_empty() {
+            w.write(tail)?
+        } else if tail.is_empty() {
+            w.write(head)?
+        } else {
+            w.write_vectored(&[io::IoSlice::new(head), io::IoSlice::new(tail)])?
+        };
+        if n == 0 {
+            return Err(io::ErrorKind::WriteZero.into());
+        }
+        let from_head = n.min(head.len());
+        head = &head[from_head..];
+        tail = &tail[n - from_head..];
+    }
+    Ok(())
 }
 
 /// Decodes a complete protocol frame from a contiguous buffer,
@@ -238,8 +328,10 @@ pub fn read_frame_bytes(r: &mut impl io::Read, max_frame: usize) -> Result<Bytes
         }
         .into());
     }
-    let mut frame = vec![0u8; FRAME_HEADER_BYTES as usize + len];
-    frame[..FRAME_HEADER_BYTES as usize].copy_from_slice(&header);
+    register_recycler();
+    let mut frame = pool::take_bytes(FRAME_HEADER_BYTES as usize + len);
+    frame.extend_from_slice(&header);
+    frame.resize(FRAME_HEADER_BYTES as usize + len, 0);
     r.read_exact(&mut frame[FRAME_HEADER_BYTES as usize..])?;
     Ok(Bytes::from(frame))
 }
@@ -263,17 +355,25 @@ const MAX_ELEMS: u64 = 1 << 32;
 /// assert_eq!(back.to_vec(), t.to_vec());
 /// ```
 pub fn encode_tensor(t: &Tensor) -> Bytes {
+    register_recycler();
     let dims = t.dims();
-    let mut buf = BytesMut::with_capacity(8 + 8 * dims.len() + 4 * t.elem_count());
-    buf.put_u32_le(MAGIC);
-    buf.put_u32_le(dims.len() as u32);
+    let data = t.storage().read();
+    let mut buf = pool::take_bytes(8 + 8 * dims.len() + 4 * data.len());
+    buf.extend_from_slice(&MAGIC.to_le_bytes());
+    buf.extend_from_slice(&(dims.len() as u32).to_le_bytes());
     for &d in dims {
-        buf.put_u64_le(d as u64);
+        buf.extend_from_slice(&(d as u64).to_le_bytes());
     }
-    for &v in t.storage().read().iter() {
-        buf.put_f32_le(v);
+    // Bulk f32 → LE conversion: one grow, then fixed 4-byte stores the
+    // compiler vectorizes — no per-element `put_f32_le` dispatch.
+    let head = buf.len();
+    buf.resize(head + 4 * data.len(), 0);
+    for (dst, &v) in buf[head..].chunks_exact_mut(4).zip(data.iter()) {
+        dst.copy_from_slice(&v.to_le_bytes());
     }
-    buf.freeze()
+    pool::count_copied(4 * data.len());
+    drop(data);
+    Bytes::from(buf)
 }
 
 /// Deserializes a tensor from its wire representation.
@@ -309,10 +409,16 @@ pub fn decode_tensor(bytes: &Bytes) -> Result<Tensor, WireError> {
     if buf.remaining() < 4 * n {
         return Err(WireError::Truncated);
     }
-    let mut data = Vec::with_capacity(n);
-    for _ in 0..n {
-        data.push(buf.get_f32_le());
-    }
+    // Bulk LE → f32 conversion into a pooled buffer. The pooled take
+    // is empty (length 0), so no recycled contents are observable;
+    // every element below is freshly decoded from the frame.
+    let mut data = pool::take_f32(n);
+    data.extend(
+        buf[..4 * n]
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().expect("4-byte chunk"))),
+    );
+    pool::count_copied(4 * n);
     Ok(Tensor::from_vec(data, dims))
 }
 

@@ -13,7 +13,7 @@ use bytes::Bytes;
 
 use menos_adapters::{AdapterKind, FineTuneConfig, OptimKind};
 use menos_models::{AdapterTarget, LoraSpec};
-use menos_net::{decode_frame, encode_frame, WireError};
+use menos_net::{decode_frame, decode_frame_parts, encode_frame, encode_frame_header, WireError};
 
 use crate::message::{ClientId, ClientMessage, EvictionCode, ServerMessage};
 use crate::spec::SplitSpec;
@@ -130,15 +130,47 @@ pub fn encode_client_message(msg: &ClientMessage) -> Bytes {
     }
 }
 
-/// Deserializes a client→server message from its wire frame.
-///
-/// # Errors
-///
-/// Rejects truncation at any prefix, bad magic/version, payloads above
-/// `max_frame` bytes, unknown message kinds, and malformed `Connect`
-/// bodies.
-pub fn decode_client_message(bytes: &Bytes, max_frame: usize) -> Result<ClientMessage, WireError> {
-    let (kind, client, payload) = decode_frame(bytes, max_frame)?;
+/// Serializes a client→server message as `(header, body)` buffer
+/// parts. Concatenated they are byte-identical to
+/// [`encode_client_message`], but a tensor-carrying message shares its
+/// already-encoded frame by reference instead of copying it into a
+/// contiguous buffer.
+pub fn client_message_parts(msg: &ClientMessage) -> (Bytes, Bytes) {
+    let (kind, client, body) = match msg {
+        ClientMessage::Connect {
+            client,
+            ft,
+            split,
+            epoch,
+        } => (
+            KIND_CONNECT,
+            client,
+            Bytes::from(encode_config(ft, *split, *epoch)),
+        ),
+        ClientMessage::Resume {
+            client,
+            epoch,
+            last_step,
+        } => {
+            let mut body = Vec::with_capacity(16);
+            body.extend(epoch.to_le_bytes());
+            body.extend(last_step.to_le_bytes());
+            (KIND_RESUME, client, Bytes::from(body))
+        }
+        ClientMessage::Activations { client, frame } => (KIND_ACTIVATIONS, client, frame.clone()),
+        ClientMessage::Gradients { client, frame } => (KIND_GRADIENTS, client, frame.clone()),
+        ClientMessage::Disconnect { client } => (KIND_DISCONNECT, client, Bytes::new()),
+    };
+    (encode_frame_header(kind, client.0, body.len() as u32), body)
+}
+
+/// Decodes the body of a client→server message whose frame header has
+/// already been parsed and validated.
+fn client_message_from_kind(
+    kind: u8,
+    client: u64,
+    payload: Bytes,
+) -> Result<ClientMessage, WireError> {
     let client = ClientId(client);
     match kind {
         KIND_CONNECT => {
@@ -180,6 +212,33 @@ pub fn decode_client_message(bytes: &Bytes, max_frame: usize) -> Result<ClientMe
     }
 }
 
+/// Deserializes a client→server message from its wire frame.
+///
+/// # Errors
+///
+/// Rejects truncation at any prefix, bad magic/version, payloads above
+/// `max_frame` bytes, unknown message kinds, and malformed `Connect`
+/// bodies.
+pub fn decode_client_message(bytes: &Bytes, max_frame: usize) -> Result<ClientMessage, WireError> {
+    let (kind, client, payload) = decode_frame(bytes, max_frame)?;
+    client_message_from_kind(kind, client, payload)
+}
+
+/// Deserializes a client→server message delivered as separate header
+/// and body buffers, sharing the body by reference (no copy).
+///
+/// # Errors
+///
+/// Same taxonomy as [`decode_client_message`].
+pub fn decode_client_message_parts(
+    header: &[u8],
+    body: &Bytes,
+    max_frame: usize,
+) -> Result<ClientMessage, WireError> {
+    let (kind, client, payload) = decode_frame_parts(header, body, max_frame)?;
+    client_message_from_kind(kind, client, payload)
+}
+
 /// Serializes a server→client message to its wire frame.
 pub fn encode_server_message(msg: &ServerMessage) -> Bytes {
     match msg {
@@ -208,13 +267,45 @@ pub fn encode_server_message(msg: &ServerMessage) -> Bytes {
     }
 }
 
-/// Deserializes a server→client message from its wire frame.
-///
-/// # Errors
-///
-/// Same taxonomy as [`decode_client_message`].
-pub fn decode_server_message(bytes: &Bytes, max_frame: usize) -> Result<ServerMessage, WireError> {
-    let (kind, client, payload) = decode_frame(bytes, max_frame)?;
+/// Serializes a server→client message as `(header, body)` buffer
+/// parts: the counterpart of [`client_message_parts`]. Tensor replies
+/// share their encoded frame by reference — the step-loop reply path
+/// never copies the tensor body again after [`menos_net::encode_tensor`].
+pub fn server_message_parts(msg: &ServerMessage) -> (Bytes, Bytes) {
+    let (kind, client, body) = match msg {
+        ServerMessage::Ready { client } => (KIND_READY, client, Bytes::new()),
+        ServerMessage::ServerActivations { client, frame } => {
+            (KIND_SERVER_ACTIVATIONS, client, frame.clone())
+        }
+        ServerMessage::ServerGradients { client, frame } => {
+            (KIND_SERVER_GRADIENTS, client, frame.clone())
+        }
+        ServerMessage::Resumed {
+            client,
+            epoch,
+            server_step,
+            replay,
+        } => {
+            let mut body = Vec::with_capacity(16 + replay.len());
+            body.extend(epoch.to_le_bytes());
+            body.extend(server_step.to_le_bytes());
+            body.extend_from_slice(replay);
+            (KIND_RESUMED, client, Bytes::from(body))
+        }
+        ServerMessage::Evicted { client, code } => {
+            (KIND_EVICTED, client, Bytes::from(vec![code.code()]))
+        }
+    };
+    (encode_frame_header(kind, client.0, body.len() as u32), body)
+}
+
+/// Decodes the body of a server→client message whose frame header has
+/// already been parsed and validated.
+fn server_message_from_kind(
+    kind: u8,
+    client: u64,
+    payload: Bytes,
+) -> Result<ServerMessage, WireError> {
     let client = ClientId(client);
     match kind {
         KIND_READY => {
@@ -257,6 +348,31 @@ pub fn decode_server_message(bytes: &Bytes, max_frame: usize) -> Result<ServerMe
         }
         other => Err(WireError::UnknownKind(other)),
     }
+}
+
+/// Deserializes a server→client message from its wire frame.
+///
+/// # Errors
+///
+/// Same taxonomy as [`decode_client_message`].
+pub fn decode_server_message(bytes: &Bytes, max_frame: usize) -> Result<ServerMessage, WireError> {
+    let (kind, client, payload) = decode_frame(bytes, max_frame)?;
+    server_message_from_kind(kind, client, payload)
+}
+
+/// Deserializes a server→client message delivered as separate header
+/// and body buffers, sharing the body by reference (no copy).
+///
+/// # Errors
+///
+/// Same taxonomy as [`decode_client_message`].
+pub fn decode_server_message_parts(
+    header: &[u8],
+    body: &Bytes,
+    max_frame: usize,
+) -> Result<ServerMessage, WireError> {
+    let (kind, client, payload) = decode_frame_parts(header, body, max_frame)?;
+    server_message_from_kind(kind, client, payload)
 }
 
 fn expect_empty(payload: &Bytes) -> Result<(), WireError> {

@@ -357,6 +357,11 @@ impl<L: EventListener, H: BatchHandler> ServerEventLoop<L, H> {
         // with the connection that produced them.
         let mut pending: Vec<(u64, ClientMessage)> = Vec::new();
         let mut ready: Vec<ClientMessage> = Vec::new();
+        // Reply routing for batch dispatches, reused across steps so
+        // the steady-state sweep → dispatch → flush cycle allocates
+        // nothing (frame staging is likewise pooled inside each
+        // connection's accumulator).
+        let mut key_of: HashMap<ClientId, u64> = HashMap::new();
 
         let mut backoff = IdleBackoff::new(options.idle_sleep, options.max_idle_sleep);
         let mut last_expiry_check = Instant::now();
@@ -539,8 +544,8 @@ impl<L: EventListener, H: BatchHandler> ServerEventLoop<L, H> {
                 stats.batches += 1;
                 stats.batched_messages += batch.len() as u64;
                 stats.max_batch = stats.max_batch.max(batch.len());
-                let key_of: HashMap<ClientId, u64> =
-                    batch.iter().map(|(k, m)| (m.client(), *k)).collect();
+                key_of.clear();
+                key_of.extend(batch.iter().map(|(k, m)| (m.client(), *k)));
                 let results = handler.handle_batch(batch.into_iter().map(|(_, m)| m).collect());
                 for (client, result) in results {
                     let Some(&key) = key_of.get(&client) else {

@@ -67,8 +67,9 @@ mod tcp;
 pub use chaos::{ChaosConn, ChaosListener, ChaosOptions};
 pub use client::SplitClient;
 pub use codec::{
-    decode_client_message, decode_server_message, encode_client_message, encode_server_message,
-    MessageKind,
+    client_message_parts, decode_client_message, decode_client_message_parts,
+    decode_server_message, decode_server_message_parts, encode_client_message,
+    encode_server_message, server_message_parts, MessageKind,
 };
 pub use driver::{
     evaluate_loss, local_finetune, local_finetune_returning_model, run_split_steps, ForwardMode,

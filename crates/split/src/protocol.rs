@@ -29,7 +29,9 @@ use menos_sim::Nanos;
 
 use crate::client::SplitClient;
 use crate::codec::{
-    decode_client_message, decode_server_message, encode_client_message, encode_server_message,
+    client_message_parts, decode_client_message, decode_client_message_parts,
+    decode_server_message, decode_server_message_parts, encode_client_message,
+    encode_server_message, server_message_parts,
 };
 use crate::driver::ForwardMode;
 use crate::message::{ClientId, ClientMessage, ServerMessage};
@@ -155,20 +157,39 @@ impl From<FrameError> for ProtocolError {
 pub trait WireMessage: Sized {
     /// Serializes to the message's wire frame.
     fn to_wire(&self) -> Bytes;
+    /// Serializes to `(header, body)` parts. Concatenated they are
+    /// byte-identical to [`WireMessage::to_wire`], but tensor-bearing
+    /// messages share their payload by reference instead of copying it
+    /// into a contiguous frame — the zero-copy send path.
+    fn to_wire_parts(&self) -> (Bytes, Bytes);
     /// Deserializes from a wire frame, enforcing `max_frame`.
     ///
     /// # Errors
     ///
     /// Returns [`WireError`] on any malformed frame.
     fn from_wire(bytes: &Bytes, max_frame: usize) -> Result<Self, WireError>;
+    /// Deserializes from `(header, body)` parts, enforcing `max_frame`.
+    /// Accepts exactly what [`WireMessage::from_wire`] accepts on the
+    /// concatenation of the two slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] on any malformed frame.
+    fn from_wire_parts(header: &[u8], body: &Bytes, max_frame: usize) -> Result<Self, WireError>;
 }
 
 impl WireMessage for ClientMessage {
     fn to_wire(&self) -> Bytes {
         encode_client_message(self)
     }
+    fn to_wire_parts(&self) -> (Bytes, Bytes) {
+        client_message_parts(self)
+    }
     fn from_wire(bytes: &Bytes, max_frame: usize) -> Result<Self, WireError> {
         decode_client_message(bytes, max_frame)
+    }
+    fn from_wire_parts(header: &[u8], body: &Bytes, max_frame: usize) -> Result<Self, WireError> {
+        decode_client_message_parts(header, body, max_frame)
     }
 }
 
@@ -176,8 +197,14 @@ impl WireMessage for ServerMessage {
     fn to_wire(&self) -> Bytes {
         encode_server_message(self)
     }
+    fn to_wire_parts(&self) -> (Bytes, Bytes) {
+        server_message_parts(self)
+    }
     fn from_wire(bytes: &Bytes, max_frame: usize) -> Result<Self, WireError> {
         decode_server_message(bytes, max_frame)
+    }
+    fn from_wire_parts(header: &[u8], body: &Bytes, max_frame: usize) -> Result<Self, WireError> {
+        decode_server_message_parts(header, body, max_frame)
     }
 }
 
@@ -230,9 +257,12 @@ pub trait Transport {
 /// `std::sync::mpsc` channels. The cheapest way to connect a client
 /// and a server in one process — tests, benchmarks, and the
 /// byte-identity harness all use it.
+///
+/// Frames travel as `(header, body)` parts so tensor payloads move by
+/// `Bytes` refcount, never by copy.
 pub struct ChannelTransport<Tx, Rx> {
-    tx: mpsc::Sender<Bytes>,
-    rx: mpsc::Receiver<Bytes>,
+    tx: mpsc::Sender<(Bytes, Bytes)>,
+    rx: mpsc::Receiver<(Bytes, Bytes)>,
     deadline: Option<Duration>,
     max_frame: usize,
     _marker: PhantomData<fn(Tx) -> Rx>,
@@ -270,10 +300,18 @@ impl<Tx: WireMessage, Rx: WireMessage> ChannelTransport<Tx, Rx> {
     /// with this instead of parking a thread in [`Transport::recv`].
     pub(crate) fn try_recv(&mut self) -> Result<Option<Rx>, ProtocolError> {
         match self.rx.try_recv() {
-            Ok(bytes) => Ok(Some(Rx::from_wire(&bytes, self.max_frame)?)),
+            Ok((header, body)) => Ok(Some(Rx::from_wire_parts(&header, &body, self.max_frame)?)),
             Err(mpsc::TryRecvError::Empty) => Ok(None),
             Err(mpsc::TryRecvError::Disconnected) => Err(ProtocolError::Disconnected),
         }
+    }
+
+    /// Sends pre-encoded frame parts without re-serializing. The sim
+    /// transport uses this after charging its link for the same parts.
+    pub(crate) fn send_parts(&mut self, header: Bytes, body: Bytes) -> Result<(), ProtocolError> {
+        self.tx
+            .send((header, body))
+            .map_err(|_| ProtocolError::Disconnected)
     }
 }
 
@@ -282,20 +320,19 @@ impl<Tx: WireMessage, Rx: WireMessage> Transport for ChannelTransport<Tx, Rx> {
     type Rx = Rx;
 
     fn send(&mut self, msg: &Tx) -> Result<(), ProtocolError> {
-        self.tx
-            .send(msg.to_wire())
-            .map_err(|_| ProtocolError::Disconnected)
+        let (header, body) = msg.to_wire_parts();
+        self.send_parts(header, body)
     }
 
     fn recv(&mut self) -> Result<Rx, ProtocolError> {
-        let bytes = match self.deadline {
+        let (header, body) = match self.deadline {
             Some(d) => self.rx.recv_timeout(d).map_err(|e| match e {
                 mpsc::RecvTimeoutError::Timeout => ProtocolError::Timeout,
                 mpsc::RecvTimeoutError::Disconnected => ProtocolError::Disconnected,
             })?,
             None => self.rx.recv().map_err(|_| ProtocolError::Disconnected)?,
         };
-        Ok(Rx::from_wire(&bytes, self.max_frame)?)
+        Ok(Rx::from_wire_parts(&header, &body, self.max_frame)?)
     }
 
     fn set_deadline(&mut self, deadline: Option<Duration>) -> Result<(), ProtocolError> {
@@ -368,12 +405,15 @@ impl<Tx: WireMessage, Rx: WireMessage> Transport for SimTransport<Tx, Rx> {
     type Rx = Rx;
 
     fn send(&mut self, msg: &Tx) -> Result<(), ProtocolError> {
-        let bytes = msg.to_wire().len() as u64;
+        // Encode once: the same parts are charged to the link and then
+        // handed to the channel (tensor bodies move by refcount).
+        let (header, body) = msg.to_wire_parts();
+        let bytes = (header.len() + body.len()) as u64;
         let t = self.link.lock().expect("link lock").transfer_time(bytes);
         let mut clock = self.clock.lock().expect("clock lock");
         *clock = clock.checked_add(t).expect("virtual clock overflow");
         drop(clock);
-        self.inner.send(msg)
+        self.inner.send_parts(header, body)
     }
 
     fn recv(&mut self) -> Result<Rx, ProtocolError> {

@@ -104,7 +104,11 @@ impl<Tx: WireMessage, Rx: WireMessage> Transport for TcpTransport<Tx, Rx> {
 
     fn send(&mut self, msg: &Tx) -> Result<(), ProtocolError> {
         use std::io::Write;
-        self.stream.write_all(&msg.to_wire())?;
+        // Header and body go out in one vectored write; the tensor
+        // body is the encoder's buffer shared by reference, so no
+        // contiguous frame copy is ever built.
+        let (header, body) = msg.to_wire_parts();
+        menos_net::write_frame_vectored(&mut self.stream, &header, &body)?;
         self.stream.flush()?;
         Ok(())
     }
@@ -297,7 +301,8 @@ impl EventConn for TcpEventConn {
     }
 
     fn queue(&mut self, msg: &ServerMessage) -> Result<(), ProtocolError> {
-        self.writes.push(msg.to_wire());
+        let (header, body) = msg.to_wire_parts();
+        self.writes.push_frame(header, body);
         self.flush().map(|_| ())
     }
 

@@ -55,6 +55,7 @@ mod op;
 mod ops;
 mod parallel;
 mod param;
+pub mod pool;
 mod shape;
 mod storage;
 mod tensor;
@@ -64,5 +65,5 @@ pub use checkpoint::{load_checkpoint, restore_into, save_checkpoint, CheckpointE
 pub use parallel::{set_threads, threads};
 pub use param::ParamStore;
 pub use shape::Shape;
-pub use storage::Storage;
+pub use storage::{Storage, StorageReadGuard, StorageWriteGuard};
 pub use tensor::{is_grad_enabled, no_grad, Tensor};

@@ -1,0 +1,183 @@
+//! Bit-identity of the pooled (zero-copy) tensor hot path.
+//!
+//! The buffer pool recycles frame and tensor allocations between
+//! steps, so the load-bearing property is that pooling is *invisible
+//! on the wire*: pooled encode/decode produce exactly the bytes and
+//! values a naive, allocation-per-call codec would, and a recycled
+//! buffer never leaks a previous tensor's bytes into a later frame.
+
+use proptest::prelude::*;
+
+use bytes::Bytes;
+use menos::net::{decode_tensor, encode_tensor};
+use menos::split::{
+    client_message_parts, decode_client_message_parts, decode_server_message_parts,
+    server_message_parts, ClientId, ClientMessage, ServerMessage,
+};
+use menos::tensor::Tensor;
+
+/// Reference encoder: the tensor wire format written one element at a
+/// time into a plain `Vec`, bypassing the pool and the bulk-conversion
+/// path entirely.
+fn naive_encode(t: &Tensor) -> Vec<u8> {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(&0x4d4e_5331u32.to_le_bytes()); // "MNS1"
+    let dims = t.dims();
+    buf.extend_from_slice(&(dims.len() as u32).to_le_bytes());
+    for &d in dims {
+        buf.extend_from_slice(&(d as u64).to_le_bytes());
+    }
+    for v in t.to_vec() {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+    buf
+}
+
+/// Builds a tensor of the given shape filled with a deterministic,
+/// seed-dependent pattern (including negatives and non-finite-safe
+/// magnitudes) so payload bytes vary across cases.
+fn patterned(dims: &[usize], seed: u64) -> Tensor {
+    let n: usize = dims.iter().product();
+    let data: Vec<f32> = (0..n)
+        .map(|i| {
+            let x = seed
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(i as u64);
+            ((x >> 33) as f32 / (1u64 << 20) as f32) - 4000.0
+        })
+        .collect();
+    match dims.len() {
+        1 => Tensor::from_vec(data, [dims[0]]),
+        2 => Tensor::from_vec(data, [dims[0], dims[1]]),
+        _ => Tensor::from_vec(data, [dims[0], dims[1], dims[2]]),
+    }
+}
+
+proptest! {
+    /// Pooled encode is byte-identical to the naive per-element
+    /// encoder, and pooled decode → encode round-trips those bytes,
+    /// for arbitrary small shapes. Runs exercise buffer reuse: cases
+    /// within one proptest run recycle each other's allocations.
+    #[test]
+    fn pooled_codec_matches_naive_encoder(
+        dims in prop::collection::vec(1usize..9, 1..4),
+        seed in any::<u64>(),
+    ) {
+        let t = patterned(&dims, seed);
+        let reference = naive_encode(&t);
+        let pooled = encode_tensor(&t);
+        prop_assert_eq!(&*pooled, &reference[..], "pooled encode differs from naive");
+
+        let back = decode_tensor(&pooled).unwrap();
+        prop_assert_eq!(back.dims(), t.dims());
+        let bits_back: Vec<u32> = back.to_vec().iter().map(|v| v.to_bits()).collect();
+        let bits_orig: Vec<u32> = t.to_vec().iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(bits_back, bits_orig, "decode not bitwise-identical");
+
+        let re = encode_tensor(&back);
+        prop_assert_eq!(&*re, &reference[..], "re-encode after pooled decode differs");
+    }
+
+    /// Frame parts (`header`, `body`) concatenate to exactly the
+    /// contiguous encoding, and the parts decoder accepts them — for
+    /// every tensor-bearing message shape the step loop sends.
+    #[test]
+    fn frame_parts_concatenate_to_contiguous_encoding(
+        dims in prop::collection::vec(1usize..9, 1..4),
+        seed in any::<u64>(),
+        client in any::<u64>(),
+    ) {
+        use menos::split::WireMessage;
+        let t = patterned(&dims, seed);
+        let msgs = [
+            ClientMessage::Activations { client: ClientId(client), frame: encode_tensor(&t) },
+            ClientMessage::Gradients { client: ClientId(client), frame: encode_tensor(&t) },
+        ];
+        for msg in &msgs {
+            let contiguous = msg.to_wire();
+            let (header, body) = client_message_parts(msg);
+            let mut glued = header.to_vec();
+            glued.extend_from_slice(&body);
+            prop_assert_eq!(&glued[..], &*contiguous, "parts differ from contiguous frame");
+            let back = decode_client_message_parts(&header, &body, 64 << 20).unwrap();
+            prop_assert_eq!(back.to_wire(), contiguous);
+        }
+        let reply = ServerMessage::ServerActivations {
+            client: ClientId(client),
+            frame: encode_tensor(&t),
+        };
+        let contiguous = reply.to_wire();
+        let (header, body) = server_message_parts(&reply);
+        let mut glued = header.to_vec();
+        glued.extend_from_slice(&body);
+        prop_assert_eq!(&glued[..], &*contiguous);
+        let back = decode_server_message_parts(&header, &body, 64 << 20).unwrap();
+        prop_assert_eq!(back.to_wire(), contiguous);
+    }
+}
+
+/// A recycled buffer must never expose a previous tensor's bytes.
+///
+/// Scenario: a big tensor `A` full of sentinel bits is encoded and
+/// decoded, then every view of it is dropped so its allocations
+/// recycle into the pool. A truncated decode then fails cleanly, and a
+/// subsequent full decode of a *smaller* tensor `B` — which draws the
+/// recycled allocations — must yield exactly `B`'s bytes and values,
+/// with no sentinel residue.
+#[test]
+fn recycled_buffers_never_leak_prior_tensor_bytes() {
+    let sentinel = f32::from_bits(0x4141_4141);
+    let a = Tensor::from_vec(vec![sentinel; 4096], [4096]);
+    let a_wire = encode_tensor(&a);
+    let a_back = decode_tensor(&a_wire).unwrap();
+    assert!(a_back.to_vec().iter().all(|v| v.to_bits() == 0x4141_4141));
+    // Recycle A's frame buffer and decoded storage into the pool.
+    drop(a_wire);
+    drop(a_back);
+    drop(a);
+
+    // A short decode must fail without handing out a partial tensor.
+    let b = Tensor::from_vec((0..1024).map(|i| i as f32).collect(), [1024]);
+    let b_wire = encode_tensor(&b);
+    let truncated = b_wire.slice(..b_wire.len() - 7);
+    assert!(
+        decode_tensor(&truncated).is_err(),
+        "truncated decode must fail"
+    );
+
+    // The full decode of B draws pooled buffers big enough to still
+    // hold A's sentinels in their spare capacity. None may show.
+    let b_back = decode_tensor(&b_wire).unwrap();
+    let got = b_back.to_vec();
+    assert_eq!(got.len(), 1024);
+    for (i, v) in got.iter().enumerate() {
+        assert_eq!(v.to_bits(), (i as f32).to_bits(), "stale byte at {i}");
+        assert_ne!(v.to_bits(), 0x4141_4141, "sentinel leaked at {i}");
+    }
+    // And the re-encoded frame is exactly B's frame: same length, same
+    // bytes — no stale tail from the larger recycled allocation.
+    let re = encode_tensor(&b_back);
+    assert_eq!(&*re, &*b_wire);
+}
+
+/// Frame-buffer poisoning at the bytes layer: encoding a small frame
+/// right after a big frame's buffer recycles must produce exactly the
+/// small frame, bit for bit.
+#[test]
+fn recycled_frame_buffer_is_exact_sized() {
+    let big = Tensor::from_vec(vec![f32::from_bits(0xdead_beef); 8192], [8192]);
+    let big_wire = encode_tensor(&big);
+    let big_len = big_wire.len();
+    drop(big_wire);
+
+    let small = Tensor::from_vec(vec![1.0, 2.0, 3.0], [3]);
+    let small_wire = encode_tensor(&small);
+    assert!(small_wire.len() < big_len);
+    assert_eq!(&*small_wire, &naive_encode(&small)[..]);
+
+    // Bytes built from a recycled Vec must report only the visible
+    // range even though the backing capacity is larger.
+    let from_vec = Bytes::from(small_wire.to_vec());
+    assert_eq!(from_vec.len(), small_wire.len());
+    assert_eq!(&*from_vec, &*small_wire);
+}

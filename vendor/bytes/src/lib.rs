@@ -6,14 +6,44 @@
 //! accessors the tensor wire format uses.
 
 use std::ops::{Bound, Deref, RangeBounds};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+
+/// Hook invoked with the backing allocation when the last [`Bytes`]
+/// view of a buffer drops. Lets the host application recycle frame
+/// buffers into a pool instead of freeing them.
+static RECYCLER: OnceLock<fn(Vec<u8>)> = OnceLock::new();
+
+/// Registers a process-wide recycler for dropped buffer allocations.
+/// Only the first registration wins; later calls are ignored.
+pub fn set_buffer_recycler(f: fn(Vec<u8>)) {
+    let _ = RECYCLER.set(f);
+}
+
+/// The shared backing buffer: hands its allocation to the registered
+/// recycler (if any) when the final reference drops.
+#[derive(Debug)]
+struct Inner(Vec<u8>);
+
+impl Drop for Inner {
+    fn drop(&mut self) {
+        if let Some(recycle) = RECYCLER.get() {
+            recycle(std::mem::take(&mut self.0));
+        }
+    }
+}
 
 /// A cheaply-cloneable, sliceable view of an immutable byte buffer.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Arc<Inner>,
     start: usize,
     end: usize,
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
 }
 
 // Equality is over the visible bytes (like the real crate), not the
@@ -81,7 +111,7 @@ impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
         let end = v.len();
         Bytes {
-            data: v.into(),
+            data: Arc::new(Inner(v)),
             start: 0,
             end,
         }
@@ -97,7 +127,7 @@ impl From<&[u8]> for Bytes {
 impl Deref for Bytes {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
-        &self.data[self.start..self.end]
+        &self.data.0[self.start..self.end]
     }
 }
 
@@ -136,7 +166,8 @@ impl BytesMut {
         self.vec.is_empty()
     }
 
-    /// Converts into an immutable [`Bytes`] without copying.
+    /// Converts into an immutable [`Bytes`] without copying: the
+    /// allocation moves into the shared buffer as-is.
     pub fn freeze(self) -> Bytes {
         Bytes::from(self.vec)
     }
@@ -213,7 +244,7 @@ impl Buf for Bytes {
 
     fn copy_to_slice(&mut self, dst: &mut [u8]) {
         assert!(dst.len() <= self.len(), "read past end of buffer");
-        dst.copy_from_slice(&self.data[self.start..self.start + dst.len()]);
+        dst.copy_from_slice(&self.data.0[self.start..self.start + dst.len()]);
         self.start += dst.len();
     }
 }
@@ -299,5 +330,25 @@ mod tests {
     fn overread_panics() {
         let mut b = Bytes::from(vec![1, 2]);
         b.get_u32_le();
+    }
+
+    #[test]
+    fn recycler_receives_dropped_allocations() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static RECYCLED_BYTES: AtomicUsize = AtomicUsize::new(0);
+        fn count(v: Vec<u8>) {
+            // Ignore the small buffers other (parallel) tests drop.
+            if v.capacity() >= 1000 {
+                RECYCLED_BYTES.fetch_add(v.capacity(), Ordering::Relaxed);
+            }
+        }
+        set_buffer_recycler(count);
+        let before = RECYCLED_BYTES.load(Ordering::Relaxed);
+        let b = Bytes::from(vec![7u8; 1000]);
+        let view = b.slice(10..20);
+        drop(b); // view still holds the buffer
+        assert_eq!(RECYCLED_BYTES.load(Ordering::Relaxed), before);
+        drop(view);
+        assert!(RECYCLED_BYTES.load(Ordering::Relaxed) >= before + 1000);
     }
 }
