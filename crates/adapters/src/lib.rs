@@ -40,6 +40,6 @@ pub use finetune::{
     FineTuneConfig, OptimKind,
 };
 pub use lora::LoraAdapter;
-pub use optim::{clip_grad_norm, Adam, Optimizer, Sgd};
+pub use optim::{clip_grad_norm, Adam, OptimState, Optimizer, Sgd};
 pub use prefix::PrefixAdapter;
 pub use schedule::LrSchedule;

@@ -53,6 +53,7 @@ mod runtime_hetero_tests;
 mod scheduler;
 mod server;
 mod sharing;
+mod state;
 mod workload;
 
 pub use capacity::{plan_capacity, CapacityPlan};
@@ -61,6 +62,7 @@ pub use profiler::{probe_with_random_input, profile_client, MemoryDemands};
 pub use runtime::{jain_fairness, run_experiment, run_experiment_traced, RunReport};
 pub use scheduler::{Decision, OpKind, Request, SchedPolicy, Scheduler};
 pub use server::MenosServer;
+pub use state::{ServerState, SessionRecord};
 // The serving façade reports errors through the unified protocol
 // taxonomy; re-exported so embedders don't need menos-split in scope.
 pub use menos_split::ProtocolError;

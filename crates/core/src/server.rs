@@ -24,10 +24,11 @@ use menos_split::{
     dispatch_session, encode_server_message, BatchHandler, ClientId, ClientMessage, ForwardMode,
     MessageHandler, ProtocolError, ServerMessage, ServerSession, SplitSpec,
 };
-use menos_tensor::{no_grad, ParamStore, Tensor};
+use menos_tensor::{no_grad, CheckpointError, ParamStore, Tensor};
 
 use crate::profiler::{profile_client, MemoryDemands};
 use crate::sharing::SharedBaseRegistry;
+use crate::state::{ServerState, SessionRecord};
 use crate::workload::ServerSpec;
 
 /// Most sessions one fused stacked step will carry. Beyond this the
@@ -653,6 +654,114 @@ impl MenosServer {
         );
         Ok(())
     }
+
+    /// Captures the full mutable server state — every session (live or
+    /// quarantined), its epoch, and its cached reply — as a
+    /// [`ServerState`], sorted by client id so snapshots of the same
+    /// state are byte-identical.
+    ///
+    /// Algorithm-2 reservations are *not* captured: they are a pure
+    /// function of the live session set, and restore parks every
+    /// session (the connections died with the process), so the
+    /// reservations are re-derived when clients resume.
+    pub fn to_state(&self) -> ServerState {
+        let mut sessions: Vec<SessionRecord> = self
+            .clients
+            .iter()
+            .map(|(client, s)| SessionRecord {
+                client: *client,
+                epoch: s.epoch,
+                live: true,
+                session: s.session.to_state(),
+                last_reply: s.last_reply.as_ref().map(crate::state::encode_reply),
+            })
+            .chain(self.quarantined.iter().map(|(client, q)| SessionRecord {
+                client: *client,
+                epoch: q.epoch,
+                live: false,
+                session: q.session.to_state(),
+                last_reply: q.last_reply.as_ref().map(crate::state::encode_reply),
+            }))
+            .collect();
+        sessions.sort_by_key(|r| r.client.0);
+        ServerState {
+            seed: self.seed,
+            mode: self.mode,
+            sessions,
+        }
+    }
+
+    /// Reconstructs sessions, epochs, and cached replies from a
+    /// [`ServerState`], returning how many sessions were restored.
+    ///
+    /// Every record is validated and rebuilt *before* anything is
+    /// committed, so a corrupt state leaves the server exactly as it
+    /// was — no partial restore. Restored sessions all land in
+    /// quarantine: their connections died with the old process, their
+    /// Algorithm-2 reservations are zero until the client's `Resume`
+    /// re-attaches them, and the idle TTL reaps any client that never
+    /// comes back.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError`] if the server already has sessions, the
+    /// state's seed disagrees with this server's (future connects
+    /// would derive different adapters than the snapshotted ones), or
+    /// any record fails to rebuild against the registry's model.
+    pub fn restore(&mut self, state: ServerState) -> Result<usize, CheckpointError> {
+        if !self.clients.is_empty() || !self.quarantined.is_empty() {
+            return Err(CheckpointError::Corrupt(format!(
+                "restore into a server with {} live / {} quarantined sessions",
+                self.clients.len(),
+                self.quarantined.len()
+            )));
+        }
+        if state.seed != self.seed {
+            return Err(CheckpointError::Corrupt(format!(
+                "snapshot seed {} does not match server seed {}",
+                state.seed, self.seed
+            )));
+        }
+        let config = self.registry.config().clone();
+        // Validate-then-commit: rebuild everything off to the side
+        // first so an error cannot leave a half-restored server.
+        let mut rebuilt = Vec::with_capacity(state.sessions.len());
+        for rec in &state.sessions {
+            let session = ServerSession::from_state(self.registry.new_instance(), &rec.session)?;
+            if session.client() != rec.client {
+                return Err(CheckpointError::Corrupt(format!(
+                    "record for {} holds a session for {}",
+                    rec.client,
+                    session.client()
+                )));
+            }
+            debug_assert!(self.registry.verify_aliasing(session.model()));
+            let profile =
+                menos_models::ModelProfile::new(config.clone(), session.split().front_layers);
+            let demands = profile_client(&profile, session.ft_config());
+            let last_reply = rec
+                .last_reply
+                .as_deref()
+                .map(crate::state::decode_reply)
+                .transpose()?;
+            rebuilt.push((rec.client, session, demands, rec.epoch, last_reply));
+        }
+        let restored = rebuilt.len();
+        self.mode = state.mode;
+        for (client, session, demands, epoch, last_reply) in rebuilt {
+            self.quarantined.insert(
+                client,
+                Quarantined {
+                    session,
+                    demands,
+                    epoch,
+                    last_reply,
+                    since: Instant::now(),
+                },
+            );
+        }
+        Ok(restored)
+    }
 }
 
 impl MessageHandler for MenosServer {
@@ -668,6 +777,13 @@ impl MessageHandler for MenosServer {
 
     fn expire_idle(&mut self, max_idle: Duration) -> Vec<ClientId> {
         MenosServer::expire_idle(self, max_idle)
+    }
+
+    /// The full [`ServerState`] in snapshot byte form — everything a
+    /// fresh process needs to [`restore`](MenosServer::restore) and
+    /// accept resumes with zero training divergence.
+    fn snapshot_bytes(&mut self) -> Option<Vec<u8>> {
+        Some(self.to_state().to_bytes())
     }
 }
 
@@ -747,6 +863,120 @@ mod tests {
             .unwrap()
             .is_none());
         assert_eq!(srv.active_clients(), 0);
+    }
+
+    /// Drives one full step for `client` and returns the gradient
+    /// reply (which the server also caches for resume replay).
+    fn one_step(srv: &mut MenosServer, c: ClientId, ft: &FineTuneConfig) -> ServerMessage {
+        srv.handle(ClientMessage::Connect {
+            client: c,
+            ft: ft.clone(),
+            split: SplitSpec::paper(),
+            epoch: 1,
+        })
+        .unwrap();
+        let x_c = Tensor::full(0.1, [2, 8, 64]);
+        srv.handle(ClientMessage::Activations {
+            client: c,
+            frame: frame(&x_c),
+        })
+        .unwrap();
+        let g_c = Tensor::full(0.01, [2, 8, 64]);
+        srv.handle(ClientMessage::Gradients {
+            client: c,
+            frame: frame(&g_c),
+        })
+        .unwrap()
+        .unwrap()
+    }
+
+    #[test]
+    fn state_survives_restart_bit_identically() {
+        let (mut srv, ft) = server();
+        let c = ClientId(4);
+        let reply = one_step(&mut srv, c, &ft);
+        assert!(matches!(reply, ServerMessage::ServerGradients { .. }));
+
+        let state = srv.to_state();
+        let bytes = state.to_bytes();
+        assert_eq!(ServerState::from_bytes(&bytes).unwrap(), state);
+
+        // A fresh process: same config and seed re-derive the same
+        // base; restore rebuilds the sessions.
+        let config = ModelConfig::tiny_opt(17);
+        let mut fresh = MenosServer::new(config, ServerSpec::v100(ServerMode::menos()), 5);
+        let restored = fresh
+            .restore(ServerState::from_bytes(&bytes).unwrap())
+            .unwrap();
+        assert_eq!(restored, 1);
+        // Restored sessions are parked: no live reservation until the
+        // client resumes (the old connection died with the process).
+        assert_eq!(fresh.active_clients(), 0);
+        assert_eq!(fresh.quarantined_clients(), 1);
+        assert_eq!(fresh.reserved_bytes(), 0);
+
+        // Adapter weights bit-identical to the snapshotted server's.
+        let old = srv.session_adapters(c).unwrap();
+        let new = fresh.session_adapters(c).unwrap();
+        assert_eq!(old.len(), new.len());
+        for (name, t) in old.iter() {
+            let r = new.get(name).unwrap();
+            let bits = |t: &Tensor| t.to_vec().iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(t), bits(r), "{name}");
+        }
+
+        // The resume handshake works against the restored server: the
+        // client finished 0 steps, the server finished 1, so the
+        // cached reply is replayed byte-for-byte and the Algorithm-2
+        // reservation returns.
+        let resumed = fresh
+            .handle(ClientMessage::Resume {
+                client: c,
+                epoch: 1,
+                last_step: 0,
+            })
+            .unwrap()
+            .unwrap();
+        let ServerMessage::Resumed {
+            epoch,
+            server_step,
+            replay,
+            ..
+        } = resumed
+        else {
+            panic!("expected Resumed");
+        };
+        assert_eq!(epoch, 2, "epochs stay monotone across restarts");
+        assert_eq!(server_step, 1);
+        assert_eq!(replay, encode_server_message(&reply));
+        assert!(fresh.reserved_bytes() > 0);
+    }
+
+    #[test]
+    fn restore_refuses_busy_server_seed_mismatch_and_corruption() {
+        let (mut srv, ft) = server();
+        one_step(&mut srv, ClientId(0), &ft);
+        let bytes = srv.to_state().to_bytes();
+
+        // Busy target: sessions already present.
+        let state = ServerState::from_bytes(&bytes).unwrap();
+        assert!(srv.restore(state.clone()).is_err());
+
+        // Seed mismatch: a different server identity must not adopt
+        // sessions whose adapters derive from another seed.
+        let config = ModelConfig::tiny_opt(17);
+        let mut other = MenosServer::new(config.clone(), ServerSpec::v100(ServerMode::menos()), 99);
+        assert!(other.restore(state.clone()).is_err());
+        assert_eq!(other.quarantined_clients(), 0);
+
+        // Corrupt record: validate-then-commit leaves the target
+        // untouched.
+        let mut fresh = MenosServer::new(config, ServerSpec::v100(ServerMode::menos()), 5);
+        let mut broken = state;
+        broken.sessions[0].session[60] ^= 0xFF;
+        assert!(fresh.restore(broken).is_err());
+        assert_eq!(fresh.quarantined_clients(), 0);
+        assert_eq!(fresh.active_clients(), 0);
     }
 
     #[test]

@@ -1,0 +1,295 @@
+//! The versioned, serializable form of everything a Menos server
+//! mutates while training: [`ServerState`].
+//!
+//! A running [`MenosServer`](crate::MenosServer) owns four kinds of
+//! mutable state — per-client sessions (adapters, optimizer moments,
+//! counters), their quarantine status and resume epochs, the cached
+//! `ServerGradients` replies that back lost-reply replay, and the
+//! forward-mode switch. `ServerState` is that state flattened into
+//! plain data: each session as its own serialized container (see
+//! `ServerSession::to_state`), each cached reply as its wire encoding,
+//! everything else as scalars. What it deliberately does *not* carry:
+//!
+//! * the base model — that is re-derived from the seed (or re-bound
+//!   from the deployment's store) on start, exactly as at first boot;
+//! * Algorithm-2 reservations — those are a pure function of the live
+//!   session set, and every restored session starts parked
+//!   (quarantined), re-acquiring its reservation through the `Resume`
+//!   admission path;
+//! * in-flight autograd graphs — the v1.1 resume reconciliation makes
+//!   clients redo unacknowledged steps, so only completed-step state
+//!   needs to be durable.
+//!
+//! The byte form is a tagged section container
+//! ([`menos_tensor::SectionWriter`]) closed by a CRC-32, so a
+//! truncated or bit-flipped snapshot is rejected with a typed
+//! [`CheckpointError`] — never a panic, never a partial restore.
+
+use bytes::Bytes;
+use menos_split::{
+    decode_server_message, encode_server_message, ClientId, ForwardMode, ServerMessage,
+};
+use menos_tensor::{CheckpointError, SectionReader, SectionWriter};
+
+/// Frame-size cap when re-decoding a cached reply out of a snapshot;
+/// snapshots are local trusted-path artifacts, but the decode is still
+/// length-validated against this bound.
+pub(crate) const SNAPSHOT_MAX_FRAME: usize = menos_net::DEFAULT_MAX_FRAME;
+
+// Outer container tags.
+const TAG_SERVER_META: u32 = 1;
+const TAG_SESSION: u32 = 2;
+
+// Per-session record tags (nested container).
+const TAG_RECORD_META: u32 = 1;
+const TAG_RECORD_SESSION: u32 = 2;
+const TAG_RECORD_REPLY: u32 = 3;
+
+/// One client's durable record inside a [`ServerState`]: identity,
+/// resume epoch, liveness at snapshot time, the serialized session,
+/// and the cached lost-reply replay (wire-encoded), if any.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionRecord {
+    /// The client this record belongs to.
+    pub client: ClientId,
+    /// Resume epoch fencing stale reconnects.
+    pub epoch: u64,
+    /// Whether the session was live (vs. quarantined) when captured.
+    /// Restore parks every record either way — the connections died
+    /// with the process — so this is diagnostic, not behavioural.
+    pub live: bool,
+    /// `ServerSession::to_state` bytes.
+    pub session: Vec<u8>,
+    /// The last `ServerGradients` reply, wire-encoded, kept so a
+    /// resume that raced the reply can replay it after a restart.
+    pub last_reply: Option<Vec<u8>>,
+}
+
+/// The full mutable state of a [`MenosServer`](crate::MenosServer),
+/// versioned and serializable.
+///
+/// # Examples
+///
+/// ```
+/// use menos_core::{MenosServer, ServerMode, ServerSpec};
+/// use menos_models::ModelConfig;
+///
+/// let config = ModelConfig::tiny_llama(16);
+/// let server = MenosServer::new(config, ServerSpec::v100(ServerMode::menos()), 7);
+/// let state = server.to_state();
+/// let restored = menos_core::ServerState::from_bytes(&state.to_bytes()).unwrap();
+/// assert_eq!(restored, state);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerState {
+    /// The server's base seed (session seeds derive from it).
+    pub seed: u64,
+    /// The forward-mode switch at snapshot time.
+    pub mode: ForwardMode,
+    /// Every session, live or quarantined, sorted by client id.
+    pub sessions: Vec<SessionRecord>,
+}
+
+fn mode_to_byte(mode: ForwardMode) -> u8 {
+    match mode {
+        ForwardMode::Cached => 0,
+        ForwardMode::NoGradReforward => 1,
+    }
+}
+
+fn mode_from_byte(b: u8) -> Result<ForwardMode, CheckpointError> {
+    match b {
+        0 => Ok(ForwardMode::Cached),
+        1 => Ok(ForwardMode::NoGradReforward),
+        other => Err(CheckpointError::Corrupt(format!("forward mode {other}"))),
+    }
+}
+
+impl ServerState {
+    /// Serializes to the snapshot byte form: one tagged, versioned,
+    /// CRC-closed container with a meta section and one nested
+    /// container per session.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut meta = Vec::new();
+        meta.extend(self.seed.to_le_bytes());
+        meta.push(mode_to_byte(self.mode));
+        meta.extend((self.sessions.len() as u64).to_le_bytes());
+        let mut w = SectionWriter::new();
+        w.section(TAG_SERVER_META, meta);
+        for rec in &self.sessions {
+            let mut rec_meta = Vec::new();
+            rec_meta.extend(rec.client.0.to_le_bytes());
+            rec_meta.extend(rec.epoch.to_le_bytes());
+            rec_meta.push(u8::from(rec.live));
+            let mut inner = SectionWriter::new();
+            inner.section(TAG_RECORD_META, rec_meta);
+            inner.section(TAG_RECORD_SESSION, rec.session.clone());
+            if let Some(reply) = &rec.last_reply {
+                inner.section(TAG_RECORD_REPLY, reply.clone());
+            }
+            w.section(TAG_SESSION, inner.finish());
+        }
+        w.finish()
+    }
+
+    /// Decodes snapshot bytes written by [`to_bytes`](Self::to_bytes).
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError`] on truncation, corruption (checksum or
+    /// structural), or version mismatch — never panics on untrusted
+    /// input. Validation here is purely structural; semantic checks
+    /// (does each session rebuild against the model?) happen in
+    /// `MenosServer::restore`, which commits nothing until every
+    /// record has been validated.
+    pub fn from_bytes(bytes: &[u8]) -> Result<ServerState, CheckpointError> {
+        let r = SectionReader::parse(bytes)?;
+        let meta = r.require(TAG_SERVER_META)?;
+        if meta.len() != 17 {
+            return Err(CheckpointError::Corrupt(format!(
+                "server meta of {} bytes",
+                meta.len()
+            )));
+        }
+        let seed = u64::from_le_bytes(meta[0..8].try_into().expect("8"));
+        let mode = mode_from_byte(meta[8])?;
+        let declared = u64::from_le_bytes(meta[9..17].try_into().expect("8"));
+        let mut sessions = Vec::new();
+        for (tag, body) in r.sections() {
+            if tag != TAG_SESSION {
+                continue;
+            }
+            let inner = SectionReader::parse(body)?;
+            let rec_meta = inner.require(TAG_RECORD_META)?;
+            if rec_meta.len() != 17 {
+                return Err(CheckpointError::Corrupt(format!(
+                    "session record meta of {} bytes",
+                    rec_meta.len()
+                )));
+            }
+            let client = ClientId(u64::from_le_bytes(rec_meta[0..8].try_into().expect("8")));
+            let epoch = u64::from_le_bytes(rec_meta[8..16].try_into().expect("8"));
+            let live = match rec_meta[16] {
+                0 => false,
+                1 => true,
+                other => {
+                    return Err(CheckpointError::Corrupt(format!("liveness byte {other}")));
+                }
+            };
+            let session = inner.require(TAG_RECORD_SESSION)?.to_vec();
+            let last_reply = inner.find(TAG_RECORD_REPLY).map(<[u8]>::to_vec);
+            sessions.push(SessionRecord {
+                client,
+                epoch,
+                live,
+                session,
+                last_reply,
+            });
+        }
+        if sessions.len() as u64 != declared {
+            return Err(CheckpointError::Corrupt(format!(
+                "{} session records, meta declares {declared}",
+                sessions.len()
+            )));
+        }
+        let mut seen = std::collections::HashSet::new();
+        for rec in &sessions {
+            if !seen.insert(rec.client) {
+                return Err(CheckpointError::Corrupt(format!(
+                    "duplicate session record for {}",
+                    rec.client
+                )));
+            }
+        }
+        Ok(ServerState {
+            seed,
+            mode,
+            sessions,
+        })
+    }
+}
+
+/// Wire-encodes a cached reply for a [`SessionRecord`].
+pub(crate) fn encode_reply(reply: &ServerMessage) -> Vec<u8> {
+    encode_server_message(reply).to_vec()
+}
+
+/// Decodes a [`SessionRecord`]'s cached reply back to a message,
+/// mapping wire errors into the checkpoint taxonomy.
+pub(crate) fn decode_reply(bytes: &[u8]) -> Result<ServerMessage, CheckpointError> {
+    let reply = decode_server_message(&Bytes::from(bytes.to_vec()), SNAPSHOT_MAX_FRAME)
+        .map_err(|e| CheckpointError::Corrupt(format!("cached reply: {e}")))?;
+    if !matches!(reply, ServerMessage::ServerGradients { .. }) {
+        return Err(CheckpointError::Corrupt(format!(
+            "cached reply is {reply:?}, expected ServerGradients"
+        )));
+    }
+    Ok(reply)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ServerState {
+        ServerState {
+            seed: 21,
+            mode: ForwardMode::NoGradReforward,
+            sessions: vec![
+                SessionRecord {
+                    client: ClientId(3),
+                    epoch: 2,
+                    live: true,
+                    session: vec![1, 2, 3, 4],
+                    last_reply: Some(vec![9, 9]),
+                },
+                SessionRecord {
+                    client: ClientId(7),
+                    epoch: 1,
+                    live: false,
+                    session: vec![5; 64],
+                    last_reply: None,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn round_trips_including_empty() {
+        let state = sample();
+        assert_eq!(ServerState::from_bytes(&state.to_bytes()).unwrap(), state);
+        let empty = ServerState {
+            seed: 0,
+            mode: ForwardMode::Cached,
+            sessions: vec![],
+        };
+        assert_eq!(ServerState::from_bytes(&empty.to_bytes()).unwrap(), empty);
+    }
+
+    #[test]
+    fn rejects_truncation_and_bit_flips_everywhere() {
+        let bytes = sample().to_bytes();
+        for cut in 0..bytes.len() {
+            assert!(ServerState::from_bytes(&bytes[..cut]).is_err(), "cut={cut}");
+        }
+        for offset in 0..bytes.len() {
+            let mut flipped = bytes.clone();
+            flipped[offset] ^= 1 << (offset % 8);
+            assert!(
+                ServerState::from_bytes(&flipped).is_err(),
+                "offset={offset}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_duplicate_records_and_count_mismatch() {
+        let mut state = sample();
+        state.sessions.push(state.sessions[0].clone());
+        assert!(matches!(
+            ServerState::from_bytes(&state.to_bytes()),
+            Err(CheckpointError::Corrupt(msg)) if msg.contains("duplicate")
+        ));
+    }
+}

@@ -392,7 +392,7 @@ fn expect_empty(payload: &Bytes) -> Result<(), WireError> {
 // is in the dependency set).
 // ----------------------------------------------------------------------
 
-fn encode_config(ft: &FineTuneConfig, split: SplitSpec, epoch: u64) -> Vec<u8> {
+pub(crate) fn encode_config(ft: &FineTuneConfig, split: SplitSpec, epoch: u64) -> Vec<u8> {
     let mut out = Vec::new();
     match &ft.adapter {
         AdapterKind::Lora { spec, targets } => {
@@ -477,7 +477,7 @@ impl<'a> Cursor<'a> {
     }
 }
 
-fn decode_config(buf: &[u8]) -> Result<(FineTuneConfig, SplitSpec, u64), WireError> {
+pub(crate) fn decode_config(buf: &[u8]) -> Result<(FineTuneConfig, SplitSpec, u64), WireError> {
     let mut c = Cursor { buf, pos: 0 };
     let adapter = match c.u8()? {
         0 => {

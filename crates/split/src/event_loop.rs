@@ -38,6 +38,7 @@
 //! batches are self-sustaining.
 
 use std::collections::{BTreeMap, HashMap};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
@@ -269,6 +270,88 @@ impl IdleBackoff {
     }
 }
 
+/// Where and how often the event loop persists the handler's durable
+/// state (see [`MessageHandler::snapshot_bytes`]).
+///
+/// Snapshots land in `dir` as a single `server.snap` file, written
+/// atomically: bytes go to `server.snap.tmp`, are fsynced, and the tmp
+/// file is renamed over the live one — a crash mid-write leaves the
+/// previous snapshot intact, so the file on disk is always a complete,
+/// CRC-sealed state (never a torn one).
+///
+/// `every == 0` selects **durable** mode: a snapshot is taken after
+/// every state-advancing dispatch, *before* the corresponding replies
+/// are released to clients. That ordering is what makes
+/// kill-the-server recovery divergence-free — a client can only have
+/// observed a reply whose effects are already on disk, so replaying
+/// through the v1.1 `Resume` reconciliation lands on exactly the state
+/// the client saw. `every == N > 0` snapshots after every N
+/// dispatches (plus once at loop exit), trading bounded replay work
+/// for lower I/O.
+#[derive(Debug, Clone)]
+pub struct SnapshotPolicy {
+    dir: PathBuf,
+    every: u64,
+}
+
+/// File name of the live snapshot inside the policy directory.
+const SNAPSHOT_FILE: &str = "server.snap";
+
+impl SnapshotPolicy {
+    /// Durable mode: snapshot before every reply release (`every = 0`).
+    pub fn durable(dir: impl Into<PathBuf>) -> Self {
+        SnapshotPolicy {
+            dir: dir.into(),
+            every: 0,
+        }
+    }
+
+    /// Periodic mode: snapshot after every `every` dispatches and at
+    /// loop exit. `every == 0` degenerates to [`durable`](Self::durable).
+    pub fn periodic(dir: impl Into<PathBuf>, every: u64) -> Self {
+        SnapshotPolicy {
+            dir: dir.into(),
+            every,
+        }
+    }
+
+    /// The dispatch cadence (0 = durable).
+    pub fn every(&self) -> u64 {
+        self.every
+    }
+
+    /// Path of the live snapshot file under this policy's directory.
+    pub fn snapshot_path(&self) -> PathBuf {
+        self.dir.join(SNAPSHOT_FILE)
+    }
+
+    /// Atomically replaces the live snapshot with `bytes`
+    /// (tmp file + `write_all` + `sync_all` + rename).
+    ///
+    /// # Errors
+    ///
+    /// Any I/O fault creating the directory, writing, syncing, or
+    /// renaming. On error the previous snapshot (if any) is untouched.
+    pub fn write(&self, bytes: &[u8]) -> std::io::Result<()> {
+        std::fs::create_dir_all(&self.dir)?;
+        let tmp = self.dir.join("server.snap.tmp");
+        {
+            use std::io::Write;
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(bytes)?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, self.snapshot_path())
+    }
+
+    /// Reads the live snapshot under `dir`, if one exists. Validation
+    /// is the caller's job (snapshot bytes are CRC-sealed and decode
+    /// through the typed checkpoint path).
+    pub fn read(dir: impl AsRef<Path>) -> Option<Vec<u8>> {
+        std::fs::read(dir.as_ref().join(SNAPSHOT_FILE)).ok()
+    }
+}
+
 /// Counters describing one [`ServerEventLoop::run`].
 #[derive(Debug, Clone, Copy, Default)]
 pub struct EventLoopStats {
@@ -292,6 +375,11 @@ pub struct EventLoopStats {
     pub resumed: u64,
     /// Quarantined sessions reaped by the idle TTL.
     pub expired: u64,
+    /// Snapshots written successfully (see [`SnapshotPolicy`]).
+    pub snapshots: u64,
+    /// Snapshot attempts that failed (I/O fault); the loop keeps
+    /// serving — durability degrades, training does not stop.
+    pub snapshot_errors: u64,
 }
 
 // ----------------------------------------------------------------------
@@ -317,6 +405,7 @@ pub struct ServerEventLoop<L: EventListener, H: BatchHandler> {
     listener: L,
     handler: H,
     options: EventLoopOptions,
+    snapshots: Option<SnapshotPolicy>,
     shutdown: Arc<AtomicBool>,
 }
 
@@ -327,8 +416,20 @@ impl<L: EventListener, H: BatchHandler> ServerEventLoop<L, H> {
             listener,
             handler,
             options,
+            snapshots: None,
             shutdown: Arc::new(AtomicBool::new(false)),
         }
+    }
+
+    /// Persists the handler's durable state per `policy` (handlers
+    /// that return `None` from
+    /// [`MessageHandler::snapshot_bytes`] are simply never
+    /// snapshotted). A final snapshot is always written when the loop
+    /// exits, whatever the cadence.
+    #[must_use]
+    pub fn with_snapshots(mut self, policy: SnapshotPolicy) -> Self {
+        self.snapshots = Some(policy);
+        self
     }
 
     /// A flag that stops the loop at the next sweep (live sessions are
@@ -345,6 +446,7 @@ impl<L: EventListener, H: BatchHandler> ServerEventLoop<L, H> {
             mut listener,
             mut handler,
             options,
+            snapshots,
             shutdown,
         } = self;
         let mut stats = EventLoopStats::default();
@@ -392,6 +494,36 @@ impl<L: EventListener, H: BatchHandler> ServerEventLoop<L, H> {
                 }
             }
         }
+
+        // Persists the handler's state after a state-advancing
+        // dispatch, *before* the replies it produced are queued. In
+        // durable mode (`every == 0`) every dispatch snapshots —
+        // clients then can never observe a reply whose effects are not
+        // on disk, which is the invariant behind bit-identical
+        // kill-the-server recovery. Periodic mode counts dispatches.
+        // Quarantine/eviction mutations deliberately do NOT snapshot
+        // here: restoring a pre-quarantine superset is safe (the
+        // restore path parks every session anyway).
+        fn snapshot_after_dispatch<H: BatchHandler>(
+            handler: &mut H,
+            stats: &mut EventLoopStats,
+            policy: Option<&SnapshotPolicy>,
+            since: &mut u64,
+        ) {
+            let Some(policy) = policy else { return };
+            *since += 1;
+            if policy.every() != 0 && *since < policy.every() {
+                return;
+            }
+            *since = 0;
+            if let Some(bytes) = handler.snapshot_bytes() {
+                match policy.write(&bytes) {
+                    Ok(()) => stats.snapshots += 1,
+                    Err(_e) => stats.snapshot_errors += 1,
+                }
+            }
+        }
+        let mut since_snapshot: u64 = 0;
 
         loop {
             stats.sweeps += 1;
@@ -467,6 +599,16 @@ impl<L: EventListener, H: BatchHandler> ServerEventLoop<L, H> {
                             let is_resume = matches!(msg, ClientMessage::Resume { .. });
                             match handler.handle(msg) {
                                 Ok(reply) => {
+                                    // Admission mutated durable state
+                                    // (session created or re-attached);
+                                    // persist before the reply can
+                                    // reach the client.
+                                    snapshot_after_dispatch(
+                                        &mut handler,
+                                        &mut stats,
+                                        snapshots.as_ref(),
+                                        &mut since_snapshot,
+                                    );
                                     let state =
                                         conns.get_mut(&key).expect("conn alive during connect");
                                     state.client = Some(client);
@@ -519,6 +661,12 @@ impl<L: EventListener, H: BatchHandler> ServerEventLoop<L, H> {
                         }
                         msg @ ClientMessage::Disconnect { .. } => {
                             let _ = handler.handle(msg);
+                            snapshot_after_dispatch(
+                                &mut handler,
+                                &mut stats,
+                                snapshots.as_ref(),
+                                &mut since_snapshot,
+                            );
                             if conns.remove(&key).is_some() {
                                 stats.served += 1;
                             }
@@ -547,6 +695,15 @@ impl<L: EventListener, H: BatchHandler> ServerEventLoop<L, H> {
                 key_of.clear();
                 key_of.extend(batch.iter().map(|(k, m)| (m.client(), *k)));
                 let results = handler.handle_batch(batch.into_iter().map(|(_, m)| m).collect());
+                // Training steps advanced; in durable mode the replies
+                // below must not leave before the state that produced
+                // them is on disk.
+                snapshot_after_dispatch(
+                    &mut handler,
+                    &mut stats,
+                    snapshots.as_ref(),
+                    &mut since_snapshot,
+                );
                 for (client, result) in results {
                     let Some(&key) = key_of.get(&client) else {
                         continue;
@@ -627,6 +784,18 @@ impl<L: EventListener, H: BatchHandler> ServerEventLoop<L, H> {
                 backoff.reset();
             } else {
                 std::thread::sleep(backoff.next_sleep());
+            }
+        }
+        // Final snapshot at exit, whatever the cadence: a clean
+        // shutdown (including the shutdown-flag branch, which
+        // quarantines every live session first) always leaves the
+        // latest state on disk.
+        if let Some(policy) = &snapshots {
+            if let Some(bytes) = handler.snapshot_bytes() {
+                match policy.write(&bytes) {
+                    Ok(()) => stats.snapshots += 1,
+                    Err(_e) => stats.snapshot_errors += 1,
+                }
             }
         }
         (handler, stats)
@@ -910,6 +1079,148 @@ mod tests {
         let mut odd = IdleBackoff::new(Duration::from_millis(5), Duration::from_millis(1));
         assert_eq!(odd.next_sleep(), Duration::from_millis(5));
         assert_eq!(odd.current(), Duration::from_millis(5));
+    }
+
+    fn scratch_dir(label: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("menos-snap-{label}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn snapshot_policy_writes_atomically_and_reads_back() {
+        let dir = scratch_dir("policy");
+        assert!(SnapshotPolicy::read(&dir).is_none());
+        let policy = SnapshotPolicy::durable(&dir);
+        assert_eq!(policy.every(), 0);
+        policy.write(b"first").expect("write");
+        assert_eq!(SnapshotPolicy::read(&dir).unwrap(), b"first");
+        // Replacement is whole-file: the longer payload fully
+        // supersedes the shorter one and no tmp residue remains.
+        policy.write(b"second, longer payload").expect("rewrite");
+        assert_eq!(
+            SnapshotPolicy::read(&dir).unwrap(),
+            b"second, longer payload"
+        );
+        assert!(!dir.join("server.snap.tmp").exists());
+        assert_eq!(SnapshotPolicy::periodic(&dir, 16).every(), 16);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A [`SessionHandler`] wrapper that versions its state: every
+    /// dispatch bumps a counter, and snapshots carry the counter —
+    /// letting the test pin exactly *when* the loop persisted.
+    struct VersionedHandler {
+        inner: SessionHandler,
+        version: u64,
+    }
+
+    impl MessageHandler for VersionedHandler {
+        fn handle(&mut self, msg: ClientMessage) -> Result<Option<ServerMessage>, ProtocolError> {
+            self.version += 1;
+            self.inner.handle(msg)
+        }
+
+        fn snapshot_bytes(&mut self) -> Option<Vec<u8>> {
+            Some(self.version.to_le_bytes().to_vec())
+        }
+    }
+
+    impl BatchHandler for VersionedHandler {}
+
+    #[test]
+    fn durable_mode_snapshots_every_dispatch_and_at_exit() {
+        let dir = scratch_dir("durable");
+        let (mut client, session) = pair(11);
+        let (dialer, listener) = event_channel_listener();
+        let handler = VersionedHandler {
+            inner: SessionHandler::new(session, ForwardMode::NoGradReforward),
+            version: 0,
+        };
+        let event_loop = ServerEventLoop::new(
+            listener,
+            handler,
+            EventLoopOptions {
+                max_clients: 1,
+                ..EventLoopOptions::default()
+            },
+        )
+        .with_snapshots(SnapshotPolicy::durable(&dir));
+        let server = std::thread::spawn(move || event_loop.run());
+        let mut transport = dialer.dial().expect("dial");
+        drive_client(&mut client, &mut transport, 2).expect("training");
+        let (handler, stats) = server.join().expect("loop thread");
+        // Connect + 2×(activations, gradients) + Disconnect = 6
+        // dispatched messages; durable mode snapshots Connect,
+        // Disconnect, and each batch, plus the exit snapshot.
+        assert_eq!(handler.version, 6);
+        assert!(
+            stats.snapshots >= 4,
+            "expected connect+batches+disconnect+exit snapshots, got {}",
+            stats.snapshots
+        );
+        assert_eq!(stats.snapshot_errors, 0);
+        // The on-disk snapshot is the *final* version: nothing
+        // advanced after the last persisted state.
+        let bytes = SnapshotPolicy::read(&dir).expect("snapshot exists");
+        assert_eq!(bytes, 6u64.to_le_bytes().to_vec());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn periodic_mode_counts_dispatches_but_always_snapshots_at_exit() {
+        let dir = scratch_dir("periodic");
+        let (mut client, session) = pair(12);
+        let (dialer, listener) = event_channel_listener();
+        let handler = VersionedHandler {
+            inner: SessionHandler::new(session, ForwardMode::NoGradReforward),
+            version: 0,
+        };
+        let event_loop = ServerEventLoop::new(
+            listener,
+            handler,
+            EventLoopOptions {
+                max_clients: 1,
+                ..EventLoopOptions::default()
+            },
+        )
+        // Cadence larger than the run's dispatch count: only the exit
+        // snapshot fires.
+        .with_snapshots(SnapshotPolicy::periodic(&dir, 1000));
+        let server = std::thread::spawn(move || event_loop.run());
+        let mut transport = dialer.dial().expect("dial");
+        drive_client(&mut client, &mut transport, 2).expect("training");
+        let (handler, stats) = server.join().expect("loop thread");
+        assert_eq!(stats.snapshots, 1, "only the exit snapshot");
+        let bytes = SnapshotPolicy::read(&dir).expect("snapshot exists");
+        assert_eq!(bytes, handler.version.to_le_bytes().to_vec());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn handlers_without_durable_state_produce_no_snapshot_file() {
+        let dir = scratch_dir("none");
+        let (mut client, session) = pair(13);
+        let (dialer, listener) = event_channel_listener();
+        // Plain SessionHandler: snapshot_bytes() is the default None.
+        let handler = SessionHandler::new(session, ForwardMode::NoGradReforward);
+        let event_loop = ServerEventLoop::new(
+            listener,
+            handler,
+            EventLoopOptions {
+                max_clients: 1,
+                ..EventLoopOptions::default()
+            },
+        )
+        .with_snapshots(SnapshotPolicy::durable(&dir));
+        let server = std::thread::spawn(move || event_loop.run());
+        let mut transport = dialer.dial().expect("dial");
+        drive_client(&mut client, &mut transport, 1).expect("training");
+        let (_handler, stats) = server.join().expect("loop thread");
+        assert_eq!(stats.snapshots, 0);
+        assert_eq!(stats.snapshot_errors, 0);
+        assert!(SnapshotPolicy::read(&dir).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

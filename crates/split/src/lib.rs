@@ -77,7 +77,7 @@ pub use driver::{
 pub use event_loop::{
     event_channel_listener, event_sim_listener, BatchHandler, ChannelDialer, EventConn,
     EventListener, EventLoopOptions, EventLoopStats, IdleBackoff, QueueListener, ServerEventLoop,
-    SimDialer,
+    SimDialer, SnapshotPolicy,
 };
 pub use fault::FaultTransport;
 pub use message::{activation_wire_bytes, ClientId, ClientMessage, EvictionCode, ServerMessage};

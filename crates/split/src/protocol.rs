@@ -464,6 +464,14 @@ pub trait MessageHandler {
         let _ = max_idle;
         Vec::new()
     }
+
+    /// Serializes the handler's full durable state for a snapshot, or
+    /// `None` if the handler has nothing durable (the default). The
+    /// event loop calls this under its snapshot policy; handlers that
+    /// support restart-recovery (the `menos-core` server) override it.
+    fn snapshot_bytes(&mut self) -> Option<Vec<u8>> {
+        None
+    }
 }
 
 /// Shared handlers: connection threads hand `Arc<Mutex<H>>` around and
@@ -485,6 +493,13 @@ impl<H: MessageHandler> MessageHandler for Arc<Mutex<H>> {
         match self.lock() {
             Ok(mut h) => h.expire_idle(max_idle),
             Err(_) => Vec::new(),
+        }
+    }
+
+    fn snapshot_bytes(&mut self) -> Option<Vec<u8>> {
+        match self.lock() {
+            Ok(mut h) => h.snapshot_bytes(),
+            Err(_) => None,
         }
     }
 }

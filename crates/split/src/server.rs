@@ -3,11 +3,15 @@
 
 use std::ops::Range;
 
-use menos_adapters::{build_optimizer, inject_adapters, FineTuneConfig, Optimizer};
+use menos_adapters::{build_optimizer, inject_adapters, FineTuneConfig, OptimState, Optimizer};
 use menos_models::CausalLm;
 use menos_sim::seeded_rng;
-use menos_tensor::{no_grad, GradStore, ParamStore, Tensor};
+use menos_tensor::{
+    load_checkpoint, no_grad, restore_into, save_checkpoint, CheckpointError, GradStore,
+    ParamStore, SectionReader, SectionWriter, Tensor,
+};
 
+use crate::codec::{decode_config, encode_config};
 use crate::message::ClientId;
 use crate::spec::SplitSpec;
 
@@ -36,6 +40,9 @@ pub struct ServerSession {
     client: ClientId,
     model: CausalLm,
     range: Range<usize>,
+    ft: FineTuneConfig,
+    split: SplitSpec,
+    seed: u64,
     adapter_params: ParamStore,
     optimizer: Box<dyn Optimizer>,
     cached: Option<CachedForward>,
@@ -46,6 +53,13 @@ pub struct ServerSession {
     reforward_count: u64,
     steps: u64,
 }
+
+// Section tags of the serialized session container.
+const TAG_SESSION_META: u32 = 1;
+const TAG_SESSION_CONFIG: u32 = 2;
+const TAG_SESSION_ADAPTERS: u32 = 3;
+const TAG_SESSION_OPTIM: u32 = 4;
+const TAG_SESSION_ACCUM: u32 = 5;
 
 impl ServerSession {
     /// Creates a session for `client` over `model` (a structure bound
@@ -71,6 +85,9 @@ impl ServerSession {
             client,
             model,
             range,
+            ft: ft.clone(),
+            split,
+            seed,
             adapter_params,
             optimizer,
             cached: None,
@@ -81,6 +98,131 @@ impl ServerSession {
             reforward_count: 0,
             steps: 0,
         }
+    }
+
+    /// Serializes everything needed to rebuild this session on a fresh
+    /// server process: the fine-tune/split configuration and seed (so
+    /// the deterministic structure can be re-derived), adapter values,
+    /// optimizer moments, counters, and any partial gradient
+    /// accumulation.
+    ///
+    /// The in-flight autograd graph (`cached`/`pending_input`) is
+    /// deliberately *not* serialized: the v1.1 `Resume` reconciliation
+    /// makes the client redo an unacknowledged step, so a restored
+    /// session only ever needs completed-step state.
+    #[must_use]
+    pub fn to_state(&self) -> Vec<u8> {
+        let mut meta = Vec::new();
+        meta.extend(self.client.0.to_le_bytes());
+        meta.extend(self.seed.to_le_bytes());
+        meta.extend(self.steps.to_le_bytes());
+        meta.extend(self.reforward_count.to_le_bytes());
+        meta.extend((self.micro as u64).to_le_bytes());
+        let mut w = SectionWriter::new();
+        w.section(TAG_SESSION_META, meta);
+        w.section(TAG_SESSION_CONFIG, encode_config(&self.ft, self.split, 0));
+        w.section(TAG_SESSION_ADAPTERS, save_checkpoint(&self.adapter_params));
+        w.section(TAG_SESSION_OPTIM, self.optimizer.to_state().to_bytes());
+        if let Some(acc) = &self.accum {
+            // Gradients are keyed by tensor identity, which does not
+            // survive a process restart — persist them by parameter
+            // name and re-key on restore.
+            let mut grads = ParamStore::new();
+            for (name, p) in self.adapter_params.iter() {
+                if let Some(g) = acc.get(p) {
+                    grads.insert(name.clone(), g.detach());
+                }
+            }
+            w.section(TAG_SESSION_ACCUM, save_checkpoint(&grads));
+        }
+        w.finish()
+    }
+
+    /// Rebuilds a session from [`to_state`](Self::to_state) bytes over
+    /// a fresh model structure bound to the shared base.
+    ///
+    /// The structure is re-derived deterministically from the recorded
+    /// configuration and seed (adapter injection order is the
+    /// `ParamStore`'s name order), then the recorded values overwrite
+    /// the seed-initialized ones — so the restored session is
+    /// bit-identical to the snapshotted one.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError`] on corrupt bytes or a configuration
+    /// inconsistent with `model`; never panics on untrusted input.
+    pub fn from_state(model: CausalLm, bytes: &[u8]) -> Result<ServerSession, CheckpointError> {
+        let r = SectionReader::parse(bytes)?;
+        let meta = r.require(TAG_SESSION_META)?;
+        if meta.len() != 40 {
+            return Err(CheckpointError::Corrupt(format!(
+                "session meta of {} bytes",
+                meta.len()
+            )));
+        }
+        let word = |i: usize| u64::from_le_bytes(meta[i * 8..(i + 1) * 8].try_into().expect("8"));
+        let (client, seed, steps, reforwards, micro) =
+            (word(0), word(1), word(2), word(3), word(4));
+        let (ft, split, _) = decode_config(r.require(TAG_SESSION_CONFIG)?)
+            .map_err(|e| CheckpointError::Corrupt(format!("session config: {e}")))?;
+        ft.validate(&model.config)
+            .map_err(|e| CheckpointError::Corrupt(format!("fine-tune config: {e}")))?;
+        split
+            .validate(&model.config)
+            .map_err(|e| CheckpointError::Corrupt(format!("split spec: {e}")))?;
+
+        let mut session = ServerSession::new(ClientId(client), model, split, &ft, seed);
+        let adapters = load_checkpoint(r.require(TAG_SESSION_ADAPTERS)?)?;
+        if adapters.len() != session.adapter_params.len() {
+            return Err(CheckpointError::Corrupt(format!(
+                "{} adapter parameters recorded, structure has {}",
+                adapters.len(),
+                session.adapter_params.len()
+            )));
+        }
+        restore_into(&session.adapter_params, &adapters)?;
+        session
+            .optimizer
+            .restore_state(OptimState::from_bytes(r.require(TAG_SESSION_OPTIM)?)?)?;
+        if micro >= session.grad_accumulation as u64 {
+            return Err(CheckpointError::Corrupt(format!(
+                "micro-step {micro} with grad_accumulation {}",
+                session.grad_accumulation
+            )));
+        }
+        session.steps = steps;
+        session.reforward_count = reforwards;
+        session.micro = micro as usize;
+        if let Some(acc_bytes) = r.find(TAG_SESSION_ACCUM) {
+            let grads = load_checkpoint(acc_bytes)?;
+            let mut acc = GradStore::new();
+            for (name, g) in grads.iter() {
+                let p = session
+                    .adapter_params
+                    .get(name)
+                    .ok_or_else(|| CheckpointError::MissingParam(name.clone()))?;
+                if p.dims() != g.dims() {
+                    return Err(CheckpointError::ShapeMismatch {
+                        name: name.clone(),
+                        expected: p.dims().to_vec(),
+                        actual: g.dims().to_vec(),
+                    });
+                }
+                acc.insert(p, g.detach());
+            }
+            session.accum = Some(acc);
+        }
+        Ok(session)
+    }
+
+    /// The fine-tune configuration this session was created with.
+    pub fn ft_config(&self) -> &FineTuneConfig {
+        &self.ft
+    }
+
+    /// The split specification this session was created with.
+    pub fn split(&self) -> SplitSpec {
+        self.split
     }
 
     /// The client this session serves.

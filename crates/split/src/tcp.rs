@@ -26,6 +26,7 @@ use menos_net::{read_frame_bytes, FrameAccumulator, WriteQueue, DEFAULT_MAX_FRAM
 use crate::client::SplitClient;
 use crate::event_loop::{
     BatchHandler, EventConn, EventListener, EventLoopOptions, EventLoopStats, ServerEventLoop,
+    SnapshotPolicy,
 };
 use crate::message::{ClientMessage, ServerMessage};
 use crate::protocol::{
@@ -388,9 +389,40 @@ where
         options: EventLoopOptions,
         tcp: TcpOptions,
     ) -> Result<TcpEventServer<H>, ProtocolError> {
+        Self::spawn_inner(addr, handler, options, tcp, None)
+    }
+
+    /// [`TcpEventServer::spawn`] with durable-state snapshots: the
+    /// loop persists the handler's state per `policy` (see
+    /// [`SnapshotPolicy`] for the cadence and the atomic-write
+    /// guarantee), including a final snapshot at shutdown.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the address cannot be bound.
+    pub fn spawn_with_snapshots(
+        addr: impl ToSocketAddrs,
+        handler: H,
+        options: EventLoopOptions,
+        tcp: TcpOptions,
+        policy: SnapshotPolicy,
+    ) -> Result<TcpEventServer<H>, ProtocolError> {
+        Self::spawn_inner(addr, handler, options, tcp, Some(policy))
+    }
+
+    fn spawn_inner(
+        addr: impl ToSocketAddrs,
+        handler: H,
+        options: EventLoopOptions,
+        tcp: TcpOptions,
+        policy: Option<SnapshotPolicy>,
+    ) -> Result<TcpEventServer<H>, ProtocolError> {
         let listener = TcpEventListener::bind(addr, tcp)?;
         let addr = listener.addr();
-        let event_loop = ServerEventLoop::new(listener, handler, options);
+        let mut event_loop = ServerEventLoop::new(listener, handler, options);
+        if let Some(policy) = policy {
+            event_loop = event_loop.with_snapshots(policy);
+        }
         let shutdown = event_loop.shutdown_handle();
         let handle = std::thread::spawn(move || event_loop.run());
         Ok(TcpEventServer {

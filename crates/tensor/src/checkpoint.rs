@@ -1,5 +1,5 @@
 //! Parameter checkpointing: serialize a [`ParamStore`] to bytes and
-//! back.
+//! back, plus the tagged section container durable snapshots build on.
 //!
 //! Fine-tuning services checkpoint *adapters*, not base models — the
 //! whole point of adapter-based methods is that a client's artifact is
@@ -7,6 +7,15 @@
 //! `magic (u32) | version (u32) | count (u64)` then per parameter
 //! `name_len (u32) | name | trainable (u8) | rank (u32) | dims (u64…) |
 //! f32 data…`, all little-endian.
+//!
+//! Composite state (adapters + optimizer moments + counters + …) is
+//! layered with [`SectionWriter`]/[`SectionReader`]: a tagged, versioned
+//! container — `magic (u32) | version (u32) | count (u64)` then per
+//! section `tag (u32) | len (u64) | bytes`, closed by a CRC-32 over
+//! everything preceding it. Decode is length-validated before any
+//! allocation and rejects corruption with typed errors, mirroring the
+//! wire codec's discipline; the trailing checksum catches the payload
+//! bit-flips that are structurally undetectable (any f32 is "valid").
 
 use crate::param::ParamStore;
 use crate::shape::Shape;
@@ -14,6 +23,13 @@ use crate::tensor::Tensor;
 
 const MAGIC: u32 = 0x4d43_4b50; // "MCKP"
 const VERSION: u32 = 1;
+
+const SECTION_MAGIC: u32 = 0x4d53_4543; // "MSEC"
+const SECTION_VERSION: u32 = 1;
+/// Upper bound on sections per container — far above any real snapshot.
+const MAX_SECTIONS: u64 = 1 << 16;
+/// Upper bound on one section's byte length.
+const MAX_SECTION_LEN: u64 = 1 << 32;
 
 /// Errors reading a checkpoint.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -26,6 +42,27 @@ pub enum CheckpointError {
     BadVersion(u32),
     /// A declared size is implausible.
     Corrupt(String),
+    /// The trailing CRC-32 does not match the bytes it covers.
+    ChecksumMismatch {
+        /// Checksum stored in the byte stream.
+        stored: u32,
+        /// Checksum recomputed over the received bytes.
+        actual: u32,
+    },
+    /// `restore_into` found a checkpoint entry absent from the target.
+    MissingParam(String),
+    /// `restore_into` found a same-named parameter with a different
+    /// shape.
+    ShapeMismatch {
+        /// The mismatched parameter.
+        name: String,
+        /// Shape in the restore target.
+        expected: Vec<usize>,
+        /// Shape carried by the checkpoint.
+        actual: Vec<usize>,
+    },
+    /// A required section tag is absent from a section container.
+    MissingSection(u32),
 }
 
 impl std::fmt::Display for CheckpointError {
@@ -35,11 +72,218 @@ impl std::fmt::Display for CheckpointError {
             CheckpointError::BadMagic(m) => write!(f, "bad checkpoint magic {m:#010x}"),
             CheckpointError::BadVersion(v) => write!(f, "unsupported checkpoint version {v}"),
             CheckpointError::Corrupt(m) => write!(f, "corrupt checkpoint: {m}"),
+            CheckpointError::ChecksumMismatch { stored, actual } => write!(
+                f,
+                "checkpoint checksum mismatch: stored {stored:#010x}, computed {actual:#010x}"
+            ),
+            CheckpointError::MissingParam(name) => {
+                write!(f, "checkpoint parameter {name:?} not in restore target")
+            }
+            CheckpointError::ShapeMismatch {
+                name,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "shape mismatch for {name:?}: target expects {expected:?}, checkpoint has {actual:?}"
+            ),
+            CheckpointError::MissingSection(tag) => {
+                write!(f, "required section tag {tag} missing")
+            }
         }
     }
 }
 
 impl std::error::Error for CheckpointError {}
+
+// CRC-32 (IEEE 802.3, reflected 0xEDB88320), table-driven. Implemented
+// locally: the workspace is offline and the guarantee we need is small —
+// every single-bit flip in a snapshot is detected.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE) of `bytes` — the checksum closing every section
+/// container.
+#[must_use]
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// Builds a tagged, versioned, CRC-closed section container.
+///
+/// Tags are caller-defined `u32`s; repeated tags are allowed and kept
+/// in insertion order (readers iterate with [`SectionReader::sections`]).
+///
+/// # Examples
+///
+/// ```
+/// use menos_tensor::{SectionReader, SectionWriter};
+///
+/// let mut w = SectionWriter::new();
+/// w.section(1, b"meta".to_vec());
+/// w.section(2, vec![0u8; 8]);
+/// let bytes = w.finish();
+/// let r = SectionReader::parse(&bytes).unwrap();
+/// assert_eq!(r.find(1), Some(&b"meta"[..]));
+/// ```
+#[derive(Debug, Default)]
+pub struct SectionWriter {
+    sections: Vec<(u32, Vec<u8>)>,
+}
+
+impl SectionWriter {
+    /// Creates an empty container builder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one tagged section.
+    pub fn section(&mut self, tag: u32, bytes: Vec<u8>) -> &mut Self {
+        self.sections.push((tag, bytes));
+        self
+    }
+
+    /// Serializes the container: header, sections, trailing CRC-32.
+    #[must_use]
+    pub fn finish(self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend(SECTION_MAGIC.to_le_bytes());
+        out.extend(SECTION_VERSION.to_le_bytes());
+        out.extend((self.sections.len() as u64).to_le_bytes());
+        for (tag, bytes) in &self.sections {
+            out.extend(tag.to_le_bytes());
+            out.extend((bytes.len() as u64).to_le_bytes());
+            out.extend(bytes);
+        }
+        let crc = crc32(&out);
+        out.extend(crc.to_le_bytes());
+        out
+    }
+}
+
+/// Parses a [`SectionWriter`] container, validating structure and the
+/// trailing CRC-32 before exposing any section.
+#[derive(Debug)]
+pub struct SectionReader<'a> {
+    sections: Vec<(u32, &'a [u8])>,
+}
+
+impl<'a> SectionReader<'a> {
+    /// Validates and indexes `bytes`.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError`] on truncation, bad magic/version, an
+    /// implausible count or length, trailing garbage, or a checksum
+    /// mismatch — never panics on untrusted input.
+    pub fn parse(bytes: &'a [u8]) -> Result<Self, CheckpointError> {
+        let mut r = Reader { buf: bytes, pos: 0 };
+        let magic = r.u32()?;
+        if magic != SECTION_MAGIC {
+            return Err(CheckpointError::BadMagic(magic));
+        }
+        let version = r.u32()?;
+        if version != SECTION_VERSION {
+            return Err(CheckpointError::BadVersion(version));
+        }
+        // Header (16) + trailing CRC (4) is the minimum container.
+        if bytes.len() < 20 {
+            return Err(CheckpointError::Truncated);
+        }
+        let body_end = bytes.len() - 4;
+        let stored = u32::from_le_bytes(bytes[body_end..].try_into().expect("4"));
+        let actual = crc32(&bytes[..body_end]);
+        if stored != actual {
+            return Err(CheckpointError::ChecksumMismatch { stored, actual });
+        }
+        let count = r.u64()?;
+        if count > MAX_SECTIONS {
+            return Err(CheckpointError::Corrupt(format!("{count} sections")));
+        }
+        let mut sections = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            let tag = r.u32()?;
+            let len = r.u64()?;
+            if len > MAX_SECTION_LEN {
+                return Err(CheckpointError::Corrupt(format!(
+                    "section {tag} of {len} bytes"
+                )));
+            }
+            let len = len as usize;
+            let end = r.pos.checked_add(len).ok_or(CheckpointError::Truncated)?;
+            if end > body_end {
+                return Err(CheckpointError::Truncated);
+            }
+            sections.push((tag, &bytes[r.pos..end]));
+            r.pos = end;
+        }
+        if r.pos != body_end {
+            return Err(CheckpointError::Corrupt(format!(
+                "{} trailing bytes after last section",
+                body_end - r.pos
+            )));
+        }
+        Ok(Self { sections })
+    }
+
+    /// First section carrying `tag`, if any.
+    #[must_use]
+    pub fn find(&self, tag: u32) -> Option<&'a [u8]> {
+        self.sections
+            .iter()
+            .find(|(t, _)| *t == tag)
+            .map(|(_, b)| *b)
+    }
+
+    /// Like [`find`](Self::find) but a missing tag is a typed error.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::MissingSection`] when no section carries
+    /// `tag`.
+    pub fn require(&self, tag: u32) -> Result<&'a [u8], CheckpointError> {
+        self.find(tag).ok_or(CheckpointError::MissingSection(tag))
+    }
+
+    /// All sections in container order (repeated tags preserved).
+    pub fn sections(&self) -> impl Iterator<Item = (u32, &'a [u8])> + '_ {
+        self.sections.iter().map(|&(t, b)| (t, b))
+    }
+
+    /// Number of sections.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sections.len()
+    }
+
+    /// Whether the container carries no sections.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sections.is_empty()
+    }
+}
 
 /// Serializes every parameter (name order) to a checkpoint byte buffer.
 ///
@@ -171,20 +415,22 @@ pub fn load_checkpoint(bytes: &[u8]) -> Result<ParamStore, CheckpointError> {
 ///
 /// # Errors
 ///
-/// Fails if a checkpoint entry is missing from `target` or has a
-/// different shape; `target` is unmodified on error.
+/// Fails with [`CheckpointError::MissingParam`] naming the checkpoint
+/// entry absent from `target`, or [`CheckpointError::ShapeMismatch`]
+/// naming the parameter plus both shapes; `target` is unmodified on
+/// error.
 pub fn restore_into(target: &ParamStore, checkpoint: &ParamStore) -> Result<(), CheckpointError> {
     // Validate first so failure leaves the target untouched.
     for (name, src) in checkpoint.iter() {
         let dst = target
             .get(name)
-            .ok_or_else(|| CheckpointError::Corrupt(format!("parameter {name} not in target")))?;
+            .ok_or_else(|| CheckpointError::MissingParam(name.clone()))?;
         if dst.shape() != src.shape() {
-            return Err(CheckpointError::Corrupt(format!(
-                "shape mismatch for {name}: {} vs {}",
-                dst.shape(),
-                src.shape()
-            )));
+            return Err(CheckpointError::ShapeMismatch {
+                name: name.clone(),
+                expected: dst.dims().to_vec(),
+                actual: src.dims().to_vec(),
+            });
         }
     }
     for (name, src) in checkpoint.iter() {
@@ -283,6 +529,167 @@ mod tests {
         let mut missing = ParamStore::new();
         missing.insert("nope", Tensor::zeros([1]));
         assert!(restore_into(&ps, &missing).is_err());
+    }
+
+    #[test]
+    fn restore_into_names_the_missing_parameter() {
+        let ps = sample();
+        let mut missing = ParamStore::new();
+        missing.insert("nope", Tensor::zeros([1]));
+        let err = restore_into(&ps, &missing).unwrap_err();
+        assert_eq!(err, CheckpointError::MissingParam("nope".into()));
+        assert!(err.to_string().contains("nope"), "{err}");
+    }
+
+    #[test]
+    fn restore_into_reports_both_shapes() {
+        let ps = sample();
+        let mut bad = ParamStore::new();
+        bad.insert("a.weight", Tensor::zeros([3, 3]));
+        let err = restore_into(&ps, &bad).unwrap_err();
+        assert_eq!(
+            err,
+            CheckpointError::ShapeMismatch {
+                name: "a.weight".into(),
+                expected: vec![2, 2],
+                actual: vec![3, 3],
+            }
+        );
+        let msg = err.to_string();
+        assert!(msg.contains("a.weight"), "{msg}");
+        assert!(msg.contains("[2, 2]") && msg.contains("[3, 3]"), "{msg}");
+    }
+
+    #[test]
+    fn restore_into_partial_failure_leaves_target_untouched() {
+        // One good entry plus one mismatched: nothing may be written.
+        let ps = sample();
+        let mut mixed = ParamStore::new();
+        mixed.insert("b.bias", Tensor::from_vec(vec![9.0; 3], [3]));
+        mixed.insert("scalar", Tensor::zeros([5])); // wrong shape
+        let before = ps.get("b.bias").unwrap().to_vec();
+        assert!(matches!(
+            restore_into(&ps, &mixed),
+            Err(CheckpointError::ShapeMismatch { .. })
+        ));
+        assert_eq!(ps.get("b.bias").unwrap().to_vec(), before);
+    }
+
+    fn sample_container() -> Vec<u8> {
+        let mut w = SectionWriter::new();
+        w.section(7, b"meta-bytes".to_vec());
+        w.section(9, save_checkpoint(&sample()));
+        w.section(7, b"again".to_vec());
+        w.finish()
+    }
+
+    #[test]
+    fn section_container_round_trips() {
+        let bytes = sample_container();
+        let r = SectionReader::parse(&bytes).unwrap();
+        assert_eq!(r.len(), 3);
+        assert!(!r.is_empty());
+        assert_eq!(r.find(7), Some(&b"meta-bytes"[..]));
+        assert_eq!(r.require(9).unwrap(), save_checkpoint(&sample()));
+        let repeated: Vec<_> = r.sections().filter(|(t, _)| *t == 7).collect();
+        assert_eq!(repeated.len(), 2);
+        assert_eq!(repeated[1].1, b"again");
+        assert_eq!(r.find(42), None);
+        assert_eq!(r.require(42), Err(CheckpointError::MissingSection(42)));
+    }
+
+    #[test]
+    fn empty_section_container_round_trips() {
+        let bytes = SectionWriter::new().finish();
+        let r = SectionReader::parse(&bytes).unwrap();
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn section_container_rejects_every_truncation() {
+        let bytes = sample_container();
+        for cut in 0..bytes.len() {
+            let err = SectionReader::parse(&bytes[..cut]).map(|_| ()).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    CheckpointError::Truncated
+                        | CheckpointError::BadMagic(_)
+                        | CheckpointError::ChecksumMismatch { .. }
+                ),
+                "cut={cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn section_container_rejects_every_single_bit_flip() {
+        let bytes = sample_container();
+        for offset in 0..bytes.len() {
+            let mut flipped = bytes.clone();
+            flipped[offset] ^= 1 << (offset % 8);
+            let err = SectionReader::parse(&flipped).map(|_| ()).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    CheckpointError::ChecksumMismatch { .. }
+                        | CheckpointError::BadMagic(_)
+                        | CheckpointError::BadVersion(_)
+                ),
+                "offset={offset}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn section_container_rejects_bad_magic_version_and_trailing_garbage() {
+        let mut bytes = sample_container();
+        bytes[0] ^= 0xFF;
+        assert!(matches!(
+            SectionReader::parse(&bytes),
+            Err(CheckpointError::BadMagic(_))
+        ));
+
+        let mut bytes = sample_container();
+        bytes[4] = 99;
+        assert!(matches!(
+            SectionReader::parse(&bytes),
+            Err(CheckpointError::BadVersion(99))
+        ));
+
+        // Appending bytes (and re-sealing the CRC) must still fail:
+        // the section count no longer accounts for the container body.
+        let sealed = sample_container();
+        let mut grown = sealed[..sealed.len() - 4].to_vec();
+        grown.extend(b"junk");
+        let crc = crc32(&grown);
+        grown.extend(crc.to_le_bytes());
+        assert!(matches!(
+            SectionReader::parse(&grown),
+            Err(CheckpointError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn section_container_rejects_implausible_sizes() {
+        // Count beyond the cap, CRC re-sealed so the structural check
+        // (not the checksum) must reject it.
+        let mut bytes = SectionWriter::new().finish();
+        bytes.truncate(bytes.len() - 4);
+        bytes[8..16].copy_from_slice(&u64::MAX.to_le_bytes());
+        let crc = crc32(&bytes);
+        bytes.extend(crc.to_le_bytes());
+        assert!(matches!(
+            SectionReader::parse(&bytes),
+            Err(CheckpointError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn crc32_matches_reference_vector() {
+        // The canonical IEEE 802.3 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
     }
 
     #[test]

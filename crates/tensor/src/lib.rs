@@ -61,7 +61,10 @@ mod storage;
 mod tensor;
 
 pub use autograd::GradStore;
-pub use checkpoint::{load_checkpoint, restore_into, save_checkpoint, CheckpointError};
+pub use checkpoint::{
+    crc32, load_checkpoint, restore_into, save_checkpoint, CheckpointError, SectionReader,
+    SectionWriter,
+};
 pub use parallel::{set_threads, threads};
 pub use param::ParamStore;
 pub use shape::Shape;

@@ -18,22 +18,23 @@ use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use menos::adapters::FineTuneConfig;
-use menos::core::{MenosServer, ServerMode, ServerSpec};
+use menos::core::{MenosServer, ServerMode, ServerSpec, ServerState};
 use menos::data::{wiki_corpus, TokenDataset, Vocab};
 use menos::models::{CausalLm, ModelConfig};
 use menos::sim::seeded_rng;
 use menos::split::{
     run_tcp_client, run_tcp_client_resumable, ClientId, EventLoopOptions, ForwardMode, RetryPolicy,
-    SplitClient, SplitSpec, TcpEventServer, TcpOptions, TcpSplitServer,
+    SnapshotPolicy, SplitClient, SplitSpec, TcpEventServer, TcpOptions, TcpSplitServer,
 };
 
 const USAGE: &str = "\
 usage:
   menos server [--port P] [--max-clients N] [--batch-window W] [--model-seed S]
                [--client-timeout MS] [--max-session-idle MS]
+               [--snapshot-dir DIR] [--snapshot-every N] [--micro-model]
                [--cached] [--blocking] [--threads T]
   menos client --addr HOST:PORT [--steps N] [--seed S] [--model-seed S]
-               [--retries R] [--backoff-ms MS] [--threads T]
+               [--retries R] [--backoff-ms MS] [--micro-model] [--threads T]
 
 options:
   --port P          listen port (default 7700)
@@ -49,6 +50,20 @@ options:
                     drop a quarantined (disconnected but resumable) session
                     after MS milliseconds (default: never; event-loop server
                     only)
+  --snapshot-dir DIR
+                    persist the server's durable state (sessions, adapters,
+                    optimizer moments, cached replies) to DIR/server.snap with
+                    atomic tmp-file+rename writes, and restore from it on
+                    start if it exists; clients re-attach through the Resume
+                    handshake with zero training divergence (event-loop
+                    server only)
+  --snapshot-every N
+                    snapshot cadence in dispatches; 0 (the default) is durable
+                    mode — a snapshot lands before every reply is released,
+                    which is what makes kill -9 recovery bit-identical
+  --micro-model     derive a deliberately tiny base model (2 layers, 32-dim)
+                    — fast enough for debug-profile restart tests; both sides
+                    must pass it
   --cached          serve with the vanilla cached-forward path instead of
                     Menos' no-grad + re-forward policy
   --blocking        thread-per-client blocking server instead of the
@@ -78,10 +93,22 @@ fn configure_threads(args: &[String]) {
     }
 }
 
-fn shared_model(model_seed: u64) -> (Vocab, ModelConfig) {
-    let text = wiki_corpus(model_seed, 20_000);
+fn shared_model(model_seed: u64, micro: bool) -> (Vocab, ModelConfig) {
+    let text = wiki_corpus(model_seed, if micro { 3_000 } else { 20_000 });
     let vocab = Vocab::from_text(&text);
-    let config = ModelConfig::tiny_llama(vocab.size());
+    let config = if micro {
+        // Mirrors the chaos-soak micro setup: the restart tests
+        // exercise the session layer, not the math, and must fit a
+        // debug-profile CI budget.
+        let mut config = ModelConfig::tiny_opt(vocab.size());
+        config.hidden = 32;
+        config.layers = 2;
+        config.heads = 2;
+        config.intermediate = 64;
+        config
+    } else {
+        ModelConfig::tiny_llama(vocab.size())
+    };
     (vocab, config)
 }
 
@@ -118,13 +145,22 @@ fn run_server(args: &[String]) {
         ForwardMode::NoGradReforward
     };
     let blocking = args.iter().any(|a| a == "--blocking");
+    let micro = args.iter().any(|a| a == "--micro-model");
     let client_timeout = parse_flag(args, "--client-timeout")
         .map(|v| Duration::from_millis(v.parse().expect("--client-timeout must be milliseconds")));
     let max_session_idle = parse_flag(args, "--max-session-idle").map(|v| {
         Duration::from_millis(v.parse().expect("--max-session-idle must be milliseconds"))
     });
+    let snapshot_dir = parse_flag(args, "--snapshot-dir");
+    let snapshot_every: u64 = parse_flag(args, "--snapshot-every")
+        .map(|v| v.parse().expect("--snapshot-every must be a number"))
+        .unwrap_or(0);
+    if snapshot_dir.is_some() && blocking {
+        eprintln!("--snapshot-dir needs the event-loop server; drop --blocking");
+        std::process::exit(2);
+    }
 
-    let (_, config) = shared_model(model_seed);
+    let (_, config) = shared_model(model_seed, micro);
     println!(
         "loaded base model {} ({} params) — ONE shared copy for all clients",
         config.name,
@@ -135,6 +171,22 @@ fn run_server(args: &[String]) {
     let mut menos_server =
         MenosServer::new(config, ServerSpec::v100(ServerMode::menos()), model_seed);
     menos_server.set_forward_mode(mode);
+    // Restore-on-start: if a snapshot exists, rebuild every session
+    // (adapters, optimizer moments, counters, cached replies) from it;
+    // clients re-attach through the Resume handshake. The snapshot's
+    // forward mode wins over the flag — resumed training must continue
+    // under the policy it was captured under.
+    if let Some(dir) = &snapshot_dir {
+        if let Some(bytes) = SnapshotPolicy::read(dir) {
+            let restored = ServerState::from_bytes(&bytes)
+                .and_then(|state| menos_server.restore(state))
+                .unwrap_or_else(|e| {
+                    eprintln!("snapshot restore from {dir} failed: {e}");
+                    std::process::exit(1);
+                });
+            println!("restored {restored} session(s) from snapshot in {dir}");
+        }
+    }
     let handler = Arc::new(Mutex::new(menos_server));
     let policy = match mode {
         ForwardMode::Cached => "cached forward (vanilla)",
@@ -151,18 +203,25 @@ fn run_server(args: &[String]) {
         );
         server.join();
     } else {
-        let server = TcpEventServer::spawn(
-            ("0.0.0.0", port),
-            handler,
-            EventLoopOptions {
-                max_clients: clients,
-                batch_window,
-                io_timeout: client_timeout,
-                max_session_idle,
-                ..EventLoopOptions::default()
-            },
-            TcpOptions::default(),
-        )
+        let options = EventLoopOptions {
+            max_clients: clients,
+            batch_window,
+            io_timeout: client_timeout,
+            max_session_idle,
+            ..EventLoopOptions::default()
+        };
+        let server = match &snapshot_dir {
+            Some(dir) => TcpEventServer::spawn_with_snapshots(
+                ("0.0.0.0", port),
+                handler,
+                options,
+                TcpOptions::default(),
+                SnapshotPolicy::periodic(dir, snapshot_every),
+            ),
+            None => {
+                TcpEventServer::spawn(("0.0.0.0", port), handler, options, TcpOptions::default())
+            }
+        }
         .expect("bind server port");
         println!(
             "menos event-loop server on {} serving up to {clients} client(s), batch window \
@@ -202,14 +261,20 @@ fn run_client(args: &[String]) {
     let backoff_ms: u64 = parse_flag(args, "--backoff-ms")
         .map(|v| v.parse().expect("--backoff-ms must be milliseconds"))
         .unwrap_or(50);
+    let micro = args.iter().any(|a| a == "--micro-model");
 
-    let (vocab, config) = shared_model(model_seed);
+    let (vocab, config) = shared_model(model_seed, micro);
     // The client's PRIVATE corpus — never leaves this process; only
     // activations and gradients cross the socket.
-    let private_text = wiki_corpus(1000 + seed, 20_000);
+    let private_text = wiki_corpus(1000 + seed, if micro { 3_000 } else { 20_000 });
     let mut ft = FineTuneConfig::paper(&config);
-    ft.batch_size = 4;
-    ft.seq_len = 32;
+    if micro {
+        ft.batch_size = 1;
+        ft.seq_len = 8;
+    } else {
+        ft.batch_size = 4;
+        ft.seq_len = 32;
+    }
     let ds = TokenDataset::new(vocab.encode(&private_text), ft.seq_len, seed);
     let mut rng = seeded_rng(model_seed, "base-model");
     let base = menos::models::init_params(&config, &mut rng);

@@ -221,6 +221,249 @@ fn chaos_soak_is_bit_identical_to_a_fault_free_run() {
     assert_eq!(handler.reserved_bytes(), 0);
 }
 
+/// Kill-the-server chaos: a real `menos` server *process* is
+/// SIGKILLed mid-run with durable snapshots on, restarted from the
+/// latest snapshot, and every client re-attaches through the `Resume`
+/// handshake — loss curves and final adapter weights bit-identical to
+/// a fault-free run of the same fleet, across three model seeds.
+#[cfg(unix)]
+mod kill_the_server {
+    use super::*;
+    use std::io::BufRead;
+    use std::net::SocketAddr;
+    use std::path::{Path, PathBuf};
+    use std::process::{Child, Command, Stdio};
+    use std::sync::RwLock;
+    use std::time::Instant;
+
+    use menos::core::ServerState;
+    use menos::split::TcpTransport;
+
+    /// Restart-soak scale: small enough for a debug CI budget, large
+    /// enough that the kill always lands mid-training.
+    const KILL_N: u64 = 4;
+    const KILL_STEPS: usize = 60;
+
+    /// A `menos server` subprocess with durable snapshots, plus what
+    /// its startup banner reported.
+    struct ServerProc {
+        child: Child,
+        addr: SocketAddr,
+        restored: usize,
+        /// Keeps the stdout pipe drained for the process's lifetime so
+        /// late prints can never block (or break) the server.
+        _drain: std::thread::JoinHandle<()>,
+    }
+
+    impl ServerProc {
+        fn spawn(model_seed: u64, snap_dir: &Path) -> ServerProc {
+            let mut child = Command::new(env!("CARGO_BIN_EXE_menos"))
+                .args([
+                    "server",
+                    "--port",
+                    "0",
+                    "--micro-model",
+                    "--max-clients",
+                    "1024",
+                    "--snapshot-every",
+                    "0",
+                    "--model-seed",
+                    &model_seed.to_string(),
+                ])
+                .arg("--snapshot-dir")
+                .arg(snap_dir)
+                .stdout(Stdio::piped())
+                .stderr(Stdio::inherit())
+                .spawn()
+                .expect("spawn menos server");
+            let stdout = child.stdout.take().expect("piped stdout");
+            let mut reader = std::io::BufReader::new(stdout);
+            let mut restored = 0usize;
+            let mut line = String::new();
+            let addr = loop {
+                line.clear();
+                if reader.read_line(&mut line).expect("server stdout") == 0 {
+                    panic!("server exited before announcing its address");
+                }
+                if let Some(rest) = line.strip_prefix("restored ") {
+                    restored = rest
+                        .split_whitespace()
+                        .next()
+                        .and_then(|n| n.parse().ok())
+                        .expect("restored count");
+                }
+                if let Some(rest) = line.split("server on ").nth(1) {
+                    let bound: SocketAddr = rest
+                        .split_whitespace()
+                        .next()
+                        .and_then(|a| a.parse().ok())
+                        .expect("bound address");
+                    // The server binds 0.0.0.0; dial loopback.
+                    break SocketAddr::from(([127, 0, 0, 1], bound.port()));
+                }
+            };
+            let drain = std::thread::spawn(move || {
+                let mut sink = String::new();
+                while matches!(reader.read_line(&mut sink), Ok(n) if n > 0) {
+                    sink.clear();
+                }
+            });
+            ServerProc {
+                child,
+                addr,
+                restored,
+                _drain: drain,
+            }
+        }
+
+        /// SIGKILL — no shutdown hook runs; recovery must come from
+        /// the last durable snapshot alone.
+        fn kill(mut self) {
+            self.child.kill().expect("kill server");
+            self.child.wait().expect("reap server");
+        }
+    }
+
+    fn scratch_dir(model_seed: u64, label: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "menos-kill-{model_seed}-{label}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// The fleet's shared setup, matching what the subprocess derives
+    /// from `--micro-model --model-seed S`: same corpus, same config,
+    /// and the same base parameters (`seeded_rng(S, "base-model")` is
+    /// the registry's derivation).
+    fn kill_setup(model_seed: u64) -> (String, ModelConfig, Arc<Mutex<menos::tensor::ParamStore>>) {
+        let text = wiki_corpus(model_seed, 3_000);
+        let vocab = Vocab::from_text(&text);
+        let mut config = ModelConfig::tiny_opt(vocab.size());
+        config.hidden = 32;
+        config.layers = 2;
+        config.heads = 2;
+        config.intermediate = 64;
+        let mut rng = seeded_rng(model_seed, "base-model");
+        let base = Arc::new(Mutex::new(menos::models::init_params(&config, &mut rng)));
+        (text, config, base)
+    }
+
+    /// Starts one resumable driver thread per client, each dialing
+    /// whatever address the shared slot currently holds — after the
+    /// restart the slot points at the new server and the retry loop's
+    /// redial lands there.
+    fn start_fleet(
+        addr: &Arc<RwLock<SocketAddr>>,
+        text: &str,
+        config: &ModelConfig,
+        base: &Arc<Mutex<menos::tensor::ParamStore>>,
+    ) -> Vec<std::thread::JoinHandle<(CurveBits, AdapterBits)>> {
+        (0..KILL_N)
+            .map(|k| {
+                let mut client = make_client(k, text, config, base);
+                let addr = addr.clone();
+                std::thread::spawn(move || {
+                    let policy = RetryPolicy {
+                        retries: 60,
+                        backoff: Duration::from_millis(25),
+                        max_backoff: Duration::from_millis(200),
+                        seed: client.id().0,
+                    };
+                    let curve = drive_client_resumable(
+                        &mut client,
+                        || TcpTransport::connect(*addr.read().unwrap()),
+                        KILL_STEPS,
+                        &policy,
+                    )
+                    .expect("client finishes across the restart");
+                    (curve_bits(&curve), adapter_bits(&client))
+                })
+            })
+            .collect()
+    }
+
+    fn join_fleet(
+        fleet: Vec<std::thread::JoinHandle<(CurveBits, AdapterBits)>>,
+    ) -> Vec<(CurveBits, AdapterBits)> {
+        fleet
+            .into_iter()
+            .map(|d| d.join().expect("driver thread"))
+            .collect()
+    }
+
+    /// Polls the durable snapshot until every client's session is in
+    /// it — the signal that the whole fleet is connected and training,
+    /// so a kill now lands mid-run for everyone. Reads race the
+    /// atomic rename harmlessly: either complete file parses, and a
+    /// torn read fails the CRC and is retried.
+    fn wait_until_fleet_snapshotted(snap_dir: &Path) {
+        let deadline = Instant::now() + Duration::from_secs(60);
+        loop {
+            if let Ok(bytes) = std::fs::read(snap_dir.join("server.snap")) {
+                if let Ok(state) = ServerState::from_bytes(&bytes) {
+                    if state.sessions.len() >= KILL_N as usize {
+                        return;
+                    }
+                }
+            }
+            assert!(
+                Instant::now() < deadline,
+                "fleet never appeared in the snapshot"
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+
+    #[test]
+    fn sigkill_restart_is_bit_identical_to_a_fault_free_run() {
+        for model_seed in [43u64, 44, 45] {
+            let (text, config, base) = kill_setup(model_seed);
+
+            // The fault-free reference: same fleet, same durable
+            // snapshotting (persistence must not perturb training),
+            // no kill.
+            let ref_dir = scratch_dir(model_seed, "ref");
+            let server = ServerProc::spawn(model_seed, &ref_dir);
+            assert_eq!(server.restored, 0, "fresh dir restores nothing");
+            let addr = Arc::new(RwLock::new(server.addr));
+            let reference = join_fleet(start_fleet(&addr, &text, &config, &base));
+            server.kill();
+            for (curve, _) in &reference {
+                assert_eq!(curve.len(), KILL_STEPS);
+            }
+
+            // The chaos run: SIGKILL once the whole fleet is mid-run,
+            // restart from the snapshot, clients resume and finish.
+            let dir = scratch_dir(model_seed, "kill");
+            let first = ServerProc::spawn(model_seed, &dir);
+            assert_eq!(first.restored, 0);
+            let addr = Arc::new(RwLock::new(first.addr));
+            let fleet = start_fleet(&addr, &text, &config, &base);
+            wait_until_fleet_snapshotted(&dir);
+            std::thread::sleep(Duration::from_millis(200));
+            first.kill();
+            let second = ServerProc::spawn(model_seed, &dir);
+            assert_eq!(
+                second.restored, KILL_N as usize,
+                "every mid-run session restores from the snapshot (seed {model_seed})"
+            );
+            *addr.write().unwrap() = second.addr;
+            let survivors = join_fleet(fleet);
+            second.kill();
+
+            assert_eq!(
+                survivors, reference,
+                "restart run diverged from fault-free (seed {model_seed})"
+            );
+
+            let _ = std::fs::remove_dir_all(&ref_dir);
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+}
+
 /// A stale epoch — a zombie client resuming with credentials from
 /// before its last reconnect — is rejected with the typed error and
 /// does *not* consume the quarantined state: the rightful owner can
