@@ -1,0 +1,146 @@
+//! Compression ablation: convergence under each wire codec
+//! (PROTOCOL.md §7) against the raw f32 baseline.
+//!
+//! For each codec, the same client/session pair trains the same steps
+//! through `run_split_steps` — the exact dispatch path the servers use
+//! — with the codec forced on both endpoints, across several seeds.
+//! Reported per codec: mean final loss, the worst per-step loss
+//! deviation from the raw baseline across all seeds (the *recorded
+//! tolerance* a deployment should expect), and the analytic wire bytes
+//! per step. Lossless codecs must be bit-identical to raw — the run
+//! fails loudly if they are not — and lossy deviations are recorded,
+//! not asserted, because they are the accuracy/bandwidth trade the
+//! codec deliberately makes.
+//!
+//! Prints one JSON line per codec and rewrites `BENCH_compress.json`
+//! when run from the repository (EXPERIMENTS.md quotes those numbers).
+
+use std::io::Write;
+
+use menos_adapters::FineTuneConfig;
+use menos_bench::render_table;
+use menos_data::{wiki_corpus, LossCurve, TokenDataset, Vocab};
+use menos_models::{CausalLm, ModelConfig};
+use menos_net::Codec;
+use menos_sim::seeded_rng;
+use menos_split::{
+    activation_wire_bytes_with, run_split_steps, ClientId, ForwardMode, ServerSession, SplitClient,
+    SplitSpec,
+};
+
+const STEPS: usize = 20;
+const SEEDS: [u64; 3] = [11, 12, 13];
+const CODECS: [Codec; 4] = [Codec::F32Raw, Codec::F16, Codec::BF16, Codec::TopK8];
+
+fn run_one(codec: Codec, seed: u64) -> LossCurve {
+    let text = wiki_corpus(5, 4000);
+    let vocab = Vocab::from_text(&text);
+    let config = ModelConfig::tiny_opt(vocab.size().max(33));
+    let mut rng = seeded_rng(100, "exp-compress");
+    let ps = menos_models::init_params(&config, &mut rng);
+    let ds = TokenDataset::new(vocab.encode(&text), 16, 5);
+    let mut ft = FineTuneConfig::paper(&config);
+    ft.batch_size = 2;
+    ft.seq_len = 16;
+    let split = SplitSpec::paper();
+    let mut client = SplitClient::new(
+        ClientId(0),
+        CausalLm::bind(&config, &ps.shared_view(false)),
+        split,
+        ft.clone(),
+        ds,
+        seed,
+    );
+    let mut session = ServerSession::new(
+        ClientId(0),
+        CausalLm::bind(&config, &ps.shared_view(false)),
+        split,
+        &ft,
+        seed,
+    );
+    // Force the codec on both endpoints — the negotiation itself is
+    // covered by tests/compression.rs; this experiment isolates the
+    // numeric effect of the codec on the training trajectory.
+    client.adopt_codec(codec);
+    session.set_codec(codec);
+    run_split_steps(
+        &mut client,
+        &mut session,
+        ForwardMode::NoGradReforward,
+        STEPS,
+    )
+}
+
+fn main() {
+    println!(
+        "== Compression ablation: convergence per codec ({STEPS} steps, {} seeds) ==\n",
+        SEEDS.len()
+    );
+    let baselines: Vec<LossCurve> = SEEDS.iter().map(|&s| run_one(Codec::F32Raw, s)).collect();
+    let hidden = ModelConfig::tiny_opt(33).hidden;
+    let raw_bytes = activation_wire_bytes_with(Codec::F32Raw, 2, 16, hidden);
+
+    let mut rows = Vec::new();
+    let mut lines = Vec::new();
+    for codec in CODECS {
+        let mut final_sum = 0.0f32;
+        let mut max_delta = 0.0f32;
+        for (i, &seed) in SEEDS.iter().enumerate() {
+            let curve = run_one(codec, seed);
+            final_sum += curve.final_loss().expect("curve has points");
+            for ((_, base), (_, got)) in baselines[i].points().iter().zip(curve.points()) {
+                max_delta = max_delta.max((base - got).abs());
+            }
+        }
+        if codec.is_lossless() {
+            assert_eq!(
+                max_delta, 0.0,
+                "{codec} is specified lossless but deviated from raw by {max_delta}"
+            );
+        }
+        let mean_final = final_sum / SEEDS.len() as f32;
+        let bytes = activation_wire_bytes_with(codec, 2, 16, hidden);
+        rows.push(vec![
+            codec.name().to_string(),
+            format!("{mean_final:.4}"),
+            format!("{max_delta:.2e}"),
+            format!("{bytes}"),
+            format!("{:.2}x", bytes as f64 / raw_bytes as f64),
+        ]);
+        lines.push(format!(
+            "{{\"group\":\"compress\",\"bench\":\"codec/{}\",\"steps\":{STEPS},\
+             \"seeds\":{},\"mean_final_loss\":{mean_final:.4},\
+             \"max_loss_delta\":{max_delta:.3e},\"tensor_msg_bytes\":{bytes}}}",
+            codec.name(),
+            SEEDS.len(),
+        ));
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "codec",
+                "mean final loss",
+                "max |Δloss| vs raw",
+                "tensor msg bytes",
+                "vs raw",
+            ],
+            &rows
+        )
+    );
+    println!("\nf16/bf16 halve every cut tensor at a loss-curve deviation bounded by");
+    println!("their rounding step; topk8 sends ~1/8 of the values and relies on the");
+    println!("error-feedback residual (PROTOCOL.md §7.1) to re-inject unsent mass —");
+    println!("its deviation is larger but the trajectory still converges.");
+
+    let json = lines.join("\n") + "\n";
+    print!("\n{json}");
+    if std::path::Path::new("BENCH_compress.json").exists()
+        || std::path::Path::new("Cargo.toml").exists()
+    {
+        if let Ok(mut f) = std::fs::File::create("BENCH_compress.json") {
+            let _ = f.write_all(json.as_bytes());
+            eprintln!("wrote BENCH_compress.json");
+        }
+    }
+}

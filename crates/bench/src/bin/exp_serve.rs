@@ -31,7 +31,7 @@ use menos_adapters::FineTuneConfig;
 use menos_core::{MenosServer, ServerMode, ServerSpec};
 use menos_data::{wiki_corpus, TokenDataset, Vocab};
 use menos_models::{init_params, CausalLm, ModelConfig};
-use menos_net::WanLink;
+use menos_net::{Codec, WanLink};
 use menos_sim::seeded_rng;
 use menos_split::{
     drive_client, event_sim_listener, serve_loop, sim_pair, ClientId, EventLoopOptions,
@@ -159,6 +159,85 @@ fn run_event_loop(
     (start.elapsed().as_secs_f64(), stats)
 }
 
+/// One client training `CODEC_STEPS` steps against the shared server
+/// over the geo-distributed WAN profile (60 ms, 8 MB/s, 5% jitter),
+/// advertising exactly one codec. Returns `(bytes_per_step,
+/// virtual_steps_per_sec)`: bytes are what both links actually
+/// charged (PROTOCOL.md §7 post-compression sizes), time is the
+/// virtual WAN clock — wall time would measure this host's compute,
+/// not the network the codec exists to relieve.
+fn run_codec_wan(
+    codec: Codec,
+    text: &str,
+    config: &ModelConfig,
+    base: &Arc<Mutex<ParamStore>>,
+) -> (f64, f64) {
+    let handler = make_server(config, base);
+    let (mut client_t, mut server_t) = sim_pair(
+        WanLink::geo_distributed(SEED),
+        WanLink::geo_distributed(SEED + 1),
+    );
+    let mut h = handler.clone();
+    let server = std::thread::spawn(move || {
+        serve_loop(&mut server_t, &mut h).expect("clean serve");
+        server_t.link_stats()
+    });
+    let mut client = make_client(0, text, config, base);
+    if codec != Codec::F32Raw {
+        client.set_advertised_codecs(codec.flag());
+    }
+    drive_client(&mut client, &mut client_t, CODEC_STEPS).expect("codec fleet");
+    assert_eq!(
+        client.codec(),
+        codec,
+        "server must echo the advertised codec"
+    );
+    let (down_bytes, _) = server.join().expect("server thread");
+    let (up_bytes, _) = client_t.link_stats();
+    let bytes_per_step = (up_bytes + down_bytes) as f64 / CODEC_STEPS as f64;
+    let steps_per_sec = CODEC_STEPS as f64 / client_t.elapsed().as_secs_f64();
+    (bytes_per_step, steps_per_sec)
+}
+
+const CODEC_STEPS: usize = 3;
+const CODECS: [Codec; 4] = [Codec::F32Raw, Codec::F16, Codec::BF16, Codec::TopK8];
+
+/// Runs the per-codec WAN study, printing a table and returning the
+/// JSON lines plus the raw/f16 bytes-per-step pair for the CI guard.
+fn run_codec_study(lines: &mut Vec<String>) -> (f64, f64) {
+    let (text, config, base) = setup();
+    println!("\n== Wire compression over the WAN profile (60 ms / 8 MB/s, 1 client) ==");
+    println!(
+        "{:>8} {:>14} {:>12} {:>14}",
+        "codec", "bytes/step", "vs raw", "WAN steps/s"
+    );
+    let mut raw_bytes = 0.0;
+    let mut f16_bytes = 0.0;
+    for codec in CODECS {
+        let (bytes_per_step, steps_per_sec) = run_codec_wan(codec, &text, &config, &base);
+        if codec == Codec::F32Raw {
+            raw_bytes = bytes_per_step;
+        }
+        if codec == Codec::F16 {
+            f16_bytes = bytes_per_step;
+        }
+        println!(
+            "{:>8} {:>14.0} {:>11.2}x {:>14.2}",
+            codec.name(),
+            bytes_per_step,
+            bytes_per_step / raw_bytes,
+            steps_per_sec,
+        );
+        lines.push(format!(
+            "{{\"group\":\"serve\",\"bench\":\"codec/{}\",\"clients\":1,\
+             \"steps\":{CODEC_STEPS},\"bytes_per_step\":{bytes_per_step:.0},\
+             \"wan_steps_per_sec\":{steps_per_sec:.2}}}",
+            codec.name(),
+        ));
+    }
+    (raw_bytes, f16_bytes)
+}
+
 /// Median of an odd-length slice (sorted copy).
 fn median(xs: &[f64]) -> f64 {
     let mut s = xs.to_vec();
@@ -274,10 +353,29 @@ fn run_check() -> ! {
     // slowdown — not an aspirational ratio.
     const HWM_RATIO_LIMIT: f64 = 2.0;
     const RATE_RATIO_FLOOR: f64 = 0.8;
+    // Compression guard: f16 must keep its promised wire saving over
+    // the WAN profile. The bound is a within-run ratio like the others;
+    // 0.55x leaves headroom over the ideal 0.5x for frame headers and
+    // the un-compressed control handshake.
+    const F16_BYTES_RATIO_LIMIT: f64 = 0.55;
     let threaded = spawn_worker("threaded", CHECK_N);
     let event = spawn_worker("event_loop", CHECK_N);
     println!("{threaded}\n{event}");
     let mut failures = Vec::new();
+
+    let mut codec_lines = Vec::new();
+    let (raw_bytes, f16_bytes) = run_codec_study(&mut codec_lines);
+    if f16_bytes > F16_BYTES_RATIO_LIMIT * raw_bytes {
+        failures.push(format!(
+            "f16 bytes/step {f16_bytes:.0} exceeds {F16_BYTES_RATIO_LIMIT}x raw ({raw_bytes:.0})"
+        ));
+    } else {
+        println!(
+            "bytes/step: f16 {f16_bytes:.0} / raw {raw_bytes:.0} = {:.3}x \
+             (limit {F16_BYTES_RATIO_LIMIT}x) — ok",
+            f16_bytes / raw_bytes
+        );
+    }
 
     let t_hwm = json_num(&threaded, "vm_hwm_kb").expect("threaded vm_hwm_kb");
     let e_hwm = json_num(&event, "vm_hwm_kb").expect("event vm_hwm_kb");
@@ -364,6 +462,7 @@ fn main() {
         lines.push(threaded);
         lines.push(event);
     }
+    run_codec_study(&mut lines);
     let json = lines.join("\n") + "\n";
     print!("\n{json}");
     // Best-effort baseline refresh when run from the repo checkout.

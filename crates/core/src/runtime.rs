@@ -314,7 +314,8 @@ fn run_experiment_impl(
         workload,
         xfer_bytes: (0..workload.clients)
             .map(|i| {
-                menos_split::activation_wire_bytes(
+                menos_split::activation_wire_bytes_with(
+                    workload.codec,
                     workload.batch_size_of(i),
                     workload.ft.seq_len,
                     profile.config.hidden,

@@ -19,7 +19,7 @@ use std::time::{Duration, Instant};
 use bytes::Bytes;
 use menos_adapters::FineTuneConfig;
 use menos_models::{stacked_model, CausalLm, ModelConfig};
-use menos_net::{decode_tensor, encode_tensor};
+use menos_net::{negotiate, Codec, ROLE_ACTIVATIONS, ROLE_GRADIENTS};
 use menos_split::{
     dispatch_session, encode_server_message, BatchHandler, ClientId, ClientMessage, ForwardMode,
     MessageHandler, ProtocolError, ServerMessage, ServerSession, SplitSpec,
@@ -81,6 +81,7 @@ struct Quarantined {
 ///         ft,
 ///         split: SplitSpec::paper(),
 ///         epoch: 1,
+///         codecs: 0,
 ///     })
 ///     .unwrap();
 /// assert!(matches!(reply, Some(menos_split::ServerMessage::Ready { .. })));
@@ -93,6 +94,7 @@ pub struct MenosServer {
     clients: HashMap<ClientId, ClientState>,
     quarantined: HashMap<ClientId, Quarantined>,
     seed: u64,
+    supported_codecs: u64,
 }
 
 impl MenosServer {
@@ -122,7 +124,16 @@ impl MenosServer {
             clients: HashMap::new(),
             quarantined: HashMap::new(),
             seed,
+            supported_codecs: menos_net::supported_codec_mask(),
         }
+    }
+
+    /// Overrides the tensor-codec mask this server is willing to
+    /// negotiate (PROTOCOL.md §7.3). The default is every codec the
+    /// build supports; tests narrow it to exercise mismatched-flag
+    /// fallback.
+    pub fn set_supported_codecs(&mut self, mask: u64) {
+        self.supported_codecs = mask;
     }
 
     /// Switches the execution path (default: Menos' no-grad +
@@ -231,9 +242,10 @@ impl MenosServer {
                 ft,
                 split,
                 epoch,
+                codecs,
             } => {
-                self.connect(client, ft, split, epoch)?;
-                Ok(Some(ServerMessage::Ready { client }))
+                let codec = self.connect(client, ft, split, epoch, codecs)?;
+                Ok(Some(ServerMessage::Ready { client, codec }))
             }
             ClientMessage::Resume {
                 client,
@@ -424,7 +436,7 @@ impl MenosServer {
             _ => return None,
         };
         let state = self.clients.get(&msg.client())?;
-        let t = decode_tensor(frame).ok()?;
+        let t = state.session.codec().decode(frame).ok()?;
         if t.dims().len() != 3 || t.dims()[0] == 0 {
             return None;
         }
@@ -492,12 +504,10 @@ impl MenosServer {
             let (client, x_c) = members.into_iter().next().expect("one member");
             let state = self.clients.get_mut(&client).expect("retained member");
             let x_s = state.session.forward_nograd(&x_c);
+            let frame = state.session.codec_mut().encode(ROLE_ACTIVATIONS, &x_s);
             out.push((
                 client,
-                Ok(Some(ServerMessage::ServerActivations {
-                    client,
-                    frame: encode_tensor(&x_s),
-                })),
+                Ok(Some(ServerMessage::ServerActivations { client, frame })),
             ));
             return;
         }
@@ -521,12 +531,10 @@ impl MenosServer {
         for ((client, x_c), x_s) in members.into_iter().zip(outs) {
             let state = self.clients.get_mut(&client).expect("retained member");
             state.session.note_batched_forward(&x_c);
+            let frame = state.session.codec_mut().encode(ROLE_ACTIVATIONS, &x_s);
             out.push((
                 client,
-                Ok(Some(ServerMessage::ServerActivations {
-                    client,
-                    frame: encode_tensor(&x_s),
-                })),
+                Ok(Some(ServerMessage::ServerActivations { client, frame })),
             ));
         }
     }
@@ -548,10 +556,8 @@ impl MenosServer {
             // Eligibility verified the pending input, so the solo
             // backward cannot hit its missing-forward panic.
             let g_s = state.session.backward(&g_c);
-            let reply = ServerMessage::ServerGradients {
-                client,
-                frame: encode_tensor(&g_s),
-            };
+            let frame = state.session.codec_mut().encode(ROLE_GRADIENTS, &g_s);
+            let reply = ServerMessage::ServerGradients { client, frame };
             state.last_reply = Some(reply.clone());
             out.push((client, Ok(Some(reply))));
             return;
@@ -594,10 +600,8 @@ impl MenosServer {
         for ((client, _), g_s) in chunk.into_iter().zip(g_outs) {
             let state = self.clients.get_mut(&client).expect("retained member");
             state.session.apply_batched_backward(&mut grads);
-            let reply = ServerMessage::ServerGradients {
-                client,
-                frame: encode_tensor(&g_s),
-            };
+            let frame = state.session.codec_mut().encode(ROLE_GRADIENTS, &g_s);
+            let reply = ServerMessage::ServerGradients { client, frame };
             state.last_reply = Some(reply.clone());
             out.push((client, Ok(Some(reply))));
         }
@@ -609,7 +613,8 @@ impl MenosServer {
         ft: FineTuneConfig,
         split: SplitSpec,
         epoch: u64,
-    ) -> Result<(), ProtocolError> {
+        codecs: u64,
+    ) -> Result<Codec, ProtocolError> {
         if self.clients.contains_key(&client) {
             return Err(ProtocolError::Rejected(format!(
                 "{client} is already connected"
@@ -630,8 +635,9 @@ impl MenosServer {
                 demands.m_b
             )));
         }
+        let codec = negotiate(codecs, self.supported_codecs);
         let session_seed = self.seed.wrapping_add(client.0);
-        let session = ServerSession::new(
+        let mut session = ServerSession::new(
             client,
             self.registry.new_instance(),
             split,
@@ -639,6 +645,7 @@ impl MenosServer {
             session_seed,
         );
         debug_assert!(self.registry.verify_aliasing(session.model()));
+        session.set_codec(codec);
         // A fresh Connect is an explicit restart: any parked state from
         // a previous incarnation is superseded.
         self.quarantined.remove(&client);
@@ -652,7 +659,7 @@ impl MenosServer {
                 last_reply: None,
             },
         );
-        Ok(())
+        Ok(codec)
     }
 
     /// Captures the full mutable server state — every session (live or
@@ -829,6 +836,7 @@ mod tests {
                 ft: ft.clone(),
                 split: SplitSpec::paper(),
                 epoch: 1,
+                codecs: 0,
             })
             .unwrap();
         assert!(matches!(ready, Some(ServerMessage::Ready { .. })));
@@ -873,6 +881,7 @@ mod tests {
             ft: ft.clone(),
             split: SplitSpec::paper(),
             epoch: 1,
+            codecs: 0,
         })
         .unwrap();
         let x_c = Tensor::full(0.1, [2, 8, 64]);
@@ -1001,6 +1010,7 @@ mod tests {
             ft,
             split: SplitSpec::paper(),
             epoch: 1,
+            codecs: 0,
         })
         .unwrap();
         let err = srv
@@ -1009,7 +1019,7 @@ mod tests {
                 frame: Bytes::from_static(b"garbage"),
             })
             .unwrap_err();
-        assert!(matches!(err, ProtocolError::Wire(WireError::Truncated)));
+        assert!(matches!(err, ProtocolError::Wire(WireError::BadMagic(_))));
         // The client remains connected and serviceable.
         let x_c = Tensor::full(0.1, [2, 8, 64]);
         assert!(srv
@@ -1029,6 +1039,7 @@ mod tests {
             ft,
             split: SplitSpec::paper(),
             epoch: 1,
+            codecs: 0,
         })
         .unwrap();
         let err = srv
@@ -1050,6 +1061,7 @@ mod tests {
                 ft,
                 split: SplitSpec::paper(),
                 epoch: 1,
+                codecs: 0,
             })
             .unwrap_err();
         assert!(matches!(err, ProtocolError::Rejected(_)));
@@ -1065,6 +1077,7 @@ mod tests {
             ft,
             split: SplitSpec::paper(),
             epoch: 1,
+            codecs: 0,
         };
         srv.handle(connect.clone()).unwrap();
         let err = srv.handle(connect).unwrap_err();
@@ -1082,6 +1095,7 @@ mod tests {
                 ft: ft.clone(),
                 split: SplitSpec::paper(),
                 epoch: 1,
+                codecs: 0,
             })
             .unwrap();
         }

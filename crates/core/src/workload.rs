@@ -166,6 +166,12 @@ pub struct WorkloadSpec {
     /// Optional per-client iteration counts (clients connect and leave
     /// independently); `iterations` is used when `None`.
     pub client_iterations: Option<Vec<usize>>,
+    /// Tensor codec the clients negotiate (PROTOCOL.md §7). The
+    /// analytic engine charges links with the *post-compression*
+    /// per-message byte count for this codec — charging raw f32 sizes
+    /// would make compressed WAN steps/s identical to raw, hiding the
+    /// whole point of §7.
+    pub codec: menos_net::Codec,
 }
 
 impl WorkloadSpec {
@@ -185,6 +191,7 @@ impl WorkloadSpec {
             stagger: Nanos::ZERO,
             client_batch_sizes: None,
             client_iterations: None,
+            codec: menos_net::Codec::F32Raw,
         }
     }
 

@@ -21,12 +21,17 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
+mod compress;
 mod link;
 mod nonblocking;
 mod wire;
 
+pub use compress::{
+    decode_tensor_any, negotiate, supported_codec_mask, wire_size_with, Codec, TensorCodec,
+    ROLE_ACTIVATIONS, ROLE_GRADIENTS,
+};
 pub use link::WanLink;
 pub use nonblocking::{FrameAccumulator, WriteQueue};
 pub use wire::{

@@ -32,7 +32,8 @@ pub(crate) fn register_recycler() {
     ONCE.call_once(|| bytes::set_buffer_recycler(pool::recycle_bytes));
 }
 
-const MAGIC: u32 = 0x4d4e_5331; // "MNS1"
+pub(crate) const MAGIC: u32 = 0x4d4e_5331; // "MNS1"
+pub(crate) const COMPRESSED_MAGIC: u32 = 0x4d4e_4331; // "MNC1" (§7 bodies)
 pub(crate) const FRAME_MAGIC: u32 = 0x4d4e_5031; // "MNP1"
 
 /// Version byte stamped into every protocol frame header.
@@ -338,7 +339,7 @@ pub fn read_frame_bytes(r: &mut impl io::Read, max_frame: usize) -> Result<Bytes
 
 /// Maximum element count a frame may declare (guards against corrupt
 /// length prefixes).
-const MAX_ELEMS: u64 = 1 << 32;
+pub(crate) const MAX_ELEMS: u64 = 1 << 32;
 
 /// Serializes a tensor to its wire representation.
 ///

@@ -1,9 +1,12 @@
 //! The split fine-tuning client: input section `f_i`, output section
 //! `f_o`, local data, and local adapter optimization.
 
+use bytes::Bytes;
+
 use menos_adapters::{build_optimizer, inject_adapters, FineTuneConfig, Optimizer};
 use menos_data::{Batch, LossCurve, TokenDataset};
 use menos_models::{causal_lm_loss, CausalLm};
+use menos_net::{TensorCodec, WireError, ROLE_ACTIVATIONS, ROLE_GRADIENTS};
 use menos_sim::seeded_rng;
 use menos_tensor::{GradStore, Tensor};
 
@@ -46,6 +49,8 @@ pub struct SplitClient {
     accum: Option<GradStore>,
     micro: usize,
     curve: LossCurve,
+    advertised_codecs: u64,
+    codec: TensorCodec,
 }
 
 impl SplitClient {
@@ -84,7 +89,61 @@ impl SplitClient {
             accum: None,
             micro: 0,
             curve: LossCurve::new(),
+            advertised_codecs: 0,
+            codec: TensorCodec::default(),
         }
+    }
+
+    /// Feature-flag bitmask of tensor codecs this client advertises in
+    /// `Connect` (PROTOCOL.md §7). Zero — the default — keeps the
+    /// handshake byte-identical to v1.1 and negotiates the raw f32
+    /// baseline.
+    pub fn advertised_codecs(&self) -> u64 {
+        self.advertised_codecs
+    }
+
+    /// Sets the codec bitmask advertised on the next `Connect`. Pass
+    /// `codec.flag()` for a single codec, or a union of flags to let
+    /// the server pick (it chooses the highest-tag codec it supports).
+    pub fn set_advertised_codecs(&mut self, mask: u64) {
+        self.advertised_codecs = mask;
+    }
+
+    /// The tensor codec negotiated with the server (raw until a `Ready`
+    /// carrying a codec echo is adopted).
+    pub fn codec(&self) -> menos_net::Codec {
+        self.codec.codec()
+    }
+
+    /// Adopts the codec echoed by the server's `Ready`, resetting any
+    /// error-feedback residuals if the codec changed.
+    pub fn adopt_codec(&mut self, codec: menos_net::Codec) {
+        self.codec.set_codec(codec);
+    }
+
+    /// Encodes an outgoing client activation tensor (`x_c`) under the
+    /// negotiated codec, updating error-feedback residuals for lossy
+    /// codecs.
+    pub fn encode_activations(&mut self, t: &Tensor) -> Bytes {
+        self.codec.encode(ROLE_ACTIVATIONS, t)
+    }
+
+    /// Encodes an outgoing client gradient tensor (`g_c`) under the
+    /// negotiated codec, updating error-feedback residuals for lossy
+    /// codecs.
+    pub fn encode_gradients(&mut self, t: &Tensor) -> Bytes {
+        self.codec.encode(ROLE_GRADIENTS, t)
+    }
+
+    /// Decodes a received tensor frame, accepting raw bodies always and
+    /// compressed bodies only under the negotiated codec.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] if the body is malformed or compressed with a
+    /// codec that was not negotiated.
+    pub fn decode_frame(&self, frame: &Bytes) -> Result<Tensor, WireError> {
+        self.codec.decode(frame)
     }
 
     /// This client's id.

@@ -13,7 +13,9 @@ use bytes::Bytes;
 
 use menos_adapters::{AdapterKind, FineTuneConfig, OptimKind};
 use menos_models::{AdapterTarget, LoraSpec};
-use menos_net::{decode_frame, decode_frame_parts, encode_frame, encode_frame_header, WireError};
+use menos_net::{
+    decode_frame, decode_frame_parts, encode_frame, encode_frame_header, Codec, WireError,
+};
 
 use crate::message::{ClientId, ClientMessage, EvictionCode, ServerMessage};
 use crate::spec::SplitSpec;
@@ -111,7 +113,12 @@ pub fn encode_client_message(msg: &ClientMessage) -> Bytes {
             ft,
             split,
             epoch,
-        } => encode_frame(KIND_CONNECT, client.0, &encode_config(ft, *split, *epoch)),
+            codecs,
+        } => encode_frame(
+            KIND_CONNECT,
+            client.0,
+            &encode_config_v12(ft, *split, *epoch, *codecs),
+        ),
         ClientMessage::Resume {
             client,
             epoch,
@@ -142,10 +149,11 @@ pub fn client_message_parts(msg: &ClientMessage) -> (Bytes, Bytes) {
             ft,
             split,
             epoch,
+            codecs,
         } => (
             KIND_CONNECT,
             client,
-            Bytes::from(encode_config(ft, *split, *epoch)),
+            Bytes::from(encode_config_v12(ft, *split, *epoch, *codecs)),
         ),
         ClientMessage::Resume {
             client,
@@ -174,12 +182,13 @@ fn client_message_from_kind(
     let client = ClientId(client);
     match kind {
         KIND_CONNECT => {
-            let (ft, split, epoch) = decode_config(&payload)?;
+            let (ft, split, epoch, codecs) = decode_config_v12(&payload)?;
             Ok(ClientMessage::Connect {
                 client,
                 ft,
                 split,
                 epoch,
+                codecs,
             })
         }
         KIND_RESUME => {
@@ -242,7 +251,9 @@ pub fn decode_client_message_parts(
 /// Serializes a server→client message to its wire frame.
 pub fn encode_server_message(msg: &ServerMessage) -> Bytes {
     match msg {
-        ServerMessage::Ready { client } => encode_frame(KIND_READY, client.0, &[]),
+        ServerMessage::Ready { client, codec } => {
+            encode_frame(KIND_READY, client.0, &ready_body(*codec))
+        }
         ServerMessage::ServerActivations { client, frame } => {
             encode_frame(KIND_SERVER_ACTIVATIONS, client.0, frame)
         }
@@ -273,7 +284,9 @@ pub fn encode_server_message(msg: &ServerMessage) -> Bytes {
 /// never copies the tensor body again after [`menos_net::encode_tensor`].
 pub fn server_message_parts(msg: &ServerMessage) -> (Bytes, Bytes) {
     let (kind, client, body) = match msg {
-        ServerMessage::Ready { client } => (KIND_READY, client, Bytes::new()),
+        ServerMessage::Ready { client, codec } => {
+            (KIND_READY, client, Bytes::from(ready_body(*codec)))
+        }
         ServerMessage::ServerActivations { client, frame } => {
             (KIND_SERVER_ACTIVATIONS, client, frame.clone())
         }
@@ -309,8 +322,29 @@ fn server_message_from_kind(
     let client = ClientId(client);
     match kind {
         KIND_READY => {
-            expect_empty(&payload)?;
-            Ok(ServerMessage::Ready { client })
+            // v1.2 (§7): `Ready` may carry exactly one appended byte —
+            // the negotiated codec tag. An empty body is the v1.1
+            // encoding and means the raw baseline, so un-upgraded
+            // exchanges stay byte-identical. The raw tag must use the
+            // empty encoding (one representation per message).
+            let codec = match payload.len() {
+                0 => Codec::F32Raw,
+                1 => match Codec::from_tag(payload[0]) {
+                    Some(c) if c != Codec::F32Raw => c,
+                    _ => {
+                        return Err(WireError::Malformed(format!(
+                            "bad Ready codec tag {}",
+                            payload[0]
+                        )))
+                    }
+                },
+                n => {
+                    return Err(WireError::Malformed(format!(
+                        "Ready body must be empty or 1 codec byte, got {n}"
+                    )))
+                }
+            };
+            Ok(ServerMessage::Ready { client, codec })
         }
         KIND_SERVER_ACTIVATIONS => Ok(ServerMessage::ServerActivations {
             client,
@@ -373,6 +407,16 @@ pub fn decode_server_message_parts(
 ) -> Result<ServerMessage, WireError> {
     let (kind, client, payload) = decode_frame_parts(header, body, max_frame)?;
     server_message_from_kind(kind, client, payload)
+}
+
+/// The `Ready` payload for a negotiated codec: empty for the raw
+/// baseline (the v1.1 encoding, kept byte-identical), one tag byte
+/// otherwise.
+fn ready_body(codec: Codec) -> Vec<u8> {
+    match codec {
+        Codec::F32Raw => Vec::new(),
+        c => vec![c.tag()],
+    }
 }
 
 fn expect_empty(payload: &Bytes) -> Result<(), WireError> {
@@ -439,6 +483,22 @@ pub(crate) fn encode_config(ft: &FineTuneConfig, split: SplitSpec, epoch: u64) -
     out
 }
 
+/// [`encode_config`] plus the v1.2 appended codec feature-flag mask
+/// (§7). A zero mask is omitted, which keeps a compression-unaware
+/// client's Connect body byte-identical to v1.1.
+pub(crate) fn encode_config_v12(
+    ft: &FineTuneConfig,
+    split: SplitSpec,
+    epoch: u64,
+    codecs: u64,
+) -> Vec<u8> {
+    let mut out = encode_config(ft, split, epoch);
+    if codecs != 0 {
+        out.extend(codecs.to_le_bytes());
+    }
+    out
+}
+
 struct Cursor<'a> {
     buf: &'a [u8],
     pos: usize,
@@ -477,7 +537,16 @@ impl<'a> Cursor<'a> {
     }
 }
 
+/// Decodes a Connect config body without the v1.2 codec mask — what
+/// session snapshots store (compression state is serialized separately
+/// from the config).
 pub(crate) fn decode_config(buf: &[u8]) -> Result<(FineTuneConfig, SplitSpec, u64), WireError> {
+    decode_config_v12(buf).map(|(ft, split, epoch, _)| (ft, split, epoch))
+}
+
+pub(crate) fn decode_config_v12(
+    buf: &[u8],
+) -> Result<(FineTuneConfig, SplitSpec, u64, u64), WireError> {
     let mut c = Cursor { buf, pos: 0 };
     let adapter = match c.u8()? {
         0 => {
@@ -523,9 +592,13 @@ pub(crate) fn decode_config(buf: &[u8]) -> Result<(FineTuneConfig, SplitSpec, u6
     let seq_len = c.u64()? as usize;
     let grad_accumulation = c.u64()? as usize;
     let front_layers = c.u64()? as usize;
-    // Tolerant decode of the v1.1 appended epoch: a v1.0 body simply
-    // ends here (epoch 0 ⇒ "pre-lifecycle peer").
+    // Appended fields are ordered and decoded tolerantly, per the §5
+    // versioning policy: a v1.0 body ends right here (epoch 0 ⇒
+    // "pre-lifecycle peer"), a v1.1 body after the epoch (codec mask
+    // 0 ⇒ raw-only peer, the §7 fallback rule). A *partial* appended
+    // field is still malformed — fields are all-or-nothing.
     let epoch = if c.at_end() { 0 } else { c.u64()? };
+    let codecs = if c.at_end() { 0 } else { c.u64()? };
     c.finish()?;
     Ok((
         FineTuneConfig {
@@ -537,6 +610,7 @@ pub(crate) fn decode_config(buf: &[u8]) -> Result<(FineTuneConfig, SplitSpec, u6
         },
         SplitSpec::new(front_layers),
         epoch,
+        codecs,
     ))
 }
 
@@ -605,6 +679,14 @@ mod tests {
                 ft: FineTuneConfig::paper(&cfg),
                 split: SplitSpec::paper(),
                 epoch: 1,
+                codecs: 0,
+            },
+            ClientMessage::Connect {
+                client: ClientId(3),
+                ft: FineTuneConfig::paper(&cfg),
+                split: SplitSpec::paper(),
+                epoch: 2,
+                codecs: Codec::F16.flag() | Codec::TopK8.flag(),
             },
             ClientMessage::Resume {
                 client: ClientId(3),
@@ -636,6 +718,11 @@ mod tests {
         let msgs = [
             ServerMessage::Ready {
                 client: ClientId(1),
+                codec: Codec::F32Raw,
+            },
+            ServerMessage::Ready {
+                client: ClientId(1),
+                codec: Codec::BF16,
             },
             ServerMessage::ServerActivations {
                 client: ClientId(2),
@@ -714,6 +801,67 @@ mod tests {
         ));
     }
 
+    /// §7: the `Ready` codec echo has exactly one byte representation
+    /// per value — raw is the empty body, a compressed codec is its
+    /// tag byte, and everything else is malformed.
+    #[test]
+    fn ready_codec_echo_is_canonical() {
+        // Raw encodes empty: byte-identical to the v1.1 Ready.
+        let raw = encode_server_message(&ServerMessage::Ready {
+            client: ClientId(9),
+            codec: Codec::F32Raw,
+        });
+        assert_eq!(raw.len() as u64, menos_net::FRAME_HEADER_BYTES);
+        // An explicit raw tag byte is non-canonical.
+        let frame = menos_net::encode_frame(KIND_READY, 0, &[Codec::F32Raw.tag()]);
+        assert!(matches!(
+            decode_server_message(&frame, DEFAULT_MAX_FRAME),
+            Err(WireError::Malformed(_))
+        ));
+        // An unknown tag byte is rejected.
+        let frame = menos_net::encode_frame(KIND_READY, 0, &[200]);
+        assert!(matches!(
+            decode_server_message(&frame, DEFAULT_MAX_FRAME),
+            Err(WireError::Malformed(_))
+        ));
+        // Every compressed codec round-trips through its tag byte.
+        for codec in Codec::ALL.into_iter().filter(|c| *c != Codec::F32Raw) {
+            let msg = ServerMessage::Ready {
+                client: ClientId(9),
+                codec,
+            };
+            let bytes = encode_server_message(&msg);
+            assert_eq!(bytes.len() as u64, menos_net::FRAME_HEADER_BYTES + 1);
+            assert_eq!(
+                decode_server_message(&bytes, DEFAULT_MAX_FRAME).unwrap(),
+                msg
+            );
+        }
+    }
+
+    /// §5/§7: the codec mask is the second appended Connect-body
+    /// field. v1.0 and v1.1 bodies decode with mask 0; a partial mask
+    /// is malformed.
+    #[test]
+    fn connect_codec_mask_is_a_tolerant_appended_field() {
+        let cfg = ModelConfig::tiny_opt(10);
+        let ft = FineTuneConfig::paper(&cfg);
+        let split = SplitSpec::new(2);
+        let mask = Codec::F16.flag() | Codec::BF16.flag();
+        let body = encode_config_v12(&ft, split, 5, mask);
+        let (ft2, split2, epoch, codecs) = decode_config_v12(&body).unwrap();
+        assert_eq!((ft2, split2, epoch, codecs), (ft.clone(), split, 5, mask));
+        // v1.1 encoder (mask omitted) decodes as mask 0.
+        let v11 = encode_config_v12(&ft, split, 5, 0);
+        assert_eq!(v11, encode_config(&ft, split, 5));
+        let (_, _, epoch, codecs) = decode_config_v12(&v11).unwrap();
+        assert_eq!((epoch, codecs), (5, 0));
+        // Partial appended mask is malformed (all-or-nothing fields).
+        let mut bad = body.clone();
+        bad.truncate(bad.len() - 3);
+        assert!(decode_config_v12(&bad).is_err());
+    }
+
     /// `PROTOCOL.md` §2 is enforced against [`MessageKind`]: every
     /// kind must appear in the table for its direction with its exact
     /// name and code, and the tables must list nothing else.
@@ -723,14 +871,38 @@ mod tests {
             std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/../../PROTOCOL.md"))
                 .expect("PROTOCOL.md at the repository root");
 
-        // Collect `(name, code, client_to_server)` from the §2 tables:
-        // rows whose first cell is a backticked identifier and whose
-        // second cell is an integer. Direction = before/after §2.2.
-        let server_section = doc
+        // Collect `(name, code, client_to_server)` from the §2 tables
+        // only (§7's codec table shares the same row shape and is
+        // checked by `protocol_md_matches_codec_table`): rows whose
+        // first cell is a backticked identifier and whose second cell
+        // is an integer. Direction = before/after §2.2.
+        let section = &doc[doc.find("## 2.").expect("PROTOCOL.md §2")
+            ..doc.find("## 3.").expect("PROTOCOL.md §3")];
+        let server_section = section
             .find("### 2.2")
             .expect("PROTOCOL.md §2.2 server→client table");
-        let mut documented = Vec::new();
-        for (pos, line) in doc.lines().scan(0usize, |off, l| {
+        let documented = backticked_table_rows(section);
+
+        let expected: Vec<(String, u8, bool)> = MessageKind::ALL
+            .iter()
+            .map(|k| (k.name().to_string(), k.code(), k.client_to_server()))
+            .collect();
+        assert_eq!(
+            documented
+                .into_iter()
+                .map(|(name, code, pos)| (name, code, pos < server_section))
+                .collect::<Vec<_>>(),
+            expected,
+            "PROTOCOL.md §2 message-kind tables drifted from MessageKind"
+        );
+    }
+
+    /// Collects `(name, code, byte_offset)` from every table row in
+    /// `section` whose first cell is a backticked identifier and whose
+    /// second cell parses as an integer.
+    fn backticked_table_rows(section: &str) -> Vec<(String, u8, usize)> {
+        let mut rows = Vec::new();
+        for (pos, line) in section.lines().scan(0usize, |off, l| {
             let pos = *off;
             *off += l.len() + 1;
             Some((pos, l))
@@ -743,17 +915,56 @@ mod tests {
             let (Some(name), Ok(code)) = (name, second.parse::<u8>()) else {
                 continue;
             };
-            documented.push((name.to_string(), code, pos < server_section));
+            rows.push((name.to_string(), code, pos));
         }
+        rows
+    }
 
-        let expected: Vec<(String, u8, bool)> = MessageKind::ALL
+    /// `PROTOCOL.md` §7's codec table is enforced against
+    /// [`menos_net::Codec`] exactly as §2 is against [`MessageKind`]:
+    /// every codec with its exact name, tag, and feature-flag bit, and
+    /// nothing else.
+    #[test]
+    fn protocol_md_matches_codec_table() {
+        let doc =
+            std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/../../PROTOCOL.md"))
+                .expect("PROTOCOL.md at the repository root");
+        let section = &doc[doc
+            .find("## 7.")
+            .expect("PROTOCOL.md §7 tensor compression")..];
+
+        let documented: Vec<(String, u8)> = backticked_table_rows(section)
+            .into_iter()
+            .map(|(name, code, _)| (name, code))
+            .collect();
+        let expected: Vec<(String, u8)> = Codec::ALL
             .iter()
-            .map(|k| (k.name().to_string(), k.code(), k.client_to_server()))
+            .map(|c| (c.name().to_string(), c.tag()))
             .collect();
         assert_eq!(
             documented, expected,
-            "PROTOCOL.md §2 message-kind tables drifted from MessageKind"
+            "PROTOCOL.md §7 codec table drifted from menos_net::Codec"
         );
+
+        // The documented flag bits must match `Codec::flag` too: the
+        // table's third cell is the bit index.
+        for line in section.lines() {
+            let mut cells = line.split('|').map(str::trim).skip(1);
+            let (Some(first), Some(_), Some(third)) = (cells.next(), cells.next(), cells.next())
+            else {
+                continue;
+            };
+            let name = first.strip_prefix('`').and_then(|s| s.strip_suffix('`'));
+            let (Some(name), Ok(bit)) = (name, third.parse::<u32>()) else {
+                continue;
+            };
+            let codec = Codec::parse(name).expect("documented codec exists");
+            assert_eq!(
+                codec.flag(),
+                1u64 << bit,
+                "PROTOCOL.md §7 flag bit for {name} drifted"
+            );
+        }
     }
 
     #[test]

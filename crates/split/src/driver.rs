@@ -9,7 +9,7 @@
 use menos_adapters::{build_optimizer, inject_adapters, FineTuneConfig};
 use menos_data::{LossCurve, TokenDataset};
 use menos_models::{causal_lm_loss, CausalLm};
-use menos_net::{decode_tensor, encode_tensor, DEFAULT_MAX_FRAME};
+use menos_net::DEFAULT_MAX_FRAME;
 use menos_sim::seeded_rng;
 
 use crate::client::SplitClient;
@@ -64,35 +64,26 @@ pub fn run_split_steps(
 
     for _ in 0..steps {
         // Steps 1+2: client forward; server forward on the decoded
-        // activations, activations back.
+        // activations, activations back. Both directions go through
+        // the per-party negotiated codecs (raw by default).
         let x_c = client.start_step();
-        let reply = exchange(
-            session,
-            ClientMessage::Activations {
-                client: id,
-                frame: encode_tensor(&x_c),
-            },
-        );
+        let frame = client.encode_activations(&x_c);
+        let reply = exchange(session, ClientMessage::Activations { client: id, frame });
         let ServerMessage::ServerActivations { frame, .. } = reply else {
             unreachable!("dispatch_session answers activations with activations");
         };
-        let x_s = decode_tensor(&frame).expect("x_s payload");
+        let x_s = client.decode_frame(&frame).expect("x_s payload");
 
         // Steps 3+4: client loss + gradients over the wire; server
         // backward (re-forwarding if needed), gradients back, both
         // sides step their optimizers.
         let (_loss, g_c) = client.receive_server_activations(&x_s);
-        let reply = exchange(
-            session,
-            ClientMessage::Gradients {
-                client: id,
-                frame: encode_tensor(&g_c),
-            },
-        );
+        let frame = client.encode_gradients(&g_c);
+        let reply = exchange(session, ClientMessage::Gradients { client: id, frame });
         let ServerMessage::ServerGradients { frame, .. } = reply else {
             unreachable!("dispatch_session answers gradients with gradients");
         };
-        let g_s = decode_tensor(&frame).expect("g_s payload");
+        let g_s = client.decode_frame(&frame).expect("g_s payload");
         client.receive_server_gradients(&g_s);
     }
     client.curve().clone()

@@ -183,6 +183,7 @@ mod tests {
         let mut t = FaultTransport::new();
         t.send(&ServerMessage::Ready {
             client: ClientId(2),
+            codec: menos_net::Codec::F32Raw,
         })
         .unwrap();
         assert_eq!(t.sent().len(), 1);

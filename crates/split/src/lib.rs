@@ -80,7 +80,10 @@ pub use event_loop::{
     SimDialer, SnapshotPolicy,
 };
 pub use fault::FaultTransport;
-pub use message::{activation_wire_bytes, ClientId, ClientMessage, EvictionCode, ServerMessage};
+pub use message::{
+    activation_wire_bytes, activation_wire_bytes_with, ClientId, ClientMessage, EvictionCode,
+    ServerMessage,
+};
 pub use protocol::{
     channel_pair, dispatch_session, drive_client, serve_loop, sim_pair, ChannelTransport,
     MessageHandler, ProtocolError, SessionHandler, SimTransport, Transport, WireMessage,

@@ -66,6 +66,11 @@ pub enum ClientMessage {
         /// 1; each successful resume bumps it). v1.0 peers omit the
         /// field and decode as epoch 0, which the server treats as 1.
         epoch: u64,
+        /// Feature-flag bitmask of tensor codecs the client is willing
+        /// to receive and send (bit `Codec::tag()`, PROTOCOL.md §7).
+        /// v1.0/v1.1 peers omit the field and decode as 0, which
+        /// negotiates the raw f32 baseline.
+        codecs: u64,
     },
     /// A reconnecting client asks to re-attach to its quarantined
     /// session and continue from where training stopped.
@@ -112,6 +117,11 @@ pub enum ServerMessage {
     Ready {
         /// Addressee.
         client: ClientId,
+        /// The tensor codec the server selected from the client's
+        /// advertised set. [`Codec::F32Raw`](menos_net::Codec::F32Raw)
+        /// encodes as an empty payload — byte-identical to the v1.1
+        /// `Ready` — so un-upgraded peers interoperate unchanged.
+        codec: menos_net::Codec,
     },
     /// Server-side forward output `x_s` (protocol step 2).
     ServerActivations {
@@ -203,7 +213,7 @@ impl ServerMessage {
     /// The addressee.
     pub fn client(&self) -> ClientId {
         match self {
-            ServerMessage::Ready { client }
+            ServerMessage::Ready { client, .. }
             | ServerMessage::ServerActivations { client, .. }
             | ServerMessage::ServerGradients { client, .. }
             | ServerMessage::Resumed { client, .. }
@@ -214,9 +224,26 @@ impl ServerMessage {
 
 /// Analytic wire size of a framed activation/gradient message for a
 /// workload, without materializing it: protocol frame header plus the
-/// encoded `[batch, seq, hidden]` tensor.
+/// encoded `[batch, seq, hidden]` tensor (raw f32 body).
 pub fn activation_wire_bytes(batch: usize, seq: usize, hidden: usize) -> u64 {
-    FRAME_HEADER_BYTES + wire_size(&[batch, seq, hidden])
+    activation_wire_bytes_with(menos_net::Codec::F32Raw, batch, seq, hidden)
+}
+
+/// Codec-aware [`activation_wire_bytes`]: the analytic engine must
+/// charge links with post-compression byte counts, not raw f32 sizes,
+/// or WAN steps/s numbers for compressed codecs come out wrong.
+pub fn activation_wire_bytes_with(
+    codec: menos_net::Codec,
+    batch: usize,
+    seq: usize,
+    hidden: usize,
+) -> u64 {
+    let dims = [batch, seq, hidden];
+    debug_assert_eq!(
+        wire_size(&dims),
+        menos_net::wire_size_with(menos_net::Codec::F32Raw, &dims)
+    );
+    FRAME_HEADER_BYTES + menos_net::wire_size_with(codec, &dims)
 }
 
 #[cfg(test)]
@@ -243,6 +270,7 @@ mod tests {
             ft: menos_adapters::FineTuneConfig::paper(&cfg),
             split: SplitSpec::paper(),
             epoch: 1,
+            codecs: 0,
         };
         assert_eq!(connect.wire_bytes(), 256);
         let resume = ClientMessage::Resume {
@@ -265,7 +293,8 @@ mod tests {
         assert_eq!(msg.client(), ClientId(3));
         assert_eq!(
             ServerMessage::Ready {
-                client: ClientId(3)
+                client: ClientId(3),
+                codec: menos_net::Codec::F32Raw,
             }
             .wire_bytes(),
             256

@@ -24,7 +24,7 @@ use std::time::Duration;
 
 use bytes::Bytes;
 
-use menos_net::{decode_tensor, encode_tensor, FrameError, WanLink, WireError, DEFAULT_MAX_FRAME};
+use menos_net::{FrameError, WanLink, WireError, DEFAULT_MAX_FRAME};
 use menos_sim::Nanos;
 
 use crate::client::SplitClient;
@@ -522,18 +522,20 @@ pub fn dispatch_session(
 ) -> Result<ServerMessage, ProtocolError> {
     match msg {
         ClientMessage::Activations { client, frame } => {
-            let x_c = decode_tensor(frame)?;
+            let x_c = session.codec().decode(frame)?;
             let x_s = match mode {
                 ForwardMode::Cached => session.forward_cached(&x_c),
                 ForwardMode::NoGradReforward => session.forward_nograd(&x_c),
             };
             Ok(ServerMessage::ServerActivations {
                 client: *client,
-                frame: encode_tensor(&x_s),
+                frame: session
+                    .codec_mut()
+                    .encode(menos_net::ROLE_ACTIVATIONS, &x_s),
             })
         }
         ClientMessage::Gradients { client, frame } => {
-            let g_c = decode_tensor(frame)?;
+            let g_c = session.codec().decode(frame)?;
             // `backward` panics on protocol misuse (no preceding
             // forward); convert that into a recoverable protocol
             // error. The session mutates nothing before the check, so
@@ -545,7 +547,7 @@ pub fn dispatch_session(
                 })?;
             Ok(ServerMessage::ServerGradients {
                 client: *client,
-                frame: encode_tensor(&g_s),
+                frame: session.codec_mut().encode(menos_net::ROLE_GRADIENTS, &g_s),
             })
         }
         ClientMessage::Connect { .. }
@@ -592,7 +594,12 @@ impl MessageHandler for SessionHandler {
             return Err(ProtocolError::UnknownClient(msg.client()));
         }
         match msg {
-            ClientMessage::Connect { client, .. } => Ok(Some(ServerMessage::Ready { client })),
+            ClientMessage::Connect { client, codecs, .. } => {
+                let codec = menos_net::negotiate(codecs, menos_net::supported_codec_mask());
+                let session = self.session.as_mut().expect("checked above");
+                session.set_codec(codec);
+                Ok(Some(ServerMessage::Ready { client, codec }))
+            }
             ClientMessage::Disconnect { .. } => {
                 self.session = None;
                 Ok(None)
@@ -694,9 +701,10 @@ where
         ft: client.ft_config().clone(),
         split: client.split(),
         epoch: client.epoch(),
+        codecs: client.advertised_codecs(),
     })?;
     match transport.recv()? {
-        ServerMessage::Ready { .. } => {}
+        ServerMessage::Ready { codec, .. } => client.adopt_codec(codec),
         other => {
             return Err(ProtocolError::Unexpected(format!(
                 "expected Ready, got {}",
@@ -706,12 +714,10 @@ where
     }
     for _ in 0..steps {
         let x_c = client.start_step();
-        transport.send(&ClientMessage::Activations {
-            client: id,
-            frame: encode_tensor(&x_c),
-        })?;
+        let frame = client.encode_activations(&x_c);
+        transport.send(&ClientMessage::Activations { client: id, frame })?;
         let x_s = match transport.recv()? {
-            ServerMessage::ServerActivations { frame, .. } => decode_tensor(&frame)?,
+            ServerMessage::ServerActivations { frame, .. } => client.decode_frame(&frame)?,
             other => {
                 return Err(ProtocolError::Unexpected(format!(
                     "expected ServerActivations, got {}",
@@ -720,12 +726,10 @@ where
             }
         };
         let (_loss, g_c) = client.receive_server_activations(&x_s);
-        transport.send(&ClientMessage::Gradients {
-            client: id,
-            frame: encode_tensor(&g_c),
-        })?;
+        let frame = client.encode_gradients(&g_c);
+        transport.send(&ClientMessage::Gradients { client: id, frame })?;
         let g_s = match transport.recv()? {
-            ServerMessage::ServerGradients { frame, .. } => decode_tensor(&frame)?,
+            ServerMessage::ServerGradients { frame, .. } => client.decode_frame(&frame)?,
             other => {
                 return Err(ProtocolError::Unexpected(format!(
                     "expected ServerGradients, got {}",

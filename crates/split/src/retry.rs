@@ -23,7 +23,7 @@ use std::time::Duration;
 use rand::rngs::StdRng;
 
 use menos_data::LossCurve;
-use menos_net::{decode_tensor, encode_tensor, DEFAULT_MAX_FRAME};
+use menos_net::DEFAULT_MAX_FRAME;
 use menos_sim::{jitter_factor, seeded_rng};
 
 use crate::client::SplitClient;
@@ -171,9 +171,11 @@ where
             ft: client.ft_config().clone(),
             split: client.split(),
             epoch: client.epoch(),
+            codecs: client.advertised_codecs(),
         })?;
         match transport.recv()? {
-            ServerMessage::Ready { .. } => {
+            ServerMessage::Ready { codec, .. } => {
+                client.adopt_codec(codec);
                 *established = true;
                 Ok(())
             }
@@ -205,7 +207,7 @@ where
                     let replayed = decode_server_message(&replay, DEFAULT_MAX_FRAME)?;
                     match replayed {
                         ServerMessage::ServerGradients { frame, .. } => {
-                            let g_s = decode_tensor(&frame)?;
+                            let g_s = client.decode_frame(&frame)?;
                             client.receive_server_gradients(&g_s);
                         }
                         other => return Err(unexpected("replayed ServerGradients", &other)),
@@ -234,21 +236,17 @@ where
 {
     let id = client.id();
     let x_c = client.start_step();
-    transport.send(&ClientMessage::Activations {
-        client: id,
-        frame: encode_tensor(&x_c),
-    })?;
+    let frame = client.encode_activations(&x_c);
+    transport.send(&ClientMessage::Activations { client: id, frame })?;
     let x_s = match transport.recv()? {
-        ServerMessage::ServerActivations { frame, .. } => decode_tensor(&frame)?,
+        ServerMessage::ServerActivations { frame, .. } => client.decode_frame(&frame)?,
         other => return Err(unexpected("ServerActivations", &other)),
     };
     let (_loss, g_c) = client.receive_server_activations(&x_s);
-    transport.send(&ClientMessage::Gradients {
-        client: id,
-        frame: encode_tensor(&g_c),
-    })?;
+    let frame = client.encode_gradients(&g_c);
+    transport.send(&ClientMessage::Gradients { client: id, frame })?;
     let g_s = match transport.recv()? {
-        ServerMessage::ServerGradients { frame, .. } => decode_tensor(&frame)?,
+        ServerMessage::ServerGradients { frame, .. } => client.decode_frame(&frame)?,
         other => return Err(unexpected("ServerGradients", &other)),
     };
     client.receive_server_gradients(&g_s);

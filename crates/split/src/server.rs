@@ -5,6 +5,7 @@ use std::ops::Range;
 
 use menos_adapters::{build_optimizer, inject_adapters, FineTuneConfig, OptimState, Optimizer};
 use menos_models::CausalLm;
+use menos_net::TensorCodec;
 use menos_sim::seeded_rng;
 use menos_tensor::{
     load_checkpoint, no_grad, restore_into, save_checkpoint, CheckpointError, GradStore,
@@ -52,6 +53,7 @@ pub struct ServerSession {
     grad_accumulation: usize,
     reforward_count: u64,
     steps: u64,
+    codec: TensorCodec,
 }
 
 // Section tags of the serialized session container.
@@ -60,6 +62,7 @@ const TAG_SESSION_CONFIG: u32 = 2;
 const TAG_SESSION_ADAPTERS: u32 = 3;
 const TAG_SESSION_OPTIM: u32 = 4;
 const TAG_SESSION_ACCUM: u32 = 5;
+const TAG_SESSION_CODEC: u32 = 6;
 
 impl ServerSession {
     /// Creates a session for `client` over `model` (a structure bound
@@ -97,6 +100,7 @@ impl ServerSession {
             grad_accumulation: ft.grad_accumulation.max(1),
             reforward_count: 0,
             steps: 0,
+            codec: TensorCodec::default(),
         }
     }
 
@@ -123,6 +127,12 @@ impl ServerSession {
         w.section(TAG_SESSION_CONFIG, encode_config(&self.ft, self.split, 0));
         w.section(TAG_SESSION_ADAPTERS, save_checkpoint(&self.adapter_params));
         w.section(TAG_SESSION_OPTIM, self.optimizer.to_state().to_bytes());
+        // v1.2: the negotiated codec plus its error-feedback residual
+        // accumulators. A restored server that zeroed the residuals
+        // would silently change the lossy trajectory, so they are full
+        // session state (DESIGN.md §4.12). Written unconditionally:
+        // the raw default is 2 bytes and keeps restores simple.
+        w.section(TAG_SESSION_CODEC, self.codec.to_state());
         if let Some(acc) = &self.accum {
             // Gradients are keyed by tensor identity, which does not
             // survive a process restart — persist them by parameter
@@ -212,6 +222,12 @@ impl ServerSession {
             }
             session.accum = Some(acc);
         }
+        // Tolerant read: pre-v1.2 snapshots have no codec section and
+        // restore as the raw baseline.
+        if let Some(codec_bytes) = r.find(TAG_SESSION_CODEC) {
+            session.codec = TensorCodec::from_state(codec_bytes)
+                .map_err(|e| CheckpointError::Corrupt(format!("session codec: {e}")))?;
+        }
         Ok(session)
     }
 
@@ -266,6 +282,23 @@ impl ServerSession {
     /// The underlying model structure.
     pub fn model(&self) -> &CausalLm {
         &self.model
+    }
+
+    /// The session's negotiated tensor codec (shared ref: decode).
+    pub fn codec(&self) -> &TensorCodec {
+        &self.codec
+    }
+
+    /// The session's negotiated tensor codec (mutable: encode, which
+    /// advances error-feedback residuals).
+    pub fn codec_mut(&mut self) -> &mut TensorCodec {
+        &mut self.codec
+    }
+
+    /// Installs the codec negotiated at Connect time, dropping any
+    /// residuals if the scheme changed.
+    pub fn set_codec(&mut self, codec: menos_net::Codec) {
+        self.codec.set_codec(codec);
     }
 
     /// Gradient-ready forward (Fig. 3a/b): caches the graph so backward

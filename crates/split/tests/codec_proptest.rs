@@ -89,13 +89,16 @@ fn arb_payload() -> BoxedStrategy<Bytes> {
 fn arb_client_message() -> BoxedStrategy<ClientMessage> {
     let id = || (0u64..u64::MAX).prop_map(ClientId);
     prop_oneof![
-        (id(), arb_ft(), 1usize..12, 1u64..u64::MAX)
-            .prop_map(|(client, ft, layers, epoch)| ClientMessage::Connect {
-                client,
-                ft,
-                split: SplitSpec::new(layers),
-                epoch,
-            })
+        (id(), arb_ft(), 1usize..12, 1u64..u64::MAX, 0u64..16)
+            .prop_map(
+                |(client, ft, layers, epoch, codecs)| ClientMessage::Connect {
+                    client,
+                    ft,
+                    split: SplitSpec::new(layers),
+                    epoch,
+                    codecs,
+                }
+            )
             .boxed(),
         (id(), arb_payload())
             .prop_map(|(client, frame)| ClientMessage::Activations { client, frame })
@@ -125,10 +128,21 @@ fn arb_eviction_code() -> BoxedStrategy<EvictionCode> {
     .boxed()
 }
 
+fn arb_codec() -> BoxedStrategy<menos_net::Codec> {
+    prop_oneof![
+        Just(menos_net::Codec::F32Raw),
+        Just(menos_net::Codec::F16),
+        Just(menos_net::Codec::BF16),
+        Just(menos_net::Codec::TopK8),
+    ]
+    .boxed()
+}
+
 fn arb_server_message() -> BoxedStrategy<ServerMessage> {
     let id = || (0u64..u64::MAX).prop_map(ClientId);
     prop_oneof![
-        id().prop_map(|client| ServerMessage::Ready { client })
+        (id(), arb_codec())
+            .prop_map(|(client, codec)| ServerMessage::Ready { client, codec })
             .boxed(),
         (id(), arb_payload())
             .prop_map(|(client, frame)| ServerMessage::ServerActivations { client, frame })

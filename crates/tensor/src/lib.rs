@@ -51,6 +51,7 @@
 
 mod autograd;
 mod checkpoint;
+pub mod lowp;
 mod op;
 mod ops;
 mod parallel;

@@ -34,7 +34,8 @@ usage:
                [--snapshot-dir DIR] [--snapshot-every N] [--micro-model]
                [--cached] [--blocking] [--threads T]
   menos client --addr HOST:PORT [--steps N] [--seed S] [--model-seed S]
-               [--retries R] [--backoff-ms MS] [--micro-model] [--threads T]
+               [--retries R] [--backoff-ms MS] [--codec C] [--micro-model]
+               [--threads T]
 
 options:
   --port P          listen port (default 7700)
@@ -74,6 +75,10 @@ options:
   --seed S          client data/adapter seed (default 0)
   --retries R       reconnect-and-resume up to R times per fault (default 0:
                     fail on the first fault)
+  --codec C         advertise a tensor codec for the cut tensors
+                    (f32-raw | f16 | bf16 | topk8, PROTOCOL.md §7;
+                    default f32-raw — the server picks from what is
+                    advertised, so raw peers interoperate unchanged)
   --backoff-ms MS   base reconnect backoff, doubled per consecutive failure
                     with +/-50% jitter (default 50)
   --threads T       tensor-kernel worker threads (default: MENOS_THREADS env
@@ -262,6 +267,14 @@ fn run_client(args: &[String]) {
         .map(|v| v.parse().expect("--backoff-ms must be milliseconds"))
         .unwrap_or(50);
     let micro = args.iter().any(|a| a == "--micro-model");
+    let codec = parse_flag(args, "--codec")
+        .map(|v| {
+            menos::net::Codec::parse(&v).unwrap_or_else(|| {
+                eprintln!("unknown --codec {v} (want f32-raw | f16 | bf16 | topk8)");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or(menos::net::Codec::F32Raw);
 
     let (vocab, config) = shared_model(model_seed, micro);
     // The client's PRIVATE corpus — never leaves this process; only
@@ -286,8 +299,11 @@ fn run_client(args: &[String]) {
         ds,
         seed,
     );
+    if codec != menos::net::Codec::F32Raw {
+        client.set_advertised_codecs(codec.flag());
+    }
 
-    println!("connecting to {addr} for {steps} split fine-tuning steps...");
+    println!("connecting to {addr} for {steps} split fine-tuning steps ({codec} advertised)...");
     let result = if retries > 0 {
         let policy = RetryPolicy {
             retries,

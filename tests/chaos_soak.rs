@@ -480,6 +480,7 @@ fn stale_epoch_resume_is_rejected_with_a_typed_error() {
             ft: client.ft_config().clone(),
             split: client.split(),
             epoch: 1,
+            codecs: 0,
         })
         .expect("connect");
 
@@ -562,6 +563,7 @@ fn silent_clients_are_evicted_and_expired_resumes_get_a_terminal_notice() {
             ft: client.ft_config().clone(),
             split: client.split(),
             epoch: client.epoch(),
+            codecs: 0,
         })
         .expect("send connect");
     match transport.recv().expect("ready") {

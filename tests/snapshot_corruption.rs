@@ -36,6 +36,7 @@ fn busy_server() -> MenosServer {
         ft,
         split: SplitSpec::paper(),
         epoch: 1,
+        codecs: 0,
     })
     .expect("connect");
     let frame = |t: &Tensor| -> Bytes { encode_tensor(t) };

@@ -77,6 +77,7 @@ fn connect_msg(client: &SplitClient) -> ClientMessage {
         ft: client.ft_config().clone(),
         split: client.split(),
         epoch: 1,
+        codecs: 0,
     }
 }
 
