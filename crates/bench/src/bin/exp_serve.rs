@@ -22,10 +22,16 @@
 //! 1.4–1.8x; see `run_check` for why N=32 is the worst point) or its
 //! throughput drops below 0.8x threaded. Same-run ratios only — no
 //! committed absolute baselines, which would be host-dependent.
+//!
+//! The forced-overload study (v1.3) runs N clients against a
+//! live-session capacity of N/4 and reports the shed rate and
+//! completion-latency percentiles; `--check` additionally asserts the
+//! structural overload contract — sheds happened, the live-session
+//! peak respected the cap, and every client completed.
 
 use std::io::Write;
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use menos_adapters::FineTuneConfig;
 use menos_core::{MenosServer, ServerMode, ServerSpec};
@@ -34,8 +40,8 @@ use menos_models::{init_params, CausalLm, ModelConfig};
 use menos_net::{Codec, WanLink};
 use menos_sim::seeded_rng;
 use menos_split::{
-    drive_client, event_sim_listener, serve_loop, sim_pair, ClientId, EventLoopOptions,
-    EventLoopStats, ServerEventLoop, SplitClient, SplitSpec,
+    drive_client, drive_client_resumable, event_sim_listener, serve_loop, sim_pair, ClientId,
+    EventLoopOptions, EventLoopStats, RetryPolicy, ServerEventLoop, SplitClient, SplitSpec,
 };
 use menos_tensor::ParamStore;
 
@@ -135,7 +141,7 @@ fn run_event_loop(
         listener,
         handler,
         EventLoopOptions {
-            max_clients: n as usize,
+            accept_limit: n as usize,
             ..EventLoopOptions::default()
         },
     );
@@ -157,6 +163,69 @@ fn run_event_loop(
     }
     let (_h, stats) = loop_thread.join().expect("loop thread");
     (start.elapsed().as_secs_f64(), stats)
+}
+
+/// Forced overload (v1.3): N clients vs a live-session capacity of
+/// N/4 through one event loop. Shed clients wait out the server's
+/// `Busy` hint and retry; every client completes. Returns the loop
+/// stats plus each client's wall-clock completion latency.
+fn run_overload(
+    n: u64,
+    text: &str,
+    config: &ModelConfig,
+    base: &Arc<Mutex<ParamStore>>,
+) -> (usize, EventLoopStats, Vec<f64>) {
+    let capacity = (n as usize / 4).max(1);
+    let handler = make_server(config, base);
+    let (dialer, listener) = event_sim_listener();
+    let event_loop = ServerEventLoop::new(
+        listener,
+        handler,
+        EventLoopOptions {
+            capacity,
+            busy_retry_after: Duration::from_millis(2),
+            ..EventLoopOptions::default()
+        },
+    );
+    let shutdown = event_loop.shutdown_handle();
+    let loop_thread = std::thread::spawn(move || event_loop.run());
+    let mut drivers = Vec::new();
+    for k in 0..n {
+        let mut client = make_client(k, text, config, base);
+        let dialer = dialer.clone();
+        drivers.push(std::thread::spawn(move || {
+            let policy = RetryPolicy {
+                retries: 8,
+                backoff: Duration::from_millis(1),
+                max_backoff: Duration::from_millis(50),
+                seed: client.id().0,
+            };
+            let start = Instant::now();
+            drive_client_resumable(
+                &mut client,
+                || dialer.dial(WanLink::lan(7 + k), WanLink::lan(100 + k)),
+                STEPS,
+                &policy,
+            )
+            .expect("overload fleet completes");
+            start.elapsed().as_secs_f64()
+        }));
+    }
+    let latencies: Vec<f64> = drivers
+        .into_iter()
+        .map(|d| d.join().expect("driver thread"))
+        .collect();
+    shutdown.store(true, std::sync::atomic::Ordering::Relaxed);
+    let (_h, stats) = loop_thread.join().expect("loop thread");
+    (capacity, stats, latencies)
+}
+
+/// Percentile of a nonempty slice (nearest-rank, sorted copy).
+fn percentile(xs: &[f64], p: f64) -> f64 {
+    let mut s = xs.to_vec();
+    s.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let rank = ((p / 100.0) * (s.len() as f64 - 1.0)).round() as usize;
+    s[rank.min(s.len() - 1)]
 }
 
 /// One client training `CODEC_STEPS` steps against the shared server
@@ -247,6 +316,8 @@ fn median(xs: &[f64]) -> f64 {
 
 const REPEATS: usize = 3;
 const FLEET_SIZES: [u64; 5] = [1, 8, 32, 128, 512];
+/// Forced-overload study points (capacity is N/4 at each).
+const OVERLOAD_SIZES: [u64; 2] = [32, 128];
 
 /// Extracts a numeric field from a one-line JSON object (flat keys,
 /// no nesting — exactly what the workers emit). No serde needed.
@@ -305,6 +376,21 @@ fn run_worker(mode: &str, n: u64) {
                 vm_hwm_kb(),
                 p.hit_rate(),
                 copied_per_step,
+            )
+        }
+        "overload" => {
+            let (capacity, stats, latencies) = run_overload(n, &text, &config, &base);
+            let shed_rate = stats.shed as f64 / stats.accepted.max(1) as f64;
+            format!(
+                "{{\"group\":\"serve\",\"bench\":\"overload/n{n}\",\"clients\":{n},\
+                 \"steps\":{STEPS},\"capacity\":{capacity},\"completed\":{},\
+                 \"shed\":{},\"shed_rate\":{shed_rate:.3},\"max_live_sessions\":{},\
+                 \"p50_completion_ms\":{:.1},\"p95_completion_ms\":{:.1}}}",
+                latencies.len(),
+                stats.shed,
+                stats.max_live_sessions,
+                percentile(&latencies, 50.0) * 1e3,
+                percentile(&latencies, 95.0) * 1e3,
             )
         }
         other => panic!("unknown worker mode {other:?}"),
@@ -374,6 +460,36 @@ fn run_check() -> ! {
             "bytes/step: f16 {f16_bytes:.0} / raw {raw_bytes:.0} = {:.3}x \
              (limit {F16_BYTES_RATIO_LIMIT}x) — ok",
             f16_bytes / raw_bytes
+        );
+    }
+
+    // Overload guard (v1.3): forced 4x oversubscription must actually
+    // shed, must never exceed the live-session cap, and must still
+    // complete every client. Structural facts only — completion
+    // latency is host-dependent and is reported, not bounded.
+    let overload = spawn_worker("overload", CHECK_N);
+    println!("{overload}");
+    let shed = json_num(&overload, "shed").expect("overload shed");
+    let capacity = json_num(&overload, "capacity").expect("overload capacity");
+    let live_max = json_num(&overload, "max_live_sessions").expect("overload max_live_sessions");
+    let completed = json_num(&overload, "completed").expect("overload completed");
+    if shed <= 0.0 {
+        failures.push("forced overload never shed a connect".to_string());
+    }
+    if live_max > capacity {
+        failures.push(format!(
+            "live sessions peaked at {live_max} above capacity {capacity}"
+        ));
+    }
+    if completed < CHECK_N as f64 {
+        failures.push(format!(
+            "only {completed}/{CHECK_N} clients completed under overload"
+        ));
+    }
+    if shed > 0.0 && live_max <= capacity && completed >= CHECK_N as f64 {
+        println!(
+            "overload: shed {shed:.0}, live peak {live_max:.0}/{capacity:.0}, \
+             completed {completed:.0}/{CHECK_N} — ok"
         );
     }
 
@@ -461,6 +577,25 @@ fn main() {
         );
         lines.push(threaded);
         lines.push(event);
+    }
+    println!("\n== Forced overload: N clients vs live-session capacity N/4 ==");
+    println!(
+        "{:>8} {:>9} {:>7} {:>10} {:>9} {:>11} {:>11}",
+        "clients", "capacity", "shed", "shed rate", "live max", "p50 ms", "p95 ms"
+    );
+    for n in OVERLOAD_SIZES {
+        let overload = spawn_worker("overload", n);
+        let capacity = json_num(&overload, "capacity").expect("capacity");
+        let shed = json_num(&overload, "shed").expect("shed");
+        let shed_rate = json_num(&overload, "shed_rate").expect("shed_rate");
+        let live_max = json_num(&overload, "max_live_sessions").expect("live max");
+        let p50 = json_num(&overload, "p50_completion_ms").expect("p50");
+        let p95 = json_num(&overload, "p95_completion_ms").expect("p95");
+        println!(
+            "{n:>8} {capacity:>9.0} {shed:>7.0} {shed_rate:>10.3} {live_max:>9.0} \
+             {p50:>11.1} {p95:>11.1}"
+        );
+        lines.push(overload);
     }
     run_codec_study(&mut lines);
     let json = lines.join("\n") + "\n";

@@ -12,7 +12,7 @@
 //!
 //! [`Transport`]: menos_split::Transport
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::ops::Range;
 use std::time::{Duration, Instant};
 
@@ -95,6 +95,16 @@ pub struct MenosServer {
     quarantined: HashMap<ClientId, Quarantined>,
     seed: u64,
     supported_codecs: u64,
+    /// Live-session admission cap (v1.3, PROTOCOL.md §8): a `Connect`
+    /// or `Resume` past it is shed with [`ProtocolError::Busy`]
+    /// instead of admitted. `usize::MAX` never sheds.
+    capacity: usize,
+    /// GPU-pool utilization percentage at or past which the server
+    /// reports pressure and shrinks its stacked-batch cap. 100 =
+    /// degrade only when the pool is completely reserved.
+    pressure_watermark: u8,
+    /// The reconnect hint carried in [`ProtocolError::Busy`] sheds.
+    busy_retry_after_ms: u64,
 }
 
 impl MenosServer {
@@ -125,6 +135,63 @@ impl MenosServer {
             quarantined: HashMap::new(),
             seed,
             supported_codecs: menos_net::supported_codec_mask(),
+            capacity: usize::MAX,
+            pressure_watermark: 100,
+            busy_retry_after_ms: 100,
+        }
+    }
+
+    /// Caps the number of *live* sessions this server will hold at
+    /// once. A `Connect` or `Resume` arriving at the cap is shed with
+    /// [`ProtocolError::Busy`] — retryable, no state touched — rather
+    /// than admitted (PROTOCOL.md §8.1). Quarantined sessions do not
+    /// count against the cap.
+    pub fn set_capacity(&mut self, capacity: usize) {
+        self.capacity = capacity;
+    }
+
+    /// Sets the GPU-pool utilization percentage at which the server
+    /// starts degrading gracefully: [`MenosServer::under_pressure`]
+    /// turns true (event-loop accepts are deferred) and the stacked
+    /// dispatch cap shrinks below [`MAX_STACK_MEMBERS`] so fused steps
+    /// stop growing the transient footprint. Values above 100 are
+    /// clamped to 100; the default 100 degrades only at full
+    /// reservation.
+    pub fn set_pressure_watermark(&mut self, pct: u8) {
+        self.pressure_watermark = pct.min(100);
+    }
+
+    /// Sets the reconnect hint (milliseconds) carried by admission
+    /// sheds.
+    pub fn set_busy_retry_after_ms(&mut self, ms: u64) {
+        self.busy_retry_after_ms = ms;
+    }
+
+    /// Current GPU-pool utilization as a percentage of the
+    /// Algorithm-2 budget (live reservations over total pool).
+    pub fn utilization_pct(&self) -> u64 {
+        let pool = self.spec.total_gpu_bytes().max(1);
+        self.reserved_bytes().saturating_mul(100) / pool
+    }
+
+    /// True once utilization has crossed the pressure watermark — the
+    /// signal behind the event loop's prefer-draining-over-accepting
+    /// degradation.
+    pub fn under_pressure(&self) -> bool {
+        self.utilization_pct() >= u64::from(self.pressure_watermark)
+    }
+
+    /// The stacked-dispatch member cap currently in force:
+    /// [`MAX_STACK_MEMBERS`] normally, a quarter of it under memory
+    /// pressure. Shrinking the stack never changes results — stacking
+    /// is byte-identical to solo dispatch at any grouping — it only
+    /// bounds the fused step's transient memory while the pool is
+    /// tight.
+    pub fn effective_stack_cap(&self) -> usize {
+        if self.utilization_pct() >= u64::from(self.pressure_watermark) {
+            (MAX_STACK_MEMBERS / 4).max(1)
+        } else {
+            MAX_STACK_MEMBERS
         }
     }
 
@@ -302,10 +369,29 @@ impl MenosServer {
             // again rather than hijacking a live session.
             return Err(ProtocolError::SessionActive(client));
         }
+        // v1.3: a resume re-enters the live set, so it is subject to
+        // the same session cap as a fresh connect. Shedding leaves the
+        // quarantined state untouched — the client retries and resumes
+        // once the server drains.
+        if self.clients.len() >= self.capacity {
+            return Err(ProtocolError::Busy {
+                client,
+                retry_after_ms: self.busy_retry_after_ms,
+            });
+        }
         let q = self
             .quarantined
             .get(&client)
             .ok_or(ProtocolError::UnknownClient(client))?;
+        // Re-attaching returns the session's Algorithm-2 reservation to
+        // the pool; if the pool cannot take it back right now, shed
+        // (retryable, quarantine intact) rather than oversubscribe.
+        if self.reserved_bytes().saturating_add(q.demands.m_b) > self.spec.total_gpu_bytes() {
+            return Err(ProtocolError::Busy {
+                client,
+                retry_after_ms: self.busy_retry_after_ms,
+            });
+        }
         if q.epoch != epoch {
             return Err(ProtocolError::StaleEpoch {
                 client,
@@ -383,7 +469,26 @@ impl MenosServer {
         // geometry. BTreeMap keeps dispatch order deterministic.
         type GroupKey = (bool, usize, usize, usize, usize);
         let mut groups: BTreeMap<GroupKey, Vec<(ClientId, Tensor)>> = BTreeMap::new();
+        // Lock-step allows one tensor frame in flight per client; a
+        // second in the same ready-set is a replayed or forged frame.
+        // Reject it here, before staging, so a duplicate can never
+        // join a fused step — let alone reach an optimizer twice.
+        let mut tensor_seen: HashSet<ClientId> = HashSet::new();
         for msg in msgs {
+            let is_tensor = matches!(
+                msg,
+                ClientMessage::Activations { .. } | ClientMessage::Gradients { .. }
+            );
+            if is_tensor && !tensor_seen.insert(msg.client()) {
+                let client = msg.client();
+                out.push((
+                    client,
+                    Err(ProtocolError::OutOfOrder(format!(
+                        "duplicate tensor frame from {client} in one ready-set"
+                    ))),
+                ));
+                continue;
+            }
             match self.stage_for_batch(&msg) {
                 Some((is_backward, range, t)) => {
                     let key = (
@@ -465,6 +570,10 @@ impl MenosServer {
     /// so chunks are never empty.
     fn admissible_chunks(&self, members: Vec<(ClientId, Tensor)>) -> Vec<Vec<(ClientId, Tensor)>> {
         let pool = self.spec.total_gpu_bytes();
+        // Under memory pressure the cap shrinks (graceful degradation,
+        // v1.3): smaller fused steps bound the transient footprint
+        // while results stay bit-identical at any grouping.
+        let stack_cap = self.effective_stack_cap();
         let mut chunks = Vec::new();
         let mut current: Vec<(ClientId, Tensor)> = Vec::new();
         let mut current_bytes = 0u64;
@@ -475,7 +584,7 @@ impl MenosServer {
                 .map(|s| s.demands.m_b)
                 .unwrap_or(0);
             if !current.is_empty()
-                && (current.len() >= MAX_STACK_MEMBERS || current_bytes.saturating_add(m_b) > pool)
+                && (current.len() >= stack_cap || current_bytes.saturating_add(m_b) > pool)
             {
                 chunks.push(std::mem::take(&mut current));
                 current_bytes = 0;
@@ -620,6 +729,15 @@ impl MenosServer {
                 "{client} is already connected"
             )));
         }
+        // v1.3 session-capacity shed: checked before any validation or
+        // profiling work — an over-capacity server should turn peers
+        // away as cheaply as possible.
+        if self.clients.len() >= self.capacity {
+            return Err(ProtocolError::Busy {
+                client,
+                retry_after_ms: self.busy_retry_after_ms,
+            });
+        }
         let config = self.registry.config().clone();
         ft.validate(&config).map_err(ProtocolError::Rejected)?;
         split.validate(&config).map_err(ProtocolError::Rejected)?;
@@ -634,6 +752,17 @@ impl MenosServer {
                 "profiled backward demand {} exceeds GPU pool {pool}",
                 demands.m_b
             )));
+        }
+        // Algorithm-2 shed (v1.3): the demand fits the pool in
+        // isolation but not alongside the live reservations. Unlike
+        // the terminal `Rejected` above this is retryable — departures
+        // will free the pool — so the peer gets a `Busy` hint instead
+        // of a rejection.
+        if self.reserved_bytes().saturating_add(demands.m_b) > pool {
+            return Err(ProtocolError::Busy {
+                client,
+                retry_after_ms: self.busy_retry_after_ms,
+            });
         }
         let codec = negotiate(codecs, self.supported_codecs);
         let session_seed = self.seed.wrapping_add(client.0);
@@ -791,6 +920,12 @@ impl MessageHandler for MenosServer {
     /// accept resumes with zero training divergence.
     fn snapshot_bytes(&mut self) -> Option<Vec<u8>> {
         Some(self.to_state().to_bytes())
+    }
+
+    /// Pool utilization at or past the watermark tells the pump to
+    /// drain before accepting (v1.3 graceful degradation).
+    fn under_pressure(&mut self) -> bool {
+        MenosServer::under_pressure(self)
     }
 }
 
@@ -1101,6 +1236,138 @@ mod tests {
         }
         assert_eq!(srv.active_clients(), 3);
         assert_eq!(srv.registry().instances_created(), 3);
+    }
+
+    #[test]
+    fn capacity_shed_is_retryable_and_touches_no_state() {
+        let (mut srv, ft) = server();
+        srv.set_capacity(1);
+        srv.set_busy_retry_after_ms(250);
+        let connect = |c| ClientMessage::Connect {
+            client: ClientId(c),
+            ft: ft.clone(),
+            split: SplitSpec::paper(),
+            epoch: 1,
+            codecs: 0,
+        };
+        srv.handle(connect(0)).unwrap();
+        let err = srv.handle(connect(1)).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ProtocolError::Busy {
+                    client: ClientId(1),
+                    retry_after_ms: 250,
+                }
+            ),
+            "{err}"
+        );
+        // Shedding is idempotent and created nothing.
+        assert_eq!(srv.active_clients(), 1);
+        assert_eq!(srv.quarantined_clients(), 0);
+        // Departure frees the slot; the same connect now succeeds —
+        // the defining difference from a terminal Rejected.
+        srv.handle(ClientMessage::Disconnect {
+            client: ClientId(0),
+        })
+        .unwrap();
+        assert!(srv.handle(connect(1)).is_ok());
+    }
+
+    #[test]
+    fn resume_at_capacity_is_shed_with_quarantine_intact() {
+        let (mut srv, ft) = server();
+        for c in 0..2 {
+            srv.handle(ClientMessage::Connect {
+                client: ClientId(c),
+                ft: ft.clone(),
+                split: SplitSpec::paper(),
+                epoch: 1,
+                codecs: 0,
+            })
+            .unwrap();
+        }
+        srv.quarantine(ClientId(1));
+        srv.set_capacity(1);
+        let resume = ClientMessage::Resume {
+            client: ClientId(1),
+            epoch: 1,
+            last_step: 0,
+        };
+        let err = srv.handle(resume.clone()).unwrap_err();
+        assert!(matches!(err, ProtocolError::Busy { .. }), "{err}");
+        // The parked session survived the shed — a later retry (after
+        // the server drained) re-attaches it with zero loss.
+        assert_eq!(srv.quarantined_clients(), 1);
+        srv.set_capacity(2);
+        assert!(matches!(
+            srv.handle(resume).unwrap(),
+            Some(ServerMessage::Resumed { .. })
+        ));
+    }
+
+    #[test]
+    fn pool_oversubscription_sheds_where_impossible_demands_reject() {
+        let (mut srv, ft) = server();
+        srv.handle(ClientMessage::Connect {
+            client: ClientId(0),
+            ft: ft.clone(),
+            split: SplitSpec::paper(),
+            epoch: 1,
+            codecs: 0,
+        })
+        .unwrap();
+        let m_b = srv.demands_of(ClientId(0)).unwrap().m_b;
+        // Shrink the pool so a second identical client fits alone but
+        // not alongside the first's live reservation: Busy (retryable).
+        srv.spec.gpu_capacity = m_b + m_b / 2;
+        let connect = |c| ClientMessage::Connect {
+            client: ClientId(c),
+            ft: ft.clone(),
+            split: SplitSpec::paper(),
+            epoch: 1,
+            codecs: 0,
+        };
+        let err = srv.handle(connect(1)).unwrap_err();
+        assert!(matches!(err, ProtocolError::Busy { .. }), "{err}");
+        assert_eq!(srv.active_clients(), 1);
+        // A demand that can NEVER fit stays a terminal Rejected — the
+        // client must not burn retries on the impossible.
+        srv.spec.gpu_capacity = m_b - 1;
+        let err = srv.handle(connect(2)).unwrap_err();
+        assert!(matches!(err, ProtocolError::Rejected(_)), "{err}");
+        // The freed pool admits the shed client on retry.
+        srv.spec.gpu_capacity = m_b + m_b / 2;
+        srv.handle(ClientMessage::Disconnect {
+            client: ClientId(0),
+        })
+        .unwrap();
+        assert!(srv.handle(connect(1)).is_ok());
+    }
+
+    #[test]
+    fn pressure_watermark_degrades_the_stack_cap() {
+        let (mut srv, ft) = server();
+        assert!(!srv.under_pressure());
+        assert_eq!(srv.effective_stack_cap(), MAX_STACK_MEMBERS);
+        srv.handle(ClientMessage::Connect {
+            client: ClientId(0),
+            ft,
+            split: SplitSpec::paper(),
+            epoch: 1,
+            codecs: 0,
+        })
+        .unwrap();
+        // Watermark 0: the degraded regime is unconditionally in
+        // force — handy for pinning the degraded path in tests.
+        srv.set_pressure_watermark(0);
+        assert!(srv.under_pressure());
+        assert_eq!(srv.effective_stack_cap(), (MAX_STACK_MEMBERS / 4).max(1));
+        assert!(srv.utilization_pct() <= 100);
+        // Back to the default watermark: pressure clears.
+        srv.set_pressure_watermark(100);
+        assert!(!srv.under_pressure());
+        assert_eq!(srv.effective_stack_cap(), MAX_STACK_MEMBERS);
     }
 
     #[test]

@@ -30,6 +30,7 @@ pub(crate) const KIND_SERVER_ACTIVATIONS: u8 = 18;
 pub(crate) const KIND_SERVER_GRADIENTS: u8 = 19;
 pub(crate) const KIND_RESUMED: u8 = 20;
 pub(crate) const KIND_EVICTED: u8 = 21;
+pub(crate) const KIND_BUSY: u8 = 22;
 
 /// Every message kind of wire-protocol v1 — the single source of
 /// truth `PROTOCOL.md` is checked against. Client→server kinds live
@@ -60,12 +61,15 @@ pub enum MessageKind {
     Resumed = KIND_RESUMED,
     /// Server closed the session, with a close code (v1.1).
     Evicted = KIND_EVICTED,
+    /// Server shed the connection at admission, with a retry hint
+    /// (v1.3, allocated from the reserved server→client range).
+    Busy = KIND_BUSY,
 }
 
 impl MessageKind {
     /// All kinds of protocol v1 (including the v1.1 session-lifecycle
-    /// additions), in wire-code order.
-    pub const ALL: [MessageKind; 10] = [
+    /// and v1.3 overload additions), in wire-code order.
+    pub const ALL: [MessageKind; 11] = [
         MessageKind::Connect,
         MessageKind::Activations,
         MessageKind::Gradients,
@@ -76,6 +80,7 @@ impl MessageKind {
         MessageKind::ServerGradients,
         MessageKind::Resumed,
         MessageKind::Evicted,
+        MessageKind::Busy,
     ];
 
     /// The kind byte carried in the frame header.
@@ -96,6 +101,7 @@ impl MessageKind {
             MessageKind::ServerGradients => "ServerGradients",
             MessageKind::Resumed => "Resumed",
             MessageKind::Evicted => "Evicted",
+            MessageKind::Busy => "Busy",
         }
     }
 
@@ -275,6 +281,10 @@ pub fn encode_server_message(msg: &ServerMessage) -> Bytes {
         ServerMessage::Evicted { client, code } => {
             encode_frame(KIND_EVICTED, client.0, &[code.code()])
         }
+        ServerMessage::Busy {
+            client,
+            retry_after_ms,
+        } => encode_frame(KIND_BUSY, client.0, &retry_after_ms.to_le_bytes()),
     }
 }
 
@@ -308,6 +318,14 @@ pub fn server_message_parts(msg: &ServerMessage) -> (Bytes, Bytes) {
         ServerMessage::Evicted { client, code } => {
             (KIND_EVICTED, client, Bytes::from(vec![code.code()]))
         }
+        ServerMessage::Busy {
+            client,
+            retry_after_ms,
+        } => (
+            KIND_BUSY,
+            client,
+            Bytes::from(retry_after_ms.to_le_bytes().to_vec()),
+        ),
     };
     (encode_frame_header(kind, client.0, body.len() as u32), body)
 }
@@ -379,6 +397,18 @@ fn server_message_from_kind(
                 WireError::Malformed(format!("unknown eviction close code {}", payload[0]))
             })?;
             Ok(ServerMessage::Evicted { client, code })
+        }
+        KIND_BUSY => {
+            let mut c = Cursor {
+                buf: &payload,
+                pos: 0,
+            };
+            let retry_after_ms = c.u64()?;
+            c.finish()?;
+            Ok(ServerMessage::Busy {
+                client,
+                retry_after_ms,
+            })
         }
         other => Err(WireError::UnknownKind(other)),
     }
@@ -752,6 +782,10 @@ mod tests {
                 client: ClientId(5),
                 code: EvictionCode::IdleExpired,
             },
+            ServerMessage::Busy {
+                client: ClientId(6),
+                retry_after_ms: 250,
+            },
         ];
         for msg in msgs {
             let bytes = encode_server_message(&msg);
@@ -775,6 +809,11 @@ mod tests {
         assert!(decode_server_message(&frame, DEFAULT_MAX_FRAME).is_err());
         let frame = menos_net::encode_frame(KIND_EVICTED, 0, &[99]);
         assert!(decode_server_message(&frame, DEFAULT_MAX_FRAME).is_err());
+        // Busy body must be exactly 8 retry-hint bytes.
+        let frame = menos_net::encode_frame(KIND_BUSY, 0, &[1, 2, 3]);
+        assert!(decode_server_message(&frame, DEFAULT_MAX_FRAME).is_err());
+        let frame = menos_net::encode_frame(KIND_BUSY, 0, &[0; 12]);
+        assert!(decode_server_message(&frame, DEFAULT_MAX_FRAME).is_err());
     }
 
     #[test]
@@ -789,6 +828,15 @@ mod tests {
         assert!(matches!(
             decode_server_message(&frame, DEFAULT_MAX_FRAME),
             Err(WireError::UnknownKind(KIND_CONNECT))
+        ));
+        // ... and a server kind is not a client kind: `Busy` in a
+        // client frame is rejected with the same typed error a pre-v1.3
+        // decoder raises for the then-unknown kind 22 — a clean,
+        // deterministic disconnect for old peers, never a hang.
+        let frame = menos_net::encode_frame(KIND_BUSY, 0, &250u64.to_le_bytes());
+        assert!(matches!(
+            decode_client_message(&frame, DEFAULT_MAX_FRAME),
+            Err(WireError::UnknownKind(KIND_BUSY))
         ));
     }
 

@@ -97,6 +97,16 @@ pub trait EventConn {
     fn has_queued_writes(&self) -> bool {
         false
     }
+
+    /// Bytes currently queued awaiting a writable peer. Transports
+    /// whose `queue` transmits synchronously (the in-memory channels)
+    /// report 0; nonblocking TCP reports its `WriteQueue` depth. The
+    /// loop's slow-consumer bound
+    /// ([`EventLoopOptions::max_write_buffer`]) is enforced against
+    /// this number.
+    fn queued_write_bytes(&self) -> u64 {
+        0
+    }
 }
 
 /// A source of new [`EventConn`]s the event loop can poll without
@@ -185,7 +195,39 @@ pub struct EventLoopOptions {
     /// Total connections to accept before the loop stops accepting;
     /// once they all disconnect the loop exits. `usize::MAX` serves
     /// forever (stop via [`ServerEventLoop::shutdown_handle`]).
-    pub max_clients: usize,
+    ///
+    /// Renamed from `max_clients`, which read as a concurrency cap but
+    /// is a lifetime accept budget — the concurrency cap is
+    /// [`capacity`](EventLoopOptions::capacity). Shed connections still
+    /// consume this budget (they were accepted, then turned away).
+    pub accept_limit: usize,
+    /// Live-session admission cap (PROTOCOL.md §8, v1.3): a `Connect`
+    /// or `Resume` arriving while this many sessions are bound to live
+    /// connections is shed with [`ServerMessage::Busy`] carrying the
+    /// [`busy_retry_after`](EventLoopOptions::busy_retry_after) hint,
+    /// then the connection closes. No session state is touched — the
+    /// client just reconnects later. `usize::MAX` (the default) never
+    /// sheds. Quarantined (disconnected-but-resumable) sessions do not
+    /// count — only sessions bound to a live connection.
+    pub capacity: usize,
+    /// The reconnect hint carried by loop-level capacity sheds.
+    /// Handlers that shed on their own (pool admission) carry their
+    /// own hint in [`ProtocolError::Busy`].
+    pub busy_retry_after: Duration,
+    /// Per-connection bound on queued-but-unsent reply bytes. A
+    /// consumer stalled past it is evicted and its session quarantined
+    /// exactly like an `io_timeout` eviction, so one stalled peer can
+    /// never balloon server memory. `None` (the default) keeps the
+    /// pre-v1.3 unbounded behaviour.
+    pub max_write_buffer: Option<u64>,
+    /// Per-connection bound on tensor messages staged for batch
+    /// dispatch — the message-level analogue of
+    /// `FrameAccumulator::with_staged_cap`. Lock-step traffic stages
+    /// at most one message per connection, so any excess is a
+    /// protocol violation; the offender is dropped with a typed
+    /// [`StagedOverflow`](menos_net::WireError::StagedOverflow) and
+    /// its staged messages are purged.
+    pub max_staged_msgs: usize,
     /// Dispatch the pending batch as soon as it reaches this many
     /// messages, even if more clients look ready.
     pub batch_window: usize,
@@ -213,7 +255,11 @@ pub struct EventLoopOptions {
 impl Default for EventLoopOptions {
     fn default() -> Self {
         EventLoopOptions {
-            max_clients: usize::MAX,
+            accept_limit: usize::MAX,
+            capacity: usize::MAX,
+            busy_retry_after: Duration::from_millis(100),
+            max_write_buffer: None,
+            max_staged_msgs: 8,
             batch_window: 32,
             idle_sleep: Duration::from_micros(200),
             max_idle_sleep: Duration::from_millis(2),
@@ -380,6 +426,26 @@ pub struct EventLoopStats {
     /// Snapshot attempts that failed (I/O fault); the loop keeps
     /// serving — durability degrades, training does not stop.
     pub snapshot_errors: u64,
+    /// Connections shed at admission with a [`ServerMessage::Busy`]
+    /// reply — by the loop's [`EventLoopOptions::capacity`] cap or by
+    /// the handler returning [`ProtocolError::Busy`] (v1.3).
+    pub shed: u64,
+    /// Connections evicted for stalling past
+    /// [`EventLoopOptions::max_write_buffer`].
+    pub write_overflows: u64,
+    /// Connections dropped for staging more than
+    /// [`EventLoopOptions::max_staged_msgs`] tensor messages.
+    pub staged_overflows: u64,
+    /// Sweeps that deferred accepting because the handler reported
+    /// memory pressure (drain existing work before admitting more).
+    pub deferred_accept_sweeps: u64,
+    /// High-water mark of sessions bound to live connections — the
+    /// number [`EventLoopOptions::capacity`] bounds.
+    pub max_live_sessions: usize,
+    /// High-water mark of any single connection's queued write bytes,
+    /// observed after each flush — the number
+    /// [`EventLoopOptions::max_write_buffer`] bounds.
+    pub max_queued_write_bytes: u64,
 }
 
 // ----------------------------------------------------------------------
@@ -438,8 +504,8 @@ impl<L: EventListener, H: BatchHandler> ServerEventLoop<L, H> {
         self.shutdown.clone()
     }
 
-    /// Runs until `max_clients` connections have been accepted and all
-    /// of them have disconnected (or the shutdown flag is raised).
+    /// Runs until `accept_limit` connections have been accepted and
+    /// all of them have disconnected (or the shutdown flag is raised).
     /// Returns the handler and the run's counters.
     pub fn run(self) -> (H, EventLoopStats) {
         let ServerEventLoop {
@@ -495,6 +561,56 @@ impl<L: EventListener, H: BatchHandler> ServerEventLoop<L, H> {
             }
         }
 
+        // Turns away a connection at admission (v1.3, PROTOCOL.md §8):
+        // best-effort `Busy` reply with the retry hint, then the
+        // connection closes. Deliberately NOT `fail_conn` — no session
+        // was created, so there is nothing to quarantine, and a shed
+        // is load management, not a connection error.
+        fn shed_conn<C: EventConn>(
+            conns: &mut BTreeMap<u64, ConnState<C>>,
+            stats: &mut EventLoopStats,
+            pending: &mut Vec<(u64, ClientMessage)>,
+            key: u64,
+            client: ClientId,
+            retry_after_ms: u64,
+        ) {
+            if let Some(mut state) = conns.remove(&key) {
+                stats.shed += 1;
+                pending.retain(|(k, _)| *k != key);
+                let notice = ServerMessage::Busy {
+                    client,
+                    retry_after_ms,
+                };
+                if state.conn.queue(&notice).is_ok() {
+                    let _ = state.conn.flush();
+                }
+            }
+        }
+
+        // Stages one tensor message for batch dispatch, enforcing the
+        // per-connection cap — the message-level analogue of
+        // `FrameAccumulator::with_staged_cap`. Lock-step traffic never
+        // stages more than one message per connection, so hitting the
+        // cap means the peer is violating the protocol (or a fault is
+        // duplicating frames); the caller drops it via `fail_conn`,
+        // which also purges what it had staged.
+        fn stage_tensor(
+            pending: &mut Vec<(u64, ClientMessage)>,
+            key: u64,
+            msg: ClientMessage,
+            cap: usize,
+        ) -> Result<(), ProtocolError> {
+            let staged = pending.iter().filter(|(k, _)| *k == key).count();
+            if staged >= cap {
+                return Err(ProtocolError::Wire(menos_net::WireError::StagedOverflow {
+                    needed: staged as u64 + 1,
+                    cap: cap as u64,
+                }));
+            }
+            pending.push((key, msg));
+            Ok(())
+        }
+
         // Persists the handler's state after a state-advancing
         // dispatch, *before* the replies it produced are queued. In
         // durable mode (`every == 0`) every dispatch snapshots —
@@ -547,8 +663,16 @@ impl<L: EventListener, H: BatchHandler> ServerEventLoop<L, H> {
                 break;
             }
 
-            // Phase 1: accept whatever is knocking.
-            while !done_accepting && accepted < options.max_clients {
+            // Phase 1: accept whatever is knocking — unless the
+            // handler reports memory pressure and there is existing
+            // work to drain, in which case new connections wait in the
+            // listener's backlog this sweep. Degrading admission under
+            // pressure beats accepting work the pool cannot hold.
+            let defer_accepts = !conns.is_empty() && handler.under_pressure();
+            if defer_accepts {
+                stats.deferred_accept_sweeps += 1;
+            }
+            while !defer_accepts && !done_accepting && accepted < options.accept_limit {
                 match listener.poll_accept() {
                     Ok(Some(conn)) => {
                         conns.insert(
@@ -597,6 +721,26 @@ impl<L: EventListener, H: BatchHandler> ServerEventLoop<L, H> {
                         msg @ (ClientMessage::Connect { .. } | ClientMessage::Resume { .. }) => {
                             let client = msg.client();
                             let is_resume = matches!(msg, ClientMessage::Resume { .. });
+                            // v1.3 admission: shed at the door when
+                            // live sessions are at capacity. The
+                            // handler is never consulted, so no
+                            // session state is created or mutated —
+                            // shedding is idempotent.
+                            let unbound = conns.get(&key).is_some_and(|s| s.client.is_none());
+                            if unbound {
+                                let live = conns.values().filter(|s| s.client.is_some()).count();
+                                if live >= options.capacity {
+                                    shed_conn(
+                                        &mut conns,
+                                        &mut stats,
+                                        &mut pending,
+                                        key,
+                                        client,
+                                        options.busy_retry_after.as_millis() as u64,
+                                    );
+                                    break;
+                                }
+                            }
                             match handler.handle(msg) {
                                 Ok(reply) => {
                                     // Admission mutated durable state
@@ -609,13 +753,19 @@ impl<L: EventListener, H: BatchHandler> ServerEventLoop<L, H> {
                                         snapshots.as_ref(),
                                         &mut since_snapshot,
                                     );
-                                    let state =
-                                        conns.get_mut(&key).expect("conn alive during connect");
-                                    state.client = Some(client);
+                                    conns
+                                        .get_mut(&key)
+                                        .expect("conn alive during connect")
+                                        .client = Some(client);
                                     if is_resume {
                                         stats.resumed += 1;
                                     }
+                                    let live =
+                                        conns.values().filter(|s| s.client.is_some()).count();
+                                    stats.max_live_sessions = stats.max_live_sessions.max(live);
                                     if let Some(reply) = reply {
+                                        let state =
+                                            conns.get_mut(&key).expect("conn alive during connect");
                                         if state.conn.queue(&reply).is_err() {
                                             fail_conn(
                                                 &mut conns,
@@ -627,6 +777,23 @@ impl<L: EventListener, H: BatchHandler> ServerEventLoop<L, H> {
                                             break;
                                         }
                                     }
+                                }
+                                Err(ProtocolError::Busy { retry_after_ms, .. }) => {
+                                    // The handler shed at its own
+                                    // admission gate (Alg. 2: the
+                                    // reservation would oversubscribe
+                                    // the pool right now) — same wire
+                                    // outcome as the loop-level cap,
+                                    // with the handler's hint.
+                                    shed_conn(
+                                        &mut conns,
+                                        &mut stats,
+                                        &mut pending,
+                                        key,
+                                        client,
+                                        retry_after_ms,
+                                    );
+                                    break;
                                 }
                                 Err(e) => {
                                     // A resume for state the TTL already
@@ -673,8 +840,25 @@ impl<L: EventListener, H: BatchHandler> ServerEventLoop<L, H> {
                             break;
                         }
                         tensor => {
-                            pending.push((key, tensor));
-                            new_tensor += 1;
+                            match stage_tensor(&mut pending, key, tensor, options.max_staged_msgs) {
+                                Ok(()) => new_tensor += 1,
+                                Err(_overflow) => {
+                                    // Typed StagedOverflow: the peer
+                                    // outran lock-step. Drop it and
+                                    // purge what it staged — exactly
+                                    // the fail_conn path, counted
+                                    // separately for observability.
+                                    stats.staged_overflows += 1;
+                                    fail_conn(
+                                        &mut conns,
+                                        &mut handler,
+                                        &mut stats,
+                                        &mut pending,
+                                        key,
+                                    );
+                                    break;
+                                }
+                            }
                         }
                     }
                 }
@@ -743,6 +927,24 @@ impl<L: EventListener, H: BatchHandler> ServerEventLoop<L, H> {
                         }
                     }
                 }
+                // Slow-consumer bound: whatever survived the flush is
+                // what the peer refused to take. A stalled consumer is
+                // evicted (session quarantined, resumable later) —
+                // bounded memory beats waiting on a peer that may
+                // never drain.
+                let queued = conns
+                    .get(&key)
+                    .map(|s| s.conn.queued_write_bytes())
+                    .unwrap_or(0);
+                stats.max_queued_write_bytes = stats.max_queued_write_bytes.max(queued);
+                if let Some(limit) = options.max_write_buffer {
+                    if queued > limit {
+                        stats.write_overflows += 1;
+                        stats.evicted += 1;
+                        fail_conn(&mut conns, &mut handler, &mut stats, &mut pending, key);
+                        continue;
+                    }
+                }
                 if let Some(limit) = options.io_timeout {
                     let state = conns.get_mut(&key).expect("timeout key exists");
                     if state.last_activity.elapsed() > limit {
@@ -774,7 +976,7 @@ impl<L: EventListener, H: BatchHandler> ServerEventLoop<L, H> {
                 }
             }
 
-            if (done_accepting || accepted >= options.max_clients)
+            if (done_accepting || accepted >= options.accept_limit)
                 && conns.is_empty()
                 && pending.is_empty()
             {
@@ -994,7 +1196,7 @@ mod tests {
             listener,
             handler,
             EventLoopOptions {
-                max_clients: 1,
+                accept_limit: 1,
                 ..EventLoopOptions::default()
             },
         );
@@ -1020,7 +1222,7 @@ mod tests {
             listener,
             handler,
             EventLoopOptions {
-                max_clients: 1,
+                accept_limit: 1,
                 ..EventLoopOptions::default()
             },
         );
@@ -1141,7 +1343,7 @@ mod tests {
             listener,
             handler,
             EventLoopOptions {
-                max_clients: 1,
+                accept_limit: 1,
                 ..EventLoopOptions::default()
             },
         )
@@ -1180,7 +1382,7 @@ mod tests {
             listener,
             handler,
             EventLoopOptions {
-                max_clients: 1,
+                accept_limit: 1,
                 ..EventLoopOptions::default()
             },
         )
@@ -1208,7 +1410,7 @@ mod tests {
             listener,
             handler,
             EventLoopOptions {
-                max_clients: 1,
+                accept_limit: 1,
                 ..EventLoopOptions::default()
             },
         )
@@ -1221,6 +1423,220 @@ mod tests {
         assert_eq!(stats.snapshot_errors, 0);
         assert!(SnapshotPolicy::read(&dir).is_none());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A bare `Connect` for manual handshakes (SessionHandler ignores
+    /// the ft/split beyond the client id and codec mask).
+    fn connect_msg(c: u64) -> ClientMessage {
+        let cfg = ModelConfig::tiny_opt(33);
+        ClientMessage::Connect {
+            client: ClientId(c),
+            ft: FineTuneConfig::paper(&cfg),
+            split: SplitSpec::paper(),
+            epoch: 1,
+            codecs: 0,
+        }
+    }
+
+    #[test]
+    fn capacity_sheds_surplus_connects_with_busy() {
+        let (_client, session) = pair(20);
+        let (dialer, listener) = event_channel_listener();
+        let handler = SessionHandler::new(session, ForwardMode::NoGradReforward);
+        let event_loop = ServerEventLoop::new(
+            listener,
+            handler,
+            EventLoopOptions {
+                accept_limit: 2,
+                capacity: 1,
+                busy_retry_after: Duration::from_millis(42),
+                ..EventLoopOptions::default()
+            },
+        );
+        let server = std::thread::spawn(move || event_loop.run());
+        let mut a = dialer.dial().expect("dial a");
+        Transport::send(&mut a, &connect_msg(0)).expect("connect a");
+        assert!(matches!(a.recv(), Ok(ServerMessage::Ready { .. })));
+        // The second session hits the capacity cap: a Busy with the
+        // loop's hint, then a clean close — never a hang, and the
+        // handler is never consulted.
+        let mut b = dialer.dial().expect("dial b");
+        Transport::send(&mut b, &connect_msg(1)).expect("connect b");
+        assert!(matches!(
+            b.recv(),
+            Ok(ServerMessage::Busy {
+                client: ClientId(1),
+                retry_after_ms: 42,
+            })
+        ));
+        assert!(b.recv().is_err(), "shed connection is closed");
+        // The live client was untouched by the shed.
+        Transport::send(
+            &mut a,
+            &ClientMessage::Disconnect {
+                client: ClientId(0),
+            },
+        )
+        .expect("disconnect a");
+        let (_handler, stats) = server.join().expect("loop thread");
+        assert_eq!(stats.accepted, 2);
+        assert_eq!(stats.shed, 1);
+        assert_eq!(stats.served, 1);
+        assert_eq!(stats.conn_errors, 0, "a shed is not a connection error");
+        assert_eq!(stats.max_live_sessions, 1);
+    }
+
+    #[test]
+    fn accept_limit_bounds_accepts_independently_of_capacity() {
+        // accept_limit 1 with unlimited capacity: the second dial is
+        // simply never accepted (no shed — the knobs are distinct).
+        let (mut client, session) = pair(21);
+        let (dialer, listener) = event_channel_listener();
+        let handler = SessionHandler::new(session, ForwardMode::NoGradReforward);
+        let event_loop = ServerEventLoop::new(
+            listener,
+            handler,
+            EventLoopOptions {
+                accept_limit: 1,
+                ..EventLoopOptions::default()
+            },
+        );
+        let server = std::thread::spawn(move || event_loop.run());
+        let mut a = dialer.dial().expect("dial a");
+        let curve = drive_client(&mut client, &mut a, 1).expect("training");
+        assert_eq!(curve.points().len(), 1);
+        let (_handler, stats) = server.join().expect("loop thread");
+        assert_eq!(stats.accepted, 1);
+        assert_eq!(stats.shed, 0);
+    }
+
+    /// A hostile peer that emits tensor messages every sweep without
+    /// ever waiting for replies — the lock-step violation the staged
+    /// cap exists for.
+    struct DripConn {
+        per_sweep: usize,
+    }
+
+    impl EventConn for DripConn {
+        fn poll_recv(&mut self, out: &mut Vec<ClientMessage>) -> Result<(), ProtocolError> {
+            for _ in 0..self.per_sweep {
+                out.push(ClientMessage::Activations {
+                    client: ClientId(9),
+                    frame: bytes::Bytes::new(),
+                });
+            }
+            Ok(())
+        }
+
+        fn queue(&mut self, _msg: &ServerMessage) -> Result<(), ProtocolError> {
+            Ok(())
+        }
+
+        fn flush(&mut self) -> Result<bool, ProtocolError> {
+            Ok(true)
+        }
+    }
+
+    /// Accepts everything, replies to nothing — staging is the loop's
+    /// job, and these tests only watch the loop.
+    struct NullHandler;
+
+    impl MessageHandler for NullHandler {
+        fn handle(&mut self, _msg: ClientMessage) -> Result<Option<ServerMessage>, ProtocolError> {
+            Ok(None)
+        }
+    }
+
+    impl BatchHandler for NullHandler {}
+
+    #[test]
+    fn slow_drip_past_the_staged_cap_drops_the_offender() {
+        let (tx, rx) = mpsc::channel();
+        tx.send(DripConn { per_sweep: 3 }).expect("queue conn");
+        drop(tx);
+        let event_loop = ServerEventLoop::new(
+            QueueListener { rx },
+            NullHandler,
+            EventLoopOptions {
+                accept_limit: 1,
+                max_staged_msgs: 4,
+                // A window the drip never reaches: the cap must fire
+                // first, or pending grows until dispatch masks the bug.
+                batch_window: 1000,
+                ..EventLoopOptions::default()
+            },
+        );
+        let (_handler, stats) = event_loop.run();
+        assert_eq!(stats.staged_overflows, 1);
+        assert_eq!(stats.conn_errors, 1, "the offender is failed, not served");
+        assert_eq!(stats.batches, 0, "nothing it staged was ever dispatched");
+    }
+
+    /// A peer whose write side never drains — the slow consumer the
+    /// write-buffer bound evicts.
+    struct StalledConn {
+        sent_connect: bool,
+        queued: u64,
+    }
+
+    impl EventConn for StalledConn {
+        fn poll_recv(&mut self, out: &mut Vec<ClientMessage>) -> Result<(), ProtocolError> {
+            if !self.sent_connect {
+                self.sent_connect = true;
+                out.push(connect_msg(0));
+            }
+            Ok(())
+        }
+
+        fn queue(&mut self, msg: &ServerMessage) -> Result<(), ProtocolError> {
+            self.queued += msg.wire_bytes();
+            Ok(())
+        }
+
+        fn flush(&mut self) -> Result<bool, ProtocolError> {
+            Ok(false)
+        }
+
+        fn has_queued_writes(&self) -> bool {
+            self.queued > 0
+        }
+
+        fn queued_write_bytes(&self) -> u64 {
+            self.queued
+        }
+    }
+
+    #[test]
+    fn stalled_consumer_is_evicted_by_the_write_buffer_bound() {
+        let (_client, session) = pair(22);
+        let (tx, rx) = mpsc::channel();
+        tx.send(StalledConn {
+            sent_connect: false,
+            queued: 0,
+        })
+        .expect("queue conn");
+        drop(tx);
+        let handler = SessionHandler::new(session, ForwardMode::NoGradReforward);
+        let event_loop = ServerEventLoop::new(
+            QueueListener { rx },
+            handler,
+            EventLoopOptions {
+                accept_limit: 1,
+                max_write_buffer: Some(100),
+                ..EventLoopOptions::default()
+            },
+        );
+        let (handler, stats) = event_loop.run();
+        // The Ready reply (a 256-byte control frame) stalls past the
+        // 100-byte bound: evicted via the quarantine path, memory
+        // bounded, loop exits.
+        assert_eq!(stats.write_overflows, 1);
+        assert_eq!(stats.evicted, 1);
+        assert_eq!(stats.max_queued_write_bytes, 256);
+        assert!(
+            handler.session().is_none(),
+            "the stalled client's session went through connection_lost"
+        );
     }
 
     #[test]

@@ -64,7 +64,7 @@ mod server;
 mod spec;
 mod tcp;
 
-pub use chaos::{ChaosConn, ChaosListener, ChaosOptions};
+pub use chaos::{ChaosConn, ChaosListener, ChaosOptions, Fault};
 pub use client::SplitClient;
 pub use codec::{
     client_message_parts, decode_client_message, decode_client_message_parts,

@@ -163,6 +163,18 @@ pub enum ServerMessage {
         /// Why the session was closed.
         code: EvictionCode,
     },
+    /// The server shed the connection at admission — it is at capacity
+    /// or the Alg. 2 reservation would oversubscribe the GPU pool
+    /// (v1.3). The connection closes right after; no session state was
+    /// created, so the client simply reconnects later.
+    Busy {
+        /// Addressee.
+        client: ClientId,
+        /// How long the client should wait before reconnecting. A
+        /// load-aware hint, not a promise of admission — the client's
+        /// retry policy still applies its cap and jitter.
+        retry_after_ms: u64,
+    },
 }
 
 /// Size of a small control frame on the wire.
@@ -201,7 +213,9 @@ impl ServerMessage {
     /// nominal size.
     pub fn wire_bytes(&self) -> u64 {
         match self {
-            ServerMessage::Ready { .. } | ServerMessage::Evicted { .. } => CONTROL_BYTES,
+            ServerMessage::Ready { .. }
+            | ServerMessage::Evicted { .. }
+            | ServerMessage::Busy { .. } => CONTROL_BYTES,
             ServerMessage::ServerActivations { frame, .. }
             | ServerMessage::ServerGradients { frame, .. } => {
                 FRAME_HEADER_BYTES + frame.len() as u64
@@ -217,7 +231,8 @@ impl ServerMessage {
             | ServerMessage::ServerActivations { client, .. }
             | ServerMessage::ServerGradients { client, .. }
             | ServerMessage::Resumed { client, .. }
-            | ServerMessage::Evicted { client, .. } => *client,
+            | ServerMessage::Evicted { client, .. }
+            | ServerMessage::Busy { client, .. } => *client,
         }
     }
 }
@@ -339,5 +354,15 @@ mod tests {
         };
         assert_eq!(evicted.wire_bytes(), 256);
         assert_eq!(evicted.client(), ClientId(3));
+    }
+
+    #[test]
+    fn busy_is_a_control_message() {
+        let busy = ServerMessage::Busy {
+            client: ClientId(8),
+            retry_after_ms: 125,
+        };
+        assert_eq!(busy.wire_bytes(), 256);
+        assert_eq!(busy.client(), ClientId(8));
     }
 }

@@ -82,6 +82,15 @@ pub enum ProtocolError {
     /// Retryable: back off and resume again once the server reclaims
     /// the old connection.
     SessionActive(ClientId),
+    /// The server shed the connection at admission — it is at capacity
+    /// or the Alg. 2 reservation would oversubscribe the pool (v1.3).
+    /// Retryable: wait at least the hinted duration, then reconnect.
+    Busy {
+        /// The shed client.
+        client: ClientId,
+        /// The server's load-aware reconnect hint, in milliseconds.
+        retry_after_ms: u64,
+    },
 }
 
 impl std::fmt::Display for ProtocolError {
@@ -106,6 +115,13 @@ impl std::fmt::Display for ProtocolError {
             ProtocolError::SessionActive(c) => {
                 write!(f, "{c} still has a live connection; resume later")
             }
+            ProtocolError::Busy {
+                client,
+                retry_after_ms,
+            } => write!(
+                f,
+                "server busy: {client} shed at admission, retry after {retry_after_ms}ms"
+            ),
         }
     }
 }
@@ -472,6 +488,15 @@ pub trait MessageHandler {
     fn snapshot_bytes(&mut self) -> Option<Vec<u8>> {
         None
     }
+
+    /// True while the handler wants the pump to prefer draining
+    /// existing work over admitting new connections — e.g. GPU pool
+    /// utilization past a watermark. Purely advisory load shedding:
+    /// deferred peers wait in the listener backlog, nothing is
+    /// dropped. The default never reports pressure.
+    fn under_pressure(&mut self) -> bool {
+        false
+    }
 }
 
 /// Shared handlers: connection threads hand `Arc<Mutex<H>>` around and
@@ -500,6 +525,13 @@ impl<H: MessageHandler> MessageHandler for Arc<Mutex<H>> {
         match self.lock() {
             Ok(mut h) => h.snapshot_bytes(),
             Err(_) => None,
+        }
+    }
+
+    fn under_pressure(&mut self) -> bool {
+        match self.lock() {
+            Ok(mut h) => h.under_pressure(),
+            Err(_) => false,
         }
     }
 }
@@ -705,6 +737,17 @@ where
     })?;
     match transport.recv()? {
         ServerMessage::Ready { codec, .. } => client.adopt_codec(codec),
+        ServerMessage::Busy {
+            client: c,
+            retry_after_ms,
+        } => {
+            // Typed so callers with a retry policy can honor the hint;
+            // this plain loop has none and simply propagates it.
+            return Err(ProtocolError::Busy {
+                client: c,
+                retry_after_ms,
+            });
+        }
         other => {
             return Err(ProtocolError::Unexpected(format!(
                 "expected Ready, got {}",
@@ -750,6 +793,7 @@ pub(crate) fn kind_name(msg: &ServerMessage) -> &'static str {
         ServerMessage::ServerGradients { .. } => "ServerGradients",
         ServerMessage::Resumed { .. } => "Resumed",
         ServerMessage::Evicted { .. } => "Evicted",
+        ServerMessage::Busy { .. } => "Busy",
     }
 }
 
@@ -882,6 +926,11 @@ mod tests {
         assert!(ProtocolError::SessionActive(ClientId(4))
             .to_string()
             .contains("live connection"));
+        let busy = ProtocolError::Busy {
+            client: ClientId(4),
+            retry_after_ms: 125,
+        };
+        assert!(busy.to_string().contains("retry after 125ms"), "{busy}");
     }
 
     #[test]

@@ -17,6 +17,14 @@
 //!
 //! Everything else — stale epochs, expired quarantine (`Evicted`),
 //! validation rejects — is terminal and surfaces as the typed error.
+//!
+//! A v1.3 `Busy` shed (PROTOCOL.md §8) sits between those classes: it
+//! is retryable, but it is not a *fault* — the server explicitly asked
+//! the client to come back. The driver honors the server's
+//! `retry_after_ms` hint (jittered upward so a shed herd does not
+//! reconnect in lock-step, capped by [`RetryPolicy::max_backoff`])
+//! instead of the blind exponential ladder, and a shed does not
+//! consume the retry budget.
 
 use std::time::Duration;
 
@@ -81,6 +89,7 @@ impl RetryPolicy {
                 | ProtocolError::Disconnected
                 | ProtocolError::Io(_)
                 | ProtocolError::SessionActive(_)
+                | ProtocolError::Busy { .. }
         )
     }
 
@@ -94,6 +103,23 @@ impl RetryPolicy {
             .unwrap_or(self.max_backoff)
             .min(self.max_backoff);
         base.mul_f64(jitter_factor(rng, 0.5))
+    }
+
+    /// The sleep after a `Busy` shed (PROTOCOL.md §8.2): the server's
+    /// `retry_after_ms` hint overrides the exponential ladder. The
+    /// wait is jittered *upward* — `[1×, 2×]` the hint — so the client
+    /// never comes back early and a shed herd spreads out, then capped
+    /// by [`RetryPolicy::max_backoff`] so a hostile or confused server
+    /// cannot park a client forever. A zero hint falls back to the
+    /// base backoff as the jitter window.
+    pub fn busy_delay(&self, retry_after_ms: u64, rng: &mut StdRng) -> Duration {
+        let base = if retry_after_ms == 0 {
+            self.backoff
+        } else {
+            Duration::from_millis(retry_after_ms)
+        };
+        base.mul_f64(jitter_factor(rng, 0.5) + 0.5)
+            .min(self.max_backoff)
     }
 }
 
@@ -141,6 +167,12 @@ where
         });
         match result {
             Ok(()) => return Ok(client.curve().clone()),
+            Err(ProtocolError::Busy { retry_after_ms, .. }) => {
+                // A shed is not a fault: no session state was touched
+                // and the server explicitly invited us back. Honor the
+                // hint without consuming the retry budget.
+                std::thread::sleep(policy.busy_delay(retry_after_ms, &mut rng));
+            }
             Err(e) => {
                 // The transport was dropped above, so the server sees
                 // EOF and quarantines the session before we redial.
@@ -179,6 +211,13 @@ where
                 *established = true;
                 Ok(())
             }
+            ServerMessage::Busy {
+                client: c,
+                retry_after_ms,
+            } => Err(ProtocolError::Busy {
+                client: c,
+                retry_after_ms,
+            }),
             other => Err(unexpected("Ready", &other)),
         }
     } else {
@@ -222,6 +261,13 @@ where
             ServerMessage::Evicted { code, .. } => Err(ProtocolError::Rejected(format!(
                 "session evicted ({code:?}); resume impossible"
             ))),
+            ServerMessage::Busy {
+                client: c,
+                retry_after_ms,
+            } => Err(ProtocolError::Busy {
+                client: c,
+                retry_after_ms,
+            }),
             other => Err(unexpected("Resumed", &other)),
         }
     }
@@ -271,6 +317,10 @@ mod tests {
         assert!(RetryPolicy::retryable(&ProtocolError::SessionActive(
             crate::ClientId(1)
         )));
+        assert!(RetryPolicy::retryable(&ProtocolError::Busy {
+            client: crate::ClientId(1),
+            retry_after_ms: 50,
+        }));
         assert!(!RetryPolicy::retryable(&ProtocolError::Rejected(
             "r".into()
         )));
@@ -309,5 +359,242 @@ mod tests {
         assert!(da[4] <= Duration::from_millis(750));
         // A huge attempt index must not overflow the shift.
         let _ = policy.delay(40, &mut a);
+    }
+
+    /// The jitter stream is seeded per (policy seed, client): two
+    /// clients retrying after a shared fault must not sleep in
+    /// lock-step, but each stream is individually reproducible.
+    #[test]
+    fn jitter_streams_decorrelate_across_seeds() {
+        let policy = RetryPolicy {
+            backoff: Duration::from_millis(100),
+            max_backoff: Duration::from_secs(10),
+            ..RetryPolicy::default()
+        };
+        let mut a = seeded_rng(7, "retry-client-0");
+        let mut b = seeded_rng(8, "retry-client-0");
+        let mut c = seeded_rng(7, "retry-client-1");
+        let da: Vec<Duration> = (0..8).map(|i| policy.delay(i, &mut a)).collect();
+        let db: Vec<Duration> = (0..8).map(|i| policy.delay(i, &mut b)).collect();
+        let dc: Vec<Duration> = (0..8).map(|i| policy.delay(i, &mut c)).collect();
+        assert_ne!(da, db, "different policy seeds must decorrelate");
+        assert_ne!(da, dc, "different clients must decorrelate");
+    }
+
+    /// PROTOCOL.md §8.2: the `Busy` hint overrides the exponential
+    /// ladder — the sleep is at least the hint (jittered upward to
+    /// spread the herd) — but the policy's backoff cap still binds as
+    /// an upper bound, and a zero hint degrades to the base backoff.
+    #[test]
+    fn busy_delay_honors_hint_and_backoff_cap() {
+        let policy = RetryPolicy {
+            backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(100),
+            ..RetryPolicy::default()
+        };
+        let mut rng = seeded_rng(3, "busy");
+        for _ in 0..32 {
+            let d = policy.busy_delay(40, &mut rng);
+            assert!(
+                d >= Duration::from_millis(40) && d <= Duration::from_millis(80),
+                "hinted delay {d:?} outside [1x, 2x] the hint"
+            );
+            // A hint at or past the cap pins the sleep to the cap.
+            assert_eq!(policy.busy_delay(500, &mut rng), policy.max_backoff);
+            let d = policy.busy_delay(0, &mut rng);
+            assert!(
+                d >= Duration::from_millis(10) && d <= Duration::from_millis(20),
+                "zero hint must fall back to the base backoff, got {d:?}"
+            );
+        }
+        // Same seed, same stream: the herd spread is reproducible.
+        let mut a = seeded_rng(9, "busy");
+        let mut b = seeded_rng(9, "busy");
+        let da: Vec<Duration> = (0..6).map(|_| policy.busy_delay(25, &mut a)).collect();
+        let db: Vec<Duration> = (0..6).map(|_| policy.busy_delay(25, &mut b)).collect();
+        assert_eq!(da, db);
+    }
+
+    // ------------------------------------------------------------------
+    // End-to-end driver tests against a minimal resumable echo server.
+    // ------------------------------------------------------------------
+
+    use std::sync::{Arc, Mutex};
+
+    use bytes::Bytes;
+
+    use crate::client::SplitClient;
+    use crate::protocol::{channel_pair, serve_loop, ChannelTransport, MessageHandler};
+    use crate::ClientId;
+
+    /// The smallest resumable server: echoes tensor frames back (the
+    /// shapes line up because both cut tensors are `[batch, seq,
+    /// hidden]`), keeps no per-step state, and — unlike
+    /// `SessionHandler` — survives connection loss so `Resume` works.
+    /// `kill_every` injects a handler-side fault every N messages.
+    struct EchoHandler {
+        epoch: u64,
+        kill_every: u32,
+        handled: u32,
+    }
+
+    impl MessageHandler for EchoHandler {
+        fn handle(&mut self, msg: ClientMessage) -> Result<Option<ServerMessage>, ProtocolError> {
+            if self.kill_every > 0 {
+                self.handled += 1;
+                if self.handled % self.kill_every == 0 {
+                    return Err(ProtocolError::Disconnected);
+                }
+            }
+            Ok(match msg {
+                ClientMessage::Connect { client, .. } => Some(ServerMessage::Ready {
+                    client,
+                    codec: menos_net::Codec::F32Raw,
+                }),
+                ClientMessage::Resume {
+                    client,
+                    epoch,
+                    last_step,
+                } => {
+                    self.epoch = epoch + 1;
+                    Some(ServerMessage::Resumed {
+                        client,
+                        epoch: self.epoch,
+                        server_step: last_step,
+                        replay: Bytes::new(),
+                    })
+                }
+                ClientMessage::Activations { client, frame } => {
+                    Some(ServerMessage::ServerActivations { client, frame })
+                }
+                ClientMessage::Gradients { client, frame } => {
+                    Some(ServerMessage::ServerGradients { client, frame })
+                }
+                ClientMessage::Disconnect { .. } => None,
+            })
+        }
+
+        fn connection_lost(&mut self, _client: ClientId) {
+            // Keep the session resumable — the whole point.
+        }
+    }
+
+    fn test_client(seed: u64) -> SplitClient {
+        use menos_adapters::FineTuneConfig;
+        use menos_data::{wiki_corpus, TokenDataset, Vocab};
+        use menos_models::{CausalLm, ModelConfig};
+
+        let text = wiki_corpus(5, 4000);
+        let vocab = Vocab::from_text(&text);
+        let cfg = ModelConfig::tiny_opt(33);
+        let mut rng = seeded_rng(100, "retry-test");
+        let ps = menos_models::init_params(&cfg, &mut rng);
+        let ds = TokenDataset::new(vocab.encode(&text), 16, 5);
+        let mut ft = FineTuneConfig::paper(&cfg);
+        ft.batch_size = 2;
+        ft.seq_len = 16;
+        SplitClient::new(
+            ClientId(0),
+            CausalLm::bind(&cfg, &ps.shared_view(false)),
+            crate::spec::SplitSpec::paper(),
+            ft,
+            ds,
+            seed,
+        )
+    }
+
+    /// Spawns a `serve_loop` pump over the shared echo handler and
+    /// returns the client endpoint.
+    fn dial_echo(
+        handler: &Arc<Mutex<EchoHandler>>,
+    ) -> ChannelTransport<ClientMessage, ServerMessage> {
+        let (client_t, mut server_t) = channel_pair();
+        let mut h = handler.clone();
+        std::thread::spawn(move || {
+            let _ = serve_loop(&mut server_t, &mut h);
+        });
+        client_t
+    }
+
+    /// A `Busy` shed is not a fault: even with a zero retry budget the
+    /// driver sleeps the hint and reconnects, as many times as it is
+    /// shed, and still completes.
+    #[test]
+    fn busy_shed_does_not_consume_the_retry_budget() {
+        let policy = RetryPolicy {
+            retries: 0,
+            backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(5),
+            seed: 1,
+        };
+        let handler = Arc::new(Mutex::new(EchoHandler {
+            epoch: 1,
+            kill_every: 0,
+            handled: 0,
+        }));
+        let mut client = test_client(1);
+        let mut shed_conns = Vec::new(); // keep server ends alive
+        let mut dials = 0u32;
+        let curve = drive_client_resumable(
+            &mut client,
+            || {
+                dials += 1;
+                if dials <= 2 {
+                    // Shed with a hint, twice, before admitting.
+                    let (client_t, mut server_t) = channel_pair();
+                    server_t.send(&ServerMessage::Busy {
+                        client: ClientId(0),
+                        retry_after_ms: 1,
+                    })?;
+                    shed_conns.push(server_t);
+                    Ok(client_t)
+                } else {
+                    Ok(dial_echo(&handler))
+                }
+            },
+            3,
+            &policy,
+        )
+        .expect("busy sheds must not exhaust a zero retry budget");
+        assert_eq!(curve.points().len(), 3);
+        assert_eq!(dials, 3, "two sheds, then one admitted connection");
+    }
+
+    /// The retry budget refills on every successful handshake: with
+    /// `retries: 1`, a run interrupted by two separate faults (each
+    /// overcome within one attempt) still completes.
+    #[test]
+    fn retry_budget_refills_on_successful_handshake() {
+        let policy = RetryPolicy {
+            retries: 1,
+            backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(5),
+            seed: 2,
+        };
+        // Kill every 5th handler message: Connect, act, grad, act,
+        // KILL — then per reconnect: Resume, act, grad, act, KILL —
+        // one completed step per connection, two faults total.
+        let handler = Arc::new(Mutex::new(EchoHandler {
+            epoch: 1,
+            kill_every: 5,
+            handled: 0,
+        }));
+        let mut client = test_client(2);
+        let mut dials = 0u32;
+        let curve = drive_client_resumable(
+            &mut client,
+            || {
+                dials += 1;
+                Ok(dial_echo(&handler))
+            },
+            3,
+            &policy,
+        )
+        .expect("per-fault budget must refill after each successful handshake");
+        assert_eq!(curve.points().len(), 3);
+        assert!(
+            dials >= 3,
+            "expected at least two faulted reconnects, got {dials} dials"
+        );
     }
 }

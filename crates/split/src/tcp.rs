@@ -316,6 +316,10 @@ impl EventConn for TcpEventConn {
     fn has_queued_writes(&self) -> bool {
         !self.writes.is_empty()
     }
+
+    fn queued_write_bytes(&self) -> u64 {
+        self.writes.queued_bytes() as u64
+    }
 }
 
 /// A nonblocking accept source feeding [`TcpEventConn`]s to a
@@ -376,7 +380,7 @@ where
     H: BatchHandler + Send + 'static,
 {
     /// Binds to `addr` and starts the loop thread. `options` bounds
-    /// the run ([`EventLoopOptions::max_clients`] connections are
+    /// the run ([`EventLoopOptions::accept_limit`] connections are
     /// served before the loop exits); `tcp` sets per-connection frame
     /// caps.
     ///

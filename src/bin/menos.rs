@@ -2,8 +2,8 @@
 //! client over TCP.
 //!
 //! ```bash
-//! # Terminal 1 — the model owner's server (serves up to 2 clients):
-//! cargo run --release --bin menos -- server --port 7700 --max-clients 2
+//! # Terminal 1 — the model owner's server (serves 2 connections):
+//! cargo run --release --bin menos -- server --port 7700 --accept-limit 2
 //!
 //! # Terminals 2..n — data owners' clients:
 //! cargo run --release --bin menos -- client --addr 127.0.0.1:7700 --steps 20 --seed 1
@@ -29,17 +29,33 @@ use menos::split::{
 
 const USAGE: &str = "\
 usage:
-  menos server [--port P] [--max-clients N] [--batch-window W] [--model-seed S]
-               [--client-timeout MS] [--max-session-idle MS]
-               [--snapshot-dir DIR] [--snapshot-every N] [--micro-model]
-               [--cached] [--blocking] [--threads T]
+  menos server [--port P] [--accept-limit N] [--capacity N] [--batch-window W]
+               [--model-seed S] [--client-timeout MS] [--max-session-idle MS]
+               [--max-write-buffer BYTES] [--pressure-watermark PCT]
+               [--retry-after-ms MS] [--snapshot-dir DIR] [--snapshot-every N]
+               [--micro-model] [--cached] [--blocking] [--threads T]
   menos client --addr HOST:PORT [--steps N] [--seed S] [--model-seed S]
                [--retries R] [--backoff-ms MS] [--codec C] [--micro-model]
                [--threads T]
 
 options:
   --port P          listen port (default 7700)
-  --max-clients N   serve N connections then exit (default 1; alias --clients)
+  --accept-limit N  serve N connections then exit (default 1; deprecated
+                    aliases --max-clients, --clients). A lifetime accept
+                    budget, not a concurrency cap — that is --capacity
+  --capacity N      live-session admission cap: a Connect/Resume past it is
+                    shed with a Busy retry hint instead of queued (default:
+                    unlimited; event-loop server only, PROTOCOL.md §8)
+  --retry-after-ms MS
+                    the reconnect hint carried by capacity sheds (default 100)
+  --max-write-buffer BYTES
+                    evict a consumer stalled with more than BYTES of queued
+                    replies; its session is quarantined for resumption
+                    (default: unbounded; event-loop server only)
+  --pressure-watermark PCT
+                    GPU-pool utilization percentage past which the server
+                    degrades: stacked batches shrink and accepts are deferred
+                    until the pool drains (default 100 = never)
   --batch-window W  max ready clients fused into one stacked server step
                     (default 32; event-loop server only)
   --model-seed S    base-model derivation seed shared by both sides (default 21)
@@ -134,10 +150,28 @@ fn run_server(args: &[String]) {
     let port: u16 = parse_flag(args, "--port")
         .map(|v| v.parse().expect("--port must be a number"))
         .unwrap_or(7700);
-    let clients: usize = parse_flag(args, "--max-clients")
+    // `--max-clients` / `--clients` are deprecated aliases for
+    // `--accept-limit` (the name stopped meaning a concurrency cap
+    // when `--capacity` arrived); existing deployments keep working.
+    let clients: usize = parse_flag(args, "--accept-limit")
+        .or_else(|| parse_flag(args, "--max-clients"))
         .or_else(|| parse_flag(args, "--clients"))
-        .map(|v| v.parse().expect("--max-clients must be a number"))
+        .map(|v| v.parse().expect("--accept-limit must be a number"))
         .unwrap_or(1);
+    let capacity: usize = parse_flag(args, "--capacity")
+        .map(|v| v.parse().expect("--capacity must be a number"))
+        .unwrap_or(usize::MAX);
+    let retry_after_ms: u64 = parse_flag(args, "--retry-after-ms")
+        .map(|v| v.parse().expect("--retry-after-ms must be milliseconds"))
+        .unwrap_or(100);
+    let max_write_buffer: Option<u64> = parse_flag(args, "--max-write-buffer")
+        .map(|v| v.parse().expect("--max-write-buffer must be bytes"));
+    let pressure_watermark: u8 = parse_flag(args, "--pressure-watermark")
+        .map(|v| {
+            v.parse()
+                .expect("--pressure-watermark must be a percentage")
+        })
+        .unwrap_or(100);
     let batch_window: usize = parse_flag(args, "--batch-window")
         .map(|v| v.parse().expect("--batch-window must be a number"))
         .unwrap_or(32);
@@ -164,6 +198,10 @@ fn run_server(args: &[String]) {
         eprintln!("--snapshot-dir needs the event-loop server; drop --blocking");
         std::process::exit(2);
     }
+    if blocking && (capacity != usize::MAX || max_write_buffer.is_some()) {
+        eprintln!("--capacity / --max-write-buffer need the event-loop server; drop --blocking");
+        std::process::exit(2);
+    }
 
     let (_, config) = shared_model(model_seed, micro);
     println!(
@@ -176,6 +214,7 @@ fn run_server(args: &[String]) {
     let mut menos_server =
         MenosServer::new(config, ServerSpec::v100(ServerMode::menos()), model_seed);
     menos_server.set_forward_mode(mode);
+    menos_server.set_pressure_watermark(pressure_watermark);
     // Restore-on-start: if a snapshot exists, rebuild every session
     // (adapters, optimizer moments, counters, cached replies) from it;
     // clients re-attach through the Resume handshake. The snapshot's
@@ -209,7 +248,10 @@ fn run_server(args: &[String]) {
         server.join();
     } else {
         let options = EventLoopOptions {
-            max_clients: clients,
+            accept_limit: clients,
+            capacity,
+            busy_retry_after: Duration::from_millis(retry_after_ms),
+            max_write_buffer,
             batch_window,
             io_timeout: client_timeout,
             max_session_idle,

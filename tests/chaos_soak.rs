@@ -119,7 +119,7 @@ fn reference_fleet(
         listener,
         handler.clone(),
         EventLoopOptions {
-            max_clients: N as usize,
+            accept_limit: N as usize,
             ..EventLoopOptions::default()
         },
     );
@@ -461,6 +461,191 @@ mod kill_the_server {
             let _ = std::fs::remove_dir_all(&ref_dir);
             let _ = std::fs::remove_dir_all(&dir);
         }
+    }
+}
+
+/// The fault matrix, one kind at a time: every budgeted incarnation of
+/// every client is dealt the *same* fault
+/// (`ChaosListener::with_forced_fault`), so each kind's recovery path
+/// is exercised in isolation instead of hoping the seeded plan covers
+/// it. Latency faults must be absorbed with zero reconnects; lossy
+/// faults must be rejected server-side (typed errors, sessions
+/// quarantined) and healed through `Resume` — and either way the
+/// curves and final adapter weights stay bit-identical to fault-free.
+mod fault_matrix {
+    use super::*;
+    use menos::split::Fault;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    /// Matrix scale: six kinds × (1 reference + 6 chaos runs) must fit
+    /// a debug CI budget; the recovery machinery is scale-independent.
+    const M: u64 = 4;
+    const MSTEPS: usize = 10;
+
+    fn matrix_run(
+        text: &str,
+        config: &ModelConfig,
+        base: &Arc<Mutex<menos::tensor::ParamStore>>,
+        fault: Option<Fault>,
+    ) -> (Vec<(CurveBits, AdapterBits)>, EventLoopStats) {
+        let handler = make_server(config, base);
+        let (dialer, listener) = event_channel_listener();
+        let shutdown: Arc<AtomicBool>;
+        let loop_thread = if let Some(fault) = fault {
+            let chaos = ChaosListener::with_forced_fault(listener, ChaosOptions::default(), fault);
+            let event_loop =
+                ServerEventLoop::new(chaos, handler.clone(), EventLoopOptions::default());
+            shutdown = event_loop.shutdown_handle();
+            std::thread::spawn(move || event_loop.run().1)
+        } else {
+            let event_loop =
+                ServerEventLoop::new(listener, handler.clone(), EventLoopOptions::default());
+            shutdown = event_loop.shutdown_handle();
+            std::thread::spawn(move || event_loop.run().1)
+        };
+        let mut drivers = Vec::new();
+        for k in 0..M {
+            let mut client = make_client(k, text, config, base);
+            let dialer = dialer.clone();
+            drivers.push(std::thread::spawn(move || {
+                let policy = RetryPolicy {
+                    retries: 8,
+                    backoff: Duration::from_millis(1),
+                    max_backoff: Duration::from_millis(20),
+                    seed: client.id().0,
+                };
+                let curve = drive_client_resumable(&mut client, || dialer.dial(), MSTEPS, &policy)
+                    .expect("every client overcomes a single forced fault kind");
+                (curve_bits(&curve), adapter_bits(&client))
+            }));
+        }
+        let results = drivers
+            .into_iter()
+            .map(|d| d.join().expect("driver thread"))
+            .collect();
+        shutdown.store(true, Ordering::Relaxed);
+        let stats = loop_thread.join().expect("loop thread");
+        (results, stats)
+    }
+
+    #[test]
+    fn every_fault_kind_preserves_bit_identity() {
+        let (text, config, base) = micro_setup();
+        let (reference, _) = matrix_run(&text, &config, &base, None);
+        for (curve, _) in &reference {
+            assert_eq!(curve.len(), MSTEPS);
+        }
+        let lossy = true; // the connection dies; recovery is a Resume
+        let latency = false; // absorbed in place, no reconnect at all
+        for (fault, kind) in [
+            (Fault::KillRecvAfter(2), lossy),
+            (Fault::KillQueueAfter(2), lossy),
+            (Fault::HoldReplies(2), latency),
+            (Fault::DelayFrames(2), latency),
+            (Fault::DuplicateFrame(2), lossy),
+            (Fault::CorruptBody(2), lossy),
+        ] {
+            let (survivors, stats) = matrix_run(&text, &config, &base, Some(fault));
+            assert_eq!(survivors, reference, "{fault:?} diverged from fault-free");
+            if kind {
+                assert!(
+                    stats.conn_errors > 0,
+                    "{fault:?} must be rejected server-side: {stats:?}"
+                );
+                assert!(
+                    stats.resumed > 0,
+                    "{fault:?} recovery must go through Resume: {stats:?}"
+                );
+            } else {
+                assert_eq!(
+                    stats.conn_errors, 0,
+                    "{fault:?} is pure latency, no connection may fail: {stats:?}"
+                );
+                assert_eq!(
+                    stats.resumed, 0,
+                    "{fault:?} must be absorbed without a reconnect: {stats:?}"
+                );
+            }
+        }
+    }
+
+    /// Snapshot-disk faults: an ENOSPC-style failure of the atomic
+    /// snapshot write (injected by squatting a *directory* on the tmp
+    /// path, which fails `File::create` even for root) must degrade
+    /// durability only — training continues, `snapshot_errors` accrue,
+    /// and the last good `server.snap` is byte-for-byte untouched. A
+    /// torn tmp file left by a crash is likewise invisible to readers.
+    #[test]
+    fn snapshot_disk_faults_degrade_durability_not_service() {
+        use menos::split::SnapshotPolicy;
+
+        let dir = std::env::temp_dir().join(format!("menos-snapfault-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        let (text, config, base) = micro_setup();
+
+        // Phase 1, healthy disk: one short run leaves a good snapshot.
+        let handler = make_server(&config, &base);
+        let (dialer, listener) = event_channel_listener();
+        let event_loop = ServerEventLoop::new(
+            listener,
+            handler,
+            EventLoopOptions {
+                accept_limit: 1,
+                ..EventLoopOptions::default()
+            },
+        )
+        .with_snapshots(SnapshotPolicy::durable(&dir));
+        let loop_thread = std::thread::spawn(move || event_loop.run().1);
+        let mut client = make_client(0, &text, &config, &base);
+        let mut transport = dialer.dial().expect("dial");
+        drive_client(&mut client, &mut transport, 2).expect("healthy run");
+        drop(transport);
+        let stats = loop_thread.join().expect("loop thread");
+        assert!(stats.snapshots > 0, "{stats:?}");
+        assert_eq!(stats.snapshot_errors, 0, "{stats:?}");
+        let last_good = SnapshotPolicy::read(&dir).expect("snapshot written");
+
+        // Phase 2, disk fault: every atomic write now fails mid-flight.
+        std::fs::create_dir_all(dir.join("server.snap.tmp")).expect("jam the tmp path");
+        let handler = make_server(&config, &base);
+        let (dialer, listener) = event_channel_listener();
+        let event_loop = ServerEventLoop::new(
+            listener,
+            handler,
+            EventLoopOptions {
+                accept_limit: 1,
+                ..EventLoopOptions::default()
+            },
+        )
+        .with_snapshots(SnapshotPolicy::durable(&dir));
+        let loop_thread = std::thread::spawn(move || event_loop.run().1);
+        let mut client = make_client(0, &text, &config, &base);
+        let mut transport = dialer.dial().expect("dial");
+        let curve = drive_client(&mut client, &mut transport, 4).expect("training survives ENOSPC");
+        assert_eq!(curve.points().len(), 4);
+        drop(transport);
+        let stats = loop_thread.join().expect("loop thread");
+        assert_eq!(stats.snapshots, 0, "no write can succeed: {stats:?}");
+        assert!(
+            stats.snapshot_errors > 0,
+            "faults must be counted: {stats:?}"
+        );
+        assert_eq!(
+            SnapshotPolicy::read(&dir).expect("last good survives"),
+            last_good,
+            "a failed write must never damage the last good snapshot"
+        );
+
+        // A torn tmp file (crash mid-write) is ignored by readers: only
+        // the atomically renamed server.snap is ever consulted.
+        std::fs::remove_dir_all(dir.join("server.snap.tmp")).expect("unjam");
+        std::fs::write(dir.join("server.snap.tmp"), b"torn partial write").expect("torn tmp");
+        assert_eq!(
+            SnapshotPolicy::read(&dir).expect("snapshot still reads"),
+            last_good
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }
 

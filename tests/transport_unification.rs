@@ -312,7 +312,7 @@ fn event_loop_fleet(
         listener,
         handler.clone(),
         EventLoopOptions {
-            max_clients: n as usize,
+            accept_limit: n as usize,
             ..EventLoopOptions::default()
         },
     );
@@ -362,7 +362,7 @@ fn event_loop_curves_are_bit_identical_to_blocking_on_all_transports() {
         listener,
         handler.clone(),
         EventLoopOptions {
-            max_clients: N as usize,
+            accept_limit: N as usize,
             ..EventLoopOptions::default()
         },
     );
@@ -395,7 +395,7 @@ fn event_loop_curves_are_bit_identical_to_blocking_on_all_transports() {
         "127.0.0.1:0",
         handler.clone(),
         EventLoopOptions {
-            max_clients: N as usize,
+            accept_limit: N as usize,
             ..EventLoopOptions::default()
         },
         menos::split::TcpOptions::default(),
