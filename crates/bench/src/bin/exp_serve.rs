@@ -28,20 +28,30 @@
 //! completion-latency percentiles; `--check` additionally asserts the
 //! structural overload contract — sheds happened, the live-session
 //! peak respected the cap, and every client completed.
+//!
+//! The fleet placement study (v1.4) compares the coordinator's two
+//! placement policies — round-robin vs memory-aware — over real TCP
+//! backends (spawned as `--worker backend` subprocesses) with one
+//! backend SIGKILLed mid-run: aggregate steps/s, sessions migrated,
+//! and p95 client completion latency. `--check` asserts the failover
+//! contract — at least one session migrated, every client completed,
+//! and no survivor was assigned past its capacity.
 
 use std::io::Write;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use menos_adapters::FineTuneConfig;
-use menos_core::{MenosServer, ServerMode, ServerSpec};
+use menos_core::{MenosServer, ServerMode, ServerSpec, ServerState};
 use menos_data::{wiki_corpus, TokenDataset, Vocab};
+use menos_fleet::{BackendSpec, FleetCoordinator, FleetOptions, PlacementPolicy};
 use menos_models::{init_params, CausalLm, ModelConfig};
 use menos_net::{Codec, WanLink};
 use menos_sim::seeded_rng;
 use menos_split::{
-    drive_client, drive_client_resumable, event_sim_listener, serve_loop, sim_pair, ClientId,
-    EventLoopOptions, EventLoopStats, RetryPolicy, ServerEventLoop, SplitClient, SplitSpec,
+    drive_client, drive_client_resumable, event_sim_listener, run_tcp_client_fleet, serve_loop,
+    sim_pair, ClientId, EventLoopOptions, EventLoopStats, RetryPolicy, ServerEventLoop,
+    SnapshotPolicy, SplitClient, SplitSpec, TcpEventServer, TcpOptions,
 };
 use menos_tensor::ParamStore;
 
@@ -419,6 +429,291 @@ fn spawn_worker(mode: &str, n: u64) -> String {
         .to_string()
 }
 
+// ---------------------------------------------------------------------
+// Fleet placement study (v1.4): round-robin vs memory-aware through a
+// coordinator, with one backend SIGKILLed mid-run.
+// ---------------------------------------------------------------------
+
+const FLEET_BACKENDS: usize = 3;
+const FLEET_CLIENTS: u64 = 24;
+const FLEET_STEPS: usize = 6;
+/// Tight enough that the failover lands the survivors exactly at the
+/// cap (24 clients / 2 survivors): the `--check` guard that no
+/// survivor is assigned past capacity has no slack to hide in.
+const FLEET_CAPACITY: usize = 12;
+const FLEET_MODEL_SEED: u64 = 43;
+
+/// The micro-model fleet setup: tiny enough that 2 policies × 24
+/// clients fit the bench budget, derived exactly as the backend
+/// workers derive it (same corpus, same `"base-model"` rng label).
+fn fleet_setup() -> (String, ModelConfig, Arc<Mutex<ParamStore>>) {
+    let text = wiki_corpus(FLEET_MODEL_SEED, 3_000);
+    let vocab = Vocab::from_text(&text);
+    let mut config = ModelConfig::tiny_opt(vocab.size());
+    config.hidden = 32;
+    config.layers = 2;
+    config.heads = 2;
+    config.intermediate = 64;
+    let mut rng = seeded_rng(FLEET_MODEL_SEED, "base-model");
+    let base = Arc::new(Mutex::new(init_params(&config, &mut rng)));
+    (text, config, base)
+}
+
+fn fleet_client(
+    k: u64,
+    text: &str,
+    config: &ModelConfig,
+    base: &Arc<Mutex<ParamStore>>,
+) -> SplitClient {
+    let vocab = Vocab::from_text(text);
+    let mut ft = FineTuneConfig::paper(config);
+    ft.batch_size = 1;
+    ft.seq_len = 8;
+    let ds = TokenDataset::new(vocab.encode(text), 8, k);
+    let view = base.lock().unwrap().shared_view(false);
+    SplitClient::new(
+        ClientId(k),
+        CausalLm::bind(config, &view),
+        SplitSpec::paper(),
+        ft,
+        ds,
+        k,
+    )
+}
+
+/// One fleet backend, run in its own subprocess (`--worker backend
+/// DIR`) so the study's SIGKILL is a real process death and migration
+/// has to come from the durable snapshot alone. Prints the bound
+/// address, then serves until killed.
+fn run_backend_worker(snapshot_dir: &str) -> ! {
+    let (_, config, base) = fleet_setup();
+    let view = base.lock().unwrap().shared_view(false);
+    let handler = Arc::new(Mutex::new(MenosServer::from_store(
+        config,
+        view,
+        ServerSpec::v100(ServerMode::menos()),
+        FLEET_MODEL_SEED,
+    )));
+    let server = TcpEventServer::spawn_with_snapshots(
+        ("127.0.0.1", 0),
+        handler,
+        EventLoopOptions {
+            accept_limit: 1_000_000,
+            ..EventLoopOptions::default()
+        },
+        TcpOptions::default(),
+        SnapshotPolicy::periodic(snapshot_dir, 0),
+    )
+    .expect("bind backend");
+    println!("server on {}", server.addr());
+    server.join();
+    std::process::exit(0)
+}
+
+/// A backend subprocess plus its parsed address and snapshot dir.
+struct BackendProc {
+    child: std::process::Child,
+    spec: BackendSpec,
+}
+
+fn spawn_backend(dir: &std::path::Path) -> BackendProc {
+    use std::io::BufRead;
+    std::fs::create_dir_all(dir).expect("snapshot dir");
+    let exe = std::env::current_exe().expect("current exe");
+    let mut child = std::process::Command::new(exe)
+        .args(["--worker", "backend"])
+        .arg(dir)
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::inherit())
+        .spawn()
+        .expect("spawn backend worker");
+    let stdout = child.stdout.take().expect("backend stdout");
+    let mut reader = std::io::BufReader::new(stdout);
+    let mut line = String::new();
+    let addr = loop {
+        line.clear();
+        assert!(
+            reader.read_line(&mut line).expect("backend banner") > 0,
+            "backend exited before its banner"
+        );
+        if let Some(rest) = line.split("server on ").nth(1) {
+            break rest.split_whitespace().next().expect("address").to_string();
+        }
+    };
+    std::thread::spawn(move || {
+        let mut sink = String::new();
+        while matches!(reader.read_line(&mut sink), Ok(n) if n > 0) {
+            sink.clear();
+        }
+    });
+    BackendProc {
+        child,
+        spec: BackendSpec {
+            addr,
+            snapshot_dir: dir.to_path_buf(),
+        },
+    }
+}
+
+/// Runs one placement policy through a full kill-one-backend failover
+/// and returns its JSON line. The structural outcome (every client
+/// completes, ≥1 session migrated, survivors at or under capacity) is
+/// asserted here, so the plain study run enforces the same contract
+/// `--check` quotes.
+fn run_fleet_study(policy: PlacementPolicy, label: &str) -> String {
+    let (text, config, base) = fleet_setup();
+    let root = std::env::temp_dir().join(format!("menos-exp-fleet-{label}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let mut backends: Vec<Option<BackendProc>> = (0..FLEET_BACKENDS)
+        .map(|i| Some(spawn_backend(&root.join(format!("b{i}")))))
+        .collect();
+    let specs: Vec<BackendSpec> = backends
+        .iter()
+        .map(|b| b.as_ref().unwrap().spec.clone())
+        .collect();
+    let coordinator = FleetCoordinator::spawn(
+        "127.0.0.1:0",
+        specs,
+        FleetOptions {
+            policy,
+            // Wide enough that a healthy-but-starved backend on a
+            // noisy shared core is never falsely ruled dead (the
+            // SIGKILLed one still fails every probe instantly, so
+            // real detection stays ~max_missed x interval).
+            heartbeat_interval: Duration::from_millis(80),
+            max_missed: 5,
+            probe_timeout: Duration::from_secs(2),
+            capacity_per_server: FLEET_CAPACITY,
+            ..FleetOptions::default()
+        },
+    )
+    .expect("spawn coordinator");
+    let coord_addr = coordinator.addr().to_string();
+
+    let start = Instant::now();
+    let drivers: Vec<_> = (0..FLEET_CLIENTS)
+        .map(|k| {
+            let mut client = fleet_client(k, &text, &config, &base);
+            let coord_addr = coord_addr.clone();
+            std::thread::spawn(move || {
+                let retry = RetryPolicy {
+                    retries: 120,
+                    backoff: Duration::from_millis(10),
+                    max_backoff: Duration::from_millis(100),
+                    seed: k,
+                };
+                let t0 = Instant::now();
+                run_tcp_client_fleet(&coord_addr, &mut client, FLEET_STEPS, &retry)
+                    .expect("fleet client completes across the failover");
+                t0.elapsed().as_secs_f64()
+            })
+        })
+        .collect();
+
+    // Kill backend 0 once every session placed on it is in its
+    // durable snapshot — i.e. once the kill is guaranteed mid-run.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while (0..FLEET_CLIENTS).any(|k| coordinator.placement_of(ClientId(k)).is_none()) {
+        assert!(Instant::now() < deadline, "fleet never fully placed");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let victims = (0..FLEET_CLIENTS)
+        .filter(|&k| coordinator.placement_of(ClientId(k)) == Some(0))
+        .count();
+    assert!(victims > 0, "{label}: placement left backend 0 empty");
+    let snap = root.join("b0").join("server.snap");
+    loop {
+        if let Ok(bytes) = std::fs::read(&snap) {
+            if let Ok(state) = ServerState::from_bytes(&bytes) {
+                if state.sessions.len() >= victims {
+                    break;
+                }
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "victim sessions never snapshotted"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let mut victim = backends[0].take().unwrap();
+    victim.child.kill().expect("kill backend");
+    victim.child.wait().expect("reap backend");
+
+    let latencies: Vec<f64> = drivers
+        .into_iter()
+        .map(|d| d.join().expect("fleet driver"))
+        .collect();
+    let elapsed = start.elapsed().as_secs_f64();
+    let stats = coordinator.stats();
+
+    // Structural failover contract.
+    assert!(stats.sessions_migrated > 0, "{label}: nothing migrated");
+    assert_eq!(stats.migrations_failed, 0, "{label}: {stats:?}");
+    assert_eq!(latencies.len(), FLEET_CLIENTS as usize);
+    let mut overflow = 0usize;
+    for b in 1..FLEET_BACKENDS {
+        let assigned = (0..FLEET_CLIENTS)
+            .filter(|&k| coordinator.placement_of(ClientId(k)) == Some(b))
+            .count();
+        if assigned > FLEET_CAPACITY {
+            overflow += 1;
+        }
+    }
+    assert_eq!(overflow, 0, "{label}: a survivor exceeded its capacity");
+
+    coordinator.shutdown();
+    for b in backends.into_iter().flatten() {
+        let mut b = b;
+        let _ = b.child.kill();
+        let _ = b.child.wait();
+    }
+    let _ = std::fs::remove_dir_all(&root);
+
+    let rate = (FLEET_CLIENTS as usize * FLEET_STEPS) as f64 / elapsed;
+    format!(
+        "{{\"group\":\"serve\",\"bench\":\"fleet/{label}\",\"clients\":{FLEET_CLIENTS},\
+         \"backends\":{FLEET_BACKENDS},\"steps\":{FLEET_STEPS},\"capacity\":{FLEET_CAPACITY},\
+         \"completed\":{},\"steps_per_sec\":{rate:.2},\"migrated\":{},\"failovers\":{},\
+         \"redirects\":{},\"heartbeats_missed\":{},\"survivor_overflow\":{overflow},\
+         \"p50_completion_ms\":{:.1},\"p95_completion_ms\":{:.1}}}",
+        latencies.len(),
+        stats.sessions_migrated,
+        stats.failovers,
+        stats.redirects_sent,
+        stats.heartbeats_missed,
+        percentile(&latencies, 50.0) * 1e3,
+        percentile(&latencies, 95.0) * 1e3,
+    )
+}
+
+const FLEET_POLICIES: [(PlacementPolicy, &str); 2] = [
+    (PlacementPolicy::RoundRobin, "round_robin"),
+    (PlacementPolicy::MemoryAware, "memory_aware"),
+];
+
+/// Runs the placement study, printing a table and appending the JSON
+/// lines.
+fn run_fleet_table(lines: &mut Vec<String>) {
+    println!("\n== Fleet failover: placement policies, one backend SIGKILLed mid-run ==");
+    println!(
+        "{:>14} {:>10} {:>10} {:>9} {:>11} {:>11}",
+        "policy", "steps/s", "migrated", "redirects", "p50 ms", "p95 ms"
+    );
+    for (policy, label) in FLEET_POLICIES {
+        let line = run_fleet_study(policy, label);
+        println!(
+            "{label:>14} {:>10.2} {:>10.0} {:>9.0} {:>11.1} {:>11.1}",
+            json_num(&line, "steps_per_sec").expect("rate"),
+            json_num(&line, "migrated").expect("migrated"),
+            json_num(&line, "redirects").expect("redirects"),
+            json_num(&line, "p50_completion_ms").expect("p50"),
+            json_num(&line, "p95_completion_ms").expect("p95"),
+        );
+        lines.push(line);
+    }
+}
+
 /// CI regression guard: rerun the N=32 point in both modes and compare
 /// them against each other, exit nonzero on regression.
 ///
@@ -493,6 +788,35 @@ fn run_check() -> ! {
         );
     }
 
+    // Fleet failover guard (v1.4): a kill-one-backend run must migrate
+    // at least one session, complete every client, and never assign a
+    // survivor past its capacity. Structural facts only — steps/s and
+    // latency are host-dependent and are reported, not bounded.
+    let fleet = run_fleet_study(PlacementPolicy::RoundRobin, "round_robin");
+    println!("{fleet}");
+    let migrated = json_num(&fleet, "migrated").expect("fleet migrated");
+    let fleet_done = json_num(&fleet, "completed").expect("fleet completed");
+    let overflow = json_num(&fleet, "survivor_overflow").expect("fleet survivor_overflow");
+    if migrated < 1.0 {
+        failures.push("fleet failover migrated no sessions".to_string());
+    }
+    if fleet_done < FLEET_CLIENTS as f64 {
+        failures.push(format!(
+            "only {fleet_done}/{FLEET_CLIENTS} clients completed across the failover"
+        ));
+    }
+    if overflow > 0.0 {
+        failures.push(format!(
+            "{overflow} survivor(s) were assigned past capacity {FLEET_CAPACITY}"
+        ));
+    }
+    if migrated >= 1.0 && fleet_done >= FLEET_CLIENTS as f64 && overflow == 0.0 {
+        println!(
+            "fleet: migrated {migrated:.0}, completed {fleet_done:.0}/{FLEET_CLIENTS}, \
+             survivor overflow 0 — ok"
+        );
+    }
+
     let t_hwm = json_num(&threaded, "vm_hwm_kb").expect("threaded vm_hwm_kb");
     let e_hwm = json_num(&event, "vm_hwm_kb").expect("event vm_hwm_kb");
     if t_hwm > 0.0 && e_hwm > HWM_RATIO_LIMIT * t_hwm {
@@ -532,6 +856,9 @@ fn main() {
     match args.get(1).map(String::as_str) {
         Some("--worker") => {
             let mode = args.get(2).expect("--worker <mode> <n>");
+            if mode == "backend" {
+                run_backend_worker(args.get(3).expect("--worker backend <dir>"));
+            }
             let n: u64 = args
                 .get(3)
                 .expect("--worker <mode> <n>")
@@ -597,6 +924,7 @@ fn main() {
         );
         lines.push(overload);
     }
+    run_fleet_table(&mut lines);
     run_codec_study(&mut lines);
     let json = lines.join("\n") + "\n";
     print!("\n{json}");

@@ -62,7 +62,7 @@ pub use profiler::{probe_with_random_input, profile_client, MemoryDemands};
 pub use runtime::{jain_fairness, run_experiment, run_experiment_traced, RunReport};
 pub use scheduler::{Decision, OpKind, Request, SchedPolicy, Scheduler};
 pub use server::MenosServer;
-pub use state::{ServerState, SessionRecord};
+pub use state::{decode_session_record, encode_session_record, ServerState, SessionRecord};
 // The serving façade reports errors through the unified protocol
 // taxonomy; re-exported so embedders don't need menos-split in scope.
 pub use menos_split::ProtocolError;

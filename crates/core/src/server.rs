@@ -327,6 +327,27 @@ impl MenosServer {
                 }
                 Ok(None)
             }
+            ClientMessage::Ping { client, seq } => Ok(Some(ServerMessage::Pong {
+                client,
+                seq,
+                live_sessions: self.clients.len() as u64,
+                utilization_pct: self.utilization_pct(),
+            })),
+            ClientMessage::ImportSession { client, blob } => {
+                let (imported, epoch) = self.import_session(&blob).map_err(|e| {
+                    ProtocolError::Rejected(format!("session import rejected: {e}"))
+                })?;
+                if imported != client {
+                    // The frame was addressed to one client but the blob
+                    // carries another; un-park and reject so nothing of
+                    // the mismatched import survives.
+                    self.quarantined.remove(&imported);
+                    return Err(ProtocolError::Rejected(format!(
+                        "import frame addressed to {client} but blob carries {imported}"
+                    )));
+                }
+                Ok(Some(ServerMessage::Imported { client, epoch }))
+            }
             tensor_msg => {
                 let client = tensor_msg.client();
                 let mode = self.mode;
@@ -897,6 +918,103 @@ impl MenosServer {
             );
         }
         Ok(restored)
+    }
+
+    /// Serializes one client's session — live or quarantined — into a
+    /// self-contained migration blob ([`crate::state::encode_session_record`]):
+    /// adapter weights, optimizer moments, step/epoch counters, the
+    /// cached lost-reply replay, codec residual state, and the origin
+    /// server's base seed. `None` if the client is unknown here.
+    ///
+    /// The exporter's own state is untouched; a fleet coordinator
+    /// re-homing sessions feeds the blob to a survivor via the v1.4
+    /// `ImportSession` frame (or [`MenosServer::import_session`]
+    /// directly).
+    pub fn export_session(&self, client: ClientId) -> Option<Vec<u8>> {
+        let rec = if let Some(s) = self.clients.get(&client) {
+            SessionRecord {
+                client,
+                epoch: s.epoch,
+                live: true,
+                session: s.session.to_state(),
+                last_reply: s.last_reply.as_ref().map(crate::state::encode_reply),
+            }
+        } else {
+            let q = self.quarantined.get(&client)?;
+            SessionRecord {
+                client,
+                epoch: q.epoch,
+                live: false,
+                session: q.session.to_state(),
+                last_reply: q.last_reply.as_ref().map(crate::state::encode_reply),
+            }
+        };
+        Some(crate::state::encode_session_record(self.seed, &rec))
+    }
+
+    /// Imports a migrated session blob, parking it in quarantine
+    /// exactly as [`MenosServer::restore`] parks records: no
+    /// Algorithm-2 reservation, no live slot — the client's `Resume`
+    /// re-admits it through the normal admission path (and may be shed
+    /// `Busy` if this server is itself full). Returns the imported
+    /// client and its resume epoch (the fencing token the coordinator
+    /// echoes in `Imported`).
+    ///
+    /// Unlike `restore`, the server may be mid-flight with other
+    /// sessions; only a *duplicate* of the imported client (live or
+    /// quarantined) is refused — two homes for one session would fork
+    /// its training state.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError`] if the blob is corrupt, the origin seed
+    /// disagrees with this server's (the adapters were trained against
+    /// a different base), the client already has a session here, or
+    /// the record fails to rebuild. Nothing is committed on error.
+    pub fn import_session(&mut self, blob: &[u8]) -> Result<(ClientId, u64), CheckpointError> {
+        let (seed, rec) = crate::state::decode_session_record(blob)?;
+        if seed != self.seed {
+            return Err(CheckpointError::Corrupt(format!(
+                "migrated session's origin seed {} does not match server seed {}",
+                seed, self.seed
+            )));
+        }
+        if self.clients.contains_key(&rec.client) || self.quarantined.contains_key(&rec.client) {
+            return Err(CheckpointError::Corrupt(format!(
+                "{} already has a session on this server",
+                rec.client
+            )));
+        }
+        // Validate-then-commit, as in restore: rebuild everything off
+        // to the side so an error cannot leave a half-imported session.
+        let session = ServerSession::from_state(self.registry.new_instance(), &rec.session)?;
+        if session.client() != rec.client {
+            return Err(CheckpointError::Corrupt(format!(
+                "record for {} holds a session for {}",
+                rec.client,
+                session.client()
+            )));
+        }
+        debug_assert!(self.registry.verify_aliasing(session.model()));
+        let config = self.registry.config().clone();
+        let profile = menos_models::ModelProfile::new(config, session.split().front_layers);
+        let demands = profile_client(&profile, session.ft_config());
+        let last_reply = rec
+            .last_reply
+            .as_deref()
+            .map(crate::state::decode_reply)
+            .transpose()?;
+        self.quarantined.insert(
+            rec.client,
+            Quarantined {
+                session,
+                demands,
+                epoch: rec.epoch,
+                last_reply,
+                since: Instant::now(),
+            },
+        );
+        Ok((rec.client, rec.epoch))
     }
 }
 

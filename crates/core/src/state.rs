@@ -118,17 +118,7 @@ impl ServerState {
         let mut w = SectionWriter::new();
         w.section(TAG_SERVER_META, meta);
         for rec in &self.sessions {
-            let mut rec_meta = Vec::new();
-            rec_meta.extend(rec.client.0.to_le_bytes());
-            rec_meta.extend(rec.epoch.to_le_bytes());
-            rec_meta.push(u8::from(rec.live));
-            let mut inner = SectionWriter::new();
-            inner.section(TAG_RECORD_META, rec_meta);
-            inner.section(TAG_RECORD_SESSION, rec.session.clone());
-            if let Some(reply) = &rec.last_reply {
-                inner.section(TAG_RECORD_REPLY, reply.clone());
-            }
-            w.section(TAG_SESSION, inner.finish());
+            w.section(TAG_SESSION, encode_record(rec));
         }
         w.finish()
     }
@@ -160,32 +150,7 @@ impl ServerState {
             if tag != TAG_SESSION {
                 continue;
             }
-            let inner = SectionReader::parse(body)?;
-            let rec_meta = inner.require(TAG_RECORD_META)?;
-            if rec_meta.len() != 17 {
-                return Err(CheckpointError::Corrupt(format!(
-                    "session record meta of {} bytes",
-                    rec_meta.len()
-                )));
-            }
-            let client = ClientId(u64::from_le_bytes(rec_meta[0..8].try_into().expect("8")));
-            let epoch = u64::from_le_bytes(rec_meta[8..16].try_into().expect("8"));
-            let live = match rec_meta[16] {
-                0 => false,
-                1 => true,
-                other => {
-                    return Err(CheckpointError::Corrupt(format!("liveness byte {other}")));
-                }
-            };
-            let session = inner.require(TAG_RECORD_SESSION)?.to_vec();
-            let last_reply = inner.find(TAG_RECORD_REPLY).map(<[u8]>::to_vec);
-            sessions.push(SessionRecord {
-                client,
-                epoch,
-                live,
-                session,
-                last_reply,
-            });
+            sessions.push(decode_record(body)?);
         }
         if sessions.len() as u64 != declared {
             return Err(CheckpointError::Corrupt(format!(
@@ -208,6 +173,87 @@ impl ServerState {
             sessions,
         })
     }
+}
+
+/// Serializes one session record into its nested container bytes —
+/// the body of a `TAG_SESSION` section.
+fn encode_record(rec: &SessionRecord) -> Vec<u8> {
+    let mut rec_meta = Vec::new();
+    rec_meta.extend(rec.client.0.to_le_bytes());
+    rec_meta.extend(rec.epoch.to_le_bytes());
+    rec_meta.push(u8::from(rec.live));
+    let mut inner = SectionWriter::new();
+    inner.section(TAG_RECORD_META, rec_meta);
+    inner.section(TAG_RECORD_SESSION, rec.session.clone());
+    if let Some(reply) = &rec.last_reply {
+        inner.section(TAG_RECORD_REPLY, reply.clone());
+    }
+    inner.finish()
+}
+
+/// Decodes one nested session-record container.
+fn decode_record(body: &[u8]) -> Result<SessionRecord, CheckpointError> {
+    let inner = SectionReader::parse(body)?;
+    let rec_meta = inner.require(TAG_RECORD_META)?;
+    if rec_meta.len() != 17 {
+        return Err(CheckpointError::Corrupt(format!(
+            "session record meta of {} bytes",
+            rec_meta.len()
+        )));
+    }
+    let client = ClientId(u64::from_le_bytes(rec_meta[0..8].try_into().expect("8")));
+    let epoch = u64::from_le_bytes(rec_meta[8..16].try_into().expect("8"));
+    let live = match rec_meta[16] {
+        0 => false,
+        1 => true,
+        other => {
+            return Err(CheckpointError::Corrupt(format!("liveness byte {other}")));
+        }
+    };
+    let session = inner.require(TAG_RECORD_SESSION)?.to_vec();
+    let last_reply = inner.find(TAG_RECORD_REPLY).map(<[u8]>::to_vec);
+    Ok(SessionRecord {
+        client,
+        epoch,
+        live,
+        session,
+        last_reply,
+    })
+}
+
+/// Serializes one [`SessionRecord`] plus its origin server's base seed
+/// into a self-contained, CRC-sealed migration blob — the body of a
+/// v1.4 `ImportSession` frame. The seed travels with the record so the
+/// importing server can refuse state that was trained against a
+/// different base model.
+#[must_use]
+pub fn encode_session_record(seed: u64, rec: &SessionRecord) -> Vec<u8> {
+    let mut w = SectionWriter::new();
+    w.section(TAG_SERVER_META, seed.to_le_bytes().to_vec());
+    w.section(TAG_SESSION, encode_record(rec));
+    w.finish()
+}
+
+/// Decodes a migration blob written by [`encode_session_record`],
+/// returning `(origin seed, record)`.
+///
+/// # Errors
+///
+/// [`CheckpointError`] on truncation, corruption, or version mismatch
+/// — never panics on untrusted input. A full server snapshot fed here
+/// by mistake is rejected too (its meta section is 17 bytes, not 8).
+pub fn decode_session_record(bytes: &[u8]) -> Result<(u64, SessionRecord), CheckpointError> {
+    let r = SectionReader::parse(bytes)?;
+    let meta = r.require(TAG_SERVER_META)?;
+    if meta.len() != 8 {
+        return Err(CheckpointError::Corrupt(format!(
+            "migration meta of {} bytes",
+            meta.len()
+        )));
+    }
+    let seed = u64::from_le_bytes(meta[0..8].try_into().expect("8"));
+    let rec = decode_record(r.require(TAG_SESSION)?)?;
+    Ok((seed, rec))
 }
 
 /// Wire-encodes a cached reply for a [`SessionRecord`].
@@ -281,6 +327,28 @@ mod tests {
                 "offset={offset}"
             );
         }
+    }
+
+    #[test]
+    fn session_record_blob_round_trips_and_rejects_damage() {
+        let state = sample();
+        let rec = &state.sessions[0];
+        let blob = encode_session_record(state.seed, rec);
+        let (seed, decoded) = decode_session_record(&blob).unwrap();
+        assert_eq!(seed, state.seed);
+        assert_eq!(&decoded, rec);
+        for cut in 0..blob.len() {
+            assert!(decode_session_record(&blob[..cut]).is_err(), "cut={cut}");
+        }
+        for offset in 0..blob.len() {
+            let mut flipped = blob.clone();
+            flipped[offset] ^= 1 << (offset % 8);
+            assert!(decode_session_record(&flipped).is_err(), "offset={offset}");
+        }
+        // The two container formats are mutually exclusive: a full
+        // snapshot is not a migration blob and vice versa.
+        assert!(decode_session_record(&state.to_bytes()).is_err());
+        assert!(ServerState::from_bytes(&blob).is_err());
     }
 
     #[test]

@@ -24,6 +24,7 @@
 #![deny(missing_docs)]
 
 mod compress;
+mod heartbeat;
 mod link;
 mod nonblocking;
 mod wire;
@@ -32,6 +33,7 @@ pub use compress::{
     decode_tensor_any, negotiate, supported_codec_mask, wire_size_with, Codec, TensorCodec,
     ROLE_ACTIVATIONS, ROLE_GRADIENTS,
 };
+pub use heartbeat::{HeartbeatMonitor, HeartbeatVerdict};
 pub use link::WanLink;
 pub use nonblocking::{FrameAccumulator, WriteQueue};
 pub use wire::{

@@ -121,6 +121,15 @@ pub enum Fault {
     /// touching any training state: a corrupt body costs the
     /// connection, never the loss curve.
     CorruptBody(u32),
+    /// Silently blackhole both directions after the nth post-handshake
+    /// message: later inbound messages are dropped, every reply
+    /// vanishes, and — unlike the kill faults — **no FIN or error is
+    /// ever surfaced** on either side. The connection just goes quiet,
+    /// exactly like a network partition or a SIGKILLed peer whose port
+    /// lingers. Detection must therefore come from deadline expiry
+    /// (the server's `io_timeout` eviction, the client's transport
+    /// deadline), never from a clean close.
+    Partition(u32),
 }
 
 fn plan_for(options: &ChaosOptions, client: ClientId, incarnation: u64) -> Option<Fault> {
@@ -129,18 +138,20 @@ fn plan_for(options: &ChaosOptions, client: ClientId, incarnation: u64) -> Optio
     }
     let mut rng = seeded_rng(options.seed, &format!("chaos-{client}-{incarnation}"));
     let roll: f64 = rng.gen();
-    Some(if roll < 0.25 {
+    Some(if roll < 0.22 {
         Fault::KillRecvAfter(rng.gen_range(1..=5))
-    } else if roll < 0.5 {
+    } else if roll < 0.44 {
         Fault::KillQueueAfter(rng.gen_range(1..=5))
-    } else if roll < 0.65 {
+    } else if roll < 0.58 {
         Fault::HoldReplies(rng.gen_range(1..=options.max_hold_flushes.max(1)))
-    } else if roll < 0.8 {
+    } else if roll < 0.72 {
         Fault::DelayFrames(rng.gen_range(1..=3))
-    } else if roll < 0.9 {
+    } else if roll < 0.82 {
         Fault::DuplicateFrame(rng.gen_range(1..=4))
-    } else {
+    } else if roll < 0.92 {
         Fault::CorruptBody(rng.gen_range(1..=4))
+    } else {
+        Fault::Partition(rng.gen_range(1..=4))
     })
 }
 
@@ -211,6 +222,7 @@ impl<L: EventListener> EventListener for ChaosListener<L> {
             dup_pending: None,
             dup_done: false,
             recv_dead: false,
+            partitioned: false,
         }))
     }
 }
@@ -242,6 +254,9 @@ pub struct ChaosConn<C> {
     dup_pending: Option<ClientMessage>,
     dup_done: bool,
     recv_dead: bool,
+    /// A `Partition` fault has activated: both directions are silently
+    /// blackholed from here on — no delivery, no FIN, no error.
+    partitioned: bool,
 }
 
 impl<C> ChaosConn<C> {
@@ -267,6 +282,11 @@ impl<C> ChaosConn<C> {
     /// Applies inbound faults to one post-handshake message and stages
     /// the (possibly mangled) result for delivery.
     fn stage_incoming(&mut self, msg: ClientMessage) {
+        if self.partitioned {
+            // Lost in the void: the message is neither delivered nor
+            // acknowledged, and the sender learns nothing.
+            return;
+        }
         self.msgs_seen += 1;
         if matches!(
             msg,
@@ -287,6 +307,14 @@ impl<C> ChaosConn<C> {
             }
             Some(Fault::CorruptBody(n)) if self.tensors_seen == n => {
                 self.delayed.push_back(corrupt_frame(msg));
+            }
+            Some(Fault::Partition(n)) => {
+                // The nth message is the last to get through; its
+                // reply — and everything after — falls into the void.
+                self.delayed.push_back(msg);
+                if self.msgs_seen >= n {
+                    self.partitioned = true;
+                }
             }
             _ => self.delayed.push_back(msg),
         }
@@ -321,6 +349,11 @@ fn corrupt_frame(msg: ClientMessage) -> ClientMessage {
 
 impl<C: EventConn> EventConn for ChaosConn<C> {
     fn poll_recv(&mut self, out: &mut Vec<ClientMessage>) -> Result<(), ProtocolError> {
+        if self.partitioned {
+            // A partitioned link is pure silence: no data, no FIN, no
+            // error — only the loop's io_timeout deadline can notice.
+            return Ok(());
+        }
         if self.recv_dead && self.delayed.is_empty() && self.dup_pending.is_none() {
             return Err(ProtocolError::Disconnected);
         }
@@ -379,6 +412,11 @@ impl<C: EventConn> EventConn for ChaosConn<C> {
     }
 
     fn queue(&mut self, msg: &ServerMessage) -> Result<(), ProtocolError> {
+        if self.partitioned {
+            // Swallowed, not failed: a blackholed reply (including the
+            // best-effort eviction notice) reports success and vanishes.
+            return Ok(());
+        }
         match self.fault {
             Some(Fault::KillQueueAfter(n)) => {
                 // Only tensor replies count: killing a handshake reply
@@ -407,6 +445,9 @@ impl<C: EventConn> EventConn for ChaosConn<C> {
     }
 
     fn flush(&mut self) -> Result<bool, ProtocolError> {
+        if self.partitioned {
+            return Ok(true);
+        }
         if !self.held.is_empty() {
             if self.hold_left > 0 {
                 self.hold_left -= 1;
@@ -420,10 +461,16 @@ impl<C: EventConn> EventConn for ChaosConn<C> {
     }
 
     fn has_queued_writes(&self) -> bool {
+        if self.partitioned {
+            return false;
+        }
         !self.held.is_empty() || self.inner.has_queued_writes()
     }
 
     fn queued_write_bytes(&self) -> u64 {
+        if self.partitioned {
+            return 0;
+        }
         // Held replies count against the write-buffer bound too: a
         // chaos hold is indistinguishable from a stalled consumer.
         let held: u64 = self.held.iter().map(ServerMessage::wire_bytes).sum();
@@ -492,6 +539,7 @@ mod tests {
             dup_pending: None,
             dup_done: false,
             recv_dead: false,
+            partitioned: false,
         }
     }
 
@@ -574,7 +622,7 @@ mod tests {
     #[test]
     fn the_default_plan_draws_every_fault_kind() {
         let options = ChaosOptions::default();
-        let mut seen = [false; 6];
+        let mut seen = [false; 7];
         for id in 0..256 {
             match plan_for(&options, ClientId(id), 1) {
                 Some(Fault::KillRecvAfter(_)) => seen[0] = true,
@@ -583,6 +631,7 @@ mod tests {
                 Some(Fault::DelayFrames(_)) => seen[3] = true,
                 Some(Fault::DuplicateFrame(_)) => seen[4] = true,
                 Some(Fault::CorruptBody(_)) => seen[5] = true,
+                Some(Fault::Partition(_)) => seen[6] = true,
                 None => {}
             }
         }
@@ -590,6 +639,53 @@ mod tests {
             seen.iter().all(|&s| s),
             "256 first incarnations cover the whole matrix: {seen:?}"
         );
+    }
+
+    #[test]
+    fn partition_goes_silent_without_a_fin_in_either_direction() {
+        let first = grads(Bytes::from_static(b"a"));
+        let second = grads(Bytes::from_static(b"b"));
+        let third = grads(Bytes::from_static(b"c"));
+        let mut conn = chaos_over(
+            vec![vec![first.clone()], vec![second.clone()], vec![third]],
+            Fault::Partition(2),
+        );
+        let mut out = Vec::new();
+        conn.poll_recv(&mut out).unwrap();
+        assert_eq!(out.len(), 1, "messages before the partition flow");
+        conn.queue(&ServerMessage::Pong {
+            client: ClientId(7),
+            seq: 0,
+            live_sessions: 0,
+            utilization_pct: 0,
+        })
+        .unwrap();
+        assert_eq!(
+            conn.inner.sent.len(),
+            1,
+            "replies before the partition flow"
+        );
+        out.clear();
+        conn.poll_recv(&mut out).unwrap();
+        assert_eq!(out.len(), 1, "the nth message is the last delivered");
+        assert!(conn.partitioned);
+        // From here on: silence, never an error, in both directions.
+        for _ in 0..5 {
+            out.clear();
+            conn.poll_recv(&mut out).expect("no FIN on the read path");
+            assert!(out.is_empty(), "nothing is delivered past the partition");
+        }
+        conn.queue(&ServerMessage::Pong {
+            client: ClientId(7),
+            seq: 1,
+            live_sessions: 0,
+            utilization_pct: 0,
+        })
+        .expect("no error on the write path");
+        assert!(conn.flush().expect("flush reports clean"));
+        assert_eq!(conn.inner.sent.len(), 1, "the reply fell into the void");
+        assert!(!conn.has_queued_writes());
+        assert_eq!(conn.queued_write_bytes(), 0);
     }
 
     #[test]

@@ -25,12 +25,17 @@ pub(crate) const KIND_ACTIVATIONS: u8 = 2;
 pub(crate) const KIND_GRADIENTS: u8 = 3;
 pub(crate) const KIND_DISCONNECT: u8 = 4;
 pub(crate) const KIND_RESUME: u8 = 5;
+pub(crate) const KIND_PING: u8 = 6;
+pub(crate) const KIND_IMPORT_SESSION: u8 = 7;
 pub(crate) const KIND_READY: u8 = 17;
 pub(crate) const KIND_SERVER_ACTIVATIONS: u8 = 18;
 pub(crate) const KIND_SERVER_GRADIENTS: u8 = 19;
 pub(crate) const KIND_RESUMED: u8 = 20;
 pub(crate) const KIND_EVICTED: u8 = 21;
 pub(crate) const KIND_BUSY: u8 = 22;
+pub(crate) const KIND_REDIRECT: u8 = 23;
+pub(crate) const KIND_PONG: u8 = 24;
+pub(crate) const KIND_IMPORTED: u8 = 25;
 
 /// Every message kind of wire-protocol v1 — the single source of
 /// truth `PROTOCOL.md` is checked against. Client→server kinds live
@@ -51,6 +56,10 @@ pub enum MessageKind {
     /// Client re-attaches to a quarantined session (v1.1, allocated
     /// from the reserved client→server range).
     Resume = KIND_RESUME,
+    /// Liveness probe from a fleet health checker (v1.4).
+    Ping = KIND_PING,
+    /// A coordinator re-homes an exported session blob (v1.4).
+    ImportSession = KIND_IMPORT_SESSION,
     /// Server accepted the connection; the session is live.
     Ready = KIND_READY,
     /// Server-side forward output `x_s` (server→client).
@@ -64,23 +73,34 @@ pub enum MessageKind {
     /// Server shed the connection at admission, with a retry hint
     /// (v1.3, allocated from the reserved server→client range).
     Busy = KIND_BUSY,
+    /// Coordinator steers the client to its session's server (v1.4).
+    Redirect = KIND_REDIRECT,
+    /// Heartbeat reply carrying coarse load (v1.4).
+    Pong = KIND_PONG,
+    /// Server acknowledged a session import (v1.4).
+    Imported = KIND_IMPORTED,
 }
 
 impl MessageKind {
-    /// All kinds of protocol v1 (including the v1.1 session-lifecycle
-    /// and v1.3 overload additions), in wire-code order.
-    pub const ALL: [MessageKind; 11] = [
+    /// All kinds of protocol v1 (including the v1.1 session-lifecycle,
+    /// v1.3 overload, and v1.4 fleet additions), in wire-code order.
+    pub const ALL: [MessageKind; 16] = [
         MessageKind::Connect,
         MessageKind::Activations,
         MessageKind::Gradients,
         MessageKind::Disconnect,
         MessageKind::Resume,
+        MessageKind::Ping,
+        MessageKind::ImportSession,
         MessageKind::Ready,
         MessageKind::ServerActivations,
         MessageKind::ServerGradients,
         MessageKind::Resumed,
         MessageKind::Evicted,
         MessageKind::Busy,
+        MessageKind::Redirect,
+        MessageKind::Pong,
+        MessageKind::Imported,
     ];
 
     /// The kind byte carried in the frame header.
@@ -96,12 +116,17 @@ impl MessageKind {
             MessageKind::Gradients => "Gradients",
             MessageKind::Disconnect => "Disconnect",
             MessageKind::Resume => "Resume",
+            MessageKind::Ping => "Ping",
+            MessageKind::ImportSession => "ImportSession",
             MessageKind::Ready => "Ready",
             MessageKind::ServerActivations => "ServerActivations",
             MessageKind::ServerGradients => "ServerGradients",
             MessageKind::Resumed => "Resumed",
             MessageKind::Evicted => "Evicted",
             MessageKind::Busy => "Busy",
+            MessageKind::Redirect => "Redirect",
+            MessageKind::Pong => "Pong",
+            MessageKind::Imported => "Imported",
         }
     }
 
@@ -140,6 +165,12 @@ pub fn encode_client_message(msg: &ClientMessage) -> Bytes {
         }
         ClientMessage::Gradients { client, frame } => encode_frame(KIND_GRADIENTS, client.0, frame),
         ClientMessage::Disconnect { client } => encode_frame(KIND_DISCONNECT, client.0, &[]),
+        ClientMessage::Ping { client, seq } => {
+            encode_frame(KIND_PING, client.0, &seq.to_le_bytes())
+        }
+        ClientMessage::ImportSession { client, blob } => {
+            encode_frame(KIND_IMPORT_SESSION, client.0, blob)
+        }
     }
 }
 
@@ -174,6 +205,12 @@ pub fn client_message_parts(msg: &ClientMessage) -> (Bytes, Bytes) {
         ClientMessage::Activations { client, frame } => (KIND_ACTIVATIONS, client, frame.clone()),
         ClientMessage::Gradients { client, frame } => (KIND_GRADIENTS, client, frame.clone()),
         ClientMessage::Disconnect { client } => (KIND_DISCONNECT, client, Bytes::new()),
+        ClientMessage::Ping { client, seq } => {
+            (KIND_PING, client, Bytes::from(seq.to_le_bytes().to_vec()))
+        }
+        ClientMessage::ImportSession { client, blob } => {
+            (KIND_IMPORT_SESSION, client, blob.clone())
+        }
     };
     (encode_frame_header(kind, client.0, body.len() as u32), body)
 }
@@ -222,6 +259,26 @@ fn client_message_from_kind(
         KIND_DISCONNECT => {
             expect_empty(&payload)?;
             Ok(ClientMessage::Disconnect { client })
+        }
+        KIND_PING => {
+            let mut c = Cursor {
+                buf: &payload,
+                pos: 0,
+            };
+            let seq = c.u64()?;
+            c.finish()?;
+            Ok(ClientMessage::Ping { client, seq })
+        }
+        KIND_IMPORT_SESSION => {
+            if payload.is_empty() {
+                return Err(WireError::Malformed(
+                    "ImportSession body must carry a session blob".into(),
+                ));
+            }
+            Ok(ClientMessage::ImportSession {
+                client,
+                blob: payload,
+            })
         }
         other => Err(WireError::UnknownKind(other)),
     }
@@ -285,6 +342,28 @@ pub fn encode_server_message(msg: &ServerMessage) -> Bytes {
             client,
             retry_after_ms,
         } => encode_frame(KIND_BUSY, client.0, &retry_after_ms.to_le_bytes()),
+        ServerMessage::Redirect {
+            client,
+            addr,
+            retry_after_ms,
+        } => encode_frame(
+            KIND_REDIRECT,
+            client.0,
+            &redirect_body(addr, *retry_after_ms),
+        ),
+        ServerMessage::Pong {
+            client,
+            seq,
+            live_sessions,
+            utilization_pct,
+        } => encode_frame(
+            KIND_PONG,
+            client.0,
+            &pong_body(*seq, *live_sessions, *utilization_pct),
+        ),
+        ServerMessage::Imported { client, epoch } => {
+            encode_frame(KIND_IMPORTED, client.0, &epoch.to_le_bytes())
+        }
     }
 }
 
@@ -325,6 +404,30 @@ pub fn server_message_parts(msg: &ServerMessage) -> (Bytes, Bytes) {
             KIND_BUSY,
             client,
             Bytes::from(retry_after_ms.to_le_bytes().to_vec()),
+        ),
+        ServerMessage::Redirect {
+            client,
+            addr,
+            retry_after_ms,
+        } => (
+            KIND_REDIRECT,
+            client,
+            Bytes::from(redirect_body(addr, *retry_after_ms)),
+        ),
+        ServerMessage::Pong {
+            client,
+            seq,
+            live_sessions,
+            utilization_pct,
+        } => (
+            KIND_PONG,
+            client,
+            Bytes::from(pong_body(*seq, *live_sessions, *utilization_pct)),
+        ),
+        ServerMessage::Imported { client, epoch } => (
+            KIND_IMPORTED,
+            client,
+            Bytes::from(epoch.to_le_bytes().to_vec()),
         ),
     };
     (encode_frame_header(kind, client.0, body.len() as u32), body)
@@ -410,6 +513,52 @@ fn server_message_from_kind(
                 retry_after_ms,
             })
         }
+        KIND_REDIRECT => {
+            let mut c = Cursor {
+                buf: &payload,
+                pos: 0,
+            };
+            let retry_after_ms = c.u64()?;
+            let addr_bytes = &payload[c.pos..];
+            if addr_bytes.is_empty() {
+                return Err(WireError::Malformed(
+                    "Redirect body must carry a non-empty address".into(),
+                ));
+            }
+            let addr = std::str::from_utf8(addr_bytes)
+                .map_err(|_| WireError::Malformed("Redirect address is not UTF-8".into()))?
+                .to_string();
+            Ok(ServerMessage::Redirect {
+                client,
+                addr,
+                retry_after_ms,
+            })
+        }
+        KIND_PONG => {
+            let mut c = Cursor {
+                buf: &payload,
+                pos: 0,
+            };
+            let seq = c.u64()?;
+            let live_sessions = c.u64()?;
+            let utilization_pct = c.u64()?;
+            c.finish()?;
+            Ok(ServerMessage::Pong {
+                client,
+                seq,
+                live_sessions,
+                utilization_pct,
+            })
+        }
+        KIND_IMPORTED => {
+            let mut c = Cursor {
+                buf: &payload,
+                pos: 0,
+            };
+            let epoch = c.u64()?;
+            c.finish()?;
+            Ok(ServerMessage::Imported { client, epoch })
+        }
         other => Err(WireError::UnknownKind(other)),
     }
 }
@@ -447,6 +596,26 @@ fn ready_body(codec: Codec) -> Vec<u8> {
         Codec::F32Raw => Vec::new(),
         c => vec![c.tag()],
     }
+}
+
+/// The `Redirect` payload (§9.2): the retry hint followed by the
+/// target address as UTF-8 (non-empty by construction; the decoder
+/// rejects empty or non-UTF-8 addresses as malformed).
+fn redirect_body(addr: &str, retry_after_ms: u64) -> Vec<u8> {
+    let mut body = Vec::with_capacity(8 + addr.len());
+    body.extend(retry_after_ms.to_le_bytes());
+    body.extend_from_slice(addr.as_bytes());
+    body
+}
+
+/// The `Pong` payload (§9.3): echoed sequence number, live-session
+/// count, and pool utilization percent — 24 fixed bytes.
+fn pong_body(seq: u64, live_sessions: u64, utilization_pct: u64) -> Vec<u8> {
+    let mut body = Vec::with_capacity(24);
+    body.extend(seq.to_le_bytes());
+    body.extend(live_sessions.to_le_bytes());
+    body.extend(utilization_pct.to_le_bytes());
+    body
 }
 
 fn expect_empty(payload: &Bytes) -> Result<(), WireError> {
@@ -734,6 +903,14 @@ mod tests {
             ClientMessage::Disconnect {
                 client: ClientId(6),
             },
+            ClientMessage::Ping {
+                client: ClientId(7),
+                seq: 42,
+            },
+            ClientMessage::ImportSession {
+                client: ClientId(8),
+                blob: Bytes::from(vec![1u8, 2, 3, 4]),
+            },
         ];
         for msg in msgs {
             let bytes = encode_client_message(&msg);
@@ -786,6 +963,21 @@ mod tests {
                 client: ClientId(6),
                 retry_after_ms: 250,
             },
+            ServerMessage::Redirect {
+                client: ClientId(7),
+                addr: "10.0.0.3:4400".into(),
+                retry_after_ms: 15,
+            },
+            ServerMessage::Pong {
+                client: ClientId(8),
+                seq: 42,
+                live_sessions: 3,
+                utilization_pct: 87,
+            },
+            ServerMessage::Imported {
+                client: ClientId(9),
+                epoch: 4,
+            },
         ];
         for msg in msgs {
             let bytes = encode_server_message(&msg);
@@ -814,6 +1006,28 @@ mod tests {
         assert!(decode_server_message(&frame, DEFAULT_MAX_FRAME).is_err());
         let frame = menos_net::encode_frame(KIND_BUSY, 0, &[0; 12]);
         assert!(decode_server_message(&frame, DEFAULT_MAX_FRAME).is_err());
+        // Ping body must be exactly 8 sequence bytes.
+        let frame = menos_net::encode_frame(KIND_PING, 0, &[1, 2, 3]);
+        assert!(decode_client_message(&frame, DEFAULT_MAX_FRAME).is_err());
+        // ImportSession must carry a blob.
+        let frame = menos_net::encode_frame(KIND_IMPORT_SESSION, 0, &[]);
+        assert!(decode_client_message(&frame, DEFAULT_MAX_FRAME).is_err());
+        // Redirect needs a hint and a non-empty UTF-8 address.
+        let frame = menos_net::encode_frame(KIND_REDIRECT, 0, &[0; 8]);
+        assert!(decode_server_message(&frame, DEFAULT_MAX_FRAME).is_err());
+        let mut bad_utf8 = 0u64.to_le_bytes().to_vec();
+        bad_utf8.extend_from_slice(&[0xff, 0xfe]);
+        let frame = menos_net::encode_frame(KIND_REDIRECT, 0, &bad_utf8);
+        assert!(decode_server_message(&frame, DEFAULT_MAX_FRAME).is_err());
+        let frame = menos_net::encode_frame(KIND_REDIRECT, 0, &[0; 5]);
+        assert!(decode_server_message(&frame, DEFAULT_MAX_FRAME).is_err());
+        // Pong body is exactly 24 bytes; Imported exactly 8.
+        let frame = menos_net::encode_frame(KIND_PONG, 0, &[0; 16]);
+        assert!(decode_server_message(&frame, DEFAULT_MAX_FRAME).is_err());
+        let frame = menos_net::encode_frame(KIND_PONG, 0, &[0; 32]);
+        assert!(decode_server_message(&frame, DEFAULT_MAX_FRAME).is_err());
+        let frame = menos_net::encode_frame(KIND_IMPORTED, 0, &[0; 4]);
+        assert!(decode_server_message(&frame, DEFAULT_MAX_FRAME).is_err());
     }
 
     #[test]
@@ -837,6 +1051,22 @@ mod tests {
         assert!(matches!(
             decode_client_message(&frame, DEFAULT_MAX_FRAME),
             Err(WireError::UnknownKind(KIND_BUSY))
+        ));
+        // v1.4 fleet kinds are directional too: a `Redirect` in a
+        // client frame (or any v1.4 kind at a pre-v1.4 peer) raises the
+        // same typed UnknownKind — pre-v1.4 clients meeting a fleet
+        // coordinator observe a clean close, never a hang (§9.6).
+        let mut body = 0u64.to_le_bytes().to_vec();
+        body.extend_from_slice(b"127.0.0.1:1");
+        let frame = menos_net::encode_frame(KIND_REDIRECT, 0, &body);
+        assert!(matches!(
+            decode_client_message(&frame, DEFAULT_MAX_FRAME),
+            Err(WireError::UnknownKind(KIND_REDIRECT))
+        ));
+        let frame = menos_net::encode_frame(KIND_PING, 0, &0u64.to_le_bytes());
+        assert!(matches!(
+            decode_server_message(&frame, DEFAULT_MAX_FRAME),
+            Err(WireError::UnknownKind(KIND_PING))
         ));
     }
 

@@ -446,6 +446,11 @@ pub struct EventLoopStats {
     /// observed after each flush — the number
     /// [`EventLoopOptions::max_write_buffer`] bounds.
     pub max_queued_write_bytes: u64,
+    /// v1.4 heartbeat probes answered with `Pong`.
+    pub pings: u64,
+    /// v1.4 migrated sessions accepted via `ImportSession` and parked
+    /// for their owner's `Resume`.
+    pub sessions_imported: u64,
 }
 
 // ----------------------------------------------------------------------
@@ -839,6 +844,65 @@ impl<L: EventListener, H: BatchHandler> ServerEventLoop<L, H> {
                             }
                             break;
                         }
+                        // v1.4 heartbeat: answered inline — no session
+                        // state is touched, so no snapshot, and the
+                        // connection stays unbound (a monitor's probe
+                        // must not occupy a live-session slot).
+                        msg @ ClientMessage::Ping { .. } => match handler.handle(msg) {
+                            Ok(Some(reply)) => {
+                                stats.pings += 1;
+                                let state = conns.get_mut(&key).expect("conn alive during ping");
+                                if state.conn.queue(&reply).is_err() {
+                                    fail_conn(
+                                        &mut conns,
+                                        &mut handler,
+                                        &mut stats,
+                                        &mut pending,
+                                        key,
+                                    );
+                                    break;
+                                }
+                            }
+                            _ => {
+                                fail_conn(&mut conns, &mut handler, &mut stats, &mut pending, key);
+                                break;
+                            }
+                        },
+                        // v1.4 migration: an imported session parks in
+                        // quarantine (durable state mutated → snapshot
+                        // before the ack), but the *pushing* connection
+                        // — the coordinator — does not bind to it; the
+                        // owning client resumes over its own connection.
+                        msg @ ClientMessage::ImportSession { .. } => match handler.handle(msg) {
+                            Ok(Some(reply)) => {
+                                stats.sessions_imported += 1;
+                                snapshot_after_dispatch(
+                                    &mut handler,
+                                    &mut stats,
+                                    snapshots.as_ref(),
+                                    &mut since_snapshot,
+                                );
+                                let state = conns.get_mut(&key).expect("conn alive during import");
+                                if state.conn.queue(&reply).is_err() {
+                                    fail_conn(
+                                        &mut conns,
+                                        &mut handler,
+                                        &mut stats,
+                                        &mut pending,
+                                        key,
+                                    );
+                                    break;
+                                }
+                            }
+                            _ => {
+                                // A rejected import closes the pushing
+                                // connection: the coordinator observes
+                                // the drop as a typed failure, and the
+                                // handler committed nothing.
+                                fail_conn(&mut conns, &mut handler, &mut stats, &mut pending, key);
+                                break;
+                            }
+                        },
                         tensor => {
                             match stage_tensor(&mut pending, key, tensor, options.max_staged_msgs) {
                                 Ok(()) => new_tensor += 1,

@@ -88,10 +88,10 @@ pub use protocol::{
     channel_pair, dispatch_session, drive_client, serve_loop, sim_pair, ChannelTransport,
     MessageHandler, ProtocolError, SessionHandler, SimTransport, Transport, WireMessage,
 };
-pub use retry::{drive_client_resumable, RetryPolicy};
+pub use retry::{drive_client_resumable, drive_client_routed, RetryPolicy, MIN_BUSY_DELAY};
 pub use server::ServerSession;
 pub use spec::SplitSpec;
 pub use tcp::{
-    run_tcp_client, run_tcp_client_resumable, TcpEventConn, TcpEventListener, TcpEventServer,
-    TcpOptions, TcpSplitServer, TcpTransport,
+    run_tcp_client, run_tcp_client_fleet, run_tcp_client_resumable, TcpEventConn, TcpEventListener,
+    TcpEventServer, TcpOptions, TcpSplitServer, TcpTransport,
 };

@@ -108,6 +108,30 @@ pub enum ClientMessage {
         /// Sender.
         client: ClientId,
     },
+    /// A liveness probe (v1.4): the fleet coordinator's health checker
+    /// sends one per heartbeat interval and expects a
+    /// [`ServerMessage::Pong`] echoing the sequence number. Pings are
+    /// stateless — no session is created or touched.
+    Ping {
+        /// Sender (the prober's identity; not a training session).
+        client: ClientId,
+        /// Echoed verbatim in the `Pong`, so a prober can match
+        /// replies to probes over a persistent connection.
+        seq: u64,
+    },
+    /// A fleet coordinator re-homes one quarantined session onto this
+    /// server (v1.4): the blob is a self-contained per-session export
+    /// produced by `MenosServer::export_session` on (a snapshot of)
+    /// the dead origin server. The session is parked quarantined; the
+    /// owning client re-admits it through the ordinary `Resume` path.
+    ImportSession {
+        /// The client whose session is being migrated (must match the
+        /// identity sealed inside the blob).
+        client: ClientId,
+        /// The exported session record (tagged, versioned, CRC-sealed;
+        /// PROTOCOL.md §9.4).
+        blob: Bytes,
+    },
 }
 
 /// Messages the server sends to a client.
@@ -175,6 +199,44 @@ pub enum ServerMessage {
         /// retry policy still applies its cap and jitter.
         retry_after_ms: u64,
     },
+    /// The fleet coordinator steers the client to the server that owns
+    /// (or will own) its session (v1.4). The connection closes right
+    /// after; the client dials `addr` and replays its `Connect` or
+    /// `Resume` there. Chasing a redirect is placement, not a fault —
+    /// it does not consume the client's retry budget.
+    Redirect {
+        /// Addressee.
+        client: ClientId,
+        /// Where to reconnect, as a `host:port` socket address.
+        addr: String,
+        /// How long to wait before dialing `addr` (0 = immediately;
+        /// the client's jittered floor still applies).
+        retry_after_ms: u64,
+    },
+    /// Heartbeat reply (v1.4): echoes the probe's sequence number and
+    /// reports coarse load, which memory-aware placement feeds on.
+    Pong {
+        /// Addressee (the prober).
+        client: ClientId,
+        /// The `Ping`'s sequence number, echoed verbatim.
+        seq: u64,
+        /// Sessions currently bound to live connections.
+        live_sessions: u64,
+        /// GPU pool utilization in percent (Alg. 2 reservations over
+        /// pool bytes), saturated at 100.
+        utilization_pct: u64,
+    },
+    /// The server accepted an [`ClientMessage::ImportSession`] and
+    /// parked the migrated session in quarantine (v1.4). Any failure is
+    /// a typed rejection and a closed connection instead — no partial
+    /// import is ever acknowledged.
+    Imported {
+        /// The migrated session's owner.
+        client: ClientId,
+        /// The epoch the imported session is parked at — the
+        /// coordinator's fencing token for the migration.
+        epoch: u64,
+    },
 }
 
 /// Size of a small control frame on the wire.
@@ -188,10 +250,12 @@ impl ClientMessage {
         match self {
             ClientMessage::Connect { .. }
             | ClientMessage::Resume { .. }
-            | ClientMessage::Disconnect { .. } => CONTROL_BYTES,
+            | ClientMessage::Disconnect { .. }
+            | ClientMessage::Ping { .. } => CONTROL_BYTES,
             ClientMessage::Activations { frame, .. } | ClientMessage::Gradients { frame, .. } => {
                 FRAME_HEADER_BYTES + frame.len() as u64
             }
+            ClientMessage::ImportSession { blob, .. } => FRAME_HEADER_BYTES + blob.len() as u64,
         }
     }
 
@@ -202,7 +266,9 @@ impl ClientMessage {
             | ClientMessage::Resume { client, .. }
             | ClientMessage::Activations { client, .. }
             | ClientMessage::Gradients { client, .. }
-            | ClientMessage::Disconnect { client } => *client,
+            | ClientMessage::Disconnect { client }
+            | ClientMessage::Ping { client, .. }
+            | ClientMessage::ImportSession { client, .. } => *client,
         }
     }
 }
@@ -215,7 +281,10 @@ impl ServerMessage {
         match self {
             ServerMessage::Ready { .. }
             | ServerMessage::Evicted { .. }
-            | ServerMessage::Busy { .. } => CONTROL_BYTES,
+            | ServerMessage::Busy { .. }
+            | ServerMessage::Redirect { .. }
+            | ServerMessage::Pong { .. }
+            | ServerMessage::Imported { .. } => CONTROL_BYTES,
             ServerMessage::ServerActivations { frame, .. }
             | ServerMessage::ServerGradients { frame, .. } => {
                 FRAME_HEADER_BYTES + frame.len() as u64
@@ -232,7 +301,10 @@ impl ServerMessage {
             | ServerMessage::ServerGradients { client, .. }
             | ServerMessage::Resumed { client, .. }
             | ServerMessage::Evicted { client, .. }
-            | ServerMessage::Busy { client, .. } => *client,
+            | ServerMessage::Busy { client, .. }
+            | ServerMessage::Redirect { client, .. }
+            | ServerMessage::Pong { client, .. }
+            | ServerMessage::Imported { client, .. } => *client,
         }
     }
 }
@@ -364,5 +436,43 @@ mod tests {
         };
         assert_eq!(busy.wire_bytes(), 256);
         assert_eq!(busy.client(), ClientId(8));
+    }
+
+    #[test]
+    fn fleet_control_messages_have_nominal_sizes() {
+        let ping = ClientMessage::Ping {
+            client: ClientId(7),
+            seq: 3,
+        };
+        assert_eq!(ping.wire_bytes(), 256);
+        assert_eq!(ping.client(), ClientId(7));
+        let redirect = ServerMessage::Redirect {
+            client: ClientId(7),
+            addr: "127.0.0.1:4401".into(),
+            retry_after_ms: 10,
+        };
+        assert_eq!(redirect.wire_bytes(), 256);
+        assert_eq!(redirect.client(), ClientId(7));
+        let pong = ServerMessage::Pong {
+            client: ClientId(7),
+            seq: 3,
+            live_sessions: 2,
+            utilization_pct: 40,
+        };
+        assert_eq!(pong.wire_bytes(), 256);
+        assert_eq!(pong.client(), ClientId(7));
+        let imported = ServerMessage::Imported {
+            client: ClientId(7),
+            epoch: 2,
+        };
+        assert_eq!(imported.wire_bytes(), 256);
+        assert_eq!(imported.client(), ClientId(7));
+        // A session blob is sized exactly, like a tensor frame.
+        let import = ClientMessage::ImportSession {
+            client: ClientId(7),
+            blob: Bytes::from(vec![0u8; 100]),
+        };
+        assert_eq!(import.wire_bytes(), FRAME_HEADER_BYTES + 100);
+        assert_eq!(import.client(), ClientId(7));
     }
 }

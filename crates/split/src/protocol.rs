@@ -91,6 +91,18 @@ pub enum ProtocolError {
         /// The server's load-aware reconnect hint, in milliseconds.
         retry_after_ms: u64,
     },
+    /// The peer answered with a v1.4 `Redirect`: the session lives (or
+    /// will live) at `addr`, dial there instead. Placement steering,
+    /// not a fault — routed drivers chase it without spending their
+    /// retry budget.
+    Redirected {
+        /// The redirected client.
+        client: ClientId,
+        /// Where to dial next (`host:port`).
+        addr: String,
+        /// Minimum wait before dialing, in milliseconds (0 = now).
+        retry_after_ms: u64,
+    },
 }
 
 impl std::fmt::Display for ProtocolError {
@@ -121,6 +133,14 @@ impl std::fmt::Display for ProtocolError {
             } => write!(
                 f,
                 "server busy: {client} shed at admission, retry after {retry_after_ms}ms"
+            ),
+            ProtocolError::Redirected {
+                client,
+                addr,
+                retry_after_ms,
+            } => write!(
+                f,
+                "redirected: {client} placed at {addr} (after {retry_after_ms}ms)"
             ),
         }
     }
@@ -584,7 +604,9 @@ pub fn dispatch_session(
         }
         ClientMessage::Connect { .. }
         | ClientMessage::Resume { .. }
-        | ClientMessage::Disconnect { .. } => Err(ProtocolError::OutOfOrder(
+        | ClientMessage::Disconnect { .. }
+        | ClientMessage::Ping { .. }
+        | ClientMessage::ImportSession { .. } => Err(ProtocolError::OutOfOrder(
             "control message routed to a bound session".into(),
         )),
     }
@@ -617,6 +639,16 @@ impl SessionHandler {
 
 impl MessageHandler for SessionHandler {
     fn handle(&mut self, msg: ClientMessage) -> Result<Option<ServerMessage>, ProtocolError> {
+        // Heartbeats are answered regardless of session binding: a
+        // monitor probes liveness, not a particular session.
+        if let ClientMessage::Ping { client, seq } = msg {
+            return Ok(Some(ServerMessage::Pong {
+                client,
+                seq,
+                live_sessions: u64::from(self.session.is_some()),
+                utilization_pct: 0,
+            }));
+        }
         let bound = self
             .session
             .as_ref()
@@ -636,6 +668,9 @@ impl MessageHandler for SessionHandler {
                 self.session = None;
                 Ok(None)
             }
+            ClientMessage::ImportSession { .. } => Err(ProtocolError::Unexpected(
+                "single-session handler cannot import sessions".into(),
+            )),
             tensor_msg => {
                 let session = self.session.as_mut().expect("checked above");
                 dispatch_session(session, self.mode, &tensor_msg).map(Some)
@@ -748,6 +783,19 @@ where
                 retry_after_ms,
             });
         }
+        ServerMessage::Redirect {
+            client: c,
+            addr,
+            retry_after_ms,
+        } => {
+            // Same deal: this plain loop cannot redial, so the routed
+            // placement surfaces as a typed error for the caller.
+            return Err(ProtocolError::Redirected {
+                client: c,
+                addr,
+                retry_after_ms,
+            });
+        }
         other => {
             return Err(ProtocolError::Unexpected(format!(
                 "expected Ready, got {}",
@@ -794,6 +842,9 @@ pub(crate) fn kind_name(msg: &ServerMessage) -> &'static str {
         ServerMessage::Resumed { .. } => "Resumed",
         ServerMessage::Evicted { .. } => "Evicted",
         ServerMessage::Busy { .. } => "Busy",
+        ServerMessage::Redirect { .. } => "Redirect",
+        ServerMessage::Pong { .. } => "Pong",
+        ServerMessage::Imported { .. } => "Imported",
     }
 }
 
@@ -931,6 +982,41 @@ mod tests {
             retry_after_ms: 125,
         };
         assert!(busy.to_string().contains("retry after 125ms"), "{busy}");
+        let redirected = ProtocolError::Redirected {
+            client: ClientId(4),
+            addr: "10.0.0.3:4400".into(),
+            retry_after_ms: 5,
+        };
+        assert!(
+            redirected.to_string().contains("10.0.0.3:4400"),
+            "{redirected}"
+        );
+    }
+
+    #[test]
+    fn session_handler_answers_ping_without_a_binding() {
+        let (_client, session) = pair(7);
+        let mut handler = SessionHandler::new(session, ForwardMode::Cached);
+        // Any client id may probe; the reply reports one live session.
+        match handler
+            .handle(ClientMessage::Ping {
+                client: ClientId(99),
+                seq: 12,
+            })
+            .expect("ping is always answered")
+        {
+            Some(ServerMessage::Pong {
+                client,
+                seq,
+                live_sessions,
+                ..
+            }) => {
+                assert_eq!(client, ClientId(99));
+                assert_eq!(seq, 12);
+                assert_eq!(live_sessions, 1);
+            }
+            other => panic!("expected Pong, got {other:?}"),
+        }
     }
 
     #[test]

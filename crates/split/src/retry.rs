@@ -36,8 +36,15 @@ use menos_sim::{jitter_factor, seeded_rng};
 
 use crate::client::SplitClient;
 use crate::codec::decode_server_message;
-use crate::message::{ClientMessage, ServerMessage};
+use crate::message::{ClientMessage, EvictionCode, ServerMessage};
 use crate::protocol::{kind_name, ProtocolError, Transport};
+
+/// Floor under every `Busy`/`Redirect` wait: even a zero hint from the
+/// server combined with a zero-backoff policy must sleep a little, not
+/// spin — a tight reconnect loop against an overloaded server is a
+/// self-inflicted DoS. Jitter applies on top, so even floored waits
+/// spread a herd.
+pub const MIN_BUSY_DELAY: Duration = Duration::from_millis(1);
 
 /// Reconnect policy: how many times to retry, and how long to wait
 /// between attempts (capped exponential backoff with deterministic
@@ -90,6 +97,7 @@ impl RetryPolicy {
                 | ProtocolError::Io(_)
                 | ProtocolError::SessionActive(_)
                 | ProtocolError::Busy { .. }
+                | ProtocolError::Redirected { .. }
         )
     }
 
@@ -111,15 +119,17 @@ impl RetryPolicy {
     /// never comes back early and a shed herd spreads out, then capped
     /// by [`RetryPolicy::max_backoff`] so a hostile or confused server
     /// cannot park a client forever. A zero hint falls back to the
-    /// base backoff as the jitter window.
+    /// base backoff as the jitter window — floored at
+    /// [`MIN_BUSY_DELAY`], so a zero hint meeting a zero-backoff
+    /// policy still sleeps instead of reconnecting in a tight loop.
     pub fn busy_delay(&self, retry_after_ms: u64, rng: &mut StdRng) -> Duration {
         let base = if retry_after_ms == 0 {
-            self.backoff
+            self.backoff.max(MIN_BUSY_DELAY)
         } else {
             Duration::from_millis(retry_after_ms)
         };
         base.mul_f64(jitter_factor(rng, 0.5) + 0.5)
-            .min(self.max_backoff)
+            .min(self.max_backoff.max(MIN_BUSY_DELAY))
     }
 }
 
@@ -148,13 +158,42 @@ where
     T: Transport<Tx = ClientMessage, Rx = ServerMessage>,
     F: FnMut() -> Result<T, ProtocolError>,
 {
+    drive_client_routed(client, |_route| connect(), steps, policy)
+}
+
+/// [`drive_client_resumable`] with v1.4 fleet routing (PROTOCOL.md
+/// §9): `connect` receives the current target — `None` for the root
+/// address the caller started with (a fleet coordinator, or a plain
+/// server), or `Some(addr)` after a `Redirect` steered the client.
+///
+/// Redirects are placement, not faults: chasing one waits at least the
+/// hinted delay (jittered, floored like a `Busy` hint) and consumes no
+/// retry budget. A retryable *fault* at a redirected target resets the
+/// route to the root, so a dead target sends the client back to the
+/// coordinator for re-placement instead of redialing a corpse until
+/// the budget runs dry.
+///
+/// # Errors
+///
+/// As [`drive_client_resumable`].
+pub fn drive_client_routed<T, F>(
+    client: &mut SplitClient,
+    mut connect: F,
+    steps: usize,
+    policy: &RetryPolicy,
+) -> Result<LossCurve, ProtocolError>
+where
+    T: Transport<Tx = ClientMessage, Rx = ServerMessage>,
+    F: FnMut(Option<&str>) -> Result<T, ProtocolError>,
+{
     let target = client.steps_completed() + steps;
     let mut rng = seeded_rng(policy.seed, &format!("retry-{}", client.id()));
     let mut established = false;
     let mut attempt: u32 = 0;
+    let mut route: Option<String> = None;
 
     loop {
-        let result = connect().and_then(|mut transport| {
+        let result = connect(route.as_deref()).and_then(|mut transport| {
             handshake(client, &mut transport, &mut established)?;
             // A completed handshake is progress: refill the budget.
             attempt = 0;
@@ -173,12 +212,26 @@ where
                 // hint without consuming the retry budget.
                 std::thread::sleep(policy.busy_delay(retry_after_ms, &mut rng));
             }
+            Err(ProtocolError::Redirected {
+                addr,
+                retry_after_ms,
+                ..
+            }) => {
+                // Placement steering (§9.2): dial where the session
+                // lives. Like a shed, no budget is consumed, and the
+                // same jittered floor applies to the wait.
+                route = Some(addr);
+                std::thread::sleep(policy.busy_delay(retry_after_ms, &mut rng));
+            }
             Err(e) => {
                 // The transport was dropped above, so the server sees
                 // EOF and quarantines the session before we redial.
                 if !RetryPolicy::retryable(&e) || attempt >= policy.retries {
                     return Err(e);
                 }
+                // A faulted redirected target may be dead; go back to
+                // the root for re-placement.
+                route = None;
                 std::thread::sleep(policy.delay(attempt, &mut rng));
                 attempt += 1;
             }
@@ -216,6 +269,15 @@ where
                 retry_after_ms,
             } => Err(ProtocolError::Busy {
                 client: c,
+                retry_after_ms,
+            }),
+            ServerMessage::Redirect {
+                client: c,
+                addr,
+                retry_after_ms,
+            } => Err(ProtocolError::Redirected {
+                client: c,
+                addr,
                 retry_after_ms,
             }),
             other => Err(unexpected("Ready", &other)),
@@ -268,6 +330,15 @@ where
                 client: c,
                 retry_after_ms,
             }),
+            ServerMessage::Redirect {
+                client: c,
+                addr,
+                retry_after_ms,
+            } => Err(ProtocolError::Redirected {
+                client: c,
+                addr,
+                retry_after_ms,
+            }),
             other => Err(unexpected("Resumed", &other)),
         }
     }
@@ -286,6 +357,7 @@ where
     transport.send(&ClientMessage::Activations { client: id, frame })?;
     let x_s = match transport.recv()? {
         ServerMessage::ServerActivations { frame, .. } => client.decode_frame(&frame)?,
+        ServerMessage::Evicted { code, .. } => return Err(evicted_mid_run(code)),
         other => return Err(unexpected("ServerActivations", &other)),
     };
     let (_loss, g_c) = client.receive_server_activations(&x_s);
@@ -293,10 +365,26 @@ where
     transport.send(&ClientMessage::Gradients { client: id, frame })?;
     let g_s = match transport.recv()? {
         ServerMessage::ServerGradients { frame, .. } => client.decode_frame(&frame)?,
+        ServerMessage::Evicted { code, .. } => return Err(evicted_mid_run(code)),
         other => return Err(unexpected("ServerGradients", &other)),
     };
     client.receive_server_gradients(&g_s);
     Ok(())
+}
+
+/// Classifies an `Evicted` notice arriving *mid-step*. `Timeout` and
+/// `Shutdown` park the session in quarantine (PROTOCOL.md §6.4) — the
+/// server invites a later `Resume`, possibly at a different home after
+/// a fleet failover — so they map to the retryable disconnect the
+/// notice accompanies. `IdleExpired` means the parked state is gone:
+/// terminal.
+fn evicted_mid_run(code: EvictionCode) -> ProtocolError {
+    match code {
+        EvictionCode::Timeout | EvictionCode::Shutdown => ProtocolError::Disconnected,
+        EvictionCode::IdleExpired => {
+            ProtocolError::Rejected("session evicted (IdleExpired); cannot continue".into())
+        }
+    }
 }
 
 fn unexpected(wanted: &str, got: &ServerMessage) -> ProtocolError {
@@ -320,6 +408,11 @@ mod tests {
         assert!(RetryPolicy::retryable(&ProtocolError::Busy {
             client: crate::ClientId(1),
             retry_after_ms: 50,
+        }));
+        assert!(RetryPolicy::retryable(&ProtocolError::Redirected {
+            client: crate::ClientId(1),
+            addr: "10.0.0.3:4400".into(),
+            retry_after_ms: 0,
         }));
         assert!(!RetryPolicy::retryable(&ProtocolError::Rejected(
             "r".into()
@@ -415,6 +508,40 @@ mod tests {
         assert_eq!(da, db);
     }
 
+    /// The degenerate corner of §8.2: a server hinting `retry_after_ms:
+    /// 0` at a client whose policy has zero backoff must NOT permit a
+    /// tight reconnect loop — the jittered floor applies instead.
+    #[test]
+    fn busy_delay_zero_hint_zero_backoff_still_sleeps() {
+        let zeroed = RetryPolicy {
+            retries: 0,
+            backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+            seed: 11,
+        };
+        let mut rng = seeded_rng(11, "busy-floor");
+        for _ in 0..64 {
+            let d = zeroed.busy_delay(0, &mut rng);
+            assert!(
+                d >= MIN_BUSY_DELAY,
+                "zero hint + zero backoff slept only {d:?}"
+            );
+            assert!(d <= MIN_BUSY_DELAY * 2, "floored delay {d:?} unjittered?");
+            // A nonzero hint is floored too, never crushed to zero by
+            // a zero max_backoff.
+            assert!(zeroed.busy_delay(1, &mut rng) >= MIN_BUSY_DELAY);
+        }
+        // A sane policy is unaffected by the floor: the existing
+        // backoff window binds, not MIN_BUSY_DELAY.
+        let sane = RetryPolicy {
+            backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(100),
+            ..RetryPolicy::default()
+        };
+        let d = sane.busy_delay(0, &mut rng);
+        assert!(d >= Duration::from_millis(10) && d <= Duration::from_millis(20));
+    }
+
     // ------------------------------------------------------------------
     // End-to-end driver tests against a minimal resumable echo server.
     // ------------------------------------------------------------------
@@ -471,6 +598,17 @@ mod tests {
                     Some(ServerMessage::ServerGradients { client, frame })
                 }
                 ClientMessage::Disconnect { .. } => None,
+                ClientMessage::Ping { client, seq } => Some(ServerMessage::Pong {
+                    client,
+                    seq,
+                    live_sessions: 0,
+                    utilization_pct: 0,
+                }),
+                ClientMessage::ImportSession { .. } => {
+                    return Err(ProtocolError::Unexpected(
+                        "echo handler does not import sessions".into(),
+                    ))
+                }
             })
         }
 
@@ -558,6 +696,121 @@ mod tests {
         .expect("busy sheds must not exhaust a zero retry budget");
         assert_eq!(curve.points().len(), 3);
         assert_eq!(dials, 3, "two sheds, then one admitted connection");
+    }
+
+    /// A `Redirect` is placement, not a fault: with a zero retry
+    /// budget the routed driver chases it to the named address and
+    /// completes. The plain connect path (`route == None`) plays the
+    /// coordinator; the redirected path dials the echo server.
+    #[test]
+    fn routed_driver_chases_redirects_without_budget() {
+        let policy = RetryPolicy {
+            retries: 0,
+            backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(5),
+            seed: 4,
+        };
+        let handler = Arc::new(Mutex::new(EchoHandler {
+            epoch: 1,
+            kill_every: 0,
+            handled: 0,
+        }));
+        let mut client = test_client(4);
+        let mut coordinator_conns = Vec::new();
+        let mut routes_seen = Vec::new();
+        let curve = drive_client_routed(
+            &mut client,
+            |route| {
+                routes_seen.push(route.map(str::to_owned));
+                match route {
+                    None => {
+                        // The "coordinator": answer the handshake with
+                        // a Redirect and keep the connection alive long
+                        // enough for the client to read it.
+                        let (client_t, mut server_t) = channel_pair();
+                        server_t.send(&ServerMessage::Redirect {
+                            client: ClientId(0),
+                            addr: "worker-1".into(),
+                            retry_after_ms: 0,
+                        })?;
+                        coordinator_conns.push(server_t);
+                        Ok(client_t)
+                    }
+                    Some("worker-1") => Ok(dial_echo(&handler)),
+                    Some(other) => panic!("unexpected route {other}"),
+                }
+            },
+            3,
+            &policy,
+        )
+        .expect("a redirect must not consume the (zero) retry budget");
+        assert_eq!(curve.points().len(), 3);
+        assert_eq!(
+            routes_seen,
+            vec![None, Some("worker-1".to_owned())],
+            "root dial, then exactly one chased redirect"
+        );
+    }
+
+    /// A retryable fault at a redirected target resets the route to
+    /// the root for re-placement instead of redialing the dead target.
+    #[test]
+    fn routed_driver_falls_back_to_root_when_target_dies() {
+        let policy = RetryPolicy {
+            retries: 2,
+            backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(5),
+            seed: 5,
+        };
+        let handler = Arc::new(Mutex::new(EchoHandler {
+            epoch: 1,
+            kill_every: 0,
+            handled: 0,
+        }));
+        let mut client = test_client(5);
+        let mut coordinator_conns = Vec::new();
+        let mut routes_seen = Vec::new();
+        let curve = drive_client_routed(
+            &mut client,
+            |route| {
+                routes_seen.push(route.map(str::to_owned));
+                match route {
+                    None => {
+                        let (client_t, mut server_t) = channel_pair();
+                        let addr = if coordinator_conns.is_empty() {
+                            "dead-worker"
+                        } else {
+                            "live-worker"
+                        };
+                        server_t.send(&ServerMessage::Redirect {
+                            client: ClientId(0),
+                            addr: addr.into(),
+                            retry_after_ms: 0,
+                        })?;
+                        coordinator_conns.push(server_t);
+                        Ok(client_t)
+                    }
+                    // The first placement is a corpse: dialing it fails.
+                    Some("dead-worker") => Err(ProtocolError::Disconnected),
+                    Some("live-worker") => Ok(dial_echo(&handler)),
+                    Some(other) => panic!("unexpected route {other}"),
+                }
+            },
+            2,
+            &policy,
+        )
+        .expect("a dead target must send the client back for re-placement");
+        assert_eq!(curve.points().len(), 2);
+        assert_eq!(
+            routes_seen,
+            vec![
+                None,
+                Some("dead-worker".to_owned()),
+                None,
+                Some("live-worker".to_owned()),
+            ],
+            "placed, target dead, re-placed at the root, completed"
+        );
     }
 
     /// The retry budget refills on every successful handshake: with

@@ -198,7 +198,14 @@ impl TcpSplitServer {
                             }
                         };
                     if let Err(e) = serve_loop(&mut transport, &mut handler) {
-                        eprintln!("connection ended with error: {e}");
+                        // A peer that hangs up without a `Disconnect`
+                        // is an ordinary connection end — redirected
+                        // fleet clients do it by design — not
+                        // operator-actionable noise. `connection_lost`
+                        // has already reclaimed the session.
+                        if !matches!(e, ProtocolError::Disconnected) {
+                            eprintln!("connection ended with error: {e}");
+                        }
                     }
                 }));
             }
@@ -491,6 +498,32 @@ pub fn run_tcp_client_resumable(
     crate::retry::drive_client_resumable(client, || TcpTransport::connect(&addr), steps, policy)
 }
 
+/// Fleet-aware [`run_tcp_client_resumable`] (PROTOCOL.md §9):
+/// `coordinator` is dialed first and whenever the current route dies;
+/// v1.4 `Redirect` replies steer the dial at the placed backend
+/// without spending retry budget. A backend death mid-run therefore
+/// walks the client back to the coordinator, which answers `Busy`
+/// until migration completes and then redirects to the session's new
+/// home, where the ordinary `Resume` reconciliation finishes the job.
+///
+/// # Errors
+///
+/// The first non-retryable [`ProtocolError`], or the last error once
+/// `policy`'s retry budget is exhausted.
+pub fn run_tcp_client_fleet(
+    coordinator: &str,
+    client: &mut SplitClient,
+    steps: usize,
+    policy: &crate::retry::RetryPolicy,
+) -> Result<LossCurve, ProtocolError> {
+    crate::retry::drive_client_routed(
+        client,
+        |route| TcpTransport::connect(route.unwrap_or(coordinator)),
+        steps,
+        policy,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -580,6 +613,67 @@ mod tests {
         let n = socket.read(&mut buf).expect("read");
         assert_eq!(n, 0, "server must close on oversize declaration");
         server.join();
+    }
+
+    #[test]
+    fn fleet_client_trains_through_a_redirecting_coordinator() {
+        use crate::retry::RetryPolicy;
+
+        /// A one-backend coordinator shim: control messages get a
+        /// v1.4 `Redirect` at the real server, nothing else is legal.
+        struct RedirectHandler {
+            target: String,
+        }
+
+        impl crate::protocol::MessageHandler for RedirectHandler {
+            fn handle(
+                &mut self,
+                msg: ClientMessage,
+            ) -> Result<Option<ServerMessage>, ProtocolError> {
+                match msg {
+                    ClientMessage::Connect { client, .. }
+                    | ClientMessage::Resume { client, .. } => Ok(Some(ServerMessage::Redirect {
+                        client,
+                        addr: self.target.clone(),
+                        retry_after_ms: 0,
+                    })),
+                    other => Err(ProtocolError::Unexpected(format!(
+                        "coordinator got {other:?}"
+                    ))),
+                }
+            }
+
+            fn connection_lost(&mut self, _client: ClientId) {}
+        }
+
+        let (mut client, session) = pair(502);
+        let backend_handler = Arc::new(Mutex::new(SessionHandler::new(
+            session,
+            ForwardMode::NoGradReforward,
+        )));
+        let backend =
+            TcpSplitServer::spawn("127.0.0.1:0", backend_handler.clone(), 1).expect("bind backend");
+        let coordinator = TcpSplitServer::spawn(
+            "127.0.0.1:0",
+            Arc::new(Mutex::new(RedirectHandler {
+                target: backend.addr().to_string(),
+            })),
+            1,
+        )
+        .expect("bind coordinator");
+
+        let policy = RetryPolicy {
+            retries: 2,
+            backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(10),
+            seed: 0,
+        };
+        let curve = run_tcp_client_fleet(&coordinator.addr().to_string(), &mut client, 4, &policy)
+            .expect("fleet client trains through the redirect");
+        assert_eq!(curve.points().len(), 4);
+        backend.join();
+        coordinator.join();
+        assert!(backend_handler.lock().unwrap().session().is_none());
     }
 
     #[test]

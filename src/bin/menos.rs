@@ -20,11 +20,13 @@ use std::time::Duration;
 use menos::adapters::FineTuneConfig;
 use menos::core::{MenosServer, ServerMode, ServerSpec, ServerState};
 use menos::data::{wiki_corpus, TokenDataset, Vocab};
+use menos::fleet::{BackendSpec, FleetCoordinator, FleetOptions, PlacementPolicy};
 use menos::models::{CausalLm, ModelConfig};
 use menos::sim::seeded_rng;
 use menos::split::{
-    run_tcp_client, run_tcp_client_resumable, ClientId, EventLoopOptions, ForwardMode, RetryPolicy,
-    SnapshotPolicy, SplitClient, SplitSpec, TcpEventServer, TcpOptions, TcpSplitServer,
+    run_tcp_client, run_tcp_client_fleet, run_tcp_client_resumable, ClientId, EventLoopOptions,
+    ForwardMode, RetryPolicy, SnapshotPolicy, SplitClient, SplitSpec, TcpEventServer, TcpOptions,
+    TcpSplitServer,
 };
 
 const USAGE: &str = "\
@@ -36,7 +38,11 @@ usage:
                [--micro-model] [--cached] [--blocking] [--threads T]
   menos client --addr HOST:PORT [--steps N] [--seed S] [--model-seed S]
                [--retries R] [--backoff-ms MS] [--codec C] [--micro-model]
-               [--threads T]
+               [--fleet] [--threads T]
+  menos fleet  [--port P] [--servers N] [--policy round-robin|memory-aware]
+               [--heartbeat-ms MS] [--max-missed N] [--capacity N]
+               [--model-seed S] [--snapshot-root DIR] [--duration-secs T]
+               [--micro-model] [--threads T]
 
 options:
   --port P          listen port (default 7700)
@@ -97,6 +103,22 @@ options:
                     advertised, so raw peers interoperate unchanged)
   --backoff-ms MS   base reconnect backoff, doubled per consecutive failure
                     with +/-50% jitter (default 50)
+  --fleet           treat --addr as a fleet coordinator: dial it first and
+                    chase the Redirect to a backend (PROTOCOL.md §9);
+                    implies the resumable driver, so --retries applies
+  --servers N       fleet: backend server processes to spawn (default 2)
+  --policy P        fleet: session placement — round-robin | memory-aware
+                    (default round-robin)
+  --heartbeat-ms MS fleet: gap between health probes; a backend missing
+                    --max-missed in a row is ruled dead and its sessions
+                    are migrated from its snapshot (default 250)
+  --max-missed N    fleet: consecutive missed probes before failover
+                    (default 3)
+  --snapshot-root DIR
+                    fleet: parent directory for per-backend snapshot dirs
+                    (default: a fresh directory under the system temp dir)
+  --duration-secs T fleet: run for T seconds then shut down; without it the
+                    fleet runs until stdin reaches end-of-file
   --threads T       tensor-kernel worker threads (default: MENOS_THREADS env
                     var, else all cores; results are identical at any T)";
 
@@ -138,6 +160,7 @@ fn main() {
     match args.first().map(String::as_str) {
         Some("server") => run_server(&args),
         Some("client") => run_client(&args),
+        Some("fleet") => run_fleet(&args),
         _ => {
             eprintln!("{USAGE}");
             std::process::exit(2);
@@ -346,7 +369,19 @@ fn run_client(args: &[String]) {
     }
 
     println!("connecting to {addr} for {steps} split fine-tuning steps ({codec} advertised)...");
-    let result = if retries > 0 {
+    let fleet = args.iter().any(|a| a == "--fleet");
+    let result = if fleet {
+        // The coordinator answers Connect with a Redirect; the routed
+        // driver chases it (free of retry budget) and walks back to the
+        // coordinator for re-placement if the backend dies mid-run.
+        let policy = RetryPolicy {
+            retries: retries.max(1),
+            backoff: Duration::from_millis(backoff_ms),
+            seed,
+            ..RetryPolicy::default()
+        };
+        run_tcp_client_fleet(addr.as_str(), &mut client, steps, &policy)
+    } else if retries > 0 {
         let policy = RetryPolicy {
             retries,
             backoff: Duration::from_millis(backoff_ms),
@@ -368,5 +403,165 @@ fn run_client(args: &[String]) {
         "done: loss {:.4} -> {:.4}",
         curve.points()[0].1,
         curve.final_loss().unwrap()
+    );
+}
+
+/// A supervised backend child: the `menos server` subprocess plus the
+/// metadata the coordinator needs to probe and migrate it.
+struct BackendProc {
+    child: std::process::Child,
+    spec: BackendSpec,
+}
+
+/// Spawns one `menos server` child on an ephemeral port with a durable
+/// snapshot (the migration source of truth) and parses its banner for
+/// the bound address.
+fn spawn_backend(
+    index: usize,
+    model_seed: u64,
+    micro: bool,
+    snapshot_dir: &std::path::Path,
+) -> BackendProc {
+    use std::io::BufRead;
+    use std::process::{Command, Stdio};
+
+    let exe = std::env::current_exe().expect("locate the menos binary");
+    let mut cmd = Command::new(exe);
+    cmd.arg("server")
+        .args(["--port", "0"])
+        // Heartbeat probes and migration imports each cost one accept;
+        // the budget must outlive any realistic fleet run.
+        .args(["--accept-limit", "1000000"])
+        .args(["--snapshot-every", "0"])
+        .arg("--snapshot-dir")
+        .arg(snapshot_dir)
+        .args(["--model-seed", &model_seed.to_string()])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit());
+    if micro {
+        cmd.arg("--micro-model");
+    }
+    let mut child = cmd.spawn().expect("spawn backend server");
+    let stdout = child.stdout.take().expect("backend stdout");
+    let mut lines = std::io::BufReader::new(stdout).lines();
+    let addr = loop {
+        let line = lines
+            .next()
+            .expect("backend exited before its banner")
+            .expect("read backend banner");
+        println!("[backend {index}] {line}");
+        if let Some(rest) = line.split("server on ").nth(1) {
+            break rest
+                .split_whitespace()
+                .next()
+                .expect("banner address")
+                .replace("0.0.0.0", "127.0.0.1");
+        }
+    };
+    // Keep draining so the child never blocks on a full stdout pipe.
+    std::thread::spawn(move || {
+        for line in lines.map_while(Result::ok) {
+            println!("[backend {index}] {line}");
+        }
+    });
+    BackendProc {
+        child,
+        spec: BackendSpec {
+            addr,
+            snapshot_dir: snapshot_dir.to_path_buf(),
+        },
+    }
+}
+
+fn run_fleet(args: &[String]) {
+    let port: u16 = parse_flag(args, "--port")
+        .map(|v| v.parse().expect("--port must be a number"))
+        .unwrap_or(7800);
+    let servers: usize = parse_flag(args, "--servers")
+        .map(|v| v.parse().expect("--servers must be a number"))
+        .unwrap_or(2);
+    let policy = match parse_flag(args, "--policy").as_deref() {
+        None | Some("round-robin") => PlacementPolicy::RoundRobin,
+        Some("memory-aware") => PlacementPolicy::MemoryAware,
+        Some(other) => {
+            eprintln!("unknown --policy {other} (want round-robin | memory-aware)");
+            std::process::exit(2);
+        }
+    };
+    let heartbeat_ms: u64 = parse_flag(args, "--heartbeat-ms")
+        .map(|v| v.parse().expect("--heartbeat-ms must be milliseconds"))
+        .unwrap_or(250);
+    let max_missed: u32 = parse_flag(args, "--max-missed")
+        .map(|v| v.parse().expect("--max-missed must be a number"))
+        .unwrap_or(3);
+    let capacity: usize = parse_flag(args, "--capacity")
+        .map(|v| v.parse().expect("--capacity must be a number"))
+        .unwrap_or(64);
+    let model_seed: u64 = parse_flag(args, "--model-seed")
+        .map(|v| v.parse().expect("--model-seed must be a number"))
+        .unwrap_or(21);
+    let micro = args.iter().any(|a| a == "--micro-model");
+    let duration = parse_flag(args, "--duration-secs")
+        .map(|v| Duration::from_secs(v.parse().expect("--duration-secs must be seconds")));
+    let snapshot_root = parse_flag(args, "--snapshot-root")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| {
+            std::env::temp_dir().join(format!("menos-fleet-{}", std::process::id()))
+        });
+
+    if servers == 0 {
+        eprintln!("a fleet needs at least one server");
+        std::process::exit(2);
+    }
+    println!(
+        "spawning {servers} backend server(s) under {}",
+        snapshot_root.display()
+    );
+    let mut backends = Vec::with_capacity(servers);
+    for i in 0..servers {
+        let dir = snapshot_root.join(format!("server-{i}"));
+        std::fs::create_dir_all(&dir).expect("create snapshot dir");
+        backends.push(spawn_backend(i, model_seed, micro, &dir));
+    }
+    let specs: Vec<BackendSpec> = backends.iter().map(|b| b.spec.clone()).collect();
+    let options = FleetOptions {
+        policy,
+        heartbeat_interval: Duration::from_millis(heartbeat_ms),
+        max_missed,
+        capacity_per_server: capacity,
+        ..FleetOptions::default()
+    };
+    let coordinator =
+        FleetCoordinator::spawn(("0.0.0.0", port), specs, options).expect("bind coordinator port");
+    println!(
+        "menos fleet coordinator on {} supervising {servers} backend(s) \
+         ({policy:?}, heartbeat {heartbeat_ms}ms x{max_missed}, capacity {capacity}/server)",
+        coordinator.addr(),
+    );
+    println!("clients connect with: menos client --fleet --addr HOST:{port} --retries 3 ...");
+
+    match duration {
+        Some(d) => std::thread::sleep(d),
+        None => {
+            println!("reading stdin; close it (ctrl-d) to shut the fleet down");
+            let mut sink = String::new();
+            let _ = std::io::Read::read_to_string(&mut std::io::stdin(), &mut sink);
+        }
+    }
+
+    let stats = coordinator.shutdown();
+    for b in &mut backends {
+        let _ = b.child.kill();
+        let _ = b.child.wait();
+    }
+    println!(
+        "fleet done: {} redirect(s), {} busy turnaway(s), {} missed heartbeat(s), \
+         {} failover(s), {} session(s) migrated ({} failed)",
+        stats.redirects_sent,
+        stats.busy_turnaways,
+        stats.heartbeats_missed,
+        stats.failovers,
+        stats.sessions_migrated,
+        stats.migrations_failed,
     );
 }

@@ -11,6 +11,7 @@
 pub use menos_adapters as adapters;
 pub use menos_core as core;
 pub use menos_data as data;
+pub use menos_fleet as fleet;
 pub use menos_gpu as gpu;
 pub use menos_models as models;
 pub use menos_net as net;

@@ -20,7 +20,7 @@ use menos::sim::seeded_rng;
 use menos::split::{
     drive_client, drive_client_resumable, event_channel_listener, ChannelDialer, ChaosListener,
     ChaosOptions, ClientId, ClientMessage, EventLoopOptions, EventLoopStats, MessageHandler,
-    RetryPolicy, ServerEventLoop, ServerMessage, SplitClient, SplitSpec,
+    RetryPolicy, ServerEventLoop, ServerMessage, SplitClient, SplitSpec, Transport,
 };
 
 /// Soak scale: 32 clients × 40 steps, the acceptance numbers.
@@ -182,8 +182,14 @@ fn chaos_soak_is_bit_identical_to_a_fault_free_run() {
         handler.clone(),
         // Reconnects make the total connection count seed-dependent;
         // the shutdown flag, raised after every driver finishes, ends
-        // the loop instead of an accept quota.
-        EventLoopOptions::default(),
+        // the loop instead of an accept quota. The io_timeout arms the
+        // only detector a `Partition` draw leaves working: the link
+        // goes silent with no FIN, so the loop must evict on deadline
+        // and the client must time out and resume.
+        EventLoopOptions {
+            io_timeout: Some(Duration::from_millis(400)),
+            ..EventLoopOptions::default()
+        },
     );
     let shutdown = event_loop.shutdown_handle();
     let loop_thread = std::thread::spawn(move || event_loop.run());
@@ -195,8 +201,20 @@ fn chaos_soak_is_bit_identical_to_a_fault_free_run() {
             max_backoff: Duration::from_millis(20),
             seed: client.id().0,
         };
-        drive_client_resumable(client, || dialer.dial(), STEPS, &policy)
-            .expect("every client overcomes its fault budget")
+        drive_client_resumable(
+            client,
+            || {
+                // The transport deadline is the client half of
+                // partition detection: a blackholed reply must surface
+                // as a retryable Timeout, never block forever.
+                let mut t = dialer.dial()?;
+                t.set_deadline(Some(Duration::from_secs(2)))?;
+                Ok(t)
+            },
+            STEPS,
+            &policy,
+        )
+        .expect("every client overcomes its fault budget")
     });
     shutdown.store(true, std::sync::atomic::Ordering::Relaxed);
     let (_h, stats): (_, EventLoopStats) = loop_thread.join().expect("loop thread");
@@ -487,19 +505,19 @@ mod fault_matrix {
         config: &ModelConfig,
         base: &Arc<Mutex<menos::tensor::ParamStore>>,
         fault: Option<Fault>,
+        options: EventLoopOptions,
+        deadline: Option<Duration>,
     ) -> (Vec<(CurveBits, AdapterBits)>, EventLoopStats) {
         let handler = make_server(config, base);
         let (dialer, listener) = event_channel_listener();
         let shutdown: Arc<AtomicBool>;
         let loop_thread = if let Some(fault) = fault {
             let chaos = ChaosListener::with_forced_fault(listener, ChaosOptions::default(), fault);
-            let event_loop =
-                ServerEventLoop::new(chaos, handler.clone(), EventLoopOptions::default());
+            let event_loop = ServerEventLoop::new(chaos, handler.clone(), options);
             shutdown = event_loop.shutdown_handle();
             std::thread::spawn(move || event_loop.run().1)
         } else {
-            let event_loop =
-                ServerEventLoop::new(listener, handler.clone(), EventLoopOptions::default());
+            let event_loop = ServerEventLoop::new(listener, handler.clone(), options);
             shutdown = event_loop.shutdown_handle();
             std::thread::spawn(move || event_loop.run().1)
         };
@@ -514,8 +532,17 @@ mod fault_matrix {
                     max_backoff: Duration::from_millis(20),
                     seed: client.id().0,
                 };
-                let curve = drive_client_resumable(&mut client, || dialer.dial(), MSTEPS, &policy)
-                    .expect("every client overcomes a single forced fault kind");
+                let curve = drive_client_resumable(
+                    &mut client,
+                    || {
+                        let mut t = dialer.dial()?;
+                        t.set_deadline(deadline)?;
+                        Ok(t)
+                    },
+                    MSTEPS,
+                    &policy,
+                )
+                .expect("every client overcomes a single forced fault kind");
                 (curve_bits(&curve), adapter_bits(&client))
             }));
         }
@@ -531,7 +558,14 @@ mod fault_matrix {
     #[test]
     fn every_fault_kind_preserves_bit_identity() {
         let (text, config, base) = micro_setup();
-        let (reference, _) = matrix_run(&text, &config, &base, None);
+        let (reference, _) = matrix_run(
+            &text,
+            &config,
+            &base,
+            None,
+            EventLoopOptions::default(),
+            None,
+        );
         for (curve, _) in &reference {
             assert_eq!(curve.len(), MSTEPS);
         }
@@ -545,7 +579,14 @@ mod fault_matrix {
             (Fault::DuplicateFrame(2), lossy),
             (Fault::CorruptBody(2), lossy),
         ] {
-            let (survivors, stats) = matrix_run(&text, &config, &base, Some(fault));
+            let (survivors, stats) = matrix_run(
+                &text,
+                &config,
+                &base,
+                Some(fault),
+                EventLoopOptions::default(),
+                None,
+            );
             assert_eq!(survivors, reference, "{fault:?} diverged from fault-free");
             if kind {
                 assert!(
@@ -567,6 +608,53 @@ mod fault_matrix {
                 );
             }
         }
+    }
+
+    /// The partition fault in isolation: after the nth message the
+    /// link goes silent with **no FIN in either direction**, so
+    /// neither side ever sees a clean close. Recovery must run
+    /// entirely on deadlines — the loop's `io_timeout` evicts the
+    /// silent session into quarantine, and the client's transport
+    /// deadline turns the blackholed reply into a retryable `Timeout`
+    /// that redials and resumes. Bit-identity still holds, and the
+    /// stats prove detection came from deadline expiry.
+    #[test]
+    fn partition_is_detected_by_deadline_expiry_not_clean_closes() {
+        let (text, config, base) = micro_setup();
+        let (reference, _) = matrix_run(
+            &text,
+            &config,
+            &base,
+            None,
+            EventLoopOptions::default(),
+            None,
+        );
+        for (curve, _) in &reference {
+            assert_eq!(curve.len(), MSTEPS);
+        }
+        let (survivors, stats) = matrix_run(
+            &text,
+            &config,
+            &base,
+            Some(Fault::Partition(2)),
+            EventLoopOptions {
+                // Shorter than the client deadline below, so by the
+                // time a partitioned client redials, its session is
+                // already quarantined and the Resume lands first try.
+                io_timeout: Some(Duration::from_millis(300)),
+                ..EventLoopOptions::default()
+            },
+            Some(Duration::from_secs(1)),
+        );
+        assert_eq!(survivors, reference, "Partition diverged from fault-free");
+        assert!(
+            stats.evicted > 0,
+            "detection must come from the io_timeout deadline: {stats:?}"
+        );
+        assert!(
+            stats.resumed > 0,
+            "recovery must go through Resume: {stats:?}"
+        );
     }
 
     /// Snapshot-disk faults: an ENOSPC-style failure of the atomic
@@ -741,7 +829,6 @@ fn silent_clients_are_evicted_and_expired_resumes_get_a_terminal_notice() {
     // Connect, then fall silent while holding the connection open.
     let mut client = make_client(0, &text, &config, &base);
     let mut transport = dialer.dial().expect("dial");
-    use menos::split::Transport;
     transport
         .send(&ClientMessage::Connect {
             client: client.id(),

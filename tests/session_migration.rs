@@ -1,0 +1,216 @@
+//! Migration-blob robustness (PROTOCOL.md §9.4): the
+//! `export_session` / `import_session` pair is what a fleet
+//! coordinator replays when it re-homes a dead server's sessions, so
+//! it is held to the snapshot standard (`tests/snapshot_corruption.rs`
+//! is the one-layer-down mirror): a round-trip preserves every byte of
+//! the session — adapter weights, optimizer moments, step/epoch
+//! counters, the cached lost-reply replay — and *any* damaged,
+//! foreign, or duplicate blob is refused with a typed
+//! [`CheckpointError`] that commits nothing.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+
+use menos::adapters::FineTuneConfig;
+use menos::core::{
+    decode_session_record, encode_session_record, MenosServer, ServerMode, ServerSpec,
+};
+use menos::models::ModelConfig;
+use menos::net::encode_tensor;
+use menos::split::{ClientId, ClientMessage, ServerMessage, SplitSpec};
+use menos::tensor::Tensor;
+
+const SEED: u64 = 5;
+
+fn config() -> ModelConfig {
+    ModelConfig::tiny_opt(17)
+}
+
+/// A server holding one session for `client`, `steps` full dispatches
+/// deep: past step 0 the record carries non-trivial adapter weights,
+/// optimizer moments, and a cached `ServerGradients` replay.
+fn server_with_session(client: u64, steps: usize) -> MenosServer {
+    let config = config();
+    let mut ft = FineTuneConfig::paper(&config);
+    ft.batch_size = 2;
+    ft.seq_len = 8;
+    let mut srv = MenosServer::new(config, ServerSpec::v100(ServerMode::menos()), SEED);
+    let c = ClientId(client);
+    srv.handle(ClientMessage::Connect {
+        client: c,
+        ft,
+        split: SplitSpec::paper(),
+        epoch: 1,
+        codecs: 0,
+    })
+    .expect("connect");
+    let frame = |t: &Tensor| -> Bytes { encode_tensor(t) };
+    for step in 0..steps {
+        let x = 0.1 + step as f32 * 0.01;
+        srv.handle(ClientMessage::Activations {
+            client: c,
+            frame: frame(&Tensor::full(x, [2, 8, 64])),
+        })
+        .expect("activations");
+        let reply = srv
+            .handle(ClientMessage::Gradients {
+                client: c,
+                frame: frame(&Tensor::full(x / 10.0, [2, 8, 64])),
+            })
+            .expect("gradients")
+            .expect("reply");
+        assert!(matches!(reply, ServerMessage::ServerGradients { .. }));
+    }
+    srv
+}
+
+fn fresh_target() -> MenosServer {
+    MenosServer::new(config(), ServerSpec::v100(ServerMode::menos()), SEED)
+}
+
+/// Import must be all-or-nothing: on *any* error the target still has
+/// no sessions, no quarantine, no reservations.
+fn assert_untouched(target: &MenosServer) {
+    assert_eq!(target.active_clients(), 0);
+    assert_eq!(target.quarantined_clients(), 0);
+    assert_eq!(target.reserved_bytes(), 0);
+}
+
+/// The blob with its live/quarantined flag normalized: the exporter
+/// reports the session's *current* residence (live on the source,
+/// quarantined on the importer), which is transport metadata, not
+/// session state. Everything else must round-trip bit-exactly.
+fn normalized(blob: &[u8]) -> Vec<u8> {
+    let (seed, mut rec) = decode_session_record(blob).expect("decodable blob");
+    rec.live = false;
+    encode_session_record(seed, &rec)
+}
+
+fn round_trip(client: u64, steps: usize) {
+    let source = server_with_session(client, steps);
+    let blob = source
+        .export_session(ClientId(client))
+        .expect("the session exports");
+
+    let mut target = fresh_target();
+    let (imported, epoch) = target.import_session(&blob).expect("pristine blob imports");
+    assert_eq!(imported, ClientId(client));
+    let (_, rec) = decode_session_record(&blob).unwrap();
+    assert_eq!(epoch, rec.epoch, "Imported echoes the resume epoch");
+    assert_eq!(target.active_clients(), 0, "imports park in quarantine");
+    assert_eq!(target.quarantined_clients(), 1);
+
+    // Re-exporting from the importer reproduces the record byte for
+    // byte (modulo the residence flag): nothing was lost or rebuilt
+    // differently in transit.
+    let again = target
+        .export_session(ClientId(client))
+        .expect("the import is exportable");
+    assert_eq!(
+        normalized(&blob),
+        normalized(&again),
+        "client {client} at {steps} step(s) did not round-trip"
+    );
+}
+
+#[test]
+fn a_mid_training_session_round_trips_byte_exactly() {
+    round_trip(4, 2);
+}
+
+#[test]
+fn a_freshly_connected_session_round_trips_too() {
+    round_trip(9, 0);
+}
+
+#[test]
+fn a_duplicate_import_is_refused_without_forking_the_session() {
+    let source = server_with_session(3, 1);
+    let blob = source.export_session(ClientId(3)).unwrap();
+    let mut target = fresh_target();
+    target.import_session(&blob).expect("first import lands");
+    // A second copy would give one session two homes.
+    let err = target.import_session(&blob).expect_err("duplicate refused");
+    let msg = err.to_string();
+    assert!(msg.contains("already has a session"), "{msg}");
+    assert_eq!(target.quarantined_clients(), 1, "the original is intact");
+}
+
+#[test]
+fn a_foreign_base_seed_is_refused() {
+    let source = server_with_session(3, 1);
+    let blob = source.export_session(ClientId(3)).unwrap();
+    // A server derived from a different base model: the blob's
+    // adapters were trained against other weights, importing them
+    // would silently corrupt training.
+    let mut target = MenosServer::new(config(), ServerSpec::v100(ServerMode::menos()), SEED + 1);
+    let err = target
+        .import_session(&blob)
+        .expect_err("foreign seed refused");
+    assert!(err.to_string().contains("seed"), "{err}");
+    assert_untouched(&target);
+}
+
+#[test]
+fn exporting_an_unknown_client_is_a_clean_none() {
+    assert!(fresh_target().export_session(ClientId(77)).is_none());
+}
+
+/// The pristine blob all damage cases start from, built once — the
+/// proptest sweeps below damage hundreds of copies.
+fn pristine_blob() -> &'static [u8] {
+    static BYTES: std::sync::OnceLock<Vec<u8>> = std::sync::OnceLock::new();
+    BYTES.get_or_init(|| {
+        server_with_session(4, 1)
+            .export_session(ClientId(4))
+            .expect("export")
+    })
+}
+
+proptest! {
+    /// Round-trip fidelity across arbitrary client ids and training
+    /// depths (0 dispatches = a just-admitted session; deeper = live
+    /// moments and a cached replay).
+    #[test]
+    fn any_session_round_trips(client in 0u64..10_000, steps in 0usize..3) {
+        round_trip(client, steps);
+    }
+
+    /// Every truncation is rejected with a typed error at both layers
+    /// — structural decode and semantic import — and the import
+    /// target stays untouched. (Mirrors the exhaustive sweep in
+    /// `crates/core/src/state.rs` under proptest shrinking.)
+    #[test]
+    fn truncated_blobs_are_rejected_and_commit_nothing(cut_frac in 0.0f64..1.0) {
+        let blob = pristine_blob();
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let cut = (((blob.len() as f64) * cut_frac) as usize).min(blob.len() - 1);
+        prop_assert!(decode_session_record(&blob[..cut]).is_err());
+        let mut target = fresh_target();
+        prop_assert!(target.import_session(&blob[..cut]).is_err());
+        assert_untouched(&target);
+    }
+
+    /// Random multi-site bit damage: between 1 and 8 independent
+    /// flips. Multi-bit damage can in principle slip past a CRC-32,
+    /// but the validators behind it must never panic or leave a
+    /// half-imported session — and a flip set that cancels itself out
+    /// legitimately imports.
+    #[test]
+    fn random_bit_flips_never_panic_or_partially_import(
+        flips in prop::collection::vec((0usize..10_000, 0u8..8), 1..8)
+    ) {
+        let blob = pristine_blob();
+        let mut damaged = blob.to_vec();
+        for (offset, bit) in flips {
+            let offset = offset % damaged.len();
+            damaged[offset] ^= 1 << bit;
+        }
+        let mut target = fresh_target();
+        if damaged == *blob {
+            prop_assert!(target.import_session(&damaged).is_ok());
+        } else if target.import_session(&damaged).is_err() {
+            assert_untouched(&target);
+        }
+    }
+}
